@@ -1,0 +1,49 @@
+"""Shared fixtures and report helpers for the reproduction benchmarks.
+
+Every benchmark prints the table/figure it reproduces in a paper-style
+layout and records the key numbers in ``benchmark.extra_info`` so they
+survive into the pytest-benchmark JSON output.
+
+Scale: the macro experiments default to 1/6 of the paper's 720-quanta
+horizon; set ``REPRO_FULL=1`` for the full horizon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.config import default_config
+from repro.dataflow.client import build_workload
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_rows(headers: list[str], rows: list[list], widths: list[int] | None = None) -> None:
+    widths = widths or [max(14, len(h) + 2) for h in headers]
+    line = "".join(f"{h:<{w}}" for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("".join(f"{str(c):<{w}}" for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def pricing():
+    return PAPER_PRICING
+
+
+@pytest.fixture()
+def workload(config):
+    """A fresh workload/catalog per benchmark (catalogs are mutable)."""
+    return build_workload(config.pricing, seed=config.seed)

@@ -1,0 +1,74 @@
+"""Ablations: α (time/money weight) and D (gain fading controller).
+
+Two knobs the paper calls out:
+
+* α rotates the preference in the (time-gain, money-gain) plane (Fig. 4);
+  with both gains positively correlated in this workload its main effect
+  is on the *ranking* (which indexes are built first).
+* D controls how fast historical dataflows fade (Section 4, and "automatic
+  learning of the controller" is the paper's stated future work). A small
+  D makes the tuner myopic — fewer indexes amortise; a large D makes it
+  sluggish to delete after phase changes.
+"""
+
+from dataclasses import replace
+
+from conftest import print_header, print_rows
+
+from repro import Strategy, default_config, run_experiment
+
+
+def _short(config, **overrides):
+    cfg = replace(config, total_time_s=min(config.total_time_s, 3600.0))
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def _alpha_sweep(config):
+    rows = []
+    for alpha in (0.1, 0.5, 0.9):
+        cfg = _short(config, alpha=alpha)
+        m = run_experiment(Strategy.GAIN, generator="phase", config=cfg)
+        rows.append((alpha, m.num_finished, m.cost_per_dataflow_quanta(),
+                     m.indexes_created, m.storage_dollars()))
+    return rows
+
+
+def _fading_sweep(config):
+    rows = []
+    for fade in (1.0, 5.0, 20.0):
+        cfg = _short(config, fade_quanta=fade, storage_window_quanta=fade)
+        m = run_experiment(Strategy.GAIN, generator="phase", config=cfg)
+        rows.append((fade, m.num_finished, m.indexes_created, m.indexes_deleted,
+                     m.storage_dollars()))
+    return rows
+
+
+def test_ablation_alpha(benchmark, config):
+    rows = benchmark.pedantic(_alpha_sweep, args=(config,), rounds=1, iterations=1)
+    print_header("Ablation — time/money weight α (Gain, phase, short horizon)")
+    print_rows(
+        ["alpha", "#finished", "cost/df (q)", "idx created", "storage $"],
+        [[a, n, f"{c:.2f}", i, f"{s:.2f}"] for a, n, c, i, s in rows],
+        widths=[8, 12, 14, 14, 12],
+    )
+    # All α values keep the service functional and building indexes.
+    assert all(n > 0 for _, n, _, _, _ in rows)
+    assert any(i > 0 for _, _, _, i, _ in rows)
+    for a, n, c, i, s in rows:
+        benchmark.extra_info[f"alpha_{a}_finished"] = n
+
+
+def test_ablation_fading(benchmark, config):
+    rows = benchmark.pedantic(_fading_sweep, args=(config,), rounds=1, iterations=1)
+    print_header("Ablation — gain fading controller D (Gain, phase, short horizon)")
+    print_rows(
+        ["D (quanta)", "#finished", "idx created", "idx deleted", "storage $"],
+        [[d, n, i, x, f"{s:.2f}"] for d, n, i, x, s in rows],
+        widths=[12, 12, 14, 14, 12],
+    )
+    by_fade = {d: (n, i, x, s) for d, n, i, x, s in rows}
+    # A myopic controller (D=1) builds fewer indexes than D=5.
+    assert by_fade[1.0][1] <= by_fade[5.0][1]
+    for d, n, i, x, s in rows:
+        benchmark.extra_info[f"D_{d}_created"] = i
+        benchmark.extra_info[f"D_{d}_deleted"] = x

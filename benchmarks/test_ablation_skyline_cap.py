@@ -1,0 +1,55 @@
+"""Ablation: the bounded-skyline cap of the Algorithm 4 scheduler.
+
+Algorithm 4's skyline grows combinatorially without pruning; we cap the
+partial schedules kept per step. This ablation measures what the cap
+costs in schedule quality (fastest point, cheapest point) against what
+it buys in scheduler runtime.
+"""
+
+import time
+
+from conftest import print_header, print_rows
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.scheduling.skyline import SkylineScheduler
+
+CAPS = (1, 2, 4, 8, 16)
+
+
+def _sweep(workload):
+    flows = [workload.next_dataflow("montage", issued_at=0.0) for _ in range(3)]
+    rows = []
+    for cap in CAPS:
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=cap, max_containers=20)
+        start = time.perf_counter()
+        best_time, best_money, points = 0.0, 0, 0
+        for flow in flows:
+            skyline = scheduler.schedule(flow)
+            best_time += min(s.makespan_seconds() for s in skyline)
+            best_money += min(s.money_quanta() for s in skyline)
+            points += len(skyline)
+        elapsed = time.perf_counter() - start
+        rows.append((cap, best_time / len(flows), best_money / len(flows),
+                     points / len(flows), elapsed))
+    return rows
+
+
+def test_ablation_skyline_cap(benchmark, workload):
+    rows = benchmark.pedantic(_sweep, args=(workload,), rounds=1, iterations=1)
+
+    print_header("Ablation — skyline cap of the Algorithm 4 scheduler (Montage)")
+    print_rows(
+        ["cap", "fastest (s)", "cheapest (quanta)", "skyline pts", "runtime (s)"],
+        [[c, f"{t:.1f}", f"{m:.1f}", f"{p:.1f}", f"{e:.2f}"] for c, t, m, p, e in rows],
+        widths=[8, 14, 20, 14, 14],
+    )
+
+    by_cap = {c: (t, m, p, e) for c, t, m, p, e in rows}
+    # A bigger skyline never yields a worse fastest point...
+    assert by_cap[8][0] <= by_cap[1][0] + 1e-6
+    # ...and never a worse cheapest point.
+    assert by_cap[8][1] <= by_cap[1][1] + 1e-9
+    # More skyline points are kept with a bigger cap.
+    assert by_cap[16][2] >= by_cap[1][2]
+    benchmark.extra_info["fastest_cap1"] = round(by_cap[1][0], 1)
+    benchmark.extra_info["fastest_cap8"] = round(by_cap[8][0], 1)

@@ -1,0 +1,94 @@
+"""Extension: delayed index building when idle slots are short.
+
+"Building indexes in a delayed manner for scenarios where idle slots are
+short is an interesting direction of our future work" (Section 7). This
+benchmark creates a workload whose idle slots are all shorter than the
+build operators: interleaving alone builds nothing forever, while the
+deferred policy accumulates the frustrated builds and proposes a
+dedicated build batch whose explicit cost is a fraction of the queued
+gain.
+"""
+
+from conftest import print_header, print_rows
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.interleave.lp import lp_interleave
+from repro.interleave.slots import BuildCandidate
+from repro.scheduling.skyline import SkylineScheduler
+from repro.tuning.deferred import DeferredBuildPolicy
+
+
+def _short_slot_flow(name):
+    """Two parallel chains whose stagger leaves only ~12 s slots."""
+    flow = Dataflow(name=name)
+    flow.add_operator(Operator(name="a", runtime=24.0))
+    prev_fast, prev_slow = "a", "a"
+    for i in range(4):
+        fast = Operator(name=f"fast{i}", runtime=24.0)
+        slow = Operator(name=f"slow{i}", runtime=36.0)
+        flow.add_operator(fast)
+        flow.add_operator(slow)
+        flow.add_edge(prev_fast, fast.name)
+        flow.add_edge(prev_slow, slow.name)
+        prev_fast, prev_slow = fast.name, slow.name
+    join = Operator(name="join", runtime=24.0)
+    flow.add_operator(join)
+    flow.add_edge(prev_fast, join.name)
+    flow.add_edge(prev_slow, join.name)
+    return flow
+
+
+def _candidates():
+    """Builds of 65-90 s: none fits a sub-quantum slot."""
+    return [
+        BuildCandidate(index_name=f"t{i:02d}__k", partition_id=0,
+                       duration_s=65.0 + 5 * i, gain=1.2)
+        for i in range(6)
+    ]
+
+
+def _run():
+    scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=2, max_containers=4)
+    policy = DeferredBuildPolicy(PAPER_PRICING, min_deferrals=2, payback_factor=2.0)
+    interleaved_counts = []
+    batch = None
+    rounds = 0
+    for i in range(6):
+        rounds += 1
+        flow = _short_slot_flow(f"short-{i}")
+        results = lp_interleave(flow, _candidates(), scheduler)
+        best = max(results, key=lambda r: r.num_builds)
+        interleaved_counts.append(best.num_builds)
+        placed = {c.op_name for c in best.scheduled_builds}
+        policy.record_placed([c for c in _candidates() if c.op_name in placed])
+        policy.record_unplaced([c for c in _candidates() if c.op_name not in placed])
+        batch = policy.propose_batch()
+        if batch is not None:
+            break
+    return interleaved_counts, batch, rounds, policy
+
+
+def test_extension_deferred_builds(benchmark):
+    counts, batch, rounds, policy = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Extension — delayed building when idle slots are short")
+    print(f"interleaved builds per round (slots are all shorter than any "
+          f"build): {counts}")
+    assert all(c == 0 for c in counts), "short slots must defeat interleaving"
+    assert batch is not None, "the deferred policy never proposed a batch"
+    print(f"\nafter {rounds} rounds the deferred policy proposes a dedicated batch:")
+    print_rows(
+        ["builds", "containers", "leased quanta", "cost $", "queued gain $"],
+        [[len(batch.candidates), batch.num_containers, batch.leased_quanta,
+          f"{batch.cost_dollars:.2f}", f"{batch.expected_gain_dollars:.2f}"]],
+        widths=[10, 12, 15, 10, 15],
+    )
+    assert batch.worthwhile
+    assert batch.expected_gain_dollars >= 2.0 * batch.cost_dollars
+    policy.commit_batch(batch)
+    assert len(policy) + len(batch.candidates) == 6
+    benchmark.extra_info["rounds_until_batch"] = rounds
+    benchmark.extra_info["batch_cost"] = round(batch.cost_dollars, 2)
+    benchmark.extra_info["batch_gain"] = round(batch.expected_gain_dollars, 2)

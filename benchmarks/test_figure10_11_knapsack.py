@@ -1,0 +1,73 @@
+"""Figures 10 and 11: the packing instance and the algorithm comparison.
+
+Figure 10 shows a concrete instance: 8 idle time segments (up to ~0.6
+quanta) and ~22 build operator times (up to ~0.2 quanta). Figure 11
+packs that instance with three algorithms — the Graham-inspired greedy,
+the LP interleaving algorithm, and the merged-segment theoretical upper
+bound — with each operator's gain equal to its execution time. The LP
+algorithm lands within ~5% of the upper bound and above Graham.
+"""
+
+import numpy as np
+
+from conftest import print_header, print_rows
+
+from repro.interleave.greedy import graham_pack, lp_pack, merged_upper_bound
+from repro.interleave.knapsack import KnapsackItem
+
+
+def _figure10_instance():
+    """Idle segments and build-op times shaped like the paper's Fig. 10."""
+    rng = np.random.default_rng(99)
+    segments = sorted(
+        (float(rng.uniform(0.05, 0.35)) for _ in range(8)), reverse=True
+    )
+    op_times = [float(rng.uniform(0.02, 0.2)) for _ in range(22)]
+    items = [KnapsackItem(item_id=i, size=t, gain=t) for i, t in enumerate(op_times)]
+    return segments, items
+
+
+def _run():
+    segments, items = _figure10_instance()
+    graham = graham_pack(items, segments)
+    lp = lp_pack(items, segments)
+    upper = merged_upper_bound(items, segments)
+    return segments, items, graham, lp, upper
+
+
+def test_figure10_instance_and_figure11_gains(benchmark):
+    segments, items, graham, lp, upper = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Figure 10 — Idle time segments and build operator times")
+    print_rows(
+        ["segment", "size (quanta)"],
+        [[i + 1, f"{s:.3f}"] for i, s in enumerate(segments)],
+        widths=[10, 16],
+    )
+    times = sorted((it.size for it in items), reverse=True)
+    print("\nbuild operator times (quanta):")
+    print("  " + "  ".join(f"{t:.3f}" for t in times))
+    print(f"\ntotal idle: {sum(segments):.3f} quanta, "
+          f"total build work: {sum(times):.3f} quanta")
+
+    print_header("Figure 11 — Total gain using different algorithms")
+    print_rows(
+        ["algorithm", "total gain", "% of upper bound", "#ops placed"],
+        [
+            ["Graham", f"{graham.total_gain:.3f}", f"{100 * graham.total_gain / upper:.1f}%",
+             graham.num_scheduled],
+            ["Linear Prog.", f"{lp.total_gain:.3f}", f"{100 * lp.total_gain / upper:.1f}%",
+             lp.num_scheduled],
+            ["Upper Bound", f"{upper:.3f}", "100.0%", "-"],
+        ],
+        widths=[16, 14, 20, 14],
+    )
+
+    # The paper's hierarchy: Graham <= LP <= upper bound, LP within ~5%.
+    assert graham.total_gain <= lp.total_gain + 1e-9
+    assert lp.total_gain <= upper + 1e-9
+    assert lp.total_gain >= 0.90 * upper, "LP should be close to the upper bound"
+    benchmark.extra_info["graham_gain"] = round(graham.total_gain, 3)
+    benchmark.extra_info["lp_gain"] = round(lp.total_gain, 3)
+    benchmark.extra_info["upper_bound"] = round(upper, 3)
+    benchmark.extra_info["lp_pct_of_upper"] = round(100 * lp.total_gain / upper, 1)

@@ -1,0 +1,85 @@
+"""Figure 3: gain over time of two indexes A and B (Table 2 scenario).
+
+The paper's example: index A is 100 MB, index B is 500 MB; dataflows
+arrive at t = 10, 30, 50, 100 with the per-index gains of Table 2;
+α = 0.5 and D = 60. Both gains start negative (build + storage cost),
+become positive as dataflows use the indexes (B at ~t=30) and then decay
+exponentially — B stops being beneficial around t = 125 and is deleted.
+"""
+
+import numpy as np
+
+from conftest import print_header, print_rows
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.data.index_model import Index, IndexCostModel, IndexSpec
+from repro.data.table import Column, ColumnType, TableSchema, TableStatistics, partition_table
+from repro.tuning.gain import DataflowGainSample, GainModel, GainParameters
+
+#: Table 2 — (arrival quantum, {index: (time gain, money gain)}).
+TABLE2 = [
+    (10, {"B": (1.0, 3.0)}),
+    (30, {"B": (2.0, 5.0)}),
+    (50, {"A": (2.0, 8.0), "B": (3.0, 8.0)}),
+    (100, {"A": (3.0, 5.0)}),
+]
+
+
+def _index_of_size(name: str, size_mb: float) -> Index:
+    """A single-column index whose built size is ~``size_mb``."""
+    entry_bytes = 4.82 + 8.0  # key + pointer
+    records = int(size_mb * 2**20 / entry_bytes)
+    schema = TableSchema(name, (Column("orderkey", ColumnType.INTEGER),
+                                Column("payload", ColumnType.TEXT)))
+    stats = TableStatistics(avg_field_bytes={"orderkey": 4.82, "payload": 120.0})
+    table = partition_table(name, schema, stats, total_records=records)
+    return Index(spec=IndexSpec(name, ("orderkey",)), table=table)
+
+
+def _gain_curves():
+    params = GainParameters(
+        alpha=0.5, fade_quanta=60.0, window_quanta=float("inf"),
+        storage_window_quanta=2.0,
+    )
+    model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), params)
+    indexes = {"A": _index_of_size("ta", 100.0), "B": _index_of_size("tb", 500.0)}
+    times = np.arange(0, 160)
+    curves = {name: [] for name in indexes}
+    for t in times:
+        for name, index in indexes.items():
+            samples = [
+                DataflowGainSample(float(t - at), *gains[name])
+                for at, gains in TABLE2
+                if at <= t and name in gains
+            ]
+            curves[name].append(model.evaluate(index, samples).combined_dollars)
+    return times, curves
+
+
+def test_figure3_gain_over_time(benchmark):
+    times, curves = benchmark.pedantic(_gain_curves, rounds=1, iterations=1)
+
+    print_header("Figure 3 — Gain over time of indexes A (100 MB) and B (500 MB)")
+    rows = []
+    for t in range(0, 160, 10):
+        rows.append([t, f"{curves['A'][t]: .4f}", f"{curves['B'][t]: .4f}"])
+    print_rows(["t (quanta)", "g(A, t) $", "g(B, t) $"], rows, widths=[12, 14, 14])
+
+    a, b = np.array(curves["A"]), np.array(curves["B"])
+    # Both start negative (storage + build cost, no dataflows yet).
+    assert a[0] < 0 and b[0] < 0
+    # B becomes beneficial once dataflows start using it (paper: ~t=30).
+    first_b = int(np.argmax(b > 0))
+    assert 10 <= first_b <= 40, first_b
+    # A becomes beneficial after its first use at t=50.
+    first_a = int(np.argmax(a > 0))
+    assert 45 <= first_a <= 80, first_a
+    # After the last use, gains decay monotonically...
+    assert all(x >= y - 1e-12 for x, y in zip(b[101:], b[102:]))
+    # ...and B eventually stops being beneficial (paper: ~t=125).
+    later_zero = np.where(b[60:] <= 0)[0]
+    assert later_zero.size > 0, "B never stopped being beneficial"
+    crossing = 60 + int(later_zero[0])
+    print(f"\nB stops being beneficial at t = {crossing} (paper: ~125)")
+    benchmark.extra_info["b_beneficial_at"] = first_b
+    benchmark.extra_info["b_deleted_at"] = crossing

@@ -1,0 +1,65 @@
+"""Figure 6: sensitivity of the offline scheduler to estimation errors.
+
+Operator runtimes and data sizes are perturbed within ±error% and the
+schedule computed on the estimates is re-costed on the actual values.
+The paper finds the estimations robust up to ~20% error, with the
+deltas growing as estimates get very poor.
+"""
+
+import numpy as np
+
+from conftest import print_header, print_rows
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.scheduling.estimation import perturb_dataflow, recost_schedule_on_actuals
+from repro.scheduling.skyline import SkylineScheduler
+
+ERRORS = (0.0, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80, 1.0)
+TRIALS = 3
+
+
+def _sweep(workload):
+    scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=2, max_containers=20)
+    rng = np.random.default_rng(17)
+    rows = []
+    flows = [workload.next_dataflow("cybershake", issued_at=0.0) for _ in range(TRIALS)]
+    schedules = [
+        min(scheduler.schedule(f), key=lambda s: s.makespan_seconds()) for f in flows
+    ]
+    for error in ERRORS:
+        dt, dm, dfr = [], [], []
+        for flow, schedule in zip(flows, schedules):
+            actual_flow = perturb_dataflow(flow, cpu_error=error, data_error=error, rng=rng)
+            actual = recost_schedule_on_actuals(schedule, actual_flow, net_bw_mb_s=125.0)
+            est_t, act_t = schedule.makespan_seconds(), actual.makespan_seconds()
+            est_m, act_m = schedule.money_quanta(), actual.money_quanta()
+            est_f = max(schedule.fragmentation_quanta(), 1e-9)
+            act_f = actual.fragmentation_quanta()
+            dt.append(100.0 * abs(act_t - est_t) / est_t)
+            dm.append(100.0 * abs(act_m - est_m) / est_m)
+            dfr.append(100.0 * abs(act_f - est_f) / est_f)
+        rows.append((error, float(np.mean(dt)), float(np.mean(dm)), float(np.mean(dfr))))
+    return rows
+
+
+def test_figure6_estimation_errors(benchmark, workload):
+    rows = benchmark.pedantic(_sweep, args=(workload,), rounds=1, iterations=1)
+
+    print_header("Figure 6 — Offline scheduler sensitivity to estimation errors")
+    print_rows(
+        ["error %", "Δ time %", "Δ money %", "Δ fragmentation %"],
+        [[f"{e * 100:.0f}", f"{t:.2f}", f"{m:.2f}", f"{f:.2f}"] for e, t, m, f in rows],
+        widths=[10, 12, 12, 20],
+    )
+
+    by_error = {e: (t, m, f) for e, t, m, f in rows}
+    # Zero error reproduces the schedule exactly.
+    assert by_error[0.0][0] < 1e-6
+    assert by_error[0.0][1] < 1e-6
+    # Small errors stay small (robustness claim: <= ~20% error is fine).
+    assert by_error[0.10][0] < 15.0
+    assert by_error[0.20][0] < 25.0
+    # Very poor estimates hurt noticeably more than small ones.
+    assert by_error[1.0][0] > by_error[0.05][0]
+    benchmark.extra_info["delta_time_at_20pct"] = round(by_error[0.20][0], 2)
+    benchmark.extra_info["delta_time_at_100pct"] = round(by_error[1.0][0], 2)

@@ -1,0 +1,74 @@
+"""Figure 8: number of indexes scheduled per skyline point, LP vs online.
+
+The paper's two findings for Montage:
+
+* The LP interleaving algorithm schedules significantly more build
+  operators than the online algorithm (fragmentation is known up front).
+* The two skylines differ (the online algorithm's build operators
+  interact with the dataflow placement, yielding cheaper schedules).
+"""
+
+import numpy as np
+
+from conftest import print_header, print_rows
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.interleave.lp import lp_interleave
+from repro.interleave.online import online_interleave
+from repro.interleave.slots import BuildCandidate
+from repro.scheduling.skyline import SkylineScheduler
+
+
+def _candidates(rng, count=120):
+    return [
+        BuildCandidate(
+            index_name=f"idx{i:03d}", partition_id=0,
+            duration_s=float(rng.uniform(5.0, 35.0)),
+            gain=float(rng.uniform(0.5, 5.0)),
+        )
+        for i in range(count)
+    ]
+
+
+def _run(workload):
+    rng = np.random.default_rng(23)
+    cands = _candidates(rng)
+    lp_flow = workload.next_dataflow("montage", issued_at=0.0)
+    lp = lp_interleave(
+        lp_flow, cands, SkylineScheduler(PAPER_PRICING, max_skyline=6, max_containers=30)
+    )
+    online_flow = workload.next_dataflow("montage", issued_at=0.0)
+    online = online_interleave(
+        online_flow, cands, SkylineScheduler(PAPER_PRICING, max_skyline=6, max_containers=30)
+    )
+    return lp, online
+
+
+def test_figure8_indexes_scheduled(benchmark, workload):
+    lp, online = benchmark.pedantic(_run, args=(workload,), rounds=1, iterations=1)
+
+    print_header("Figure 8 — Indexes scheduled per skyline point (Montage)")
+    rows = []
+    for label, results in (("LP", lp), ("Online", online)):
+        for inter in results:
+            rows.append([
+                label,
+                f"{inter.schedule.money_quanta()}",
+                f"{inter.schedule.makespan_quanta():.2f}",
+                inter.num_builds,
+            ])
+    print_rows(["algorithm", "money (quanta)", "time (quanta)", "#indexes"], rows,
+               widths=[12, 16, 16, 10])
+
+    lp_max = max(i.num_builds for i in lp)
+    online_max = max(i.num_builds for i in online)
+    print(f"\nmax builds: LP={lp_max} online={online_max}")
+    # LP schedules significantly more build operators.
+    assert lp_max > online_max
+    assert lp_max >= 1.3 * max(online_max, 1)
+    # The two skylines are not the same (money points differ).
+    lp_money = sorted(i.schedule.money_quanta() for i in lp)
+    online_money = sorted(i.schedule.money_quanta() for i in online)
+    assert lp_money != online_money
+    benchmark.extra_info["lp_max_builds"] = lp_max
+    benchmark.extra_info["online_max_builds"] = online_max

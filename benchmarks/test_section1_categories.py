@@ -1,0 +1,119 @@
+"""Section 1's five operator categories, measured on the micro engine.
+
+Table 6 times four queries; the paper's introduction motivates indexes
+through five operator categories with complexity arguments:
+
+* Lookup        O(n) -> O(log n) (B+tree) or O(1) (hash)
+* Range select  O(n) -> O(log n + k)
+* Sorting       O(n log n) -> O(n)
+* Grouping      via sorting
+* Join          sort-merge O(n+m) on sorted (indexed) inputs
+
+This harness measures all five, including the grouping and join
+categories Table 6 leaves out, and asserts the index side wins each one.
+"""
+
+import os
+import time
+
+from conftest import print_header, print_rows
+
+from repro.engine.btree import BPlusTree
+from repro.engine.executor import (
+    group_by_btree,
+    group_by_sort,
+    lookup_btree,
+    lookup_hash,
+    lookup_scan,
+    order_by_btree,
+    order_by_sort,
+    range_select_btree,
+    range_select_scan,
+    sort_merge_join,
+    sort_merge_join_unindexed,
+)
+from repro.engine.hashindex import HashIndex
+from repro.engine.heap import HeapFile
+from repro.engine.queries import build_lineitem_heap
+
+_NUM_ROWS = 200_000 if os.environ.get("REPRO_FULL") == "1" else 80_000
+
+
+def _timed(fn, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _measure():
+    heap = build_lineitem_heap(_NUM_ROWS, seed=7)
+    orderkey_btree = BPlusTree.bulk_load(heap.index_pairs("orderkey"), order=128)
+    suppkey_btree = BPlusTree.bulk_load(heap.index_pairs("suppkey"), order=128)
+    suppkey_hash = HashIndex.build(heap.index_pairs("suppkey"))
+    keys = heap.column("orderkey")
+    point = keys[_NUM_ROWS // 2]
+    lo, hi = point, point + int((max(keys) - min(keys)) * 0.001)
+
+    rows = {}
+    t0, r0 = _timed(lambda: lookup_scan(heap, "orderkey", point))
+    t1, r1 = _timed(lambda: lookup_btree(orderkey_btree, point))
+    t2, _ = _timed(lambda: lookup_hash(suppkey_hash, heap.column("suppkey")[0]))
+    assert sorted(r0) == sorted(r1)
+    rows["lookup"] = (t0, t1)
+
+    t0, r0 = _timed(lambda: range_select_scan(heap, "orderkey", lo, hi))
+    t1, r1 = _timed(lambda: range_select_btree(orderkey_btree, lo, hi))
+    assert sorted(r0) == sorted(r1)
+    rows["range select"] = (t0, t1)
+
+    t0, _ = _timed(lambda: order_by_sort(heap, "orderkey"), repeats=2)
+    t1, _ = _timed(lambda: order_by_btree(orderkey_btree), repeats=2)
+    rows["sorting"] = (t0, t1)
+
+    t0, g0 = _timed(lambda: group_by_sort(heap, "suppkey"), repeats=2)
+    t1, g1 = _timed(lambda: group_by_btree(suppkey_btree), repeats=2)
+    assert len(g0) == len(g1)
+    rows["grouping"] = (t0, t1)
+
+    probe = HeapFile({"suppkey": heap.column("suppkey")[:400]})
+    probe_btree = BPlusTree.bulk_load(probe.index_pairs("suppkey"), order=128)
+    t0, j0 = _timed(
+        lambda: sort_merge_join_unindexed(probe, "suppkey", heap, "suppkey"), repeats=2
+    )
+    t1, j1 = _timed(
+        lambda: sort_merge_join(probe_btree.items(), suppkey_btree.items()), repeats=2
+    )
+    assert len(j0) == len(j1)
+    rows["join"] = (t0, t1)
+    return rows
+
+
+def test_section1_five_categories(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header(f"Section 1 — the five operator categories ({_NUM_ROWS:,} rows)")
+    table = []
+    for category, (t_scan, t_idx) in rows.items():
+        table.append([
+            category,
+            f"{t_scan * 1e3:10.2f} ms",
+            f"{t_idx * 1e3:10.3f} ms",
+            f"{t_scan / t_idx:8.1f}x",
+        ])
+    print_rows(["category", "no index", "with index", "speedup"], table,
+               widths=[16, 16, 16, 12])
+
+    # Every one of the paper's five categories is faster with an index.
+    for category, (t_scan, t_idx) in rows.items():
+        assert t_idx < t_scan, category
+        benchmark.extra_info[f"{category.replace(' ', '_')}_speedup"] = round(
+            t_scan / t_idx, 1
+        )
+    # And the complexity hierarchy makes the point-access categories the
+    # most accelerated.
+    speedups = {k: t0 / t1 for k, (t0, t1) in rows.items()}
+    assert speedups["lookup"] > speedups["sorting"]
+    assert speedups["range select"] > speedups["sorting"]

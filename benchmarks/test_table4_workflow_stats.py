@@ -1,0 +1,83 @@
+"""Table 4: basic statistics of the scientific dataflows.
+
+Paper values (operator runtimes, seconds):
+
+    Montage     #100  min 3.82  max  49.32  mean  11.32  stdev   2.95
+    Ligo        #100  min 4.03  max 689.39  mean 222.33  stdev 241.42
+    Cybershake  #100  min 0.55  max 199.43  mean  22.97  stdev  25.08
+
+and input files (MB):
+
+    Montage     #20  min 0.01  max     4.02  mean    3.22  stdev    1.65
+    Ligo        #53  min 0.86  max    14.91  mean   14.24  stdev    2.70
+    Cybershake  #52  min 1.81  max 19169.75  mean 1459.08  stdev 5091.69
+"""
+
+import numpy as np
+
+from conftest import print_header, print_rows
+
+PAPER_RUNTIME = {
+    "montage": (3.82, 49.32, 11.32, 2.95),
+    "ligo": (4.03, 689.39, 222.33, 241.42),
+    "cybershake": (0.55, 199.43, 22.97, 25.08),
+}
+PAPER_INPUTS = {
+    "montage": (20, 0.01, 4.02, 3.22, 1.65),
+    "ligo": (53, 0.86, 14.91, 14.24, 2.70),
+    "cybershake": (52, 1.81, 19169.75, 1459.08, 5091.69),
+}
+
+
+def _collect(workload, trials=10):
+    stats = {}
+    for app in ("montage", "ligo", "cybershake"):
+        runtimes, inputs = [], None
+        for _ in range(trials):
+            flow = workload.next_dataflow(app, issued_at=0.0)
+            runtimes.extend(op.runtime for op in flow.operators.values())
+            inputs = [f.size_mb for op in flow.operators.values() for f in op.inputs]
+        stats[app] = (np.array(runtimes), np.array(inputs))
+    return stats
+
+
+def test_table4_workflow_statistics(benchmark, workload):
+    stats = benchmark.pedantic(_collect, args=(workload,), rounds=1, iterations=1)
+
+    print_header("Table 4 — Basic statistics of the scientific dataflows")
+    rows = []
+    for app, (runtimes, _) in stats.items():
+        p = PAPER_RUNTIME[app]
+        rows.append([
+            app, len(runtimes) // 10,
+            f"{runtimes.min():.2f} ({p[0]})",
+            f"{runtimes.max():.2f} ({p[1]})",
+            f"{runtimes.mean():.2f} ({p[2]})",
+            f"{runtimes.std():.2f} ({p[3]})",
+        ])
+    print("Operator runtimes, seconds — measured (paper):")
+    print_rows(["app", "#ops", "min", "max", "mean", "stdev"], rows,
+               widths=[12, 6, 18, 20, 20, 20])
+
+    rows = []
+    for app, (_, inputs) in stats.items():
+        count, low, high, mean, std = PAPER_INPUTS[app]
+        rows.append([
+            app, f"{len(inputs)} ({count})",
+            f"{inputs.min():.2f} ({low})",
+            f"{inputs.max():.2f} ({high})",
+            f"{inputs.mean():.2f} ({mean})",
+            f"{inputs.std():.2f} ({std})",
+        ])
+    print("\nInput files, MB — measured (paper):")
+    print_rows(["app", "#files", "min", "max", "mean", "stdev"], rows,
+               widths=[12, 12, 18, 24, 22, 22])
+
+    for app, (runtimes, inputs) in stats.items():
+        _, _, mean, _ = PAPER_RUNTIME[app]
+        assert runtimes.mean() == np.float64(runtimes.mean())
+        assert abs(runtimes.mean() - mean) / mean < 0.25, app
+        count = PAPER_INPUTS[app][0]
+        assert len(inputs) == count
+        benchmark.extra_info[f"{app}_runtime_mean"] = float(runtimes.mean())
+        benchmark.extra_info[f"{app}_input_mean_mb"] = float(inputs.mean())

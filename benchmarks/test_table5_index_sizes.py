@@ -1,0 +1,62 @@
+"""Table 5: indexes on TPC-H ``lineitem`` (scale 2, ~12M rows, 1.4 GB).
+
+Paper values:
+
+    comment       text      422.30 MB   30.16 %
+    shipinstruct  20 chars  248.95 MB   17.78 %
+    commitdate    date      225.91 MB   16.13 %
+    orderkey      integer   146.99 MB   10.49 %
+"""
+
+from conftest import print_header, print_rows
+
+from repro.data.index_model import IndexCostModel, IndexSpec
+from repro.data.tpch import TABLE5_COLUMNS, lineitem_table
+
+PAPER = {
+    "comment": (422.30, 30.16),
+    "shipinstruct": (248.95, 17.78),
+    "commitdate": (225.91, 16.13),
+    "orderkey": (146.99, 10.49),
+}
+
+
+def _compute(pricing):
+    table = lineitem_table(scale=2.0)
+    model = IndexCostModel(pricing)
+    table_mb = table.size_mb()
+    sizes = {
+        column: model.index_size_mb(table, IndexSpec("lineitem", (column,)))
+        for column in TABLE5_COLUMNS
+    }
+    return table, table_mb, sizes
+
+
+def test_table5_index_sizes(benchmark, pricing):
+    table, table_mb, sizes = benchmark.pedantic(
+        _compute, args=(pricing,), rounds=1, iterations=1
+    )
+
+    print_header("Table 5 — Indexes on table lineitem (scale 2)")
+    print(f"table: {table.num_records:,} rows, {table_mb:.1f} MB, "
+          f"{len(table.partitions)} partitions of <=128 MB")
+    rows = []
+    for column in TABLE5_COLUMNS:
+        size = sizes[column]
+        pct = 100.0 * size / table_mb
+        psize, ppct = PAPER[column]
+        rows.append([
+            column,
+            f"{size:8.2f} ({psize})",
+            f"{pct:6.2f} % ({ppct} %)",
+        ])
+    print_rows(["column", "index size MB (paper)", "% table (paper)"], rows,
+               widths=[16, 26, 24])
+
+    for column in TABLE5_COLUMNS:
+        psize, _ = PAPER[column]
+        assert abs(sizes[column] - psize) / psize < 0.02, column
+        benchmark.extra_info[f"{column}_mb"] = round(sizes[column], 2)
+    # Ordering must match the paper exactly.
+    ordered = sorted(sizes, key=sizes.get, reverse=True)
+    assert tuple(ordered) == TABLE5_COLUMNS

@@ -1,0 +1,177 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro run --strategy gain --generator phase
+    python -m repro compare --generator phase --horizon-quanta 60
+    python -m repro schedule --app cybershake
+    python -m repro table5
+    python -m repro table6 --rows 150000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.config import default_config
+from repro.core.service import Strategy
+
+
+def _config(args) -> "ExperimentConfig":  # noqa: F821
+    config = default_config()
+    overrides = {}
+    if getattr(args, "horizon_quanta", None):
+        overrides["total_time_s"] = args.horizon_quanta * 60.0
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    return replace(config, **overrides) if overrides else config
+
+
+def _print_metrics(label: str, metrics) -> None:
+    print(
+        f"{label:<18} finished={metrics.num_finished:<4d} "
+        f"cost/dataflow={metrics.cost_per_dataflow_quanta():7.2f} quanta  "
+        f"makespan={metrics.avg_makespan_quanta():5.2f} quanta  "
+        f"killed={metrics.killed_percentage():4.1f}%  "
+        f"storage=${metrics.storage_dollars():.2f}"
+    )
+
+
+def cmd_run(args) -> int:
+    """Run one strategy/generator experiment and print its summary."""
+    from repro import run_experiment
+
+    strategy = Strategy(args.strategy)
+    metrics = run_experiment(
+        strategy, generator=args.generator, config=_config(args),
+        interleaver=args.interleaver,
+    )
+    _print_metrics(strategy.value, metrics)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run all four strategies and print the Figure 12-style table."""
+    from repro import run_experiment
+    from repro.report import bar_chart, comparison_table, metrics_row
+
+    print(f"generator={args.generator}, horizon="
+          f"{_config(args).total_time_s / 60:.0f} quanta")
+    rows = []
+    for strategy in (Strategy.NO_INDEX, Strategy.RANDOM,
+                     Strategy.GAIN_NO_DELETE, Strategy.GAIN):
+        metrics = run_experiment(
+            strategy, generator=args.generator, config=_config(args)
+        )
+        rows.append(metrics_row(strategy.value, metrics))
+    print()
+    print(comparison_table(rows))
+    print("\ndataflows finished:")
+    print(bar_chart([(r.label, float(r.finished)) for r in rows]))
+    print("\ncost per dataflow (quanta):")
+    print(bar_chart([(r.label, r.cost_per_dataflow_quanta) for r in rows], unit="q"))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """Print the schedule skyline of one generated dataflow."""
+    from repro.dataflow.client import build_workload
+    from repro.scheduling.skyline import SkylineScheduler
+
+    config = _config(args)
+    workload = build_workload(config.pricing, seed=config.seed)
+    flow = workload.next_dataflow(args.app, issued_at=0.0)
+    scheduler = SkylineScheduler(
+        PAPER_PRICING, max_skyline=args.skyline, max_containers=args.containers
+    )
+    print(f"{flow.name}: {len(flow)} operators, "
+          f"critical path {flow.critical_path():.0f} s")
+    for schedule in scheduler.schedule(flow):
+        print(f"  time={schedule.makespan_quanta():6.2f} quanta  "
+              f"money={schedule.money_quanta():4d} quanta  "
+              f"containers={len(schedule.containers_used()):3d}  "
+              f"idle={schedule.fragmentation_quanta():6.2f} quanta")
+    return 0
+
+
+def cmd_table5(args) -> int:
+    """Reproduce Table 5 (index sizes on lineitem)."""
+    from repro.data.index_model import IndexCostModel, IndexSpec
+    from repro.data.tpch import TABLE5_COLUMNS, lineitem_table
+
+    table = lineitem_table(scale=args.scale)
+    model = IndexCostModel(PAPER_PRICING)
+    table_mb = table.size_mb()
+    print(f"lineitem scale {args.scale}: {table.num_records:,} rows, {table_mb:.0f} MB")
+    for column in TABLE5_COLUMNS:
+        size = model.index_size_mb(table, IndexSpec("lineitem", (column,)))
+        print(f"  {column:<14} {size:8.2f} MB  {100 * size / table_mb:6.2f} %")
+    return 0
+
+
+def cmd_table6(args) -> int:
+    """Reproduce Table 6 (index speedups on the micro engine)."""
+    from repro.engine.queries import measure_table6_speedups
+
+    results = measure_table6_speedups(num_rows=args.rows)
+    for key in ("order_by", "range_large", "range_small", "lookup"):
+        timing = results[key]
+        print(f"  {timing.query:<22} {timing.no_index_seconds * 1e3:9.2f} ms -> "
+              f"{timing.index_seconds * 1e3:9.3f} ms   {timing.speedup:8.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automated index management for dataflow engines "
+                    "(EDBT 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one service experiment")
+    run_p.add_argument("--strategy", choices=[s.value for s in Strategy],
+                       default="gain")
+    run_p.add_argument("--generator", choices=["phase", "random"], default="phase")
+    run_p.add_argument("--interleaver", choices=["lp", "online"], default="lp")
+    run_p.add_argument("--horizon-quanta", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare all four strategies")
+    cmp_p.add_argument("--generator", choices=["phase", "random"], default="phase")
+    cmp_p.add_argument("--horizon-quanta", type=int, default=None)
+    cmp_p.add_argument("--seed", type=int, default=None)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    sch_p = sub.add_parser("schedule", help="print a dataflow's schedule skyline")
+    sch_p.add_argument("--app", choices=["montage", "ligo", "cybershake"],
+                       default="montage")
+    sch_p.add_argument("--skyline", type=int, default=6)
+    sch_p.add_argument("--containers", type=int, default=20)
+    sch_p.add_argument("--seed", type=int, default=None)
+    sch_p.set_defaults(func=cmd_schedule)
+
+    t5_p = sub.add_parser("table5", help="reproduce Table 5 (index sizes)")
+    t5_p.add_argument("--scale", type=float, default=2.0)
+    t5_p.set_defaults(func=cmd_table5)
+
+    t6_p = sub.add_parser("table6", help="reproduce Table 6 (index speedups)")
+    t6_p.add_argument("--rows", type=int, default=150_000)
+    t6_p.set_defaults(func=cmd_table6)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

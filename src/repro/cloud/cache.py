@@ -1,0 +1,109 @@
+"""LRU disk cache used by containers to hold table partitions and indexes.
+
+Each container in the paper has a local disk that caches input files read
+from the storage service; when the cache fills up, an LRU policy evicts
+the least recently used entries (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_read_remote: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class LRUCache:
+    """An LRU cache of named objects with sizes in MB.
+
+    Attributes:
+        capacity_mb: Maximum total size of cached objects.
+    """
+
+    capacity_mb: float
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _used_mb: float = 0.0
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+
+    @property
+    def used_mb(self) -> float:
+        """Total size of currently cached objects, in MB."""
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self._used_mb
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, key: str) -> bool:
+        """Touch ``key``; return True on a hit, False on a miss.
+
+        Hits move the entry to the most-recently-used position.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def put(self, key: str, size_mb: float) -> list[str]:
+        """Insert an object, evicting LRU entries to make space.
+
+        Returns the list of evicted keys. Objects larger than the whole
+        cache are not cached at all (they would immediately evict
+        everything for no benefit).
+        """
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        evicted: list[str] = []
+        if key in self._entries:
+            self._used_mb -= self._entries.pop(key)
+        if size_mb > self.capacity_mb:
+            return evicted
+        while self._used_mb + size_mb > self.capacity_mb and self._entries:
+            old_key, old_size = self._entries.popitem(last=False)
+            self._used_mb -= old_size
+            self.stats.evictions += 1
+            evicted.append(old_key)
+        self._entries[key] = size_mb
+        self._used_mb += size_mb
+        return evicted
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` from the cache if present. Returns True if dropped."""
+        if key in self._entries:
+            self._used_mb -= self._entries.pop(key)
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used_mb = 0.0
+
+    def keys(self) -> list[str]:
+        """Keys ordered from least to most recently used."""
+        return list(self._entries)

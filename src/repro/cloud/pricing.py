@@ -1,0 +1,115 @@
+"""Cloud pricing model: quantum-based compute pricing and storage pricing.
+
+The paper (Section 3, "Cloud Model") charges each VM a fixed price ``Mc``
+per time quantum ``Q`` (e.g. 60 seconds at $0.1) and storage at a fixed
+amount per GB per month, converted to a per-MB-per-quantum rate ``Mst``
+using::
+
+    Mst = (MC * 12 * Q) / (365.25 * 24 * 60)
+
+with ``Q`` in minutes. Both execution time and monetary cost are expressed
+in *quanta* so they share a unit (Section 3, "Dataflow and Index
+Management").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Minutes in an average year (365.25 days), used by the paper's Mst formula.
+_MINUTES_PER_YEAR = 365.25 * 24 * 60
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Prices and quantum geometry for one cloud provider.
+
+    Attributes:
+        quantum_seconds: Size of the billing quantum ``TQ`` in seconds.
+        quantum_price: Price ``Mc`` charged per container per quantum ($).
+        storage_price_mb_quantum: Price ``Mst`` per MB per quantum ($).
+    """
+
+    quantum_seconds: float = 60.0
+    quantum_price: float = 0.1
+    storage_price_mb_quantum: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.quantum_seconds <= 0:
+            raise ValueError("quantum_seconds must be positive")
+        if self.quantum_price < 0 or self.storage_price_mb_quantum < 0:
+            raise ValueError("prices must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Unit conversions
+    # ------------------------------------------------------------------
+    def quanta(self, seconds: float) -> float:
+        """Convert a duration in seconds to (fractional) quanta."""
+        return seconds / self.quantum_seconds
+
+    def seconds(self, quanta: float) -> float:
+        """Convert a duration in quanta to seconds."""
+        return quanta * self.quantum_seconds
+
+    def quanta_ceil(self, seconds: float) -> int:
+        """Number of whole quanta needed to cover ``seconds`` of lease time.
+
+        A lease of zero seconds still occupies one quantum: the paper's
+        providers prepay whole quanta.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return max(1, math.ceil(seconds / self.quantum_seconds - 1e-12))
+
+    def money_to_quanta(self, dollars: float) -> float:
+        """Express a dollar amount in quanta of VM time (the paper's unit)."""
+        return dollars / self.quantum_price
+
+    def quanta_to_money(self, quanta: float) -> float:
+        """Express a number of VM quanta as dollars."""
+        return quanta * self.quantum_price
+
+    # ------------------------------------------------------------------
+    # Charges
+    # ------------------------------------------------------------------
+    def compute_cost(self, leased_quanta: int) -> float:
+        """Dollar cost of leasing a container for ``leased_quanta`` quanta."""
+        if leased_quanta < 0:
+            raise ValueError("leased_quanta must be non-negative")
+        return leased_quanta * self.quantum_price
+
+    def storage_cost(self, size_mb: float, quanta: float) -> float:
+        """Dollar cost of storing ``size_mb`` MB for ``quanta`` quanta."""
+        if size_mb < 0 or quanta < 0:
+            raise ValueError("size and duration must be non-negative")
+        return size_mb * quanta * self.storage_price_mb_quantum
+
+    @classmethod
+    def from_monthly_storage_price(
+        cls,
+        gb_month_price: float,
+        quantum_seconds: float = 60.0,
+        quantum_price: float = 0.1,
+    ) -> "PricingModel":
+        """Build a model from a per-GB-per-month storage price.
+
+        Implements the paper's conversion ``Mst = (MC * 12 * Q) /
+        (365.25 * 24 * 60)`` where ``MC`` is the monthly price and ``Q`` the
+        quantum in minutes, then divides by 1024 to express it per MB.
+        """
+        quantum_minutes = quantum_seconds / 60.0
+        gb_quantum = gb_month_price * 12.0 * quantum_minutes / _MINUTES_PER_YEAR
+        return cls(
+            quantum_seconds=quantum_seconds,
+            quantum_price=quantum_price,
+            storage_price_mb_quantum=gb_quantum / 1024.0,
+        )
+
+
+#: Default pricing used throughout the paper's evaluation (Table 3).
+PAPER_PRICING = PricingModel(
+    quantum_seconds=60.0,
+    quantum_price=0.1,
+    storage_price_mb_quantum=1e-4,
+)

@@ -1,0 +1,101 @@
+"""Cloud provider: container allocation and the billing ledger.
+
+Allocation is elastic — containers are created on demand and deleted at
+the end of their leased quantum when idle, since whole quanta are prepaid
+(Section 3, "Cloud Model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.container import Container, ContainerSpec, PAPER_CONTAINER
+from repro.cloud.pricing import PricingModel
+from repro.cloud.storage import CloudStorage
+
+
+@dataclass
+class BillingLedger:
+    """Accumulated charges and utilisation accounting."""
+
+    compute_quanta: int = 0
+    compute_dollars: float = 0.0
+    busy_seconds: float = 0.0
+    containers_allocated: int = 0
+    containers_released: int = 0
+
+    def idle_seconds(self, pricing: PricingModel) -> float:
+        """Leased-but-unused compute time (the schedule fragmentation)."""
+        return max(0.0, self.compute_quanta * pricing.quantum_seconds - self.busy_seconds)
+
+    def idle_quanta(self, pricing: PricingModel) -> float:
+        return self.idle_seconds(pricing) / pricing.quantum_seconds
+
+
+class CloudProvider:
+    """Allocates containers, tracks leases and the compute/storage bill."""
+
+    def __init__(
+        self,
+        pricing: PricingModel,
+        spec: ContainerSpec = PAPER_CONTAINER,
+        max_containers: int = 100,
+    ) -> None:
+        if max_containers <= 0:
+            raise ValueError("max_containers must be positive")
+        self.pricing = pricing
+        self.spec = spec
+        self.max_containers = max_containers
+        self.storage = CloudStorage(pricing)
+        self.ledger = BillingLedger()
+        self._containers: dict[int, Container] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Container lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def active_containers(self) -> list[Container]:
+        return list(self._containers.values())
+
+    def allocate(self, time: float) -> Container:
+        """Lease a fresh container whose first quantum starts at ``time``."""
+        if len(self._containers) >= self.max_containers:
+            raise RuntimeError(
+                f"cannot allocate: {self.max_containers} containers already active"
+            )
+        container = Container(container_id=self._next_id, spec=self.spec, lease_start=time)
+        self._next_id += 1
+        self._containers[container.container_id] = container
+        self.ledger.containers_allocated += 1
+        return container
+
+    def get(self, container_id: int) -> Container:
+        return self._containers[container_id]
+
+    def release(self, container_id: int) -> None:
+        """Delete a container; its leased quanta are charged to the ledger.
+
+        Files on its local disk are lost (the cache is dropped with it).
+        """
+        container = self._containers.pop(container_id)
+        self.ledger.compute_quanta += container.leased_quanta
+        self.ledger.compute_dollars += self.pricing.compute_cost(container.leased_quanta)
+        self.ledger.busy_seconds += container.busy_seconds
+        self.ledger.containers_released += 1
+
+    def release_all(self) -> None:
+        for container_id in list(self._containers):
+            self.release(container_id)
+
+    # ------------------------------------------------------------------
+    # Billing
+    # ------------------------------------------------------------------
+    def total_compute_dollars(self) -> float:
+        """Charged quanta of released containers plus live leases."""
+        live = sum(c.leased_quanta for c in self._containers.values())
+        return self.ledger.compute_dollars + self.pricing.compute_cost(live)
+
+    def total_cost(self, until: float) -> float:
+        """Compute + storage dollars accrued through ``until`` seconds."""
+        return self.total_compute_dollars() + self.storage.storage_cost(until)

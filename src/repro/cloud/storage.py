@@ -1,0 +1,141 @@
+"""Cloud storage service: persistent object store with byte-time billing.
+
+The storage service holds table partitions, indexes, and dataflow outputs.
+It charges per MB per quantum (``Mst``); the simulator computes the bill by
+integrating stored bytes over time ("The storage of the cloud is computed
+by counting the number of bytes transferred and charging appropriately
+over time", Section 6.1). Partition updates create new versions and
+invalidate indexes built on old versions (Section 3, "Data Model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.pricing import PricingModel
+
+
+@dataclass
+class StoredObject:
+    """One object in the storage service."""
+
+    path: str
+    size_mb: float
+    created_at: float
+    version: int = 0
+    deleted_at: float | None = None
+
+    @property
+    def live(self) -> bool:
+        return self.deleted_at is None
+
+
+class CloudStorage:
+    """Persistent object store with per-MB-per-quantum cost accounting.
+
+    The store keeps full history (including deleted objects) so the billing
+    integral and experiment time series can be recomputed exactly.
+    """
+
+    def __init__(self, pricing: PricingModel) -> None:
+        self._pricing = pricing
+        self._objects: dict[str, StoredObject] = {}
+        self._history: list[StoredObject] = []
+        self._versions: dict[str, int] = {}
+        # Running integral of MB*seconds up to _accounted_until.
+        self._mb_seconds: float = 0.0
+        self._accounted_until: float = 0.0
+        self.bytes_uploaded_mb: float = 0.0
+        self.bytes_downloaded_mb: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+    def put(self, path: str, size_mb: float, time: float) -> StoredObject:
+        """Store (or overwrite) an object, advancing the billing clock."""
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        self._advance(time)
+        if path in self._objects:
+            self._objects[path].deleted_at = time
+        version = self._versions.get(path, -1) + 1
+        self._versions[path] = version
+        obj = StoredObject(path=path, size_mb=size_mb, created_at=time, version=version)
+        self._objects[path] = obj
+        self._history.append(obj)
+        self.bytes_uploaded_mb += size_mb
+        return obj
+
+    def get(self, path: str, time: float) -> StoredObject:
+        """Read an object (records download traffic for accounting)."""
+        obj = self._objects.get(path)
+        if obj is None or not obj.live:
+            raise KeyError(f"no live object at {path!r}")
+        self._advance(time)
+        self.bytes_downloaded_mb += obj.size_mb
+        return obj
+
+    def exists(self, path: str) -> bool:
+        obj = self._objects.get(path)
+        return obj is not None and obj.live
+
+    def size_of(self, path: str) -> float:
+        obj = self._objects.get(path)
+        if obj is None or not obj.live:
+            raise KeyError(f"no live object at {path!r}")
+        return obj.size_mb
+
+    def delete(self, path: str, time: float) -> None:
+        """Delete an object; storage charges stop accruing from ``time``."""
+        obj = self._objects.get(path)
+        if obj is None or not obj.live:
+            raise KeyError(f"no live object at {path!r}")
+        self._advance(time)
+        obj.deleted_at = time
+
+    def version_of(self, path: str) -> int:
+        obj = self._objects.get(path)
+        if obj is None or not obj.live:
+            raise KeyError(f"no live object at {path!r}")
+        return obj.version
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def accounted_until(self) -> float:
+        """The current position of the billing clock, in seconds."""
+        return self._accounted_until
+
+    @property
+    def live_mb(self) -> float:
+        """Total size of all live objects."""
+        return sum(o.size_mb for o in self._objects.values() if o.live)
+
+    def live_paths(self) -> list[str]:
+        return [p for p, o in self._objects.items() if o.live]
+
+    def _advance(self, time: float) -> None:
+        """Integrate stored bytes forward to ``time``."""
+        if time < self._accounted_until - 1e-9:
+            raise ValueError(
+                f"storage clock moved backwards: {time} < {self._accounted_until}"
+            )
+        dt = max(0.0, time - self._accounted_until)
+        self._mb_seconds += self.live_mb * dt
+        self._accounted_until = max(self._accounted_until, time)
+
+    def storage_cost(self, until: float) -> float:
+        """Dollar cost of storage accrued from t=0 through ``until``."""
+        self._advance(until)
+        mb_quanta = self._mb_seconds / self._pricing.quantum_seconds
+        return mb_quanta * self._pricing.storage_price_mb_quantum
+
+    def snapshot(self, time: float) -> dict[str, float]:
+        """Map of live path -> size at ``time`` (history-based, read-only)."""
+        sizes: dict[str, float] = {}
+        for obj in self._history:
+            dead = obj.deleted_at is not None and obj.deleted_at <= time
+            if obj.created_at <= time and not dead:
+                sizes[obj.path] = obj.size_mb
+        return sizes

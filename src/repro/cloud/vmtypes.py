@@ -1,0 +1,78 @@
+"""Heterogeneous VM types (the paper's future-work extension).
+
+The evaluation assumes homogeneous containers, but Section 3 notes the
+scheduler "can consider slots at different VM types" and the conclusion
+lists heterogeneous resources as future work. This module defines a
+small catalog of VM types with different compute speeds, network
+bandwidths and quantum prices, used by
+:class:`repro.scheduling.hetero.HeterogeneousSkylineScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.container import ContainerSpec
+
+
+@dataclass(frozen=True)
+class VMType:
+    """One leasable VM flavour.
+
+    Attributes:
+        name: Flavour name (e.g. "small", "large").
+        spec: Hardware capacities.
+        cpu_speed: Relative CPU speed; operator runtimes are divided by
+            this (1.0 = the paper's standard container).
+        price_per_quantum: Dollars charged per leased quantum.
+    """
+
+    name: str
+    spec: ContainerSpec
+    cpu_speed: float = 1.0
+    price_per_quantum: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.cpu_speed <= 0:
+            raise ValueError("cpu_speed must be positive")
+        if self.price_per_quantum < 0:
+            raise ValueError("price_per_quantum must be non-negative")
+
+    def runtime_seconds(self, standard_runtime: float) -> float:
+        """Actual runtime of an operator estimated on the standard VM."""
+        if standard_runtime < 0:
+            raise ValueError("runtime must be non-negative")
+        return standard_runtime / self.cpu_speed
+
+    def transfer_seconds(self, size_mb: float) -> float:
+        return self.spec.transfer_seconds(size_mb)
+
+
+def default_vm_catalog() -> list[VMType]:
+    """Three flavours: price grows slightly super-linearly with speed.
+
+    Modeled after typical IaaS menus where doubling the resources costs
+    about twice the price, and the premium flavours carry a markup.
+    """
+    return [
+        VMType(
+            name="small",
+            spec=ContainerSpec(cpus=1, memory_mb=2048.0, disk_mb=50 * 1024.0,
+                               disk_bw_mb_s=200.0, net_bw_mb_s=62.5),
+            cpu_speed=0.5,
+            price_per_quantum=0.05,
+        ),
+        VMType(
+            name="standard",
+            spec=ContainerSpec(),
+            cpu_speed=1.0,
+            price_per_quantum=0.1,
+        ),
+        VMType(
+            name="large",
+            spec=ContainerSpec(cpus=2, memory_mb=8192.0, disk_mb=200 * 1024.0,
+                               disk_bw_mb_s=400.0, net_bw_mb_s=250.0),
+            cpu_speed=2.0,
+            price_per_quantum=0.22,
+        ),
+    ]

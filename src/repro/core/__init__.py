@@ -1,0 +1,23 @@
+"""Core: the QaaS service, execution simulator, config and metrics."""
+
+from repro.core.config import ExperimentConfig, default_config
+from repro.core.metrics import DataflowOutcome, IndexSnapshot, ServiceMetrics
+from repro.core.pool import ContainerPool, PooledContainer, PoolStats
+from repro.core.service import QaaSService, Strategy
+from repro.core.simulator import CompletedBuild, ExecutionResult, ExecutionSimulator
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "DataflowOutcome",
+    "IndexSnapshot",
+    "ServiceMetrics",
+    "ContainerPool",
+    "PooledContainer",
+    "PoolStats",
+    "QaaSService",
+    "Strategy",
+    "CompletedBuild",
+    "ExecutionResult",
+    "ExecutionSimulator",
+]

@@ -1,0 +1,93 @@
+"""Experiment configuration (Table 3 defaults).
+
+| Parameter            | Paper value                       |
+|----------------------|-----------------------------------|
+| Quantum size         | 60 seconds                        |
+| Quantum cost         | $0.1                              |
+| Storage cost         | $1e-4 per MB per quantum          |
+| Max containers       | 100                               |
+| Operators / dataflow | 100                               |
+| α                    | 0.5                               |
+| Index gain fading D  | 1 quantum                         |
+| Poisson λ            | 1 quantum (60 s)                  |
+| Total time           | 720 quanta                        |
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.cloud.pricing import PricingModel
+from repro.tuning.gain import GainParameters
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of one end-to-end experiment run.
+
+    The scheduling-related caps (``max_skyline``, ``scheduler_containers``)
+    control the bounded search of the skyline scheduler; they trade
+    fidelity for runtime and are not paper parameters.
+    """
+
+    pricing: PricingModel = field(default_factory=PricingModel)
+    max_containers: int = 100
+    operators_per_dataflow: int = 100
+    alpha: float = 0.5
+    fade_quanta: float = 5.0
+    window_quanta: float = 60.0
+    storage_window_quanta: float = 5.0
+    poisson_mean_s: float = 60.0
+    total_time_s: float = 720 * 60.0
+    runtime_error: float = 0.10
+    max_skyline: int = 4
+    scheduler_containers: int = 20
+    max_candidates: int = 120
+    history_max_records: int = 300
+    max_queued_gain: int = 30
+    random_builds_per_dataflow: int = 40
+    # Batch data updates (Section 3): every interval one table gets a new
+    # version of some partitions, invalidating indexes built on them.
+    # 0 disables updates (the paper's evaluation setting: "updates are
+    # done every few days" — beyond the 720-quanta horizon).
+    update_interval_s: float = 0.0
+    update_partitions: int = 2
+    # Container reuse + local-disk caching across dataflows (Section 6.1:
+    # idle containers survive to the end of their leased quantum and
+    # their caches make repeat reads free). Off by default so the
+    # headline benchmarks isolate the index-management effect; the
+    # pooling ablation quantifies it.
+    enable_pooling: bool = False
+    seed: int = 42
+
+    def gain_parameters(self) -> GainParameters:
+        return GainParameters(
+            alpha=self.alpha,
+            fade_quanta=self.fade_quanta,
+            window_quanta=self.window_quanta,
+            storage_window_quanta=self.storage_window_quanta,
+        )
+
+    def scaled(self, fraction: float) -> "ExperimentConfig":
+        """A copy with the time horizon scaled by ``fraction``."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        from dataclasses import replace
+
+        return replace(self, total_time_s=self.total_time_s * fraction)
+
+
+def default_config() -> ExperimentConfig:
+    """The Table 3 configuration, scaled down unless REPRO_FULL=1.
+
+    The paper's full 720-quanta horizon takes tens of minutes per
+    strategy in this simulator; the default benchmark horizon is 1/6 of
+    it (120 quanta), which preserves every qualitative result. Set the
+    environment variable ``REPRO_FULL=1`` to run the paper-scale horizon.
+    """
+    config = ExperimentConfig()
+    if os.environ.get("REPRO_FULL") == "1":
+        return config
+    return config.scaled(1.0 / 6.0)

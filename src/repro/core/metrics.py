@@ -1,0 +1,111 @@
+"""Metrics collection for the macro experiments (Figs. 12-14, Table 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DataflowOutcome:
+    """Per-dataflow record of one service run."""
+
+    name: str
+    app: str
+    issued_at: float
+    started_at: float
+    finished_at: float
+    money_quanta: int
+    ops_executed: int
+    builds_completed: int
+    builds_killed: int
+
+    @property
+    def makespan_quanta(self) -> float:
+        return (self.finished_at - self.started_at) / 60.0
+
+    @property
+    def queue_delay_s(self) -> float:
+        return self.started_at - self.issued_at
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """Point of the Figure 13 adaptation time series."""
+
+    time: float
+    indexes_built: int
+    index_partitions_built: int
+    storage_mb: float
+    cumulative_storage_dollars: float
+
+
+@dataclass
+class ServiceMetrics:
+    """Everything a service run reports.
+
+    ``compute_dollars`` is the total leased-quanta bill of all executed
+    dataflows; ``storage_dollars`` the integral of index bytes over time.
+    """
+
+    strategy: str
+    outcomes: list[DataflowOutcome] = field(default_factory=list)
+    snapshots: list[IndexSnapshot] = field(default_factory=list)
+    indexes_created: int = 0
+    indexes_deleted: int = 0
+    horizon_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Aggregates (Figure 12 / 14)
+    # ------------------------------------------------------------------
+    def finished(self, by: float | None = None) -> list[DataflowOutcome]:
+        """Dataflows finished by time ``by`` (default: the horizon)."""
+        cutoff = self.horizon_s if by is None else by
+        return [o for o in self.outcomes if o.finished_at <= cutoff]
+
+    @property
+    def num_finished(self) -> int:
+        return len(self.finished())
+
+    @property
+    def compute_dollars(self) -> float:
+        return sum(o.money_quanta for o in self.finished()) * 0.1
+
+    def compute_quanta(self) -> int:
+        return sum(o.money_quanta for o in self.finished())
+
+    def storage_dollars(self) -> float:
+        if not self.snapshots:
+            return 0.0
+        return self.snapshots[-1].cumulative_storage_dollars
+
+    def total_dollars(self) -> float:
+        return self.compute_dollars + self.storage_dollars()
+
+    def cost_per_dataflow_quanta(self, quantum_price: float = 0.1) -> float:
+        """Average total cost per finished dataflow, in quanta units."""
+        finished = self.num_finished
+        if finished == 0:
+            return 0.0
+        return self.total_dollars() / quantum_price / finished
+
+    def avg_makespan_quanta(self) -> float:
+        finished = self.finished()
+        if not finished:
+            return 0.0
+        return sum(o.makespan_quanta for o in finished) / len(finished)
+
+    # ------------------------------------------------------------------
+    # Table 7
+    # ------------------------------------------------------------------
+    def total_ops(self) -> int:
+        """Executed operators including attempted builds (Table 7)."""
+        return sum(
+            o.ops_executed + o.builds_completed + o.builds_killed for o in self.outcomes
+        )
+
+    def killed_ops(self) -> int:
+        return sum(o.builds_killed for o in self.outcomes)
+
+    def killed_percentage(self) -> float:
+        total = self.total_ops()
+        return 100.0 * self.killed_ops() / total if total else 0.0

@@ -1,0 +1,383 @@
+"""Execution simulator: runs an interleaved schedule against the clock.
+
+Implements the execution semantics of Section 6.1: operators execute on
+their assigned containers in schedule order; actual runtimes may deviate
+from the estimates (estimation error); build-index operators (priority
+-1) are *preempted* — stopped when a dataflow operator arrives at their
+container or when the leased quantum expires — and a stopped build
+leaves its index partition unbuilt (it is re-queued with a later
+dataflow). Dataflow execution is therefore never delayed by builds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
+from repro.cloud.pricing import PricingModel
+from repro.interleave.lp import InterleavedSchedule
+from repro.interleave.slots import parse_build_op_name
+
+
+@dataclass(frozen=True)
+class CompletedBuild:
+    """One index partition whose build operator ran to completion."""
+
+    index_name: str
+    partition_id: int
+    finished_at: float  # absolute simulation seconds
+
+
+@dataclass
+class ExecutionResult:
+    """Observed outcome of executing one interleaved schedule.
+
+    Times are absolute simulation seconds (the schedule's relative times
+    shifted by the execution start).
+    """
+
+    dataflow_name: str
+    start_time: float
+    finish_time: float
+    money_quanta: int
+    dataflow_ops: int = 0
+    builds_completed: list[CompletedBuild] = field(default_factory=list)
+    builds_killed: int = 0
+    builds_unstarted: int = 0
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def builds_attempted(self) -> int:
+        return len(self.builds_completed) + self.builds_killed
+
+
+@dataclass(frozen=True)
+class _Interval:
+    start: float
+    end: float
+
+
+class ExecutionSimulator:
+    """Replays interleaved schedules with runtime noise and preemption.
+
+    Attributes:
+        runtime_error: Maximum relative deviation of actual from
+            estimated operator runtime (Section 6.2's error model); 0
+            executes exactly as scheduled.
+    """
+
+    def __init__(
+        self,
+        pricing: PricingModel,
+        container: ContainerSpec = PAPER_CONTAINER,
+        runtime_error: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if runtime_error < 0:
+            raise ValueError("runtime_error must be non-negative")
+        self.pricing = pricing
+        self.container = container
+        self.runtime_error = runtime_error
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    def _noise(self) -> float:
+        if self.runtime_error == 0:
+            return 1.0
+        return float(self.rng.uniform(1.0 - self.runtime_error, 1.0 + self.runtime_error))
+
+    def execute(self, interleaved: InterleavedSchedule, start_time: float) -> ExecutionResult:
+        """Execute the schedule starting at ``start_time`` (absolute s)."""
+        schedule = interleaved.schedule
+        dataflow = schedule.dataflow
+        tq = self.pricing.quantum_seconds
+
+        # ---- Phase 1: dataflow operators with actual runtimes. --------
+        df_assignments = sorted(
+            schedule.dataflow_assignments(), key=lambda a: (a.start, a.end)
+        )
+        avail: dict[int, float] = {}
+        op_end: dict[str, float] = {}
+        op_container: dict[str, int] = {}
+        busy: dict[int, list[_Interval]] = {}
+        for a in df_assignments:
+            op = dataflow.operators[a.op_name]
+            ready = 0.0
+            for edge in dataflow.in_edges(a.op_name):
+                src_end = op_end.get(edge.src)
+                if src_end is None:
+                    continue
+                arrival = src_end
+                if op_container.get(edge.src) != a.container_id:
+                    arrival += edge.data_mb / self.container.net_bw_mb_s
+                ready = max(ready, arrival)
+            start = max(ready, avail.get(a.container_id, 0.0))
+            duration = a.duration * self._noise()
+            end = start + duration
+            avail[a.container_id] = end
+            op_end[a.op_name] = end
+            op_container[a.op_name] = a.container_id
+            busy.setdefault(a.container_id, []).append(_Interval(start, end))
+
+        if busy:
+            makespan = max(iv.end for ivs in busy.values() for iv in ivs)
+        else:
+            makespan = 0.0
+
+        # Leases: floor(first)..ceil(last) per container (relative time).
+        leases: dict[int, tuple[float, float]] = {}
+        money_quanta = 0
+        for cid, intervals in busy.items():
+            first = min(iv.start for iv in intervals)
+            last = max(iv.end for iv in intervals)
+            lease_start = math.floor(first / tq + 1e-9) * tq
+            lease_end = max(lease_start + tq, math.ceil(last / tq - 1e-9) * tq)
+            leases[cid] = (lease_start, lease_end)
+            money_quanta += int(round((lease_end - lease_start) / tq))
+
+        # ---- Phase 2: build operators into the actual idle gaps. ------
+        builds_by_container: dict[int, list] = {}
+        for a in sorted(interleaved.build_assignments, key=lambda a: a.start):
+            builds_by_container.setdefault(a.container_id, []).append(a)
+
+        completed: list[CompletedBuild] = []
+        killed = 0
+        unstarted = 0
+        for cid, build_list in builds_by_container.items():
+            lease = leases.get(cid)
+            if lease is None:
+                # The dataflow never actually used this container (can
+                # happen for empty dataflows); builds cannot run.
+                unstarted += len(build_list)
+                continue
+            gaps = self._actual_gaps(busy.get(cid, []), lease)
+            gap_idx = 0
+            cursor = gaps[0].start if gaps else None
+            for a in build_list:
+                parsed = parse_build_op_name(a.op_name)
+                duration = a.duration * self._noise()
+                placed = False
+                while gap_idx < len(gaps):
+                    gap = gaps[gap_idx]
+                    if cursor is None or cursor < gap.start:
+                        cursor = gap.start
+                    remaining = gap.end - cursor
+                    if remaining <= 1e-9:
+                        gap_idx += 1
+                        cursor = None
+                        continue
+                    if duration <= remaining + 1e-9:
+                        finish = cursor + duration
+                        if parsed is not None:
+                            completed.append(
+                                CompletedBuild(
+                                    index_name=parsed[0],
+                                    partition_id=parsed[1],
+                                    finished_at=start_time + finish,
+                                )
+                            )
+                        cursor = finish
+                        placed = True
+                    else:
+                        # Started but cut off by the next dataflow
+                        # operator or the quantum expiry.
+                        killed += 1
+                        gap_idx += 1
+                        cursor = None
+                        placed = True
+                    break
+                if not placed:
+                    unstarted += 1
+
+        return ExecutionResult(
+            dataflow_name=dataflow.name,
+            start_time=start_time,
+            finish_time=start_time + makespan,
+            money_quanta=money_quanta,
+            dataflow_ops=len(df_assignments),
+            builds_completed=completed,
+            builds_killed=killed,
+            builds_unstarted=unstarted,
+        )
+
+    # ------------------------------------------------------------------
+    # Pooled, cache-aware execution (Section 6.1's container reuse)
+    # ------------------------------------------------------------------
+    def execute_pooled(
+        self, interleaved: InterleavedSchedule, start_time: float, pool
+    ) -> ExecutionResult:
+        """Execute on a :class:`~repro.core.pool.ContainerPool`.
+
+        Differences from :meth:`execute`:
+
+        * schedule containers map onto pooled containers, reusing idle
+          ones whose current quantum is already paid;
+        * an operator's input transfer is skipped for files already in
+          the container's LRU cache (and reads populate the cache);
+        * money is the *marginal* quanta this execution added to the
+          pool's leases.
+        """
+        schedule = interleaved.schedule
+        dataflow = schedule.dataflow
+        paid_before = pool.stats.quanta_paid
+
+        sched_cids = sorted({a.container_id for a in schedule.assignments})
+        pooled = pool.acquire(max(1, len(sched_cids)), start_time)
+        mapping = {cid: pooled[i] for i, cid in enumerate(sched_cids)}
+
+        df_assignments = sorted(
+            schedule.dataflow_assignments(), key=lambda a: (a.start, a.end)
+        )
+        avail: dict[int, float] = {}
+        op_end: dict[str, float] = {}
+        op_container: dict[str, int] = {}
+        busy: dict[int, list[_Interval]] = {}
+        for a in df_assignments:
+            op = dataflow.operators[a.op_name]
+            container = mapping[a.container_id]
+            ready = start_time
+            for edge in dataflow.in_edges(a.op_name):
+                src_end = op_end.get(edge.src)
+                if src_end is None:
+                    continue
+                arrival = src_end
+                if op_container.get(edge.src) != a.container_id:
+                    arrival += edge.data_mb / self.container.net_bw_mb_s
+                ready = max(ready, arrival)
+            start = max(ready, avail.get(a.container_id, start_time))
+            transfer = 0.0
+            for data_file in op.inputs:
+                if container.cache.access(data_file.name):
+                    continue  # cache hit: transfer is 0 (Section 6.1)
+                transfer += data_file.size_mb / self.container.net_bw_mb_s
+                container.cache.put(data_file.name, data_file.size_mb)
+                container.cache.stats.bytes_read_remote += data_file.size_mb
+            end = start + op.runtime * self._noise() + transfer
+            pool.occupy(container, start, end)
+            avail[a.container_id] = end
+            op_end[a.op_name] = end
+            op_container[a.op_name] = a.container_id
+            busy.setdefault(a.container_id, []).append(_Interval(start, end))
+
+        if busy:
+            makespan = max(iv.end for ivs in busy.values() for iv in ivs) - start_time
+        else:
+            makespan = 0.0
+
+        # Builds run in the actual gaps up to each container's paid lease.
+        completed: list[CompletedBuild] = []
+        killed = 0
+        unstarted = 0
+        builds_by_container: dict[int, list] = {}
+        for a in sorted(interleaved.build_assignments, key=lambda a: a.start):
+            builds_by_container.setdefault(a.container_id, []).append(a)
+        for cid, build_list in builds_by_container.items():
+            container = mapping.get(cid)
+            if container is None:
+                unstarted += len(build_list)
+                continue
+            intervals = busy.get(cid, [])
+            lease = (start_time, container.lease_end)
+            done, cut, skipped = self._run_builds(build_list, intervals, lease)
+            completed.extend(done)
+            killed += cut
+            unstarted += skipped
+
+        money = pool.stats.quanta_paid - paid_before
+        return ExecutionResult(
+            dataflow_name=dataflow.name,
+            start_time=start_time,
+            finish_time=start_time + makespan,
+            money_quanta=money,
+            dataflow_ops=len(df_assignments),
+            builds_completed=completed,
+            builds_killed=killed,
+            builds_unstarted=unstarted,
+        )
+
+    def _run_builds(
+        self,
+        build_list: list,
+        intervals: list[_Interval],
+        lease: tuple[float, float],
+    ) -> tuple[list[CompletedBuild], int, int]:
+        """FIFO-fill builds into one container's actual gaps.
+
+        Times inside ``intervals``/``lease`` are absolute; completed
+        builds carry absolute finish times.
+        """
+        completed: list[CompletedBuild] = []
+        killed = 0
+        unstarted = 0
+        gaps = self._actual_gaps(intervals, lease)
+        gap_idx = 0
+        cursor = gaps[0].start if gaps else None
+        for a in build_list:
+            parsed = parse_build_op_name(a.op_name)
+            duration = a.duration * self._noise()
+            placed = False
+            while gap_idx < len(gaps):
+                gap = gaps[gap_idx]
+                if cursor is None or cursor < gap.start:
+                    cursor = gap.start
+                remaining = gap.end - cursor
+                if remaining <= 1e-9:
+                    gap_idx += 1
+                    cursor = None
+                    continue
+                if duration <= remaining + 1e-9:
+                    finish = cursor + duration
+                    if parsed is not None:
+                        completed.append(
+                            CompletedBuild(
+                                index_name=parsed[0],
+                                partition_id=parsed[1],
+                                finished_at=finish,
+                            )
+                        )
+                    cursor = finish
+                    placed = True
+                else:
+                    killed += 1
+                    gap_idx += 1
+                    cursor = None
+                    placed = True
+                break
+            if not placed:
+                unstarted += 1
+        return completed, killed, unstarted
+
+    def _actual_gaps(self, intervals: list[_Interval], lease: tuple[float, float]) -> list[_Interval]:
+        """Idle periods of one container, split at quantum boundaries.
+
+        Build operators are stopped when a dataflow operator arrives *or
+        the current time quantum expires* (Section 6.1), so a build can
+        never run across a quantum boundary: each idle period is cut at
+        the boundaries of the billing grid. The LP interleaver's slots
+        respect the same boundaries, so its builds fit; blindly placed
+        builds (the random baseline) straddle boundaries and get killed.
+        """
+        tq = self.pricing.quantum_seconds
+        lease_start, lease_end = lease
+        raw: list[tuple[float, float]] = []
+        cursor = lease_start
+        for iv in sorted(intervals, key=lambda iv: iv.start):
+            if iv.start > cursor + 1e-9:
+                raw.append((cursor, iv.start))
+            cursor = max(cursor, iv.end)
+        if cursor < lease_end - 1e-9:
+            raw.append((cursor, lease_end))
+        gaps: list[_Interval] = []
+        for g_start, g_end in raw:
+            piece = g_start
+            while piece < g_end - 1e-9:
+                boundary = math.floor(piece / tq + 1e-9) * tq + tq
+                gaps.append(_Interval(piece, min(boundary, g_end)))
+                piece = min(boundary, g_end)
+        return gaps

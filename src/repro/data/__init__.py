@@ -1,0 +1,76 @@
+"""Data substrate: tables, partitions, statistics, and index models.
+
+Implements the paper's data model (Section 3): partitioned tables with
+column statistics, B+tree/hash index size and build-time models, a
+synthetic TPC-H ``lineitem``, and the evaluation's workload file catalog.
+"""
+
+from repro.data.catalog import (
+    Catalog,
+    INDEXABLE_COLUMNS,
+    TABLE5_SIZE_FRACTIONS,
+    TABLE6_SPEEDUPS,
+    build_workload_catalog,
+)
+from repro.data.index_model import (
+    Index,
+    IndexCostModel,
+    IndexKind,
+    IndexPartitionModel,
+    IndexPartitionState,
+    IndexSpec,
+    btree_fanout,
+    btree_size_bytes,
+    hash_size_bytes,
+    index_record_bytes,
+)
+from repro.data.table import (
+    Column,
+    ColumnType,
+    Partition,
+    Table,
+    TableSchema,
+    TableStatistics,
+    partition_table,
+)
+from repro.data.tpch import (
+    LINEITEM_ROWS_SF1,
+    LineitemRows,
+    TABLE5_COLUMNS,
+    generate_lineitem_rows,
+    lineitem_schema,
+    lineitem_statistics,
+    lineitem_table,
+)
+
+__all__ = [
+    "Catalog",
+    "INDEXABLE_COLUMNS",
+    "TABLE5_SIZE_FRACTIONS",
+    "TABLE6_SPEEDUPS",
+    "build_workload_catalog",
+    "Index",
+    "IndexCostModel",
+    "IndexKind",
+    "IndexPartitionModel",
+    "IndexPartitionState",
+    "IndexSpec",
+    "btree_fanout",
+    "btree_size_bytes",
+    "hash_size_bytes",
+    "index_record_bytes",
+    "Column",
+    "ColumnType",
+    "Partition",
+    "Table",
+    "TableSchema",
+    "TableStatistics",
+    "partition_table",
+    "LINEITEM_ROWS_SF1",
+    "LineitemRows",
+    "TABLE5_COLUMNS",
+    "generate_lineitem_rows",
+    "lineitem_schema",
+    "lineitem_statistics",
+    "lineitem_table",
+]

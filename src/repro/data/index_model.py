@@ -1,0 +1,315 @@
+"""Index models: size, build time, IO time and storage cost.
+
+Implements the paper's analytical models (Section 3, "Data Model"):
+
+* B+tree size via a geometric series over the tree levels, where the tree
+  width ``k`` is derived from the disk block size and the index record
+  size ``RecSize`` (key bytes plus a record pointer).
+* Build time ``tip(idx, p) = tio(idx, p) + C(idx) * n * log_k(n)`` where
+  ``tio`` is the time to read the partition and write the index through
+  the container's network.
+* Storage cost ``stp(idx, p, W) = W * size(idx, p) * Mst``.
+
+Indexes are built **per table partition**; partitions of one index are
+independent, can be built in parallel, in any order, and the index is
+usable incrementally (a dataflow benefits from the fraction already
+built).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
+from repro.cloud.pricing import PricingModel
+from repro.data.table import Partition, Table
+
+#: Bytes of the record pointer stored next to each key in an index entry.
+POINTER_BYTES = 8.0
+
+#: Disk block size used to derive the B+tree fanout ``k``.
+BLOCK_BYTES = 8192.0
+
+
+class IndexKind(Enum):
+    """Physical index type. The paper assumes B+trees w.l.o.g."""
+
+    BTREE = "btree"
+    HASH = "hash"
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Static identity of an index: table, ordered columns, kind.
+
+    Attributes:
+        table_name: Name of the indexed table (or file).
+        columns: Ordered tuple of indexed column names.
+        kind: Physical index type.
+        build_constant: The per-record comparison constant ``C(idx)`` in
+            seconds; calibrated so a 128 MB partition index builds in
+            a few seconds (comparable to a real DBMS bulk build).
+    """
+
+    table_name: str
+    columns: tuple[str, ...]
+    kind: IndexKind = IndexKind.BTREE
+    build_constant: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("an index needs at least one column")
+        if self.build_constant <= 0:
+            raise ValueError("build_constant must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"{self.table_name}__{'_'.join(self.columns)}"
+
+    def path(self, partition_id: int) -> str:
+        """Storage path of the index partition built on table partition."""
+        return f"idx/{self.name}/part-{partition_id:05d}"
+
+
+# ----------------------------------------------------------------------
+# Analytical size / time models
+# ----------------------------------------------------------------------
+def index_record_bytes(key_bytes: float) -> float:
+    """Size of one index entry: key bytes plus the record pointer."""
+    if key_bytes <= 0:
+        raise ValueError("key_bytes must be positive")
+    return key_bytes + POINTER_BYTES
+
+
+def btree_fanout(rec_bytes: float, block_bytes: float = BLOCK_BYTES) -> int:
+    """Tree width ``k``: entries per block, at least 2."""
+    if rec_bytes <= 0:
+        raise ValueError("rec_bytes must be positive")
+    return max(2, int(block_bytes / rec_bytes))
+
+
+def btree_size_bytes(num_records: int, key_bytes: float) -> float:
+    """Size of a balanced B+tree over ``num_records`` keys.
+
+    The leaf level stores all ``n`` entries; each upper level is a factor
+    ``k`` smaller, so the total is the geometric series
+    ``n * (1 - (1/k)^(m+1)) / (1 - 1/k)`` entries with height
+    ``m = ceil(log_k n)`` (the paper's Section 3 series, written from the
+    leaf level up).
+    """
+    if num_records < 0:
+        raise ValueError("num_records must be non-negative")
+    if num_records == 0:
+        return 0.0
+    rec = index_record_bytes(key_bytes)
+    k = btree_fanout(rec)
+    if num_records == 1:
+        return rec
+    height = max(1, math.ceil(math.log(num_records, k)))
+    ratio = 1.0 / k
+    total_entries = num_records * (1.0 - ratio ** (height + 1)) / (1.0 - ratio)
+    return total_entries * rec
+
+
+def hash_size_bytes(num_records: int, key_bytes: float, load_factor: float = 0.75) -> float:
+    """Size of a hash index: one entry per record over the load factor."""
+    if num_records < 0:
+        raise ValueError("num_records must be non-negative")
+    if not 0 < load_factor <= 1:
+        raise ValueError("load_factor must be in (0, 1]")
+    return num_records * index_record_bytes(key_bytes) / load_factor
+
+
+@dataclass(frozen=True)
+class IndexPartitionModel:
+    """Analytical figures for one index partition."""
+
+    partition_id: int
+    num_records: int
+    size_mb: float
+    build_seconds: float
+    io_seconds: float
+
+    @property
+    def total_build_seconds(self) -> float:
+        return self.build_seconds + self.io_seconds
+
+
+class IndexCostModel:
+    """Computes per-partition sizes, build times and storage costs."""
+
+    def __init__(
+        self,
+        pricing: PricingModel,
+        container: ContainerSpec = PAPER_CONTAINER,
+    ) -> None:
+        self.pricing = pricing
+        self.container = container
+        # Partition figures are pure functions of (table, spec, partition)
+        # and are requested millions of times by the tuner — memoise.
+        self._partition_cache: dict[tuple, IndexPartitionModel] = {}
+
+    def key_bytes(self, table: Table, spec: IndexSpec) -> float:
+        """Average key size of the index from the table's column stats."""
+        return sum(table.statistics.field_bytes(c) for c in spec.columns)
+
+    def partition_size_mb(self, table: Table, spec: IndexSpec, partition: Partition) -> float:
+        """Size in MB of the index partition built on ``partition``."""
+        key = self.key_bytes(table, spec)
+        if spec.kind is IndexKind.HASH:
+            size = hash_size_bytes(partition.num_records, key)
+        else:
+            size = btree_size_bytes(partition.num_records, key)
+        return size / (1024.0 * 1024.0)
+
+    def index_size_mb(self, table: Table, spec: IndexSpec) -> float:
+        """Full index size: the sum over all table partitions."""
+        return sum(self.partition_size_mb(table, spec, p) for p in table.partitions)
+
+    def io_seconds(self, table: Table, spec: IndexSpec, partition: Partition) -> float:
+        """``tio``: read the partition and write the index over the net."""
+        part_mb = partition.num_records * table.statistics.record_bytes() / (1024.0 * 1024.0)
+        idx_mb = self.partition_size_mb(table, spec, partition)
+        return (part_mb + idx_mb) / self.container.net_bw_mb_s
+
+    def build_seconds(self, table: Table, spec: IndexSpec, partition: Partition) -> float:
+        """CPU part of the build: ``C(idx) * n * log_k(n)``."""
+        n = partition.num_records
+        if n <= 1:
+            return 0.0
+        rec = index_record_bytes(self.key_bytes(table, spec))
+        k = btree_fanout(rec)
+        return spec.build_constant * n * math.log(n, k)
+
+    def partition_model(
+        self, table: Table, spec: IndexSpec, partition: Partition
+    ) -> IndexPartitionModel:
+        key = (table.name, spec.name, spec.kind, spec.build_constant,
+               partition.partition_id, partition.num_records, partition.version)
+        cached = self._partition_cache.get(key)
+        if cached is not None:
+            return cached
+        model = IndexPartitionModel(
+            partition_id=partition.partition_id,
+            num_records=partition.num_records,
+            size_mb=self.partition_size_mb(table, spec, partition),
+            build_seconds=self.build_seconds(table, spec, partition),
+            io_seconds=self.io_seconds(table, spec, partition),
+        )
+        if len(self._partition_cache) > 100_000:
+            self._partition_cache.clear()
+        self._partition_cache[key] = model
+        return model
+
+    def build_time_quanta(self, table: Table, spec: IndexSpec) -> float:
+        """``ti(idx)``: total build time over all partitions, in quanta."""
+        seconds = sum(
+            self.partition_model(table, spec, p).total_build_seconds
+            for p in table.partitions
+        )
+        return self.pricing.quanta(seconds)
+
+    def storage_cost_dollars(self, table: Table, spec: IndexSpec, window_quanta: float) -> float:
+        """``st(idx, W)``: cost of keeping the whole index for W quanta."""
+        if window_quanta < 0:
+            raise ValueError("window_quanta must be non-negative")
+        return self.pricing.storage_cost(self.index_size_mb(table, spec), window_quanta)
+
+
+@dataclass
+class IndexPartitionState:
+    """Mutable build state of one index partition."""
+
+    partition_id: int
+    built: bool = False
+    built_at: float | None = None
+    table_version: int = 0
+
+    def mark_built(self, time: float, table_version: int) -> None:
+        self.built = True
+        self.built_at = time
+        self.table_version = table_version
+
+    def invalidate(self) -> None:
+        self.built = False
+        self.built_at = None
+
+
+@dataclass
+class Index:
+    """Runtime object for one (potential or materialised) index.
+
+    Tracks which of its partitions are built and when — the paper's
+    ``idx(t, C, T)`` with ``T`` the ordered creation time points.
+    """
+
+    spec: IndexSpec
+    table: Table
+    partitions: dict[int, IndexPartitionState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            self.partitions = {
+                p.partition_id: IndexPartitionState(partition_id=p.partition_id)
+                for p in self.table.partitions
+            }
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def built_partition_ids(self) -> list[int]:
+        return sorted(pid for pid, st in self.partitions.items() if st.built)
+
+    def unbuilt_partition_ids(self) -> list[int]:
+        return sorted(pid for pid, st in self.partitions.items() if not st.built)
+
+    @property
+    def fully_built(self) -> bool:
+        return all(st.built for st in self.partitions.values())
+
+    @property
+    def any_built(self) -> bool:
+        return any(st.built for st in self.partitions.values())
+
+    def built_fraction(self) -> float:
+        """Fraction of table *records* covered by built index partitions.
+
+        Indexes are usable incrementally; a dataflow is sped up in
+        proportion to the covered records.
+        """
+        total = self.table.num_records
+        if total == 0:
+            return 1.0 if self.fully_built else 0.0
+        covered = sum(
+            self.table.partition(pid).num_records
+            for pid, st in self.partitions.items()
+            if st.built
+        )
+        return covered / total
+
+    def built_size_mb(self, cost_model: IndexCostModel) -> float:
+        return sum(
+            cost_model.partition_size_mb(self.table, self.spec, self.table.partition(pid))
+            for pid, st in self.partitions.items()
+            if st.built
+        )
+
+    def creation_times(self) -> list[float]:
+        """The ordered creation time points ``T`` of built partitions."""
+        times = [st.built_at for st in self.partitions.values() if st.built]
+        return sorted(t for t in times if t is not None)
+
+    def mark_built(self, partition_id: int, time: float) -> None:
+        state = self.partitions[partition_id]
+        state.mark_built(time, self.table.partition(partition_id).version)
+
+    def invalidate_partition(self, partition_id: int) -> None:
+        """Drop an index partition after a data update invalidates it."""
+        self.partitions[partition_id].invalidate()
+
+    def drop_all(self) -> None:
+        for state in self.partitions.values():
+            state.invalidate()

@@ -1,0 +1,41 @@
+"""Dataflow model: operators, DAGs, workflow generators, arrival clients."""
+
+from repro.dataflow.client import (
+    ArrivalEvent,
+    PAPER_PHASES,
+    POISSON_MEAN_INTERARRIVAL_S,
+    TOTAL_TIME_S,
+    Workload,
+    app_names,
+    build_workload,
+    phase_schedule,
+    poisson_arrivals,
+    random_schedule,
+)
+from repro.dataflow.graph import CycleError, Dataflow, Edge
+from repro.dataflow.operator import (
+    BUILD_INDEX_PRIORITY,
+    DATAFLOW_PRIORITY,
+    DataFile,
+    Operator,
+)
+
+__all__ = [
+    "ArrivalEvent",
+    "PAPER_PHASES",
+    "POISSON_MEAN_INTERARRIVAL_S",
+    "TOTAL_TIME_S",
+    "Workload",
+    "app_names",
+    "build_workload",
+    "phase_schedule",
+    "poisson_arrivals",
+    "random_schedule",
+    "CycleError",
+    "Dataflow",
+    "Edge",
+    "BUILD_INDEX_PRIORITY",
+    "DATAFLOW_PRIORITY",
+    "DataFile",
+    "Operator",
+]

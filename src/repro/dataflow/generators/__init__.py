@@ -1,0 +1,26 @@
+"""Scientific workflow generators: Montage, LIGO, CyberShake (Fig. 5).
+
+Each module exposes ``APP_NAME``, ``INPUT_FILES`` (the Table 4 input-file
+statistics), ``generate_input_sizes(rng)``, and ``build(spec, rng, name,
+num_ops, issued_at)``.
+"""
+
+from repro.dataflow.generators import cybershake, ligo, montage
+from repro.dataflow.generators.base import (
+    InputFileModel,
+    WorkflowSpec,
+    attach_inputs,
+    sample_speedup,
+    truncated_normal,
+)
+
+__all__ = [
+    "cybershake",
+    "ligo",
+    "montage",
+    "InputFileModel",
+    "WorkflowSpec",
+    "attach_inputs",
+    "sample_speedup",
+    "truncated_normal",
+]

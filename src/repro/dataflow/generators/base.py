@@ -1,0 +1,122 @@
+"""Shared machinery for the scientific workflow generators.
+
+The paper produces Montage, LIGO and CyberShake dataflows with the
+generator of Bharathi et al. [8], which fixes the DAG shape per
+application and draws operator runtimes and file sizes from per-task-type
+distributions. We re-implement that idea from scratch, calibrating the
+distributions against the published aggregate statistics (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.catalog import TABLE6_SPEEDUPS
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import DataFile, Operator
+
+
+def truncated_normal(
+    rng: np.random.Generator, mean: float, std: float, low: float, high: float
+) -> float:
+    """Draw one normal sample, re-drawing (then clipping) into [low, high]."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    for _ in range(16):
+        value = rng.normal(mean, std)
+        if low <= value <= high:
+            return float(value)
+    return float(min(max(rng.normal(mean, std), low), high))
+
+
+def sample_speedup(rng: np.random.Generator) -> float:
+    """Pick one of the measured Table 6 speedups, uniformly.
+
+    "its speed-up is randomly chosen from the values of Table 6"
+    (Section 6.1).
+    """
+    values = list(TABLE6_SPEEDUPS.values())
+    return float(values[rng.integers(0, len(values))])
+
+
+@dataclass(frozen=True)
+class InputFileModel:
+    """Distribution of an application's input file sizes (Table 4).
+
+    Attributes:
+        count: Number of input files the application reads.
+        min_mb/max_mb/mean_mb: Published statistics the sampler targets.
+    """
+
+    count: int
+    min_mb: float
+    max_mb: float
+    mean_mb: float
+
+
+@dataclass
+class WorkflowSpec:
+    """Everything a generator needs to emit one dataflow instance.
+
+    Attributes:
+        app: Application name ("montage", "ligo", "cybershake").
+        tables: Names of the catalog tables (files) this app reads.
+        table_sizes_mb: Size of each table, aligned with ``tables``.
+        indexes_per_table: Map table name -> list of potential index names.
+        indexes_per_dataflow: How many candidate indexes each dataflow
+            nominates per input table.
+    """
+
+    app: str
+    tables: list[str]
+    table_sizes_mb: list[float]
+    indexes_per_table: dict[str, list[str]] = field(default_factory=dict)
+    indexes_per_dataflow: int = 4
+
+    def __post_init__(self) -> None:
+        if len(self.tables) != len(self.table_sizes_mb):
+            raise ValueError("tables and table_sizes_mb must align")
+
+
+def attach_inputs(
+    dataflow: Dataflow,
+    entry_ops: list[Operator],
+    spec: WorkflowSpec,
+    rng: np.random.Generator,
+) -> None:
+    """Distribute the app's input tables across the entry operators.
+
+    Every table is read by exactly one entry operator (round-robin), so
+    each dataflow touches the whole app file pool, as in Table 4 where
+    the file count is per dataflow. For each table, the dataflow
+    nominates candidate indexes with per-dataflow random speedups.
+    """
+    if not entry_ops:
+        raise ValueError("a dataflow needs at least one entry operator")
+    for i, (table, size_mb) in enumerate(zip(spec.tables, spec.table_sizes_mb)):
+        op = entry_ops[i % len(entry_ops)]
+        op.inputs = (*op.inputs, DataFile(name=table, size_mb=size_mb))
+        if op.reads_table is None:
+            op.reads_table = table
+        dataflow.input_tables.add(table)
+        index_names = spec.indexes_per_table.get(table, [])
+        if not index_names:
+            continue
+        count = min(spec.indexes_per_dataflow, len(index_names))
+        chosen = rng.choice(len(index_names), size=count, replace=False)
+        for j in chosen:
+            name = index_names[int(j)]
+            op.index_speedup[name] = sample_speedup(rng)
+            dataflow.candidate_indexes.add(name)
+
+
+def finish(dataflow: Dataflow, num_ops: int) -> Dataflow:
+    """Validate structure and the requested operator count."""
+    if len(dataflow) != num_ops:
+        raise AssertionError(
+            f"{dataflow.name}: built {len(dataflow)} operators, wanted {num_ops}"
+        )
+    dataflow.validate()
+    return dataflow

@@ -1,0 +1,159 @@
+"""Dataflow DAGs: operators plus data-dependency edges.
+
+A dataflow is ``d(expr, R, N, t)``: a definition, the set of input tables
+``R``, the set of indexes ``N`` that can accelerate it, and the issue time
+``t`` (Section 3, "Application Model"). Edges are labelled with the size
+of the data transferred between operators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dataflow.operator import Operator
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A flow between two operators, labelled with transferred MB."""
+
+    src: str
+    dst: str
+    data_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.data_mb < 0:
+            raise ValueError("edge data_mb must be non-negative")
+        if self.src == self.dst:
+            raise ValueError(f"self-loop on operator {self.src!r}")
+
+
+class CycleError(ValueError):
+    """The operator graph contains a cycle (not a DAG)."""
+
+
+@dataclass
+class Dataflow:
+    """A DAG of operators with data dependencies.
+
+    Attributes:
+        name: Dataflow identifier (``expr`` in the paper's model).
+        operators: Name -> operator map.
+        edges: Data-dependency edges.
+        input_tables: The set ``R`` of catalog tables read.
+        candidate_indexes: The set ``N`` of index names that can
+            accelerate this dataflow (the index advisor's output).
+        issued_at: Time point ``t`` the dataflow was issued (seconds).
+    """
+
+    name: str
+    operators: dict[str, Operator] = field(default_factory=dict)
+    edges: list[Edge] = field(default_factory=list)
+    input_tables: set[str] = field(default_factory=set)
+    candidate_indexes: set[str] = field(default_factory=set)
+    issued_at: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operator(self, op: Operator) -> Operator:
+        if op.name in self.operators:
+            raise ValueError(f"duplicate operator {op.name!r} in {self.name!r}")
+        self.operators[op.name] = op
+        if op.reads_table:
+            self.input_tables.add(op.reads_table)
+            self.candidate_indexes.update(op.index_speedup)
+        return op
+
+    def add_edge(self, src: str, dst: str, data_mb: float = 0.0) -> Edge:
+        for endpoint in (src, dst):
+            if endpoint not in self.operators:
+                raise KeyError(f"unknown operator {endpoint!r} in {self.name!r}")
+        edge = Edge(src=src, dst=dst, data_mb=data_mb)
+        self.edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def predecessors(self, name: str) -> list[str]:
+        return [e.src for e in self.edges if e.dst == name]
+
+    def successors(self, name: str) -> list[str]:
+        return [e.dst for e in self.edges if e.src == name]
+
+    def entry_operators(self) -> list[str]:
+        """Operators without data dependencies (DAG entry nodes)."""
+        targets = {e.dst for e in self.edges}
+        return [name for name in self.operators if name not in targets]
+
+    def exit_operators(self) -> list[str]:
+        sources = {e.src for e in self.edges}
+        return [name for name in self.operators if name not in sources]
+
+    def in_edges(self, name: str) -> list[Edge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def topological_order(self) -> list[str]:
+        """Kahn topological order; raises CycleError on cycles."""
+        indegree = {name: 0 for name in self.operators}
+        for edge in self.edges:
+            indegree[edge.dst] += 1
+        ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
+        order: list[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for succ in sorted(self.successors(name)):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.operators):
+            raise CycleError(f"dataflow {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Raise if the graph is not a DAG or references unknown operators."""
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_runtime(self) -> float:
+        """Sum of operator runtimes (the serial execution time), seconds."""
+        return sum(op.runtime for op in self.operators.values())
+
+    def critical_path(self) -> float:
+        """Length of the longest runtime-weighted path, in seconds.
+
+        A lower bound on the makespan of any schedule (ignoring data
+        transfer delays).
+        """
+        longest: dict[str, float] = {}
+        for name in self.topological_order():
+            op = self.operators[name]
+            best_pred = max(
+                (longest[p] for p in self.predecessors(name)), default=0.0
+            )
+            longest[name] = best_pred + op.runtime
+        return max(longest.values(), default=0.0)
+
+    def levels(self) -> list[list[str]]:
+        """Operators grouped by DAG depth (entry nodes are level 0)."""
+        depth: dict[str, int] = {}
+        for name in self.topological_order():
+            preds = self.predecessors(name)
+            depth[name] = 1 + max((depth[p] for p in preds), default=-1)
+        num_levels = 1 + max(depth.values(), default=0)
+        grouped: list[list[str]] = [[] for _ in range(num_levels)]
+        for name, level in depth.items():
+            grouped[level].append(name)
+        return grouped
+
+    def dataflow_operators(self) -> list[Operator]:
+        """Operators with positive priority (excludes index builds)."""
+        return [op for op in self.operators.values() if not op.is_build_index]

@@ -1,0 +1,137 @@
+"""Workload traces: serialize experiment inputs and outcomes to JSON.
+
+A research artifact should let a reader pin down *exactly* what workload
+a number came from. A trace records the arrival stream (the generator
+client's output) and, optionally, the per-dataflow outcomes of a service
+run, in a stable JSON schema that round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.dataflow.client import ArrivalEvent
+
+#: Bumped on schema changes; readers reject newer traces.
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """One executed dataflow, as recorded in a trace."""
+
+    name: str
+    app: str
+    issued_at: float
+    started_at: float
+    finished_at: float
+    money_quanta: int
+    builds_completed: int
+    builds_killed: int
+
+
+@dataclass
+class WorkloadTrace:
+    """An arrival stream plus (optionally) the outcomes of one run.
+
+    Attributes:
+        generator: "phase" or "random" (or a free-form label).
+        seed: Workload seed the arrivals were drawn with.
+        horizon_s: Experiment horizon in seconds.
+        events: The arrival stream.
+        strategy: Index-management strategy of the recorded outcomes.
+        outcomes: Per-dataflow outcomes, if a run was recorded.
+    """
+
+    generator: str
+    seed: int
+    horizon_s: float
+    events: list[ArrivalEvent] = field(default_factory=list)
+    strategy: str | None = None
+    outcomes: list[OutcomeRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(
+        cls,
+        generator: str,
+        seed: int,
+        horizon_s: float,
+        events: list[ArrivalEvent],
+        metrics=None,
+    ) -> "WorkloadTrace":
+        """Build a trace from an arrival stream and a ServiceMetrics."""
+        trace = cls(
+            generator=generator, seed=seed, horizon_s=horizon_s, events=list(events)
+        )
+        if metrics is not None:
+            trace.strategy = metrics.strategy
+            trace.outcomes = [
+                OutcomeRecord(
+                    name=o.name, app=o.app, issued_at=o.issued_at,
+                    started_at=o.started_at, finished_at=o.finished_at,
+                    money_quanta=o.money_quanta,
+                    builds_completed=o.builds_completed,
+                    builds_killed=o.builds_killed,
+                )
+                for o in metrics.outcomes
+            ]
+        return trace
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "version": TRACE_VERSION,
+            "generator": self.generator,
+            "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "events": [asdict(e) for e in self.events],
+            "strategy": self.strategy,
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != TRACE_VERSION:
+            raise ValueError(
+                f"unsupported trace version {version!r} (expected {TRACE_VERSION})"
+            )
+        return cls(
+            generator=payload["generator"],
+            seed=payload["seed"],
+            horizon_s=payload["horizon_s"],
+            events=[ArrivalEvent(**e) for e in payload["events"]],
+            strategy=payload.get("strategy"),
+            outcomes=[OutcomeRecord(**o) for o in payload.get("outcomes", [])],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadTrace":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def arrivals_per_app(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.app] = counts.get(event.app, 0) + 1
+        return counts
+
+    def finished_by(self, horizon_s: float | None = None) -> int:
+        cutoff = self.horizon_s if horizon_s is None else horizon_s
+        return sum(1 for o in self.outcomes if o.finished_at <= cutoff)

@@ -1,0 +1,59 @@
+"""Dataflow transformations used by the evaluation sweeps.
+
+Section 6.3 scales operator runtimes (up to 10x, CPU-intensive regime)
+and data sizes (up to 100x, data-intensive regime) to compare schedulers
+across workload shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.dataflow.graph import Dataflow, Edge
+from repro.dataflow.operator import DataFile
+
+
+def scale_dataflow(
+    dataflow: Dataflow,
+    cpu_factor: float = 1.0,
+    data_factor: float = 1.0,
+    name: str | None = None,
+    input_factor: float | None = None,
+) -> Dataflow:
+    """A copy of ``dataflow`` with runtimes and data sizes scaled.
+
+    Args:
+        cpu_factor: Multiplier on every operator runtime.
+        data_factor: Multiplier on every inter-operator flow and output
+            file size (the data whose *placement* a scheduler controls).
+        name: Optional name of the scaled dataflow.
+        input_factor: Multiplier on the input files pulled from the
+            storage service; defaults to ``data_factor``.
+    """
+    if input_factor is None:
+        input_factor = data_factor
+    if cpu_factor <= 0 or data_factor <= 0 or input_factor <= 0:
+        raise ValueError("scale factors must be positive")
+    out = Dataflow(
+        name=name or f"{dataflow.name}@cpu{cpu_factor}xdata{data_factor}",
+        issued_at=dataflow.issued_at,
+        input_tables=set(dataflow.input_tables),
+        candidate_indexes=set(dataflow.candidate_indexes),
+    )
+    for op_name, op in dataflow.operators.items():
+        out.operators[op_name] = replace(
+            op,
+            runtime=op.runtime * cpu_factor,
+            inputs=tuple(
+                DataFile(name=f.name, size_mb=f.size_mb * input_factor) for f in op.inputs
+            ),
+            outputs=tuple(
+                DataFile(name=f.name, size_mb=f.size_mb * data_factor) for f in op.outputs
+            ),
+            index_speedup=dict(op.index_speedup),
+        )
+    for edge in dataflow.edges:
+        out.edges.append(
+            Edge(src=edge.src, dst=edge.dst, data_mb=edge.data_mb * data_factor)
+        )
+    return out

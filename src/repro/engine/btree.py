@@ -1,0 +1,296 @@
+"""A from-scratch B+tree supporting insert, search, range scan, bulk load.
+
+Used by the micro execution engine to measure the index speedups of
+Table 6 with a real data structure rather than a formula. Keys are any
+totally ordered Python values; every key maps to a list of row ids
+(duplicates are allowed, as in a secondary index).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    keys: list[Any] = field(default_factory=list)
+    # Internal nodes: children[i] holds keys < keys[i] (len == len(keys)+1).
+    children: list["_Node"] = field(default_factory=list)
+    # Leaf nodes: values[i] is the list of row ids for keys[i].
+    values: list[list[int]] = field(default_factory=list)
+    next_leaf: "_Node | None" = None
+
+
+class BPlusTree:
+    """B+tree keyed on arbitrary comparable values, mapping key -> row ids.
+
+    Attributes:
+        order: Maximum number of keys per node (fanout - 1). Small orders
+            make deep trees, useful in tests; realistic orders (hundreds)
+            are used in benchmarks.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 3:
+            raise ValueError("order must be at least 3")
+        self.order = order
+        self._root: _Node = _Node(leaf=True)
+        self._num_keys = 0
+        self._num_entries = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of (key, row id) entries in the tree."""
+        return self._num_entries
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys."""
+        return self._num_keys
+
+    @property
+    def height(self) -> int:
+        node, h = self._root, 1
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, row_id: int) -> None:
+        """Insert one entry; duplicate keys accumulate row ids."""
+        root = self._root
+        if len(root.keys) >= self.order:
+            new_root = _Node(leaf=False, children=[root])
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, row_id)
+        self._num_entries += 1
+
+    def _insert_nonfull(self, node: _Node, key: Any, row_id: int) -> None:
+        while not node.leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            child = node.children[idx]
+            if len(child.keys) >= self.order:
+                self._split_child(node, idx)
+                if key >= node.keys[idx]:
+                    idx += 1
+                child = node.children[idx]
+            node = child
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx].append(row_id)
+        else:
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [row_id])
+            self._num_keys += 1
+
+    def _split_child(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        mid = len(child.keys) // 2
+        if child.leaf:
+            right = _Node(
+                leaf=True,
+                keys=child.keys[mid:],
+                values=child.values[mid:],
+                next_leaf=child.next_leaf,
+            )
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+            child.next_leaf = right
+            parent.keys.insert(idx, right.keys[0])
+        else:
+            right = _Node(
+                leaf=False,
+                keys=child.keys[mid + 1 :],
+                children=child.children[mid + 1 :],
+            )
+            sep = child.keys[mid]
+            child.keys = child.keys[:mid]
+            child.children = child.children[: mid + 1]
+            parent.keys.insert(idx, sep)
+        parent.children.insert(idx + 1, right)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key: Any) -> list[int]:
+        """Row ids for an exact key (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def __contains__(self, key: Any) -> bool:
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        return idx < len(leaf.keys) and leaf.keys[idx] == key
+
+    def range(self, low: Any, high: Any, inclusive: bool = False) -> Iterator[tuple[Any, int]]:
+        """Yield (key, row id) with low < key < high (or <= if inclusive).
+
+        Walks the sorted leaf chain, so the cost is O(log n + k) as in the
+        paper's range-select complexity argument.
+        """
+        leaf = self._find_leaf(low)
+        idx = bisect.bisect_left(leaf.keys, low)
+        if not inclusive:
+            while idx < len(leaf.keys) and leaf.keys[idx] == low:
+                idx += 1
+        node: _Node | None = leaf
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                past_end = key > high or (not inclusive and key == high)
+                if past_end:
+                    return
+                for row_id in node.values[idx]:
+                    yield key, row_id
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def items(self) -> Iterator[tuple[Any, int]]:
+        """All (key, row id) entries in key order (leaf chain scan)."""
+        node: _Node | None = self._leftmost_leaf()
+        while node is not None:
+            for key, rows in zip(node.keys, node.values):
+                for row_id in rows:
+                    yield key, row_id
+            node = node.next_leaf
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct keys in sorted order."""
+        node: _Node | None = self._leftmost_leaf()
+        while node is not None:
+            yield from node.keys
+            node = node.next_leaf
+
+    def row_ids_in_order(self) -> list[int]:
+        """All row ids in key order, via a flat walk of the leaf chain.
+
+        Equivalent to ``[rid for _, rid in self.items()]`` but avoids the
+        per-entry generator overhead — this is the access path an index
+        scan uses for ORDER BY.
+        """
+        out: list[int] = []
+        node: _Node | None = self._leftmost_leaf()
+        while node is not None:
+            for rows in node.values:
+                out.extend(rows)
+            node = node.next_leaf
+        return out
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node
+
+    # ------------------------------------------------------------------
+    # Bulk load
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, pairs: list[tuple[Any, int]], order: int = 64) -> "BPlusTree":
+        """Build a tree from (key, row id) pairs bottom-up.
+
+        Pairs are sorted once; leaves are packed to ~order entries and
+        parent levels are stacked on top. This mirrors how index build
+        operators create index partitions from partition data.
+        """
+        tree = cls(order=order)
+        if not pairs:
+            return tree
+        pairs = sorted(pairs, key=lambda kv: kv[0])
+        # Group duplicates.
+        grouped_keys: list[Any] = []
+        grouped_vals: list[list[int]] = []
+        for key, row_id in pairs:
+            if grouped_keys and grouped_keys[-1] == key:
+                grouped_vals[-1].append(row_id)
+            else:
+                grouped_keys.append(key)
+                grouped_vals.append([row_id])
+        # Pack leaves.
+        per_leaf = max(2, order - 1)
+        leaves: list[_Node] = []
+        for i in range(0, len(grouped_keys), per_leaf):
+            leaves.append(
+                _Node(
+                    leaf=True,
+                    keys=grouped_keys[i : i + per_leaf],
+                    values=grouped_vals[i : i + per_leaf],
+                )
+            )
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_leaf = right
+        # Stack internal levels.
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            per_node = max(2, order)
+            # Choose group boundaries so no group has a single child (a
+            # lone child passed up unchanged would sit at a shallower
+            # depth than its sibling leaves).
+            starts = list(range(0, len(level), per_node))
+            if len(starts) > 1 and len(level) - starts[-1] == 1:
+                starts[-1] -= 1
+            for i, start in enumerate(starts):
+                end = starts[i + 1] if i + 1 < len(starts) else len(level)
+                group = level[start:end]
+                keys = [cls._subtree_min(child) for child in group[1:]]
+                parents.append(_Node(leaf=False, keys=keys, children=group))
+            level = parents
+        tree._root = level[0]
+        tree._num_keys = len(grouped_keys)
+        tree._num_entries = len(pairs)
+        return tree
+
+    @staticmethod
+    def _subtree_min(node: _Node) -> Any:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by property-based tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated."""
+        leaf_depths: set[int] = set()
+
+        def visit(node: _Node, depth: int, low: Any, high: Any) -> None:
+            assert node.keys == sorted(node.keys), "node keys out of order"
+            for key in node.keys:
+                if low is not None:
+                    assert key >= low, "key below subtree lower bound"
+                if high is not None:
+                    assert key < high or node.leaf, "key above subtree upper bound"
+            if node.leaf:
+                leaf_depths.add(depth)
+                assert len(node.keys) == len(node.values)
+            else:
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [low, *node.keys, high]
+                for i, child in enumerate(node.children):
+                    visit(child, depth + 1, bounds[i], bounds[i + 1])
+
+        visit(self._root, 0, None, None)
+        assert len(leaf_depths) <= 1, "leaves at different depths"
+        chained = sum(1 for _ in self.keys())
+        assert chained == self._num_keys, "leaf chain disagrees with key count"

@@ -1,0 +1,49 @@
+"""Hash index: O(1) exact-key lookups, no order support.
+
+The paper's Lookup category can use a hash index to reach O(1); range,
+sort and group operators cannot use it (no key order), which the executor
+enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class HashIndex:
+    """A secondary hash index mapping key -> list of row ids."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[Any, list[int]] = {}
+        self._num_entries = 0
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    @property
+    def num_keys(self) -> int:
+        return len(self._buckets)
+
+    def insert(self, key: Any, row_id: int) -> None:
+        self._buckets.setdefault(key, []).append(row_id)
+        self._num_entries += 1
+
+    def search(self, key: Any) -> list[int]:
+        """Row ids for an exact key (empty list if absent)."""
+        return list(self._buckets.get(key, ()))
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._buckets
+
+    def items(self) -> Iterator[tuple[Any, int]]:
+        """All entries in arbitrary (hash) order."""
+        for key, rows in self._buckets.items():
+            for row_id in rows:
+                yield key, row_id
+
+    @classmethod
+    def build(cls, pairs: list[tuple[Any, int]]) -> "HashIndex":
+        index = cls()
+        for key, row_id in pairs:
+            index.insert(key, row_id)
+        return index

@@ -1,0 +1,53 @@
+"""Heap file: the unindexed baseline storage for the micro engine.
+
+A heap file holds rows in insertion order; every predicate requires a
+full scan, which is the O(n) baseline against which the paper's index
+speedups (Table 6) are measured.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+
+class HeapFile:
+    """Rows stored as a columnar dict of equal-length sequences."""
+
+    def __init__(self, columns: dict[str, Sequence[Any]]) -> None:
+        if not columns:
+            raise ValueError("a heap file needs at least one column")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError("all columns must have the same length")
+        self._columns = columns
+        self._num_rows = lengths.pop()
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> Sequence[Any]:
+        try:
+            return self._columns[name]
+        except KeyError as exc:
+            raise KeyError(f"no column {name!r} in heap file") from exc
+
+    def value(self, column: str, row_id: int) -> Any:
+        return self.column(column)[row_id]
+
+    def scan(self) -> Iterator[int]:
+        """Yield every row id (the full-scan access path)."""
+        return iter(range(self._num_rows))
+
+    def filter_scan(self, column: str, predicate: Callable[[Any], bool]) -> list[int]:
+        """Full scan returning row ids whose column value satisfies predicate."""
+        values = self.column(column)
+        return [i for i in range(self._num_rows) if predicate(values[i])]
+
+    def index_pairs(self, column: str) -> list[tuple[Any, int]]:
+        """(key, row id) pairs used to build an index on ``column``."""
+        values = self.column(column)
+        return [(values[i], i) for i in range(self._num_rows)]

@@ -1,0 +1,133 @@
+"""Multi-seed experiment campaigns with aggregate statistics.
+
+One seed shows a result; a campaign shows it is not an accident of the
+random workload draw. ``run_campaign`` repeats
+:func:`repro.run_experiment` across seeds and aggregates the headline
+metrics (mean, standard deviation, min, max), so reproduction claims
+("Gain finishes ~2x the dataflows of No-Index") can be asserted across
+draws rather than on a single lucky one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import ExperimentConfig, default_config
+from repro.core.metrics import ServiceMetrics
+from repro.core.service import Strategy
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean/stdev/min/max of one metric across seeds."""
+
+    mean: float
+    stdev: float
+    low: float
+    high: float
+    n: int
+
+    @classmethod
+    def of(cls, values: list[float]) -> "Aggregate":
+        if not values:
+            raise ValueError("cannot aggregate zero values")
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        return cls(mean=mean, stdev=math.sqrt(var), low=min(values),
+                   high=max(values), n=len(values))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.stdev:.2f} [{self.low:.2f}, {self.high:.2f}]"
+
+
+@dataclass
+class CampaignResult:
+    """Per-seed metrics plus aggregates for one strategy."""
+
+    strategy: Strategy
+    generator: str
+    seeds: list[int]
+    runs: list[ServiceMetrics] = field(default_factory=list)
+
+    def aggregate(self, metric: str) -> Aggregate:
+        """Aggregate a metric: 'finished', 'cost_per_dataflow',
+        'makespan', 'killed_pct' or 'storage_dollars'."""
+        extractors = {
+            "finished": lambda m: float(m.num_finished),
+            "cost_per_dataflow": lambda m: m.cost_per_dataflow_quanta(),
+            "makespan": lambda m: m.avg_makespan_quanta(),
+            "killed_pct": lambda m: m.killed_percentage(),
+            "storage_dollars": lambda m: m.storage_dollars(),
+        }
+        try:
+            extract = extractors[metric]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown metric {metric!r}; one of {sorted(extractors)}"
+            ) from exc
+        return Aggregate.of([extract(m) for m in self.runs])
+
+
+def run_campaign(
+    strategy: Strategy,
+    generator: str = "phase",
+    seeds: list[int] | None = None,
+    config: ExperimentConfig | None = None,
+    interleaver: str = "lp",
+) -> CampaignResult:
+    """Run one strategy across several seeds and collect the metrics."""
+    from repro import run_experiment
+
+    chosen_seeds = seeds if seeds is not None else [41, 42, 43]
+    if not chosen_seeds:
+        raise ValueError("need at least one seed")
+    cfg = config or default_config()
+    result = CampaignResult(strategy=strategy, generator=generator, seeds=list(chosen_seeds))
+    for seed in chosen_seeds:
+        result.runs.append(
+            run_experiment(strategy, generator=generator, config=cfg,
+                           interleaver=interleaver, seed=seed)
+        )
+    return result
+
+
+def compare_campaigns(
+    strategies: list[Strategy],
+    generator: str = "phase",
+    seeds: list[int] | None = None,
+    config: ExperimentConfig | None = None,
+) -> dict[Strategy, CampaignResult]:
+    """Campaigns for several strategies over the same seeds."""
+    return {
+        strategy: run_campaign(strategy, generator=generator, seeds=seeds, config=config)
+        for strategy in strategies
+    }
+
+
+def dominance_holds(
+    winner: CampaignResult,
+    loser: CampaignResult,
+    metric: str,
+    higher_is_better: bool,
+    min_ratio: float = 1.0,
+) -> bool:
+    """Whether the winner beats the loser on a metric in *every* seed run.
+
+    ``min_ratio`` demands a margin (e.g. 1.5 = winner at least 1.5x the
+    loser when higher is better, or at most 1/1.5 when lower is better).
+    """
+    if min_ratio <= 0:
+        raise ValueError("min_ratio must be positive")
+    if len(winner.runs) != len(loser.runs):
+        raise ValueError("campaigns must cover the same seeds")
+    for w_run, l_run in zip(winner.runs, loser.runs):
+        w = CampaignResult(winner.strategy, winner.generator, [], [w_run]).aggregate(metric).mean
+        l = CampaignResult(loser.strategy, loser.generator, [], [l_run]).aggregate(metric).mean
+        if higher_is_better:
+            if w < l * min_ratio - 1e-9:
+                return False
+        else:
+            if w > l / min_ratio + 1e-9:
+                return False
+    return True

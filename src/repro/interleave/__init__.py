@@ -1,0 +1,51 @@
+"""Index build interleaving: LP-based and online algorithms, baselines."""
+
+from repro.interleave.greedy import (
+    PackingResult,
+    graham_pack,
+    lp_pack,
+    merged_upper_bound,
+)
+from repro.interleave.knapsack import (
+    KnapsackItem,
+    KnapsackSolution,
+    fractional_bound,
+    solve_knapsack,
+    solve_knapsack_greedy,
+)
+from repro.interleave.lp import (
+    InterleavedSchedule,
+    lp_interleave,
+    pack_builds_into_schedule,
+    select_fastest,
+    update_runtimes_for_indexes,
+)
+from repro.interleave.online import online_interleave
+from repro.interleave.slots import (
+    BUILD_OP_PREFIX,
+    BuildCandidate,
+    parse_build_op_name,
+    slots_by_size,
+)
+
+__all__ = [
+    "PackingResult",
+    "graham_pack",
+    "lp_pack",
+    "merged_upper_bound",
+    "KnapsackItem",
+    "KnapsackSolution",
+    "fractional_bound",
+    "solve_knapsack",
+    "solve_knapsack_greedy",
+    "InterleavedSchedule",
+    "lp_interleave",
+    "pack_builds_into_schedule",
+    "select_fastest",
+    "update_runtimes_for_indexes",
+    "online_interleave",
+    "BUILD_OP_PREFIX",
+    "BuildCandidate",
+    "parse_build_op_name",
+    "slots_by_size",
+]

@@ -1,0 +1,73 @@
+"""Graham-style greedy baseline and the merged-segment upper bound.
+
+Section 6.4 compares the LP interleaving algorithm against a greedy
+baseline inspired by Graham's multiprocessor bound: build operators are
+ordered by descending execution time (equal to their gain in that
+experiment) and each is placed in the idle segment with the most
+remaining time; operators that fit nowhere are dropped. The theoretical
+upper bound merges all idle segments into one continuous segment and
+solves a single knapsack on it (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interleave.knapsack import KnapsackItem, solve_knapsack
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Total gain and the per-segment placement of a packing heuristic."""
+
+    total_gain: float
+    placements: dict[int, tuple[int, ...]]  # segment index -> item ids
+
+    @property
+    def num_scheduled(self) -> int:
+        return sum(len(v) for v in self.placements.values())
+
+
+def graham_pack(items: list[KnapsackItem], segments: list[float]) -> PackingResult:
+    """LPT-style greedy: biggest item first into the emptiest segment."""
+    if any(s < 0 for s in segments):
+        raise ValueError("segment sizes must be non-negative")
+    remaining = list(segments)
+    placements: dict[int, list[int]] = {i: [] for i in range(len(segments))}
+    total = 0.0
+    for item in sorted(items, key=lambda it: it.size, reverse=True):
+        if not remaining:
+            break
+        best = max(range(len(remaining)), key=remaining.__getitem__)
+        if item.size <= remaining[best] + 1e-12:
+            remaining[best] -= item.size
+            placements[best].append(item.item_id)
+            total += item.gain
+    return PackingResult(
+        total_gain=total,
+        placements={k: tuple(v) for k, v in placements.items() if v},
+    )
+
+
+def lp_pack(items: list[KnapsackItem], segments: list[float]) -> PackingResult:
+    """Per-segment knapsacks in decreasing segment size (Algorithm 2)."""
+    order = sorted(range(len(segments)), key=segments.__getitem__, reverse=True)
+    pool = list(items)
+    placements: dict[int, tuple[int, ...]] = {}
+    total = 0.0
+    for seg_idx in order:
+        if not pool:
+            break
+        solution = solve_knapsack(pool, segments[seg_idx])
+        if not solution.selected:
+            continue
+        placements[seg_idx] = solution.selected
+        total += solution.total_gain
+        taken = set(solution.selected)
+        pool = [it for it in pool if it.item_id not in taken]
+    return PackingResult(total_gain=total, placements=placements)
+
+
+def merged_upper_bound(items: list[KnapsackItem], segments: list[float]) -> float:
+    """Upper bound: all idle time merged into one continuous segment."""
+    return solve_knapsack(items, sum(segments)).total_gain

@@ -1,0 +1,67 @@
+"""Online interleaving algorithm (Section 5.3.2).
+
+Schedules dataflow and build-index operators *together*: build operators
+are added to the dataflow as optional operators (priority -1) and the
+skyline scheduler's union semantics guarantee that a build survives in a
+schedule only if it does not increase the dataflow's execution time or
+monetary cost. The information about fragmentation is not available up
+front, so fewer builds are typically placed than with the LP algorithm
+(Figure 8), and the resulting skyline differs because builds interact
+with dataflow placement.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import Dataflow
+from repro.interleave.lp import InterleavedSchedule, update_runtimes_for_indexes
+from repro.interleave.slots import BuildCandidate, parse_build_op_name
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.skyline import SkylineScheduler
+
+
+def online_interleave(
+    dataflow: Dataflow,
+    candidates: list[BuildCandidate],
+    scheduler: SkylineScheduler,
+    available_indexes: set[str] | None = None,
+    index_fractions: dict[str, float] | None = None,
+    index_sizes_mb: dict[str, float] | None = None,
+) -> list[InterleavedSchedule]:
+    """Schedule the dataflow with optional build operators in one pass.
+
+    Mutates ``dataflow`` by adding the optional build operators (they are
+    part of the submitted job from the scheduler's point of view).
+    Returns one interleaved schedule per skyline point.
+    """
+    if available_indexes:
+        update_runtimes_for_indexes(
+            dataflow, available_indexes, index_fractions, index_sizes_mb
+        )
+    by_name = {c.op_name: c for c in candidates}
+    for cand in candidates:
+        if cand.op_name not in dataflow.operators:
+            dataflow.add_operator(cand.to_operator())
+    skyline = scheduler.schedule(dataflow)
+    out: list[InterleavedSchedule] = []
+    for sched in skyline:
+        build_assignments = []
+        scheduled = []
+        dataflow_assignments = []
+        for a in sched.assignments:
+            parsed = parse_build_op_name(a.op_name)
+            if parsed is None:
+                dataflow_assignments.append(a)
+            else:
+                build_assignments.append(a)
+                scheduled.append(by_name[a.op_name])
+        base = Schedule(
+            dataflow=dataflow, pricing=sched.pricing, assignments=dataflow_assignments
+        )
+        out.append(
+            InterleavedSchedule(
+                schedule=base,
+                build_assignments=build_assignments,
+                scheduled_builds=scheduled,
+            )
+        )
+    return out

@@ -1,0 +1,108 @@
+"""Estimation-error model for the robustness experiment (Figure 6).
+
+Operator runtimes and flow data sizes may be over- or under-estimated.
+Section 6.2 perturbs both by a random value within ±error%: for a 10%
+error, a runtime estimated at 100 s actually lands anywhere in
+[90, 110] s. This module produces the perturbed "actual" dataflow from
+the estimated one so a schedule computed on estimates can be re-costed
+against reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.dataflow.graph import Dataflow, Edge
+from repro.dataflow.operator import DataFile, Operator
+
+
+def perturb_dataflow(
+    dataflow: Dataflow,
+    cpu_error: float,
+    data_error: float,
+    rng: np.random.Generator,
+) -> Dataflow:
+    """A copy of ``dataflow`` with runtimes/data sizes randomly varied.
+
+    Args:
+        cpu_error: Maximum relative error on operator runtimes, e.g. 0.1
+            scales each runtime by a uniform factor in [0.9, 1.1].
+        data_error: Maximum relative error on edge and input data sizes.
+        rng: Source of randomness (deterministic experiments pass a
+            seeded generator).
+    """
+    if cpu_error < 0 or data_error < 0:
+        raise ValueError("error fractions must be non-negative")
+    out = Dataflow(
+        name=dataflow.name,
+        issued_at=dataflow.issued_at,
+        input_tables=set(dataflow.input_tables),
+        candidate_indexes=set(dataflow.candidate_indexes),
+    )
+    for name, op in dataflow.operators.items():
+        runtime = op.runtime * _factor(rng, cpu_error)
+        inputs = tuple(
+            DataFile(name=f.name, size_mb=f.size_mb * _factor(rng, data_error))
+            for f in op.inputs
+        )
+        clone = replace(op, runtime=runtime, inputs=inputs,
+                        index_speedup=dict(op.index_speedup))
+        out.operators[name] = clone
+    for edge in dataflow.edges:
+        out.edges.append(
+            Edge(src=edge.src, dst=edge.dst, data_mb=edge.data_mb * _factor(rng, data_error))
+        )
+    return out
+
+
+def _factor(rng: np.random.Generator, error: float) -> float:
+    if error == 0:
+        return 1.0
+    return float(rng.uniform(max(0.0, 1.0 - error), 1.0 + error))
+
+
+def recost_schedule_on_actuals(
+    schedule,
+    actual: Dataflow,
+    net_bw_mb_s: float,
+    include_input_transfer: bool = True,
+):
+    """Re-simulate a schedule's assignment order against actual values.
+
+    Keeps each operator on its scheduled container and in its scheduled
+    per-container order (the scheduler's decisions are offline and do not
+    adapt, per Section 6.2), but recomputes start/end times from the
+    *actual* runtimes and data sizes. Returns a new
+    :class:`~repro.scheduling.schedule.Schedule` over the actual dataflow.
+    """
+    from repro.scheduling.schedule import Assignment, Schedule
+
+    order = sorted(schedule.assignments, key=lambda a: (a.start, a.end))
+    avail: dict[int, float] = {}
+    op_end: dict[str, float] = {}
+    op_container: dict[str, int] = {}
+    new_assignments: list[Assignment] = []
+    in_edges = {name: actual.in_edges(name) for name in actual.operators}
+    for a in order:
+        op = actual.operators[a.op_name]
+        ready = 0.0
+        for edge in in_edges.get(a.op_name, ()):  # build ops have no edges
+            src_end = op_end.get(edge.src)
+            if src_end is None:
+                continue
+            arrival = src_end
+            if op_container.get(edge.src) != a.container_id:
+                arrival += edge.data_mb / net_bw_mb_s
+            ready = max(ready, arrival)
+        start = max(ready, avail.get(a.container_id, 0.0))
+        duration = op.runtime
+        if include_input_transfer and op.inputs:
+            duration += op.input_mb() / net_bw_mb_s
+        end = start + duration
+        new_assignments.append(Assignment(a.op_name, a.container_id, start, end))
+        avail[a.container_id] = end
+        op_end[a.op_name] = end
+        op_container[a.op_name] = a.container_id
+    return Schedule(dataflow=actual, pricing=schedule.pricing, assignments=new_assignments)

@@ -1,0 +1,249 @@
+"""Execution schedules: assignments, makespan, money, idle slots.
+
+An execution schedule ``Sd`` is a set of assignments of operators to
+containers. Its execution time ``td`` spans the first operator start to
+the last finish; its monetary cost ``md`` is the total leased quanta of
+the containers; an idle slot is a continuous period inside a leased
+quantum with nothing running; the fragmentation is the set of all idle
+slots (Section 3, "Dataflow and Index Management").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.cloud.pricing import PricingModel
+from repro.dataflow.graph import Dataflow
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One operator placed on one container for [start, end) seconds."""
+
+    op_name: str
+    container_id: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"assignment of {self.op_name!r} ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class IdleSlot:
+    """A continuous idle period inside one leased quantum of a container.
+
+    The paper's ``f(id, q, c, Sd)``: ``quantum`` is the index of the
+    leased quantum the slot lies in (slots never cross quantum
+    boundaries).
+    """
+
+    container_id: int
+    quantum: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class InfeasibleScheduleError(ValueError):
+    """The schedule violates overlap or dependency constraints."""
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of a dataflow (plus optional index builds)."""
+
+    dataflow: Dataflow
+    pricing: PricingModel
+    assignments: list[Assignment] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def by_container(self) -> dict[int, list[Assignment]]:
+        """Assignments grouped per container, sorted by start time."""
+        grouped: dict[int, list[Assignment]] = {}
+        for a in self.assignments:
+            grouped.setdefault(a.container_id, []).append(a)
+        for items in grouped.values():
+            items.sort(key=lambda a: (a.start, a.end))
+        return grouped
+
+    def assignment_of(self, op_name: str) -> Assignment:
+        for a in self.assignments:
+            if a.op_name == op_name:
+                return a
+        raise KeyError(f"operator {op_name!r} is not assigned")
+
+    def containers_used(self) -> list[int]:
+        return sorted({a.container_id for a in self.assignments})
+
+    def dataflow_assignments(self) -> list[Assignment]:
+        """Assignments of non-optional dataflow operators only."""
+        ops = self.dataflow.operators
+        return [
+            a
+            for a in self.assignments
+            if a.op_name in ops and not ops[a.op_name].is_build_index
+        ]
+
+    def build_assignments(self) -> list[Assignment]:
+        ops = self.dataflow.operators
+        return [
+            a for a in self.assignments if a.op_name in ops and ops[a.op_name].is_build_index
+        ]
+
+    # ------------------------------------------------------------------
+    # Objectives
+    # ------------------------------------------------------------------
+    def makespan_seconds(self) -> float:
+        """``td``: first dataflow-operator start to last finish, seconds."""
+        relevant = self.dataflow_assignments() or self.assignments
+        if not relevant:
+            return 0.0
+        return max(a.end for a in relevant) - min(a.start for a in relevant)
+
+    def makespan_quanta(self) -> float:
+        return self.pricing.quanta(self.makespan_seconds())
+
+    def leased_quanta(self, container_id: int) -> tuple[int, int]:
+        """(first, last+1) quantum indices leased by a container.
+
+        Dataflow operators determine the lease; interleaved build
+        operators only use quanta that are already leased.
+        """
+        items = [a for a in self.dataflow_assignments() if a.container_id == container_id]
+        if not items:
+            items = [a for a in self.assignments if a.container_id == container_id]
+        if not items:
+            raise KeyError(f"container {container_id} is unused")
+        tq = self.pricing.quantum_seconds
+        first = math.floor(min(a.start for a in items) / tq + 1e-9)
+        last_end = max(a.end for a in items)
+        last = max(first + 1, math.ceil(last_end / tq - 1e-9))
+        return first, last
+
+    def money_quanta(self) -> int:
+        """``md``: total leased quanta over all containers."""
+        total = 0
+        for cid in self.containers_used():
+            first, last = self.leased_quanta(cid)
+            total += last - first
+        return total
+
+    def money_dollars(self) -> float:
+        return self.pricing.compute_cost(self.money_quanta())
+
+    # ------------------------------------------------------------------
+    # Idle slots / fragmentation
+    # ------------------------------------------------------------------
+    def idle_slots(self, merge_quanta: bool = False) -> list[IdleSlot]:
+        """All idle slots in the leased quanta of all containers.
+
+        With ``merge_quanta`` idle periods spanning adjacent quanta are
+        returned as single slots (useful to compute packing upper
+        bounds); the default follows the paper's per-quantum definition.
+        """
+        tq = self.pricing.quantum_seconds
+        slots: list[IdleSlot] = []
+        for cid, items in self.by_container().items():
+            first, last = self.leased_quanta(cid)
+            lease_start, lease_end = first * tq, last * tq
+            # Busy intervals clipped to the lease.
+            busy = [
+                (max(a.start, lease_start), min(a.end, lease_end))
+                for a in items
+                if a.end > lease_start and a.start < lease_end
+            ]
+            busy.sort()
+            gaps: list[tuple[float, float]] = []
+            cursor = lease_start
+            for b_start, b_end in busy:
+                if b_start > cursor + 1e-9:
+                    gaps.append((cursor, b_start))
+                cursor = max(cursor, b_end)
+            if cursor < lease_end - 1e-9:
+                gaps.append((cursor, lease_end))
+            for g_start, g_end in gaps:
+                if merge_quanta:
+                    slots.append(
+                        IdleSlot(cid, quantum=int(g_start // tq), start=g_start, end=g_end)
+                    )
+                    continue
+                cursor = g_start
+                while cursor < g_end - 1e-9:
+                    boundary = math.floor(cursor / tq + 1e-9) * tq + tq
+                    piece_end = min(boundary, g_end)
+                    slots.append(
+                        IdleSlot(cid, quantum=int(cursor // tq), start=cursor, end=piece_end)
+                    )
+                    cursor = piece_end
+        return slots
+
+    def fragmentation_quanta(self) -> float:
+        """Total idle time inside leased quanta, in quanta."""
+        return sum(s.duration for s in self.idle_slots()) / self.pricing.quantum_seconds
+
+    def max_sequential_idle_seconds(self) -> float:
+        """Longest single contiguous idle period (the Algorithm 4 tie-break)."""
+        merged = self.idle_slots(merge_quanta=True)
+        return max((s.duration for s in merged), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        net_bw_mb_s: float | None = None,
+        require_all_assigned: bool = True,
+    ) -> None:
+        """Check overlap and dependency feasibility; raise if violated.
+
+        With ``net_bw_mb_s`` given, cross-container flows must also leave
+        room for the data transfer time.
+        """
+        assigned = {a.op_name for a in self.assignments}
+        if len(assigned) != len(self.assignments):
+            raise InfeasibleScheduleError("an operator is assigned more than once")
+        if require_all_assigned:
+            missing = [
+                name
+                for name, op in self.dataflow.operators.items()
+                if not op.optional and name not in assigned
+            ]
+            if missing:
+                raise InfeasibleScheduleError(f"unassigned operators: {missing[:5]}")
+        for cid, items in self.by_container().items():
+            for prev, nxt in zip(items, items[1:]):
+                if nxt.start < prev.end - 1e-9:
+                    raise InfeasibleScheduleError(
+                        f"overlap on container {cid}: {prev.op_name!r} and {nxt.op_name!r}"
+                    )
+        position = {a.op_name: a for a in self.assignments}
+        for edge in self.dataflow.edges:
+            if edge.src not in position or edge.dst not in position:
+                continue
+            src, dst = position[edge.src], position[edge.dst]
+            earliest = src.end
+            if net_bw_mb_s and src.container_id != dst.container_id:
+                earliest += edge.data_mb / net_bw_mb_s
+            if dst.start < earliest - 1e-6:
+                raise InfeasibleScheduleError(
+                    f"{edge.dst!r} starts before its dependency {edge.src!r} completes"
+                )
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def with_assignments(self, extra: list[Assignment]) -> "Schedule":
+        """A new schedule with additional (e.g. build-index) assignments."""
+        return replace(self, assignments=[*self.assignments, *extra])

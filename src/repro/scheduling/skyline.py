@@ -1,0 +1,224 @@
+"""Skyline dataflow scheduler (Algorithm 4).
+
+List-schedules the dataflow operators in dependency order, branching each
+partial schedule over candidate containers, and keeps only the Pareto
+skyline of (execution time, monetary cost) after every step. Between
+schedules with equal time and money, the one with the most sequential
+idle compute time is preferred — idle slots are where index build
+operators will go. Optional operators (index builds, used by the online
+interleaving algorithm of Section 5.3.2) may be skipped: the previous
+skyline is unioned with the branched schedules, so an optional operator
+survives only where it does not hurt time or money.
+
+The skyline is capped (``max_skyline``) for tractability; the paper's
+scheduler [12] applies the same kind of pruning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
+from repro.cloud.pricing import PricingModel
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.scheduling.schedule import Assignment, Schedule
+
+
+@dataclass
+class _Partial:
+    """A partial schedule: enough state to branch and to score.
+
+    ``time_end`` tracks only non-optional (dataflow) operators: optional
+    index builds never count toward the makespan, but they do extend
+    ``container_avail`` (capacity) and are charged in the money objective
+    if they spill past the quanta the dataflow already leases — which is
+    exactly what makes such schedules dominated and discarded.
+    """
+
+    assignments: tuple[Assignment, ...] = ()
+    container_avail: dict[int, float] = field(default_factory=dict)
+    container_first: dict[int, float] = field(default_factory=dict)
+    op_end: dict[str, float] = field(default_factory=dict)
+    op_container: dict[str, int] = field(default_factory=dict)
+    time_end: float = 0.0
+
+    def branch(self) -> "_Partial":
+        return _Partial(
+            assignments=self.assignments,
+            container_avail=dict(self.container_avail),
+            container_first=dict(self.container_first),
+            op_end=dict(self.op_end),
+            op_container=dict(self.op_container),
+            time_end=self.time_end,
+        )
+
+
+class SkylineScheduler:
+    """Algorithm 4 with bounded skyline and optional-operator support.
+
+    Attributes:
+        pricing: Quantum pricing (time/money are scored in quanta).
+        container: Container spec (network bandwidth for transfer times).
+        max_containers: The evaluation's cap ``C`` (Table 3: 100).
+        max_skyline: Partial schedules kept per step.
+        include_input_transfer: Whether entry operators pay the time to
+            pull their input files from the storage service.
+    """
+
+    def __init__(
+        self,
+        pricing: PricingModel,
+        container: ContainerSpec = PAPER_CONTAINER,
+        max_containers: int = 100,
+        max_skyline: int = 8,
+        include_input_transfer: bool = True,
+    ) -> None:
+        if max_containers <= 0:
+            raise ValueError("max_containers must be positive")
+        if max_skyline <= 0:
+            raise ValueError("max_skyline must be positive")
+        self.pricing = pricing
+        self.container = container
+        self.max_containers = max_containers
+        self.max_skyline = max_skyline
+        self.include_input_transfer = include_input_transfer
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def schedule(self, dataflow: Dataflow) -> list[Schedule]:
+        """Return the skyline of execution schedules for ``dataflow``."""
+        order = self._ready_order(dataflow)
+        skyline: list[_Partial] = [_Partial()]
+        for op_name in order:
+            op = dataflow.operators[op_name]
+            branched: list[_Partial] = []
+            if op.optional:
+                branched.extend(skyline)  # keeping the op unscheduled is allowed
+            for partial in skyline:
+                for cid in self._candidate_containers(partial):
+                    branched.append(self._assign(partial, dataflow, op, cid))
+            skyline = self._prune(branched)
+        return [
+            Schedule(dataflow=dataflow, pricing=self.pricing, assignments=list(p.assignments))
+            for p in skyline
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ready_order(dataflow: Dataflow) -> list[str]:
+        """Topological order with optional operators appended last.
+
+        Optional index build operators have no dependencies or dependents,
+        so processing them after the dataflow operators preserves the
+        union semantics of the online interleaving algorithm.
+        """
+        topo = dataflow.topological_order()
+        required = [n for n in topo if not dataflow.operators[n].optional]
+        optional = [n for n in topo if dataflow.operators[n].optional]
+        return required + optional
+
+    def _candidate_containers(self, partial: _Partial) -> list[int]:
+        used = sorted(partial.container_avail)
+        if len(used) < self.max_containers:
+            fresh = (max(used) + 1) if used else 0
+            return used + [fresh]
+        return used
+
+    def _assign(
+        self, partial: _Partial, dataflow: Dataflow, op: Operator, cid: int
+    ) -> _Partial:
+        out = partial.branch()
+        ready = 0.0
+        for edge in dataflow.in_edges(op.name):
+            src_end = partial.op_end.get(edge.src)
+            if src_end is None:
+                continue
+            arrival = src_end
+            if partial.op_container.get(edge.src) != cid:
+                arrival += edge.data_mb / self.container.net_bw_mb_s
+            ready = max(ready, arrival)
+        start = max(ready, partial.container_avail.get(cid, 0.0))
+        duration = op.runtime
+        if self.include_input_transfer and op.inputs:
+            duration += op.input_mb() / self.container.net_bw_mb_s
+        end = start + duration
+        out.assignments = (*partial.assignments, Assignment(op.name, cid, start, end))
+        out.container_avail[cid] = end
+        out.container_first.setdefault(cid, start)
+        out.op_end[op.name] = end
+        out.op_container[op.name] = cid
+        if not op.optional:
+            out.time_end = max(partial.time_end, end)
+        return out
+
+    def _money_quanta(self, partial: _Partial) -> int:
+        tq = self.pricing.quantum_seconds
+        total = 0
+        for cid, first in partial.container_first.items():
+            start_q = math.floor(first / tq + 1e-9)
+            end_q = max(start_q + 1, math.ceil(partial.container_avail[cid] / tq - 1e-9))
+            total += end_q - start_q
+        return total
+
+    def _max_sequential_idle(self, partial: _Partial) -> float:
+        """Longest contiguous idle period across containers (tie-break)."""
+        tq = self.pricing.quantum_seconds
+        per_container: dict[int, list[Assignment]] = {}
+        for a in partial.assignments:
+            per_container.setdefault(a.container_id, []).append(a)
+        best = 0.0
+        for cid, items in per_container.items():
+            items = sorted(items, key=lambda a: a.start)
+            lease_start = math.floor(items[0].start / tq + 1e-9) * tq
+            lease_end = math.ceil(max(a.end for a in items) / tq - 1e-9) * tq
+            cursor = lease_start
+            for a in items:
+                best = max(best, a.start - cursor)
+                cursor = max(cursor, a.end)
+            best = max(best, lease_end - cursor)
+        return best
+
+    def _prune(self, partials: list[_Partial]) -> list[_Partial]:
+        """Pareto skyline on (time, money), capped at ``max_skyline``."""
+        if not partials:
+            return []
+        scored = []
+        for p in partials:
+            time_q = p.time_end / self.pricing.quantum_seconds
+            money_q = self._money_quanta(p)
+            scored.append([time_q, money_q, -len(p.assignments), 0.0, p])
+        # The sequential-idle tie-break is expensive; compute it only for
+        # candidates that actually tie on (time, money, #ops).
+        groups: dict[tuple[float, int, int], list[list]] = {}
+        for row in scored:
+            groups.setdefault((round(row[0], 9), row[1], row[2]), []).append(row)
+        for rows in groups.values():
+            if len(rows) > 1:
+                for row in rows:
+                    row[3] = -self._max_sequential_idle(row[4])
+        # Sort so the best candidate at equal (time, money) comes first:
+        # more operators, then more sequential idle.
+        scored.sort(key=lambda s: (s[0], s[1], s[2], s[3]))
+        front: list[tuple[float, int, _Partial]] = []
+        best_money = math.inf
+        seen: set[tuple[float, int]] = set()
+        for time_q, money_q, _neg_ops, _neg_idle, p in scored:
+            key = (round(time_q, 9), money_q)
+            if money_q < best_money and key not in seen:
+                front.append((time_q, money_q, p))
+                best_money = money_q
+                seen.add(key)
+        if len(front) > self.max_skyline:
+            if self.max_skyline == 1:
+                front = [front[0]]  # the fastest point
+            else:
+                # Keep the extremes and evenly spaced interior points.
+                step = (len(front) - 1) / (self.max_skyline - 1)
+                picked = {round(i * step) for i in range(self.max_skyline)}
+                front = [front[i] for i in sorted(picked)]
+        return [p for _, _, p in front]

@@ -1,0 +1,40 @@
+"""Online auto-tuning: gain model, history, ranking, Algorithm 1 tuner.
+
+Also hosts the future-work extensions: the what-if index advisor, the
+adaptive per-index fading controller, and the deferred-build policy.
+"""
+
+from repro.tuning.adaptive import AdaptiveFadingController, UsageTrace
+from repro.tuning.advisor import IndexAdvisor, Recommendation
+from repro.tuning.deferred import BuildBatch, DeferredBuildPolicy
+
+from repro.tuning.gain import (
+    DataflowGainSample,
+    GainModel,
+    GainParameters,
+    IndexGain,
+    dataflow_index_gains,
+)
+from repro.tuning.history import DataflowHistory, DataflowRecord
+from repro.tuning.ranking import deletable_indexes, rank_indexes
+from repro.tuning.tuner import OnlineIndexTuner, TunerDecision
+
+__all__ = [
+    "AdaptiveFadingController",
+    "UsageTrace",
+    "IndexAdvisor",
+    "Recommendation",
+    "BuildBatch",
+    "DeferredBuildPolicy",
+    "DataflowGainSample",
+    "GainModel",
+    "GainParameters",
+    "IndexGain",
+    "dataflow_index_gains",
+    "DataflowHistory",
+    "DataflowRecord",
+    "deletable_indexes",
+    "rank_indexes",
+    "OnlineIndexTuner",
+    "TunerDecision",
+]

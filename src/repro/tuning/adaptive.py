@@ -1,0 +1,122 @@
+"""Adaptive per-index fading controllers (the paper's future work).
+
+"Automatic learning of the index gain fading controller to select proper
+respective values for each index" (Section 7). The controller observes
+when each index was actually useful (the arrival times of dataflows that
+would gain from it) and tunes the fading horizon ``D``:
+
+* *Regular* usage (low coefficient of variation of the gaps) means the
+  past predicts the future — a longer ``D`` lets the gains accumulate.
+* *Bursty or stale* usage means history misleads — a shorter ``D`` makes
+  the tuner drop the index quickly once the burst ends.
+
+The suggested ``D`` interpolates between ``min_fade`` and ``max_fade``
+with the regularity score, and is clamped around the observed mean usage
+gap so an index used every ``g`` quanta retains roughly the last few
+uses worth of evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.pricing import PricingModel
+
+
+@dataclass
+class UsageTrace:
+    """Arrival times (seconds) of dataflows that would use one index."""
+
+    times: list[float] = field(default_factory=list)
+
+    def record(self, time: float) -> None:
+        if self.times and time < self.times[-1] - 1e-9:
+            raise ValueError("usage times must be non-decreasing")
+        self.times.append(time)
+
+    def gaps(self) -> list[float]:
+        return [b - a for a, b in zip(self.times, self.times[1:])]
+
+
+class AdaptiveFadingController:
+    """Learns a per-index fading horizon ``D`` from usage regularity.
+
+    Attributes:
+        default_fade: ``D`` used before an index has enough history.
+        min_fade / max_fade: Clamp of the learned values, in quanta.
+        min_observations: Usage gaps needed before adapting.
+        window: Only this many most recent usages are considered.
+    """
+
+    def __init__(
+        self,
+        pricing: PricingModel,
+        default_fade: float = 5.0,
+        min_fade: float = 1.0,
+        max_fade: float = 30.0,
+        min_observations: int = 3,
+        window: int = 20,
+    ) -> None:
+        if not 0 < min_fade <= default_fade <= max_fade:
+            raise ValueError("need 0 < min_fade <= default_fade <= max_fade")
+        if min_observations < 2:
+            raise ValueError("min_observations must be at least 2")
+        self.pricing = pricing
+        self.default_fade = default_fade
+        self.min_fade = min_fade
+        self.max_fade = max_fade
+        self.min_observations = min_observations
+        self.window = window
+        self._traces: dict[str, UsageTrace] = {}
+
+    # ------------------------------------------------------------------
+    def record_usage(self, index_name: str, time: float) -> None:
+        """Note that a dataflow issued at ``time`` would use the index."""
+        self._traces.setdefault(index_name, UsageTrace()).record(time)
+
+    def record_dataflow(self, candidate_indexes, time: float) -> None:
+        for name in candidate_indexes:
+            self.record_usage(name, time)
+
+    def usage_count(self, index_name: str) -> int:
+        trace = self._traces.get(index_name)
+        return len(trace.times) if trace else 0
+
+    # ------------------------------------------------------------------
+    def regularity(self, index_name: str) -> float | None:
+        """1 for perfectly periodic usage, toward 0 for bursty; None if
+        there is not enough history."""
+        trace = self._traces.get(index_name)
+        if trace is None:
+            return None
+        gaps = trace.gaps()[-self.window:]
+        if len(gaps) < self.min_observations:
+            return None
+        mean = sum(gaps) / len(gaps)
+        if mean <= 0:
+            return 1.0
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(var) / mean
+        return 1.0 / (1.0 + cv)
+
+    def suggest_fade(self, index_name: str) -> float:
+        """The learned ``D`` for one index, in quanta."""
+        score = self.regularity(index_name)
+        if score is None:
+            return self.default_fade
+        trace = self._traces[index_name]
+        gaps = trace.gaps()[-self.window:]
+        mean_gap_quanta = self.pricing.quanta(sum(gaps) / len(gaps))
+        # Retain about `3 * score` usages worth of evidence: regular
+        # indexes look further back, bursty ones barely past the burst.
+        fade = mean_gap_quanta * (0.5 + 3.0 * score)
+        return float(min(self.max_fade, max(self.min_fade, fade)))
+
+    def fade_overrides(self) -> dict[str, float]:
+        """Suggested ``D`` for every index with enough history."""
+        out: dict[str, float] = {}
+        for name in self._traces:
+            if self.regularity(name) is not None:
+                out[name] = self.suggest_fade(name)
+        return out

@@ -1,0 +1,173 @@
+"""A what-if index advisor producing the tuner's candidate set.
+
+The paper treats index recommendation as an orthogonal problem: "most
+index advisors can output a set of indexes that might be useful (e.g.,
+by doing a what-if analysis). This would be the input to our system."
+(Section 1). This module provides such an advisor so the pipeline works
+end-to-end without hand-fed candidates:
+
+* each operator's *category* (the Section 1 taxonomy: lookup, range
+  select, sorting, grouping, join) determines which index kinds help it
+  and how much, using the complexity arguments of Section 1 calibrated
+  by the Table 6 measurements;
+* a what-if pass estimates the runtime each candidate would save and
+  drops candidates below a benefit threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.catalog import Catalog, TABLE6_SPEEDUPS
+from repro.data.index_model import IndexKind, IndexSpec
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+
+#: Expected speedup per operator category, from the Table 6 measurements
+#: (lookup and small ranges dominate; sorting gains the least).
+CATEGORY_SPEEDUPS: dict[str, float] = {
+    "lookup": TABLE6_SPEEDUPS["lookup"],
+    "range_select": TABLE6_SPEEDUPS["range_large"],
+    "sorting": TABLE6_SPEEDUPS["order_by"],
+    "grouping": TABLE6_SPEEDUPS["order_by"],
+    "join": TABLE6_SPEEDUPS["range_large"],
+}
+
+#: Index kinds that serve each category: hash indexes only support
+#: exact-key lookups; everything order-based needs a B+tree (Section 1).
+CATEGORY_KINDS: dict[str, tuple[IndexKind, ...]] = {
+    "lookup": (IndexKind.BTREE, IndexKind.HASH),
+    "range_select": (IndexKind.BTREE,),
+    "sorting": (IndexKind.BTREE,),
+    "grouping": (IndexKind.BTREE,),
+    "join": (IndexKind.BTREE,),
+}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One advised index with its what-if benefit estimate.
+
+    Attributes:
+        spec: The recommended index.
+        speedup: Expected operator speedup when the index is used.
+        saved_seconds: Estimated dataflow runtime saved (what-if).
+        operators: Names of the operators that would use it.
+    """
+
+    spec: IndexSpec
+    speedup: float
+    saved_seconds: float
+    operators: tuple[str, ...]
+
+    @property
+    def index_name(self) -> str:
+        return self.spec.name
+
+
+class IndexAdvisor:
+    """Recommends per-dataflow candidate indexes via what-if analysis.
+
+    Attributes:
+        catalog: Known tables (recommendations must reference them).
+        min_saved_seconds: What-if threshold below which a candidate is
+            not worth reporting.
+        prefer_hash_for_lookup: Emit hash indexes for pure-lookup
+            operators (smaller and O(1), but useless for ranges).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        min_saved_seconds: float = 1.0,
+        prefer_hash_for_lookup: bool = False,
+    ) -> None:
+        if min_saved_seconds < 0:
+            raise ValueError("min_saved_seconds must be non-negative")
+        self.catalog = catalog
+        self.min_saved_seconds = min_saved_seconds
+        self.prefer_hash_for_lookup = prefer_hash_for_lookup
+
+    # ------------------------------------------------------------------
+    def _candidate_kind(self, category: str) -> IndexKind:
+        kinds = CATEGORY_KINDS.get(category, (IndexKind.BTREE,))
+        if self.prefer_hash_for_lookup and IndexKind.HASH in kinds:
+            return IndexKind.HASH
+        return kinds[0]
+
+    def _what_if_saving(self, op: Operator, table: str, speedup: float) -> float:
+        """Runtime the operator would save with a full index on ``table``."""
+        weight = op.input_weights().get(table, 0.0)
+        return op.runtime * weight * (1.0 - 1.0 / speedup)
+
+    def recommend(self, dataflow: Dataflow, max_per_table: int = 2) -> list[Recommendation]:
+        """Advised indexes for one dataflow, strongest first.
+
+        For every operator that reads catalog tables, each indexable
+        column of each table is considered with the operator's category
+        speedup; candidates whose estimated saving falls below the
+        threshold are dropped and at most ``max_per_table`` survive per
+        table.
+        """
+        if max_per_table < 1:
+            raise ValueError("max_per_table must be at least 1")
+        by_spec: dict[str, Recommendation] = {}
+        for op in dataflow.operators.values():
+            if not op.inputs:
+                continue
+            speedup = CATEGORY_SPEEDUPS.get(op.category)
+            if speedup is None or speedup <= 1.0:
+                continue
+            kind = self._candidate_kind(op.category)
+            for data_file in op.inputs:
+                table = self.catalog.tables.get(data_file.name)
+                if table is None:
+                    continue
+                saved = self._what_if_saving(op, table.name, speedup)
+                if saved < self.min_saved_seconds:
+                    continue
+                for column in table.schema.column_names():
+                    if column == "payload":
+                        continue
+                    spec = IndexSpec(table.name, (column,), kind=kind)
+                    existing = by_spec.get(spec.name)
+                    if existing is None:
+                        by_spec[spec.name] = Recommendation(
+                            spec=spec, speedup=speedup, saved_seconds=saved,
+                            operators=(op.name,),
+                        )
+                    else:
+                        by_spec[spec.name] = Recommendation(
+                            spec=spec,
+                            speedup=max(existing.speedup, speedup),
+                            saved_seconds=existing.saved_seconds + saved,
+                            operators=(*existing.operators, op.name),
+                        )
+        ranked = sorted(by_spec.values(), key=lambda r: -r.saved_seconds)
+        per_table: dict[str, int] = {}
+        out: list[Recommendation] = []
+        for rec in ranked:
+            count = per_table.get(rec.spec.table_name, 0)
+            if count >= max_per_table:
+                continue
+            per_table[rec.spec.table_name] = count + 1
+            out.append(rec)
+        return out
+
+    def apply(self, dataflow: Dataflow, max_per_table: int = 2) -> list[Recommendation]:
+        """Recommend and wire the advice into the dataflow in place.
+
+        Registers each advised index as a catalog potential index and
+        attaches the speedups to the operators that would use them — the
+        exact hand-off the paper describes between an advisor and the
+        auto-tuner.
+        """
+        recommendations = self.recommend(dataflow, max_per_table=max_per_table)
+        for rec in recommendations:
+            self.catalog.add_potential_index(rec.spec)
+            dataflow.candidate_indexes.add(rec.index_name)
+            for op_name in rec.operators:
+                op = dataflow.operators[op_name]
+                current = op.index_speedup.get(rec.index_name, 1.0)
+                op.index_speedup[rec.index_name] = max(current, rec.speedup)
+        return recommendations

@@ -1,0 +1,163 @@
+"""Deferred (delayed) index building for short-idle-slot workloads.
+
+The paper's conclusion: "we consider a conservative approach to build
+indexes using idle slots so that they do not interfere with the user
+workload. Building indexes in a delayed manner for scenarios where idle
+slots are short is an interesting direction of our future work."
+
+This module implements that direction: build operators that repeatedly
+fail to fit into idle slots accumulate in a deferred queue; once the
+total gain waiting in the queue exceeds the price of leasing dedicated
+compute for it (with a configurable payback factor), the policy proposes
+a *dedicated build batch* — containers leased purely to build indexes,
+whose cost is charged explicitly rather than hidden in fragmentation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cloud.pricing import PricingModel
+from repro.interleave.slots import BuildCandidate
+
+
+@dataclass
+class DeferredBuild:
+    """One build candidate waiting for compute.
+
+    Attributes:
+        candidate: The build operator that could not be interleaved.
+        deferrals: How many scheduling rounds it failed to fit.
+    """
+
+    candidate: BuildCandidate
+    deferrals: int = 1
+
+
+@dataclass(frozen=True)
+class BuildBatch:
+    """A dedicated build proposal: candidates, containers, price."""
+
+    candidates: tuple[BuildCandidate, ...]
+    num_containers: int
+    leased_quanta: int
+    cost_dollars: float
+    expected_gain_dollars: float
+
+    @property
+    def worthwhile(self) -> bool:
+        return self.expected_gain_dollars > self.cost_dollars
+
+
+class DeferredBuildPolicy:
+    """Accumulates unplaced builds and proposes dedicated build batches.
+
+    Attributes:
+        min_deferrals: Rounds a build must fail to fit before it counts
+            toward a batch (fresh candidates get another chance at free
+            interleaving first).
+        payback_factor: Required ratio of queued gain to dedicated-lease
+            cost before a batch is proposed (2.0 = gains must be at least
+            twice the price).
+        max_batch_containers: Parallelism cap of one dedicated batch.
+    """
+
+    def __init__(
+        self,
+        pricing: PricingModel,
+        min_deferrals: int = 2,
+        payback_factor: float = 2.0,
+        max_batch_containers: int = 4,
+    ) -> None:
+        if min_deferrals < 1:
+            raise ValueError("min_deferrals must be at least 1")
+        if payback_factor <= 0:
+            raise ValueError("payback_factor must be positive")
+        if max_batch_containers < 1:
+            raise ValueError("max_batch_containers must be at least 1")
+        self.pricing = pricing
+        self.min_deferrals = min_deferrals
+        self.payback_factor = payback_factor
+        self.max_batch_containers = max_batch_containers
+        self._queue: dict[str, DeferredBuild] = {}
+
+    # ------------------------------------------------------------------
+    # Queue maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def record_unplaced(self, candidates: list[BuildCandidate]) -> None:
+        """Register builds that did not fit into this round's idle slots."""
+        for cand in candidates:
+            entry = self._queue.get(cand.op_name)
+            if entry is None:
+                self._queue[cand.op_name] = DeferredBuild(candidate=cand)
+            else:
+                entry.candidate = cand  # refresh gain estimate
+                entry.deferrals += 1
+
+    def record_placed(self, candidates: list[BuildCandidate]) -> None:
+        """Drop builds that eventually made it into an idle slot."""
+        for cand in candidates:
+            self._queue.pop(cand.op_name, None)
+
+    def drop_index(self, index_name: str) -> None:
+        """Forget deferred builds of an index that stopped being useful."""
+        stale = [k for k, e in self._queue.items() if e.candidate.index_name == index_name]
+        for key in stale:
+            del self._queue[key]
+
+    def ripe(self) -> list[DeferredBuild]:
+        """Builds deferred often enough to justify dedicated compute."""
+        return sorted(
+            (e for e in self._queue.values() if e.deferrals >= self.min_deferrals),
+            key=lambda e: e.candidate.gain / max(e.candidate.duration_s, 1e-9),
+            reverse=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch proposal
+    # ------------------------------------------------------------------
+    def propose_batch(self) -> BuildBatch | None:
+        """A dedicated build batch, or None while patience still pays.
+
+        Candidates are packed by gain density onto up to
+        ``max_batch_containers`` containers; the batch is proposed only
+        when the queued gain covers ``payback_factor`` times the lease.
+        """
+        ripe = self.ripe()
+        if not ripe:
+            return None
+        chosen: list[BuildCandidate] = []
+        total_gain = 0.0
+        total_work_s = 0.0
+        for entry in ripe:
+            chosen.append(entry.candidate)
+            total_gain += entry.candidate.gain
+            total_work_s += entry.candidate.duration_s
+        containers = min(self.max_batch_containers, max(1, len(chosen)))
+        # Parallel makespan of the batch: work spread over the containers
+        # (LPT-style bound: average load plus the longest single build).
+        longest = max(c.duration_s for c in chosen)
+        makespan_s = max(longest, total_work_s / containers)
+        leased = containers * max(1, math.ceil(
+            makespan_s / self.pricing.quantum_seconds - 1e-9
+        ))
+        cost = self.pricing.compute_cost(leased)
+        batch = BuildBatch(
+            candidates=tuple(chosen),
+            num_containers=containers,
+            leased_quanta=leased,
+            cost_dollars=cost,
+            expected_gain_dollars=total_gain,
+        )
+        if batch.expected_gain_dollars >= self.payback_factor * batch.cost_dollars:
+            return batch
+        return None
+
+    def commit_batch(self, batch: BuildBatch) -> None:
+        """Remove a proposed batch's builds from the queue (they ran)."""
+        for cand in batch.candidates:
+            self._queue.pop(cand.op_name, None)

@@ -1,0 +1,106 @@
+"""Historical dataflow store ``Hd`` (Section 3).
+
+Dataflows that have already been executed are stored with the per-index
+gains they realised; the gain model queries them as
+:class:`~repro.tuning.gain.DataflowGainSample` streams relative to "now".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.pricing import PricingModel
+from repro.tuning.gain import DataflowGainSample
+
+
+@dataclass(frozen=True)
+class DataflowRecord:
+    """One executed (or running) dataflow and its per-index gains.
+
+    Attributes:
+        name: Dataflow name.
+        executed_at: Time the dataflow executed, in seconds. Running or
+            queued dataflows are recorded with their issue time and age 0
+            is reported until they finish.
+        time_gains: gtd(idx, d) per index name, in quanta.
+        money_gains: gmd(idx, d) per index name, in quanta.
+        running: True while the dataflow has not finished.
+    """
+
+    name: str
+    executed_at: float
+    time_gains: dict[str, float] = field(default_factory=dict)
+    money_gains: dict[str, float] = field(default_factory=dict)
+    running: bool = False
+
+    def age_quanta(self, now: float, pricing: PricingModel) -> float:
+        """ΔT: quanta since execution; 0 for running/queued dataflows."""
+        if self.running:
+            return 0.0
+        return max(0.0, pricing.quanta(now - self.executed_at))
+
+
+class DataflowHistory:
+    """Append-only store of dataflow records with per-index queries."""
+
+    def __init__(self, pricing: PricingModel, max_records: int | None = None) -> None:
+        self.pricing = pricing
+        self.max_records = max_records
+        self._records: list[DataflowRecord] = []
+        # index name -> record positions that mention it (query acceleration)
+        self._by_index: dict[str, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[DataflowRecord]:
+        return list(self._records)
+
+    def add(self, record: DataflowRecord) -> None:
+        position = len(self._records)
+        self._records.append(record)
+        for index_name in record.time_gains:
+            self._by_index.setdefault(index_name, []).append(position)
+        if self.max_records is not None and len(self._records) > self.max_records:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        self._records.pop(0)
+        rebuilt: dict[str, list[int]] = {}
+        for i, record in enumerate(self._records):
+            for index_name in record.time_gains:
+                rebuilt.setdefault(index_name, []).append(i)
+        self._by_index = rebuilt
+
+    def mark_finished(self, name: str, finished_at: float) -> None:
+        """Flip a running record to finished (records are frozen; replace)."""
+        for i, record in enumerate(self._records):
+            if record.name == name and record.running:
+                self._records[i] = DataflowRecord(
+                    name=record.name,
+                    executed_at=finished_at,
+                    time_gains=record.time_gains,
+                    money_gains=record.money_gains,
+                    running=False,
+                )
+                return
+        raise KeyError(f"no running dataflow {name!r} in history")
+
+    def index_names(self) -> list[str]:
+        """All indexes any recorded dataflow could use."""
+        return sorted(self._by_index)
+
+    def samples_for(self, index_name: str, now: float) -> list[DataflowGainSample]:
+        """Gain samples of one index across the recorded dataflows."""
+        samples: list[DataflowGainSample] = []
+        for position in self._by_index.get(index_name, ()):  # insertion order
+            record = self._records[position]
+            samples.append(
+                DataflowGainSample(
+                    age_quanta=record.age_quanta(now, self.pricing),
+                    time_gain_quanta=record.time_gains.get(index_name, 0.0),
+                    money_gain_quanta=record.money_gains.get(index_name, 0.0),
+                )
+            )
+        return samples

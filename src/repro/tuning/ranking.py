@@ -1,0 +1,34 @@
+"""Index ranking in the 2D (time gain, money gain) space (Section 5.1).
+
+Indexes with positive time *and* money gain are beneficial; among them,
+higher weighted gain (Equation 3) is preferred — the "lighter areas" of
+Figure 4, whose angle is set by α. Non-beneficial indexes (any
+non-positive component, like X1..X4 in the figure) are excluded.
+"""
+
+from __future__ import annotations
+
+from repro.tuning.gain import IndexGain
+
+
+def rank_indexes(gains: list[IndexGain]) -> list[IndexGain]:
+    """Beneficial indexes sorted by decreasing combined gain.
+
+    Ties are broken by time gain, then money gain, then name (for
+    deterministic experiments).
+    """
+    beneficial = [g for g in gains if g.beneficial]
+    return sorted(
+        beneficial,
+        key=lambda g: (
+            -g.combined_dollars,
+            -g.time_gain_quanta,
+            -g.money_gain_dollars,
+            g.index_name,
+        ),
+    )
+
+
+def deletable_indexes(gains: list[IndexGain]) -> list[IndexGain]:
+    """Indexes whose time and money gains are both non-positive."""
+    return [g for g in gains if g.deletable]

@@ -1,0 +1,290 @@
+"""Online index tuning (Algorithm 1).
+
+Triggered whenever a dataflow is issued (and periodically, to delete
+indexes that stopped being beneficial): computes the gains of all
+potential indexes over the historical dataflows plus the incoming one,
+ranks the beneficial ones, interleaves their build operators into the
+dataflow's schedule, and flags non-beneficial built indexes for
+deletion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.catalog import Catalog
+from repro.data.index_model import Index
+from repro.dataflow.graph import Dataflow
+from repro.interleave.lp import InterleavedSchedule, lp_interleave, select_fastest
+from repro.interleave.online import online_interleave
+from repro.interleave.slots import BuildCandidate
+from repro.scheduling.skyline import SkylineScheduler
+from repro.tuning.gain import (
+    DataflowGainSample,
+    GainModel,
+    IndexGain,
+    dataflow_index_gains,
+)
+from repro.tuning.history import DataflowHistory, DataflowRecord
+from repro.tuning.ranking import deletable_indexes, rank_indexes
+
+
+@dataclass
+class TunerDecision:
+    """The output of one Algorithm 1 invocation.
+
+    Attributes:
+        chosen: The selected interleaved schedule (Sdf + SBI).
+        skyline: All interleaved schedules the scheduler produced.
+        gains: Evaluated gain of every potential index.
+        ranked: Beneficial indexes, best first.
+        to_delete: Names of built indexes to drop (DI).
+    """
+
+    chosen: InterleavedSchedule
+    skyline: list[InterleavedSchedule] = field(default_factory=list)
+    gains: dict[str, IndexGain] = field(default_factory=dict)
+    ranked: list[IndexGain] = field(default_factory=list)
+    to_delete: list[str] = field(default_factory=list)
+    # gtd/gmd of the incoming dataflow, computed on its *original*
+    # runtimes (before available indexes were folded in); the service
+    # records these into Hd when the dataflow finishes.
+    dataflow_time_gains: dict[str, float] = field(default_factory=dict)
+    dataflow_money_gains: dict[str, float] = field(default_factory=dict)
+
+
+class OnlineIndexTuner:
+    """Algorithm 1 over a catalog, a gain model and a dataflow history.
+
+    Attributes:
+        interleaver: "lp" (Algorithm 2) or "online" (Section 5.3.2).
+        max_candidates: Cap on build operators offered to the
+            interleaver per dataflow (the best-ranked indexes win); keeps
+            the per-slot knapsacks tractable.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        gain_model: GainModel,
+        history: DataflowHistory,
+        scheduler: SkylineScheduler,
+        interleaver: str = "lp",
+        max_candidates: int = 150,
+        fading_controller=None,
+    ) -> None:
+        if interleaver not in ("lp", "online"):
+            raise ValueError("interleaver must be 'lp' or 'online'")
+        if max_candidates <= 0:
+            raise ValueError("max_candidates must be positive")
+        self.catalog = catalog
+        self.gain_model = gain_model
+        self.history = history
+        self.scheduler = scheduler
+        self.interleaver = interleaver
+        self.max_candidates = max_candidates
+        # Optional AdaptiveFadingController: learns a per-index fading
+        # horizon D from usage regularity (Section 7 future work).
+        self.fading_controller = fading_controller
+        self._read_quanta_cache: dict[str, float] = {}
+        # Per-dataflow gtd/gmd are intrinsic to the dataflow (original
+        # runtimes); queued dataflows are re-examined at every decision,
+        # so memoise by name.
+        self._df_gain_cache: dict[str, tuple[dict[str, float], dict[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Gain bookkeeping
+    # ------------------------------------------------------------------
+    def index_read_quanta(self, index: Index) -> float:
+        cached = self._read_quanta_cache.get(index.name)
+        if cached is None:
+            cached = self.gain_model.index_read_quanta(index)
+            self._read_quanta_cache[index.name] = cached
+        return cached
+
+    def index_size_mb(self, name: str) -> float:
+        index = self.catalog.index(name)
+        return self.gain_model.cost_model.index_size_mb(index.table, index.spec)
+
+    def dataflow_gains(self, dataflow: Dataflow) -> tuple[dict[str, float], dict[str, float]]:
+        """gtd/gmd of one dataflow for every index it can use (memoised)."""
+        cached = self._df_gain_cache.get(dataflow.name)
+        if cached is not None:
+            return cached
+        known = [n for n in dataflow.candidate_indexes if n in self.catalog.indexes]
+        read = {n: self.index_read_quanta(self.catalog.index(n)) for n in known}
+        sizes = {n: self.index_size_mb(n) for n in known}
+        gains = dataflow_index_gains(
+            dataflow,
+            self.gain_model.pricing,
+            index_read_quanta=read,
+            net_bw_mb_s=self.gain_model.cost_model.container.net_bw_mb_s,
+            index_sizes_mb=sizes,
+        )
+        if len(self._df_gain_cache) > 512:
+            self._df_gain_cache.clear()
+        self._df_gain_cache[dataflow.name] = gains
+        return gains
+
+    def record_execution(
+        self,
+        dataflow_name: str,
+        finished_at: float,
+        time_gains: dict[str, float],
+        money_gains: dict[str, float],
+    ) -> None:
+        """Store an executed dataflow in ``Hd``.
+
+        The gains must be the ones computed against the dataflow's
+        *original* runtime estimates (returned in the TunerDecision), not
+        the post-index-update runtimes — otherwise an index would erode
+        its own recorded usefulness simply by existing.
+        """
+        self.history.add(
+            DataflowRecord(
+                name=dataflow_name,
+                executed_at=finished_at,
+                time_gains=time_gains,
+                money_gains=money_gains,
+            )
+        )
+
+    def evaluate_gains(
+        self,
+        now: float,
+        current: Dataflow | None = None,
+        current_gains: tuple[dict[str, float], dict[str, float]] | None = None,
+        queued: list[Dataflow] | None = None,
+    ) -> dict[str, IndexGain]:
+        """Gains of all potential indexes over Hd ∪ {current ∪ queued}.
+
+        Per Section 4, the sum in Equations 4/5 covers the historical
+        dataflows in the window *and* the currently running or queued
+        ones, which contribute at age 0 (ΔT = 0, no fading). A long
+        queue of dataflows that would use an index therefore raises its
+        gain — exactly when building it pays off most.
+        """
+        live: list[tuple[dict[str, float], dict[str, float]]] = []
+        if current_gains is not None:
+            live.append(current_gains)
+        elif current is not None:
+            live.append(self.dataflow_gains(current))
+        for dataflow in queued or ():
+            live.append(self.dataflow_gains(dataflow))
+        names = set(self.history.index_names())
+        for time_gains, _ in live:
+            names |= set(time_gains)
+        gains: dict[str, IndexGain] = {}
+        for name in sorted(names):
+            index = self.catalog.indexes.get(name)
+            if index is None:
+                continue
+            samples = self.history.samples_for(name, now)
+            for time_gains, money_gains in live:
+                if name in time_gains:
+                    samples.append(
+                        DataflowGainSample(
+                            age_quanta=0.0,
+                            time_gain_quanta=time_gains[name],
+                            money_gain_quanta=money_gains[name],
+                        )
+                    )
+            fade = None
+            if self.fading_controller is not None:
+                fade = self.fading_controller.suggest_fade(name)
+            gains[name] = self.gain_model.evaluate(index, samples, fade_quanta=fade)
+        return gains
+
+    # ------------------------------------------------------------------
+    # Build candidates
+    # ------------------------------------------------------------------
+    def build_candidates(self, ranked: list[IndexGain]) -> list[BuildCandidate]:
+        """Per-partition build operators of the ranked beneficial indexes.
+
+        The index's combined gain is split over its unbuilt partitions in
+        proportion to the records they cover (partial indexes are usable
+        incrementally).
+        """
+        candidates: list[BuildCandidate] = []
+        for gain in ranked:
+            index = self.catalog.index(gain.index_name)
+            table, spec = index.table, index.spec
+            total_records = max(1, table.num_records)
+            for pid in index.unbuilt_partition_ids():
+                partition = table.partition(pid)
+                model = self.gain_model.cost_model.partition_model(table, spec, partition)
+                share = partition.num_records / total_records
+                candidates.append(
+                    BuildCandidate(
+                        index_name=index.name,
+                        partition_id=pid,
+                        duration_s=max(model.total_build_seconds, 1e-6),
+                        gain=max(gain.combined_dollars * share, 0.0),
+                    )
+                )
+                if len(candidates) >= self.max_candidates:
+                    return candidates
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def on_dataflow(
+        self,
+        dataflow: Dataflow,
+        now: float,
+        queued: list[Dataflow] | None = None,
+    ) -> TunerDecision:
+        """Schedule ``dataflow`` with interleaved builds; flag deletions.
+
+        ``queued`` are dataflows already issued but not yet executed;
+        they contribute to the gains at age 0 (Section 4).
+        """
+        if self.fading_controller is not None:
+            self.fading_controller.record_dataflow(dataflow.candidate_indexes, now)
+        current_gains = self.dataflow_gains(dataflow)
+        gains = self.evaluate_gains(
+            now, current=dataflow, current_gains=current_gains, queued=queued
+        )
+        ranked = rank_indexes(list(gains.values()))
+        candidates = self.build_candidates(ranked)
+
+        available = {idx.name for idx in self.catalog.built_indexes()}
+        fractions = {
+            idx.name: idx.built_fraction() for idx in self.catalog.built_indexes()
+        }
+        sizes_mb = {name: self.index_size_mb(name) for name in available}
+        interleave = lp_interleave if self.interleaver == "lp" else online_interleave
+        skyline = interleave(
+            dataflow,
+            candidates,
+            self.scheduler,
+            available_indexes=available,
+            index_fractions=fractions,
+            index_sizes_mb=sizes_mb,
+        )
+        chosen = select_fastest(skyline)
+
+        to_delete = [
+            g.index_name
+            for g in deletable_indexes(list(gains.values()))
+            if self.catalog.index(g.index_name).any_built
+        ]
+        return TunerDecision(
+            chosen=chosen,
+            skyline=skyline,
+            gains=gains,
+            ranked=ranked,
+            to_delete=to_delete,
+            dataflow_time_gains=current_gains[0],
+            dataflow_money_gains=current_gains[1],
+        )
+
+    def periodic_cleanup(self, now: float) -> list[str]:
+        """Deletion-only trigger (fires when no dataflow arrives)."""
+        gains = self.evaluate_gains(now, current=None)
+        return [
+            g.index_name
+            for g in deletable_indexes(list(gains.values()))
+            if self.catalog.index(g.index_name).any_built
+        ]

@@ -1,0 +1,116 @@
+"""Tests for the what-if index advisor."""
+
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.data.index_model import IndexKind
+from repro.dataflow.client import build_workload
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import DataFile, Operator
+from repro.tuning.advisor import CATEGORY_SPEEDUPS, IndexAdvisor
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(PAPER_PRICING, seed=11)
+
+
+def flow_with_op(table, category, runtime=200.0, size_mb=100.0):
+    flow = Dataflow(name="adv")
+    flow.add_operator(
+        Operator(name="scan", runtime=runtime, category=category,
+                 inputs=(DataFile(table, size_mb),))
+    )
+    return flow
+
+
+class TestRecommendations:
+    def test_recommends_for_scanning_operator(self, workload):
+        advisor = IndexAdvisor(workload.catalog)
+        table = next(iter(workload.catalog.tables))
+        recs = advisor.recommend(flow_with_op(table, "range_select"))
+        assert recs
+        assert all(r.spec.table_name == table for r in recs)
+        assert all(r.saved_seconds > 0 for r in recs)
+
+    def test_respects_max_per_table(self, workload):
+        advisor = IndexAdvisor(workload.catalog)
+        table = next(iter(workload.catalog.tables))
+        recs = advisor.recommend(flow_with_op(table, "lookup"), max_per_table=1)
+        assert len(recs) == 1
+
+    def test_unknown_table_ignored(self, workload):
+        advisor = IndexAdvisor(workload.catalog)
+        recs = advisor.recommend(flow_with_op("not_in_catalog", "lookup"))
+        assert recs == []
+
+    def test_compute_category_gets_nothing(self, workload):
+        advisor = IndexAdvisor(workload.catalog)
+        table = next(iter(workload.catalog.tables))
+        recs = advisor.recommend(flow_with_op(table, "compute"))
+        assert recs == []
+
+    def test_threshold_filters_tiny_savings(self, workload):
+        table = next(iter(workload.catalog.tables))
+        flow = flow_with_op(table, "sorting", runtime=0.5)
+        strict = IndexAdvisor(workload.catalog, min_saved_seconds=10.0)
+        assert strict.recommend(flow) == []
+
+    def test_lookup_can_prefer_hash(self, workload):
+        advisor = IndexAdvisor(workload.catalog, prefer_hash_for_lookup=True)
+        table = next(iter(workload.catalog.tables))
+        recs = advisor.recommend(flow_with_op(table, "lookup"))
+        assert all(r.spec.kind is IndexKind.HASH for r in recs)
+
+    def test_range_never_uses_hash(self, workload):
+        advisor = IndexAdvisor(workload.catalog, prefer_hash_for_lookup=True)
+        table = next(iter(workload.catalog.tables))
+        recs = advisor.recommend(flow_with_op(table, "range_select"))
+        assert all(r.spec.kind is IndexKind.BTREE for r in recs)
+
+    def test_category_speedups_from_table6(self):
+        assert CATEGORY_SPEEDUPS["lookup"] > CATEGORY_SPEEDUPS["range_select"]
+        assert CATEGORY_SPEEDUPS["range_select"] > CATEGORY_SPEEDUPS["sorting"]
+
+    def test_ranked_by_saving(self, workload):
+        advisor = IndexAdvisor(workload.catalog)
+        tables = list(workload.catalog.tables)[:2]
+        flow = Dataflow(name="two")
+        flow.add_operator(Operator(name="big", runtime=500.0, category="lookup",
+                                   inputs=(DataFile(tables[0], 100.0),)))
+        flow.add_operator(Operator(name="small", runtime=5.0, category="lookup",
+                                   inputs=(DataFile(tables[1], 100.0),)))
+        recs = advisor.recommend(flow)
+        savings = [r.saved_seconds for r in recs]
+        assert savings == sorted(savings, reverse=True)
+
+
+class TestApply:
+    def test_apply_registers_and_wires(self, workload):
+        advisor = IndexAdvisor(workload.catalog)
+        table = next(iter(workload.catalog.tables))
+        flow = flow_with_op(table, "range_select")
+        recs = advisor.apply(flow)
+        assert recs
+        for rec in recs:
+            assert rec.index_name in flow.candidate_indexes
+            assert rec.index_name in workload.catalog.indexes
+            op = flow.operators["scan"]
+            assert op.index_speedup[rec.index_name] == rec.speedup
+
+    def test_apply_enables_real_speedup(self, workload):
+        advisor = IndexAdvisor(workload.catalog)
+        table = next(iter(workload.catalog.tables))
+        flow = flow_with_op(table, "lookup", runtime=300.0)
+        recs = advisor.apply(flow)
+        op = flow.operators["scan"]
+        available = {recs[0].index_name}
+        assert op.runtime_with_indexes(available) < op.runtime
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            IndexAdvisor(workload.catalog, min_saved_seconds=-1.0)
+        advisor = IndexAdvisor(workload.catalog)
+        table = next(iter(workload.catalog.tables))
+        with pytest.raises(ValueError):
+            advisor.recommend(flow_with_op(table, "lookup"), max_per_table=0)

@@ -1,0 +1,157 @@
+"""Unit and property-based tests for the B+tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert 1 not in tree
+
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(i, i * 10)
+        assert tree.search(7) == [70]
+        assert 49 in tree
+        assert 50 not in tree
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, 1)
+        tree.insert(5, 2)
+        assert sorted(tree.search(5)) == [1, 2]
+        assert tree.num_keys == 1
+        assert len(tree) == 2
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for i in range(256):
+            tree.insert(i, i)
+        assert tree.height <= 8  # log_2(256) = 8 with order 4 (min fill 2)
+
+
+class TestOrderedAccess:
+    def test_keys_sorted(self):
+        tree = BPlusTree(order=4)
+        import random
+
+        rng = random.Random(7)
+        values = list(range(200))
+        rng.shuffle(values)
+        for v in values:
+            tree.insert(v, v)
+        assert list(tree.keys()) == sorted(values)
+
+    def test_items_in_key_order(self):
+        tree = BPlusTree(order=8)
+        for v in [5, 3, 9, 1, 7]:
+            tree.insert(v, v * 2)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_row_ids_in_order_matches_items(self):
+        tree = BPlusTree(order=4)
+        for v in [4, 2, 8, 6, 2, 4]:
+            tree.insert(v, v + 100)
+        assert tree.row_ids_in_order() == [r for _, r in tree.items()]
+
+    def test_range_exclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for v in range(10):
+            tree.insert(v, v)
+        got = [k for k, _ in tree.range(2, 7)]
+        assert got == [3, 4, 5, 6]
+
+    def test_range_inclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for v in range(10):
+            tree.insert(v, v)
+        got = [k for k, _ in tree.range(2, 7, inclusive=True)]
+        assert got == [2, 3, 4, 5, 6, 7]
+
+    def test_range_empty_when_no_match(self):
+        tree = BPlusTree(order=4)
+        for v in (1, 10, 20):
+            tree.insert(v, v)
+        assert list(tree.range(2, 9)) == []
+
+
+class TestBulkLoad:
+    def test_bulk_load_equals_inserts(self):
+        pairs = [(i % 37, i) for i in range(300)]
+        loaded = BPlusTree.bulk_load(pairs, order=8)
+        inserted = BPlusTree(order=8)
+        for k, v in pairs:
+            inserted.insert(k, v)
+        assert list(loaded.keys()) == list(inserted.keys())
+        assert len(loaded) == len(inserted) == 300
+        for key in range(37):
+            assert sorted(loaded.search(key)) == sorted(inserted.search(key))
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.bulk_load([], order=8)
+        assert len(tree) == 0
+
+    def test_bulk_load_invariants(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(1000)], order=16)
+        tree.check_invariants()
+
+
+@st.composite
+def key_value_lists(draw):
+    return draw(
+        st.lists(
+            st.tuples(st.integers(min_value=-1000, max_value=1000), st.integers()),
+            max_size=300,
+        )
+    )
+
+
+@given(pairs=key_value_lists(), order=st.integers(min_value=3, max_value=32))
+@settings(max_examples=60, deadline=None)
+def test_property_insert_preserves_invariants_and_content(pairs, order):
+    tree = BPlusTree(order=order)
+    expected: dict[int, list[int]] = {}
+    for k, v in pairs:
+        tree.insert(k, v)
+        expected.setdefault(k, []).append(v)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(expected)
+    for k, vals in expected.items():
+        assert sorted(tree.search(k)) == sorted(vals)
+    assert len(tree) == sum(len(v) for v in expected.values())
+
+
+@given(pairs=key_value_lists(), order=st.integers(min_value=3, max_value=32))
+@settings(max_examples=60, deadline=None)
+def test_property_bulk_load_matches_semantics(pairs, order):
+    tree = BPlusTree.bulk_load(pairs, order=order)
+    tree.check_invariants()
+    expected: dict[int, list[int]] = {}
+    for k, v in pairs:
+        expected.setdefault(k, []).append(v)
+    assert list(tree.keys()) == sorted(expected)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200),
+    low=st.integers(min_value=-10, max_value=510),
+    high=st.integers(min_value=-10, max_value=510),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_range_matches_filter(keys, low, high):
+    tree = BPlusTree(order=6)
+    for i, k in enumerate(keys):
+        tree.insert(k, i)
+    got = sorted(r for _, r in tree.range(low, high))
+    expected = sorted(i for i, k in enumerate(keys) if low < k < high)
+    assert got == expected

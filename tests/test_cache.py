@@ -1,0 +1,109 @@
+"""Unit tests for the LRU disk cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.cache import LRUCache
+
+
+class TestBasicOperations:
+    def test_put_and_hit(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 10.0)
+        assert cache.access("a")
+        assert cache.stats.hits == 1
+
+    def test_miss_recorded(self):
+        cache = LRUCache(capacity_mb=100.0)
+        assert not cache.access("nope")
+        assert cache.stats.misses == 1
+
+    def test_used_and_free(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 30.0)
+        cache.put("b", 20.0)
+        assert cache.used_mb == pytest.approx(50.0)
+        assert cache.free_mb == pytest.approx(50.0)
+
+    def test_reput_replaces_size(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 30.0)
+        cache.put("a", 10.0)
+        assert cache.used_mb == pytest.approx(10.0)
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 30.0)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.used_mb == 0.0
+
+    def test_clear(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 30.0)
+        cache.put("b", 30.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_mb == 0.0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 40.0)
+        cache.put("b", 40.0)
+        cache.access("a")  # b is now LRU
+        evicted = cache.put("c", 40.0)
+        assert evicted == ["b"]
+        assert "a" in cache and "c" in cache
+
+    def test_eviction_counts(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 60.0)
+        cache.put("b", 60.0)
+        assert cache.stats.evictions == 1
+
+    def test_object_larger_than_cache_not_stored(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 10.0)
+        evicted = cache.put("huge", 200.0)
+        assert evicted == []
+        assert "huge" not in cache
+        assert "a" in cache  # nothing evicted for an uncacheable object
+
+    def test_keys_in_lru_order(self):
+        cache = LRUCache(capacity_mb=100.0)
+        cache.put("a", 10.0)
+        cache.put("b", 10.0)
+        cache.access("a")
+        assert cache.keys() == ["b", "a"]
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity_mb=0.0)
+
+    def test_rejects_negative_size(self):
+        cache = LRUCache(capacity_mb=10.0)
+        with pytest.raises(ValueError):
+            cache.put("a", -1.0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from("abcdefgh"), st.floats(min_value=0.1, max_value=50.0)),
+        max_size=60,
+    )
+)
+def test_capacity_invariant_holds(ops):
+    """The cache never exceeds its capacity, whatever the sequence."""
+    cache = LRUCache(capacity_mb=100.0)
+    for key, size in ops:
+        cache.put(key, size)
+        assert cache.used_mb <= cache.capacity_mb + 1e-9
+        total = sum(
+            size for size in (cache._entries.get(k) for k in cache.keys()) if size
+        )
+        assert cache.used_mb == pytest.approx(total)

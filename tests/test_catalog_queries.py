@@ -1,0 +1,100 @@
+"""Tests for the standalone catalog builder and the Table 6 harness."""
+
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.data.catalog import (
+    Catalog,
+    INDEXABLE_COLUMNS,
+    TABLE5_SIZE_FRACTIONS,
+    TABLE6_SPEEDUPS,
+    build_workload_catalog,
+)
+from repro.data.index_model import IndexSpec
+from repro.data.tpch import lineitem_table
+from repro.engine.queries import build_lineitem_heap, measure_table6_speedups
+
+
+class TestCatalogRegistration:
+    def test_add_table_twice_rejected(self):
+        catalog = build_workload_catalog(PAPER_PRICING, num_files=3, total_gb=1.0)
+        table = next(iter(catalog.tables.values()))
+        with pytest.raises(ValueError):
+            catalog.add_table(table)
+
+    def test_potential_index_idempotent(self):
+        catalog = build_workload_catalog(PAPER_PRICING, num_files=3, total_gb=1.0)
+        name = next(iter(catalog.tables))
+        first = catalog.add_potential_index(IndexSpec(name, ("orderkey",)))
+        second = catalog.add_potential_index(IndexSpec(name, ("orderkey",)))
+        assert first is second
+
+    def test_unknown_table_rejected(self):
+        catalog = Catalog(pricing=PAPER_PRICING)
+        with pytest.raises(KeyError):
+            catalog.add_potential_index(IndexSpec("ghost", ("orderkey",)))
+
+    def test_unknown_column_rejected(self):
+        catalog = build_workload_catalog(PAPER_PRICING, num_files=2, total_gb=1.0)
+        name = next(iter(catalog.tables))
+        with pytest.raises(KeyError):
+            catalog.add_potential_index(IndexSpec(name, ("nope",)))
+
+
+class TestStandaloneCatalog:
+    def test_shape(self):
+        catalog = build_workload_catalog(PAPER_PRICING, num_files=10, total_gb=5.0)
+        assert len(catalog.tables) == 10
+        assert len(catalog.indexes) == 40
+        assert catalog.total_size_gb() == pytest.approx(5.0, rel=0.1)
+
+    def test_index_sizes_follow_table5_fractions(self):
+        catalog = build_workload_catalog(PAPER_PRICING, num_files=2, total_gb=2.0)
+        name = max(catalog.tables, key=lambda n: catalog.tables[n].size_mb())
+        table = catalog.tables[name]
+        for column in INDEXABLE_COLUMNS:
+            spec = IndexSpec(name, (column,))
+            frac = catalog.cost_model.index_size_mb(table, spec) / table.size_mb()
+            assert frac == pytest.approx(TABLE5_SIZE_FRACTIONS[column], rel=0.15)
+
+    def test_built_storage_accounting(self):
+        catalog = build_workload_catalog(PAPER_PRICING, num_files=2, total_gb=0.5)
+        assert catalog.built_storage_mb() == 0.0
+        index = next(iter(catalog.indexes.values()))
+        index.mark_built(index.table.partitions[0].partition_id, time=0.0)
+        assert catalog.built_storage_mb() > 0.0
+        assert catalog.built_indexes() == [index]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_workload_catalog(PAPER_PRICING, num_files=0)
+        with pytest.raises(ValueError):
+            build_workload_catalog(PAPER_PRICING, total_gb=0.0)
+
+
+class TestTable6Harness:
+    def test_speedups_positive_and_results_verified(self):
+        results = measure_table6_speedups(num_rows=4000, repeats=1)
+        assert set(results) == {"order_by", "range_large", "range_small", "lookup"}
+        for timing in results.values():
+            assert timing.speedup > 0
+            assert timing.rows_returned >= 0
+
+    def test_lookup_beats_order_by(self):
+        results = measure_table6_speedups(num_rows=20_000, repeats=2)
+        assert results["lookup"].speedup > results["order_by"].speedup
+
+    def test_heap_columns(self):
+        heap = build_lineitem_heap(100)
+        assert len(heap) == 100
+        assert "orderkey" in heap.column_names
+        assert "comment" in heap.column_names
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            measure_table6_speedups(num_rows=0)
+
+    def test_speedup_values_constant(self):
+        # The Table 6 constants the workload generators sample from.
+        assert TABLE6_SPEEDUPS["lookup"] == 627.14
+        assert TABLE6_SPEEDUPS["order_by"] == 7.44

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.strategy == "gain"
+        assert args.generator == "phase"
+        assert args.interleaver == "lp"
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "bogus"])
+
+    def test_schedule_app_choices(self):
+        args = build_parser().parse_args(["schedule", "--app", "ligo"])
+        assert args.app == "ligo"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--app", "spark"])
+
+
+class TestCommands:
+    def test_table5(self, capsys):
+        assert main(["table5", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "comment" in out and "orderkey" in out
+
+    def test_table6_small(self, capsys):
+        assert main(["table6", "--rows", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "Lookup" in out and "Order by" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--app", "montage", "--skyline", "2",
+                     "--containers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "quanta" in out
+
+    def test_run_tiny_horizon(self, capsys):
+        assert main(["run", "--strategy", "no_index", "--generator", "phase",
+                     "--horizon-quanta", "8", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "finished=" in out

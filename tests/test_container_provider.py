@@ -1,0 +1,100 @@
+"""Unit tests for containers, leases and the cloud provider."""
+
+import pytest
+
+from repro.cloud.container import Container, ContainerSpec, PAPER_CONTAINER
+from repro.cloud.pricing import PAPER_PRICING
+from repro.cloud.provider import CloudProvider
+
+
+class TestContainerSpec:
+    def test_paper_container_values(self):
+        assert PAPER_CONTAINER.cpus == 1
+        assert PAPER_CONTAINER.disk_mb == pytest.approx(100 * 1024.0)
+        assert PAPER_CONTAINER.disk_bw_mb_s == pytest.approx(250.0)
+        assert PAPER_CONTAINER.net_bw_mb_s == pytest.approx(125.0)  # 1 Gbps
+
+    def test_transfer_seconds(self):
+        assert PAPER_CONTAINER.transfer_seconds(125.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ContainerSpec(cpus=0)
+        with pytest.raises(ValueError):
+            ContainerSpec(net_bw_mb_s=0)
+        with pytest.raises(ValueError):
+            PAPER_CONTAINER.transfer_seconds(-1.0)
+
+
+class TestLease:
+    def test_extend_lease(self):
+        c = Container(container_id=0, lease_start=0.0)
+        added = c.extend_lease_to(61.0, PAPER_PRICING)
+        assert added == 2
+        assert c.lease_end(PAPER_PRICING) == pytest.approx(120.0)
+
+    def test_extend_is_idempotent_within_quantum(self):
+        c = Container(container_id=0, lease_start=0.0)
+        c.extend_lease_to(30.0, PAPER_PRICING)
+        added = c.extend_lease_to(59.0, PAPER_PRICING)
+        assert added == 0
+        assert c.leased_quanta == 1
+
+    def test_cannot_lease_into_past(self):
+        c = Container(container_id=0, lease_start=100.0)
+        with pytest.raises(ValueError):
+            c.extend_lease_to(50.0, PAPER_PRICING)
+
+    def test_quantum_boundary(self):
+        c = Container(container_id=0, lease_start=0.0)
+        assert c.quantum_boundary_after(0.0, PAPER_PRICING) == 0.0
+        assert c.quantum_boundary_after(1.0, PAPER_PRICING) == 60.0
+        assert c.quantum_boundary_after(60.0, PAPER_PRICING) == 60.0
+        assert c.quantum_boundary_after(61.0, PAPER_PRICING) == 120.0
+
+    def test_utilization(self):
+        c = Container(container_id=0, lease_start=0.0)
+        c.extend_lease_to(60.0, PAPER_PRICING)
+        c.busy_seconds = 30.0
+        assert c.utilization(PAPER_PRICING) == pytest.approx(0.5)
+
+
+class TestProvider:
+    def test_allocate_release_billing(self):
+        provider = CloudProvider(PAPER_PRICING, max_containers=2)
+        c = provider.allocate(time=0.0)
+        c.extend_lease_to(90.0, PAPER_PRICING)  # 2 quanta
+        provider.release(c.container_id)
+        assert provider.ledger.compute_quanta == 2
+        assert provider.ledger.compute_dollars == pytest.approx(0.2)
+
+    def test_max_containers_enforced(self):
+        provider = CloudProvider(PAPER_PRICING, max_containers=1)
+        provider.allocate(time=0.0)
+        with pytest.raises(RuntimeError):
+            provider.allocate(time=0.0)
+
+    def test_total_cost_includes_live_leases_and_storage(self):
+        provider = CloudProvider(PAPER_PRICING, max_containers=4)
+        c = provider.allocate(time=0.0)
+        c.extend_lease_to(60.0, PAPER_PRICING)
+        provider.storage.put("x", 100.0, time=0.0)
+        total = provider.total_cost(until=600.0)  # 10 quanta of storage
+        assert total == pytest.approx(0.1 + 0.1)
+
+    def test_idle_accounting(self):
+        provider = CloudProvider(PAPER_PRICING, max_containers=2)
+        c = provider.allocate(time=0.0)
+        c.extend_lease_to(120.0, PAPER_PRICING)
+        c.busy_seconds = 30.0
+        provider.release(c.container_id)
+        assert provider.ledger.idle_seconds(PAPER_PRICING) == pytest.approx(90.0)
+        assert provider.ledger.idle_quanta(PAPER_PRICING) == pytest.approx(1.5)
+
+    def test_release_all(self):
+        provider = CloudProvider(PAPER_PRICING, max_containers=3)
+        for _ in range(3):
+            provider.allocate(time=0.0)
+        provider.release_all()
+        assert provider.active_containers == []
+        assert provider.ledger.containers_released == 3

@@ -1,0 +1,146 @@
+"""Structural tests: the generated DAGs match the Figure 5 shapes."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.dataflow.client import build_workload
+
+
+@pytest.fixture(scope="module")
+def flows():
+    workload = build_workload(PAPER_PRICING, seed=5)
+    return {
+        app: workload.next_dataflow(app, issued_at=0.0)
+        for app in ("montage", "ligo", "cybershake")
+    }
+
+
+class TestMontageShape:
+    """Fig. 5A: wide projections -> pairwise diffs -> bottlenecks ->
+    wide background level -> aggregation chain."""
+
+    def test_entry_level_is_projections(self, flows):
+        flow = flows["montage"]
+        entries = flow.entry_operators()
+        assert all(name.startswith("mProject") for name in entries)
+        assert len(entries) >= 20
+
+    def test_difffit_has_two_parents(self, flows):
+        flow = flows["montage"]
+        for name in flow.operators:
+            if name.startswith("mDiffFit"):
+                assert len(flow.predecessors(name)) == 2
+
+    def test_concatfit_aggregates_all_diffs(self, flows):
+        flow = flows["montage"]
+        diffs = [n for n in flow.operators if n.startswith("mDiffFit")]
+        assert sorted(flow.predecessors("mConcatFit")) == sorted(diffs)
+
+    def test_tail_chain(self, flows):
+        flow = flows["montage"]
+        assert flow.successors("mImgTbl") == ["mAdd"]
+        assert flow.successors("mAdd") == ["mShrink"]
+        assert flow.successors("mShrink") == ["mJPEG"]
+        assert flow.exit_operators() == ["mJPEG"]
+
+    def test_background_joins_bgmodel_and_projection(self, flows):
+        flow = flows["montage"]
+        for name in flow.operators:
+            if name.startswith("mBackground"):
+                preds = flow.predecessors(name)
+                assert "mBgModel" in preds
+                assert any(p.startswith("mProject") for p in preds)
+
+
+class TestLigoShape:
+    """Fig. 5B: independent groups of two-stage template/inspiral
+    pipelines with coincidence (Thinca) synchronisation points."""
+
+    def test_group_structure(self, flows):
+        flow = flows["ligo"]
+        groups = {name.split("_")[1] for name in flow.operators if "_" in name}
+        assert len(groups) == 5
+
+    def test_inspiral_reads_data_banks_do_not(self, flows):
+        flow = flows["ligo"]
+        for name, op in flow.operators.items():
+            if name.startswith("Inspiral1"):
+                assert op.inputs, f"{name} should read detector frames"
+            if name.startswith("TmpltBank"):
+                assert not op.inputs
+
+    def test_thinca_aggregates_its_group(self, flows):
+        flow = flows["ligo"]
+        for name in flow.operators:
+            if name.startswith("Thinca1"):
+                group = name.split("_")[1]
+                preds = flow.predecessors(name)
+                assert len(preds) == 5
+                assert all(p.startswith(f"Inspiral1_{group}") for p in preds)
+
+    def test_bimodal_runtimes(self, flows):
+        flow = flows["ligo"]
+        inspiral = [op.runtime for n, op in flow.operators.items() if "Inspiral" in n]
+        other = [op.runtime for n, op in flow.operators.items() if "Inspiral" not in n]
+        assert min(inspiral) > 10 * max(other)
+
+    def test_groups_are_independent(self, flows):
+        flow = flows["ligo"]
+        # No edge crosses between groups.
+        for edge in flow.edges:
+            src_group = edge.src.split("_")[1]
+            dst_group = edge.dst.split("_")[1]
+            assert src_group == dst_group
+
+
+class TestCybershakeShape:
+    """Fig. 5C: a few SGT roots fan out to many synthesis/peak pairs,
+    collected by two zip aggregators."""
+
+    def test_four_extract_roots(self, flows):
+        flow = flows["cybershake"]
+        entries = flow.entry_operators()
+        assert sorted(entries) == [f"ExtractSGT_{i}" for i in range(4)]
+
+    def test_fanout_width(self, flows):
+        flow = flows["cybershake"]
+        synths = [n for n in flow.operators if n.startswith("SeismogramSynthesis")]
+        assert len(synths) == 47
+        for name in synths:
+            preds = flow.predecessors(name)
+            assert len(preds) == 1 and preds[0].startswith("ExtractSGT")
+
+    def test_two_aggregators_collect_everything(self, flows):
+        flow = flows["cybershake"]
+        synths = {n for n in flow.operators if n.startswith("SeismogramSynthesis")}
+        peaks = {n for n in flow.operators if n.startswith("PeakValCalc")}
+        assert set(flow.predecessors("ZipSeis")) == synths
+        assert set(flow.predecessors("ZipPSA")) == peaks
+        assert sorted(flow.exit_operators()) == ["ZipPSA", "ZipSeis"]
+
+    def test_heavy_tail_inputs_attached_to_roots(self, flows):
+        flow = flows["cybershake"]
+        root_inputs = [
+            f.size_mb
+            for n, op in flow.operators.items()
+            if n.startswith("ExtractSGT")
+            for f in op.inputs
+        ]
+        assert max(root_inputs) > 10_000  # the multi-GB SGT files
+        assert min(root_inputs) < 100
+
+
+class TestCrossApp:
+    def test_dag_depth_ordering(self, flows):
+        """LIGO's two-stage pipelines are the deepest; CyberShake's
+        fan-out is the shallowest wide graph."""
+        depths = {app: len(flow.levels()) for app, flow in flows.items()}
+        assert depths["montage"] >= 6  # the long aggregation tail
+        assert depths["ligo"] == 6  # bank -> inspiral -> thinca, twice
+        assert depths["cybershake"] == 4  # extract -> synth -> peak -> zip
+
+    def test_every_flow_validates(self, flows):
+        for flow in flows.values():
+            flow.validate()
+            assert len(flow) == 100

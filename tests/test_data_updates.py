@@ -1,0 +1,73 @@
+"""Tests for batch data updates invalidating indexes in the service."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.service import QaaSService, Strategy
+from repro.dataflow.client import ArrivalEvent, build_workload
+
+
+def _run_with_updates(update_interval_s, horizon_quanta=60, apps=("montage",) * 8):
+    cfg = ExperimentConfig(
+        total_time_s=horizon_quanta * 60.0,
+        max_skyline=2,
+        scheduler_containers=10,
+        max_candidates=40,
+        max_queued_gain=10,
+        update_interval_s=update_interval_s,
+        update_partitions=3,
+        seed=9,
+    )
+    workload = build_workload(cfg.pricing, seed=cfg.seed)
+    service = QaaSService(workload, cfg, Strategy.GAIN)
+    events = [ArrivalEvent(time=(i + 1) * 120.0, app=app) for i, app in enumerate(apps)]
+    metrics = service.run(events)
+    return metrics, service
+
+
+class TestDataUpdates:
+    def test_disabled_by_default(self):
+        metrics, service = _run_with_updates(update_interval_s=0.0)
+        versions = {
+            p.version for t in service.catalog.tables.values() for p in t.partitions
+        }
+        assert versions == {0}
+
+    def test_updates_bump_partition_versions(self):
+        _, service = _run_with_updates(update_interval_s=300.0)
+        versions = [
+            p.version for t in service.catalog.tables.values() for p in t.partitions
+        ]
+        assert max(versions) >= 1
+
+    def test_updates_invalidate_built_indexes(self):
+        # Without updates the catalog retains more built partitions than
+        # with aggressive updates (same workload, same seed).
+        no_upd, svc_no = _run_with_updates(update_interval_s=0.0)
+        upd, svc_yes = _run_with_updates(update_interval_s=120.0)
+        built_no = sum(
+            len(i.built_partition_ids()) for i in svc_no.catalog.indexes.values()
+        )
+        built_yes = sum(
+            len(i.built_partition_ids()) for i in svc_yes.catalog.indexes.values()
+        )
+        # Both runs built something; updates can only remove.
+        assert built_no > 0
+        assert built_yes <= built_no
+
+    def test_invalidated_storage_reclaimed(self):
+        _, service = _run_with_updates(update_interval_s=120.0)
+        # Every live index-partition object corresponds to a built state.
+        for path in service.storage.live_paths():
+            assert path.startswith("idx/")
+            _, index_name, part = path.split("/")
+            pid = int(part.split("-")[1])
+            index = service.catalog.indexes[index_name]
+            assert index.partitions[pid].built
+
+    def test_service_still_functional_under_updates(self):
+        metrics, _ = _run_with_updates(update_interval_s=120.0)
+        assert len(metrics.outcomes) == 8
+        assert all(o.finished_at > o.started_at for o in metrics.outcomes)

@@ -1,0 +1,171 @@
+"""Tests for the dataflow DAG model and operators."""
+
+import pytest
+
+from repro.dataflow.graph import CycleError, Dataflow
+from repro.dataflow.operator import DataFile, Operator
+
+
+def chain(names, runtimes=None):
+    flow = Dataflow(name="chain")
+    for i, name in enumerate(names):
+        rt = runtimes[i] if runtimes else 1.0
+        flow.add_operator(Operator(name=name, runtime=rt))
+    for a, b in zip(names, names[1:]):
+        flow.add_edge(a, b)
+    return flow
+
+
+class TestConstruction:
+    def test_duplicate_operator_rejected(self):
+        flow = Dataflow(name="d")
+        flow.add_operator(Operator(name="a", runtime=1.0))
+        with pytest.raises(ValueError):
+            flow.add_operator(Operator(name="a", runtime=2.0))
+
+    def test_edge_to_unknown_operator(self):
+        flow = Dataflow(name="d")
+        flow.add_operator(Operator(name="a", runtime=1.0))
+        with pytest.raises(KeyError):
+            flow.add_edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        flow = Dataflow(name="d")
+        flow.add_operator(Operator(name="a", runtime=1.0))
+        with pytest.raises(ValueError):
+            flow.add_edge("a", "a")
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Operator(name="a", runtime=-1.0)
+
+    def test_cpu_bounds(self):
+        with pytest.raises(ValueError):
+            Operator(name="a", runtime=1.0, cpu=0.0)
+        with pytest.raises(ValueError):
+            Operator(name="a", runtime=1.0, cpu=1.5)
+
+    def test_reads_table_registers_inputs(self):
+        flow = Dataflow(name="d")
+        op = Operator(name="a", runtime=1.0, reads_table="t",
+                      index_speedup={"t__x": 5.0})
+        flow.add_operator(op)
+        assert flow.input_tables == {"t"}
+        assert flow.candidate_indexes == {"t__x"}
+
+
+class TestStructure:
+    def test_topological_order_of_chain(self):
+        flow = chain(["a", "b", "c"])
+        assert flow.topological_order() == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        flow = chain(["a", "b"])
+        flow.add_edge("b", "a")
+        with pytest.raises(CycleError):
+            flow.topological_order()
+
+    def test_entry_and_exit(self):
+        flow = chain(["a", "b", "c"])
+        assert flow.entry_operators() == ["a"]
+        assert flow.exit_operators() == ["c"]
+
+    def test_diamond_levels(self):
+        flow = Dataflow(name="d")
+        for name in "abcd":
+            flow.add_operator(Operator(name=name, runtime=1.0))
+        flow.add_edge("a", "b")
+        flow.add_edge("a", "c")
+        flow.add_edge("b", "d")
+        flow.add_edge("c", "d")
+        assert flow.levels() == [["a"], ["b", "c"], ["d"]]
+
+    def test_predecessors_successors(self):
+        flow = chain(["a", "b", "c"])
+        assert flow.predecessors("b") == ["a"]
+        assert flow.successors("b") == ["c"]
+
+
+class TestAggregates:
+    def test_total_runtime(self):
+        flow = chain(["a", "b"], runtimes=[2.0, 3.0])
+        assert flow.total_runtime() == 5.0
+
+    def test_critical_path_of_chain_is_total(self):
+        flow = chain(["a", "b", "c"], runtimes=[1.0, 2.0, 3.0])
+        assert flow.critical_path() == 6.0
+
+    def test_critical_path_of_parallel_ops_is_max(self):
+        flow = Dataflow(name="d")
+        flow.add_operator(Operator(name="a", runtime=5.0))
+        flow.add_operator(Operator(name="b", runtime=3.0))
+        assert flow.critical_path() == 5.0
+
+    def test_critical_path_bounded_by_total(self):
+        flow = Dataflow(name="d")
+        for name in "abcde":
+            flow.add_operator(Operator(name=name, runtime=2.0))
+        flow.add_edge("a", "b")
+        flow.add_edge("a", "c")
+        flow.add_edge("b", "d")
+        assert flow.critical_path() <= flow.total_runtime()
+
+
+class TestIndexSpeedups:
+    def _op(self):
+        return Operator(
+            name="scan",
+            runtime=100.0,
+            inputs=(DataFile("t1", 80.0), DataFile("t2", 20.0)),
+            index_speedup={"t1__x": 10.0, "t2__y": 4.0},
+        )
+
+    def test_no_indexes_available(self):
+        op = self._op()
+        assert op.runtime_with_indexes(set()) == 100.0
+        assert op.runtime_with_indexes(None) == 100.0
+
+    def test_one_index_accelerates_its_share(self):
+        op = self._op()
+        # t1 share is 80% of the runtime, sped up 10x; t2 share untouched.
+        expected = 100.0 * (0.8 / 10.0 + 0.2)
+        assert op.runtime_with_indexes({"t1__x"}) == pytest.approx(expected)
+
+    def test_both_indexes(self):
+        op = self._op()
+        expected = 100.0 * (0.8 / 10.0 + 0.2 / 4.0)
+        assert op.runtime_with_indexes({"t1__x", "t2__y"}) == pytest.approx(expected)
+
+    def test_partial_fraction_interpolates(self):
+        op = self._op()
+        full = op.runtime_with_indexes({"t1__x"})
+        half = op.runtime_with_indexes({"t1__x"}, fractions={"t1__x": 0.5})
+        none = op.runtime
+        assert full < half < none
+
+    def test_speedup_below_one_ignored(self):
+        op = Operator(
+            name="scan", runtime=10.0,
+            inputs=(DataFile("t", 1.0),),
+            index_speedup={"t__x": 0.5},
+        )
+        assert op.runtime_with_indexes({"t__x"}) == 10.0
+
+    def test_best_index_for(self):
+        op = Operator(
+            name="scan", runtime=10.0,
+            inputs=(DataFile("t", 1.0),),
+            index_speedup={"t__x": 5.0, "t__y": 50.0},
+        )
+        name, factor = op.best_index_for("t", {"t__x", "t__y"}, None)
+        assert name == "t__y"
+        assert factor == pytest.approx(50.0)
+
+    def test_input_weights_sum_to_one(self):
+        op = self._op()
+        assert sum(op.input_weights().values()) == pytest.approx(1.0)
+
+    def test_input_weights_equal_when_sizes_zero(self):
+        op = Operator(name="a", runtime=1.0,
+                      inputs=(DataFile("x", 0.0), DataFile("y", 0.0)))
+        assert op.input_weights() == {"x": 0.5, "y": 0.5}

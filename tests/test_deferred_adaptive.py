@@ -1,0 +1,209 @@
+"""Tests for the future-work extensions: deferred builds, adaptive fading."""
+
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.interleave.slots import BuildCandidate
+from repro.tuning.adaptive import AdaptiveFadingController, UsageTrace
+from repro.tuning.deferred import DeferredBuildPolicy
+
+
+def candidate(name="t__x", pid=0, duration=30.0, gain=1.0):
+    return BuildCandidate(index_name=name, partition_id=pid,
+                          duration_s=duration, gain=gain)
+
+
+class TestDeferredQueue:
+    def test_unplaced_builds_accumulate(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING)
+        policy.record_unplaced([candidate(pid=0), candidate(pid=1)])
+        assert len(policy) == 2
+
+    def test_deferral_counter_increments(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING, min_deferrals=3)
+        for _ in range(3):
+            policy.record_unplaced([candidate()])
+        assert policy.ripe()[0].deferrals == 3
+
+    def test_placed_builds_leave_the_queue(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING)
+        policy.record_unplaced([candidate(pid=0), candidate(pid=1)])
+        policy.record_placed([candidate(pid=0)])
+        assert len(policy) == 1
+
+    def test_drop_index_clears_its_builds(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING)
+        policy.record_unplaced([candidate("a__x", 0), candidate("b__y", 0)])
+        policy.drop_index("a__x")
+        assert len(policy) == 1
+
+    def test_not_ripe_before_min_deferrals(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING, min_deferrals=2)
+        policy.record_unplaced([candidate()])
+        assert policy.ripe() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeferredBuildPolicy(PAPER_PRICING, min_deferrals=0)
+        with pytest.raises(ValueError):
+            DeferredBuildPolicy(PAPER_PRICING, payback_factor=0.0)
+        with pytest.raises(ValueError):
+            DeferredBuildPolicy(PAPER_PRICING, max_batch_containers=0)
+
+
+class TestBatchProposal:
+    def test_no_batch_when_gain_too_small(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING, min_deferrals=1, payback_factor=2.0)
+        # 30 s build = 1 leased quantum = $0.1; gain $0.05 < 2 * $0.1.
+        policy.record_unplaced([candidate(gain=0.05)])
+        assert policy.propose_batch() is None
+
+    def test_batch_proposed_when_gain_justifies(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING, min_deferrals=1, payback_factor=2.0)
+        policy.record_unplaced([candidate(pid=i, gain=1.0) for i in range(4)])
+        batch = policy.propose_batch()
+        assert batch is not None and batch.worthwhile
+        assert batch.expected_gain_dollars == pytest.approx(4.0)
+        assert batch.num_containers >= 1
+        assert batch.cost_dollars > 0
+
+    def test_batch_cost_covers_parallel_makespan(self):
+        policy = DeferredBuildPolicy(
+            PAPER_PRICING, min_deferrals=1, max_batch_containers=2
+        )
+        policy.record_unplaced(
+            [candidate(pid=i, duration=90.0, gain=10.0) for i in range(4)]
+        )
+        batch = policy.propose_batch()
+        assert batch is not None
+        # 360 s of work over 2 containers -> >= 180 s each -> >= 3 quanta each.
+        assert batch.leased_quanta >= 6
+
+    def test_commit_clears_batch(self):
+        policy = DeferredBuildPolicy(PAPER_PRICING, min_deferrals=1)
+        policy.record_unplaced([candidate(pid=i, gain=5.0) for i in range(3)])
+        batch = policy.propose_batch()
+        assert batch is not None
+        policy.commit_batch(batch)
+        assert len(policy) == 0
+
+
+class TestUsageTrace:
+    def test_records_and_gaps(self):
+        trace = UsageTrace()
+        for t in (0.0, 60.0, 120.0):
+            trace.record(t)
+        assert trace.gaps() == [60.0, 60.0]
+
+    def test_rejects_time_travel(self):
+        trace = UsageTrace()
+        trace.record(100.0)
+        with pytest.raises(ValueError):
+            trace.record(50.0)
+
+
+class TestAdaptiveFading:
+    def _controller(self, **kwargs):
+        return AdaptiveFadingController(PAPER_PRICING, **kwargs)
+
+    def test_default_before_history(self):
+        ctl = self._controller(default_fade=5.0)
+        assert ctl.suggest_fade("idx") == 5.0
+        assert ctl.regularity("idx") is None
+
+    def test_regular_usage_scores_high(self):
+        ctl = self._controller()
+        for t in range(0, 600, 60):
+            ctl.record_usage("regular", float(t))
+        assert ctl.regularity("regular") == pytest.approx(1.0)
+
+    def test_bursty_usage_scores_lower(self):
+        ctl = self._controller()
+        for t in (0, 1, 2, 3, 500, 501, 502, 1500):
+            ctl.record_usage("bursty", float(t))
+        regular = self._controller()
+        for t in range(0, 8 * 60, 60):
+            regular.record_usage("r", float(t))
+        assert ctl.regularity("bursty") < regular.regularity("r")
+
+    def test_regular_gets_longer_fade_than_bursty(self):
+        # Same mean usage gap (50 s); only regularity differs.
+        ctl = self._controller(min_fade=0.5, max_fade=30.0)
+        t = 0.0
+        for _ in range(8):
+            t += 50.0
+            ctl.record_usage("regular", t)
+        t = 0.0
+        for i in range(8):
+            t += 5.0 if i % 2 == 0 else 95.0
+            ctl.record_usage("bursty", t)
+        assert ctl.suggest_fade("regular") > ctl.suggest_fade("bursty")
+
+    def test_fade_clamped(self):
+        ctl = self._controller(min_fade=2.0, max_fade=10.0)
+        for t in range(0, 100_000, 10_000):  # huge gaps
+            ctl.record_usage("sparse", float(t))
+        assert 2.0 <= ctl.suggest_fade("sparse") <= 10.0
+
+    def test_fade_overrides_only_with_history(self):
+        ctl = self._controller()
+        ctl.record_usage("one", 0.0)
+        for t in range(0, 300, 60):
+            ctl.record_usage("many", float(t))
+        overrides = ctl.fade_overrides()
+        assert "many" in overrides and "one" not in overrides
+
+    def test_record_dataflow_covers_all_candidates(self):
+        ctl = self._controller()
+        ctl.record_dataflow({"a__x", "b__y"}, time=0.0)
+        assert ctl.usage_count("a__x") == 1
+        assert ctl.usage_count("b__y") == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFadingController(PAPER_PRICING, min_fade=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveFadingController(PAPER_PRICING, min_observations=1)
+
+
+class TestTunerIntegration:
+    def test_tuner_uses_controller(self):
+        from tests.test_tuner import flow_using, make_catalog
+        from repro.scheduling.skyline import SkylineScheduler
+        from repro.tuning.gain import GainModel, GainParameters
+        from repro.tuning.history import DataflowHistory
+        from repro.tuning.tuner import OnlineIndexTuner
+
+        catalog = make_catalog()
+        controller = AdaptiveFadingController(PAPER_PRICING)
+        tuner = OnlineIndexTuner(
+            catalog=catalog,
+            gain_model=GainModel(PAPER_PRICING, catalog.cost_model, GainParameters()),
+            history=DataflowHistory(PAPER_PRICING),
+            scheduler=SkylineScheduler(PAPER_PRICING, max_skyline=2),
+            fading_controller=controller,
+        )
+        for i in range(5):
+            flow = flow_using(["t0__k"], name=f"d{i}")
+            tuner.on_dataflow(flow, now=i * 60.0)
+        # The controller saw every dataflow's candidates.
+        assert controller.usage_count("t0__k") == 5
+
+    def test_gain_model_fade_override(self):
+        from repro.data.index_model import IndexCostModel
+        from repro.tuning.gain import DataflowGainSample, GainModel, GainParameters
+        from repro.data.table import (
+            Column, ColumnType, TableSchema, TableStatistics, partition_table,
+        )
+        from repro.data.index_model import Index, IndexSpec
+
+        model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING),
+                          GainParameters(fade_quanta=1.0))
+        schema = TableSchema("t", (Column("k", ColumnType.INTEGER),))
+        stats = TableStatistics(avg_field_bytes={"k": 8.0})
+        table = partition_table("t", schema, stats, total_records=1000)
+        index = Index(spec=IndexSpec("t", ("k",)), table=table)
+        sample = [DataflowGainSample(5.0, 10.0, 10.0)]
+        short = model.evaluate(index, sample)  # D = 1
+        long = model.evaluate(index, sample, fade_quanta=50.0)
+        assert long.time_gain_quanta > short.time_gain_quanta

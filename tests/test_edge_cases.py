@@ -1,0 +1,134 @@
+"""Edge-case tests across modules: string keys, empty inputs, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.simulator import ExecutionSimulator
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.engine.btree import BPlusTree
+from repro.engine.executor import order_by_external_sort
+from repro.engine.heap import HeapFile
+from repro.interleave.lp import InterleavedSchedule
+from repro.scheduling.schedule import Assignment, Schedule
+
+
+class TestBTreeEdgeCases:
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        words = ["pear", "apple", "fig", "banana", "apple", "cherry"]
+        for i, w in enumerate(words):
+            tree.insert(w, i)
+        assert list(tree.keys()) == sorted(set(words))
+        assert sorted(tree.search("apple")) == [1, 4]
+        got = [k for k, _ in tree.range("b", "d")]
+        assert got == ["banana", "cherry"]
+
+    def test_deep_tree_with_min_order(self):
+        tree = BPlusTree(order=3)
+        for i in range(2000):
+            tree.insert(i, i)
+        tree.check_invariants()
+        assert tree.search(1999) == [1999]
+        assert tree.height > 5  # genuinely deep
+
+    def test_all_equal_keys(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(7, i)
+        assert tree.num_keys == 1
+        assert len(tree) == 100
+        assert sorted(tree.search(7)) == list(range(100))
+        tree.check_invariants()
+
+    def test_bulk_load_single_pair(self):
+        tree = BPlusTree.bulk_load([(5, 0)], order=4)
+        assert tree.search(5) == [0]
+        tree.check_invariants()
+
+    def test_reverse_sorted_inserts(self):
+        tree = BPlusTree(order=5)
+        for i in reversed(range(500)):
+            tree.insert(i, i)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(500))
+
+
+class TestExternalSortEdgeCases:
+    def test_run_size_larger_than_data(self):
+        heap = HeapFile({"k": [3, 1, 2]})
+        rows = order_by_external_sort(heap, "k", run_rows=100)
+        assert [heap.value("k", r) for r in rows] == [1, 2, 3]
+
+    def test_single_row(self):
+        heap = HeapFile({"k": [42]})
+        assert order_by_external_sort(heap, "k") == [0]
+
+
+class TestSimulatorDeterminism:
+    def _flow(self):
+        flow = Dataflow(name="d")
+        flow.add_operator(Operator(name="a", runtime=30.0))
+        flow.add_operator(Operator(name="b", runtime=40.0))
+        flow.add_edge("a", "b")
+        return flow
+
+    def _interleaved(self):
+        flow = self._flow()
+        schedule = Schedule(dataflow=flow, pricing=PAPER_PRICING, assignments=[
+            Assignment("a", 0, 0.0, 30.0),
+            Assignment("b", 0, 30.0, 70.0),
+        ])
+        return InterleavedSchedule(schedule=schedule)
+
+    def test_same_seed_same_result(self):
+        results = []
+        for _ in range(2):
+            sim = ExecutionSimulator(
+                PAPER_PRICING, runtime_error=0.3, rng=np.random.default_rng(99)
+            )
+            results.append(sim.execute(self._interleaved(), 0.0).makespan_seconds)
+        assert results[0] == results[1]
+
+    def test_different_seed_different_result(self):
+        a = ExecutionSimulator(
+            PAPER_PRICING, runtime_error=0.3, rng=np.random.default_rng(1)
+        ).execute(self._interleaved(), 0.0)
+        b = ExecutionSimulator(
+            PAPER_PRICING, runtime_error=0.3, rng=np.random.default_rng(2)
+        ).execute(self._interleaved(), 0.0)
+        assert a.makespan_seconds != b.makespan_seconds
+
+
+class TestScheduleEdgeCases:
+    def test_empty_schedule(self):
+        flow = Dataflow(name="empty")
+        schedule = Schedule(dataflow=flow, pricing=PAPER_PRICING)
+        assert schedule.makespan_seconds() == 0.0
+        assert schedule.money_quanta() == 0
+        assert schedule.idle_slots() == []
+        assert schedule.fragmentation_quanta() == 0.0
+
+    def test_zero_duration_assignment(self):
+        flow = Dataflow(name="z")
+        flow.add_operator(Operator(name="a", runtime=0.0))
+        schedule = Schedule(dataflow=flow, pricing=PAPER_PRICING, assignments=[
+            Assignment("a", 0, 10.0, 10.0),
+        ])
+        schedule.validate()
+        assert schedule.money_quanta() == 1  # still a prepaid quantum
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment("a", 0, 10.0, 5.0)
+
+
+class TestOperatorEdgeCases:
+    def test_operator_without_inputs_index_has_no_effect(self):
+        op = Operator(name="x", runtime=10.0, index_speedup={"t__k": 100.0})
+        assert op.runtime_with_indexes({"t__k"}) == 10.0  # no inputs: no share
+
+    def test_zero_runtime_operator(self):
+        op = Operator(name="x", runtime=0.0)
+        assert op.runtime_with_indexes({"anything"}) == 0.0

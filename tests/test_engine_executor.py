@@ -1,0 +1,146 @@
+"""Tests for the micro-engine query operators (all five paper categories)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.btree import BPlusTree
+from repro.engine.executor import (
+    group_by_btree,
+    group_by_sort,
+    hash_join,
+    index_nested_loops_join,
+    lookup_btree,
+    lookup_hash,
+    lookup_scan,
+    nested_loops_join,
+    order_by_btree,
+    order_by_external_sort,
+    order_by_sort,
+    range_select_btree,
+    range_select_scan,
+    sort_merge_join,
+    sort_merge_join_unindexed,
+)
+from repro.engine.hashindex import HashIndex
+from repro.engine.heap import HeapFile
+
+
+@pytest.fixture
+def heap():
+    keys = [5, 3, 9, 3, 7, 1, 9, 5, 5, 2]
+    return HeapFile({"k": keys, "payload": [f"row{i}" for i in range(len(keys))]})
+
+
+@pytest.fixture
+def btree(heap):
+    return BPlusTree.bulk_load(heap.index_pairs("k"), order=4)
+
+
+@pytest.fixture
+def hashidx(heap):
+    return HashIndex.build(heap.index_pairs("k"))
+
+
+class TestLookup:
+    def test_scan_vs_btree_vs_hash_agree(self, heap, btree, hashidx):
+        for key in (1, 3, 5, 42):
+            scan = sorted(lookup_scan(heap, "k", key))
+            assert sorted(lookup_btree(btree, key)) == scan
+            assert sorted(lookup_hash(hashidx, key)) == scan
+
+    def test_lookup_missing_key(self, heap, btree):
+        assert lookup_scan(heap, "k", 999) == []
+        assert lookup_btree(btree, 999) == []
+
+
+class TestRangeSelect:
+    def test_scan_vs_btree_agree(self, heap, btree):
+        assert sorted(range_select_scan(heap, "k", 2, 7)) == sorted(
+            range_select_btree(btree, 2, 7)
+        )
+
+    def test_bounds_exclusive(self, heap, btree):
+        got_keys = {heap.value("k", r) for r in range_select_btree(btree, 3, 9)}
+        assert got_keys == {5, 7}
+
+
+class TestOrderBy:
+    def test_all_three_paths_agree_on_key_order(self, heap, btree):
+        keys = heap.column("k")
+        by_sort = [keys[i] for i in order_by_sort(heap, "k")]
+        by_ext = [keys[i] for i in order_by_external_sort(heap, "k", run_rows=3)]
+        by_idx = [keys[i] for i in order_by_btree(btree)]
+        assert by_sort == by_ext == by_idx == sorted(keys)
+
+    def test_external_sort_rejects_tiny_runs(self, heap):
+        with pytest.raises(ValueError):
+            order_by_external_sort(heap, "k", run_rows=1)
+
+
+class TestGroupBy:
+    def test_sort_and_btree_grouping_agree(self, heap, btree):
+        a = group_by_sort(heap, "k")
+        b = group_by_btree(btree)
+        assert set(a) == set(b)
+        for key in a:
+            assert sorted(a[key]) == sorted(b[key])
+
+    def test_groups_partition_the_rows(self, heap):
+        groups = group_by_sort(heap, "k")
+        all_rows = sorted(r for rows in groups.values() for r in rows)
+        assert all_rows == list(range(len(heap)))
+
+
+class TestJoins:
+    @pytest.fixture
+    def left(self):
+        return HeapFile({"k": [1, 2, 2, 3, 5]})
+
+    @pytest.fixture
+    def right(self):
+        return HeapFile({"k": [2, 3, 3, 4]})
+
+    def test_all_join_algorithms_agree(self, left, right):
+        expected = sorted(nested_loops_join(left, "k", right, "k"))
+        assert sorted(hash_join(left, "k", right, "k")) == expected
+        assert sorted(sort_merge_join_unindexed(left, "k", right, "k")) == expected
+        right_idx = BPlusTree.bulk_load(right.index_pairs("k"), order=4)
+        assert sorted(index_nested_loops_join(left, "k", right_idx)) == expected
+
+    def test_sort_merge_on_indexed_streams(self, left, right):
+        li = BPlusTree.bulk_load(left.index_pairs("k"), order=4)
+        ri = BPlusTree.bulk_load(right.index_pairs("k"), order=4)
+        got = sorted(sort_merge_join(li.items(), ri.items()))
+        assert got == sorted(nested_loops_join(left, "k", right, "k"))
+
+    def test_empty_join(self):
+        left = HeapFile({"k": [1]})
+        right = HeapFile({"k": [2]})
+        assert hash_join(left, "k", right, "k") == []
+
+
+class TestHeapFile:
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ValueError):
+            HeapFile({"a": [1, 2], "b": [1]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HeapFile({})
+
+    def test_unknown_column(self, heap):
+        with pytest.raises(KeyError):
+            heap.column("nope")
+
+
+@given(
+    left_keys=st.lists(st.integers(min_value=0, max_value=20), max_size=40),
+    right_keys=st.lists(st.integers(min_value=0, max_value=20), max_size=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_joins_equal_nested_loops(left_keys, right_keys):
+    left = HeapFile({"k": left_keys or [0]})
+    right = HeapFile({"k": right_keys or [0]})
+    expected = sorted(nested_loops_join(left, "k", right, "k"))
+    assert sorted(hash_join(left, "k", right, "k")) == expected
+    assert sorted(sort_merge_join_unindexed(left, "k", right, "k")) == expected

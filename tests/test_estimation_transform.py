@@ -1,0 +1,106 @@
+"""Tests for estimation-error perturbation and dataflow scaling."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import DataFile, Operator
+from repro.dataflow.transform import scale_dataflow
+from repro.scheduling.estimation import perturb_dataflow, recost_schedule_on_actuals
+from repro.scheduling.skyline import SkylineScheduler
+
+
+@pytest.fixture
+def flow():
+    f = Dataflow(name="d")
+    f.add_operator(Operator(name="a", runtime=100.0,
+                            inputs=(DataFile("t", 10.0),),
+                            index_speedup={"t__x": 5.0}))
+    f.add_operator(Operator(name="b", runtime=50.0))
+    f.add_edge("a", "b", data_mb=20.0)
+    return f
+
+
+class TestPerturbation:
+    def test_zero_error_is_identity(self, flow):
+        rng = np.random.default_rng(0)
+        out = perturb_dataflow(flow, cpu_error=0.0, data_error=0.0, rng=rng)
+        assert out.operators["a"].runtime == 100.0
+        assert out.operators["a"].inputs[0].size_mb == 10.0
+        assert out.edges[0].data_mb == 20.0
+
+    def test_error_bounds_respected(self, flow):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            out = perturb_dataflow(flow, cpu_error=0.1, data_error=0.2, rng=rng)
+            assert 90.0 <= out.operators["a"].runtime <= 110.0
+            assert 8.0 <= out.operators["a"].inputs[0].size_mb <= 12.0
+            assert 16.0 <= out.edges[0].data_mb <= 24.0
+
+    def test_structure_preserved(self, flow):
+        rng = np.random.default_rng(2)
+        out = perturb_dataflow(flow, cpu_error=0.5, data_error=0.5, rng=rng)
+        assert set(out.operators) == set(flow.operators)
+        assert len(out.edges) == len(flow.edges)
+        out.validate()
+        assert out.operators["a"].index_speedup == {"t__x": 5.0}
+
+    def test_negative_error_rejected(self, flow):
+        with pytest.raises(ValueError):
+            perturb_dataflow(flow, cpu_error=-0.1, data_error=0.0,
+                             rng=np.random.default_rng(0))
+
+    def test_original_untouched(self, flow):
+        rng = np.random.default_rng(3)
+        perturb_dataflow(flow, cpu_error=0.9, data_error=0.9, rng=rng)
+        assert flow.operators["a"].runtime == 100.0
+
+
+class TestRecost:
+    def test_recost_zero_error_reproduces_objectives(self, flow):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=2)
+        schedule = min(scheduler.schedule(flow), key=lambda s: s.makespan_seconds())
+        actual = recost_schedule_on_actuals(schedule, flow, net_bw_mb_s=125.0)
+        assert actual.makespan_seconds() == pytest.approx(schedule.makespan_seconds())
+        assert actual.money_quanta() == schedule.money_quanta()
+
+    def test_recost_respects_dependencies(self, flow):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=2)
+        schedule = min(scheduler.schedule(flow), key=lambda s: s.makespan_seconds())
+        rng = np.random.default_rng(4)
+        perturbed = perturb_dataflow(flow, cpu_error=0.5, data_error=0.5, rng=rng)
+        actual = recost_schedule_on_actuals(schedule, perturbed, net_bw_mb_s=125.0)
+        actual.validate(net_bw_mb_s=125.0)
+
+
+class TestScaling:
+    def test_cpu_scaling(self, flow):
+        out = scale_dataflow(flow, cpu_factor=2.0)
+        assert out.operators["a"].runtime == 200.0
+        assert out.operators["a"].inputs[0].size_mb == 10.0
+
+    def test_data_scaling_covers_edges_and_inputs(self, flow):
+        out = scale_dataflow(flow, data_factor=10.0)
+        assert out.edges[0].data_mb == 200.0
+        assert out.operators["a"].inputs[0].size_mb == 100.0
+
+    def test_input_factor_decoupled(self, flow):
+        out = scale_dataflow(flow, data_factor=10.0, input_factor=0.5)
+        assert out.edges[0].data_mb == 200.0
+        assert out.operators["a"].inputs[0].size_mb == 5.0
+
+    def test_candidate_indexes_preserved(self, flow):
+        flow.candidate_indexes.add("t__x")
+        out = scale_dataflow(flow, cpu_factor=3.0)
+        assert out.candidate_indexes == {"t__x"}
+
+    def test_rejects_nonpositive_factors(self, flow):
+        with pytest.raises(ValueError):
+            scale_dataflow(flow, cpu_factor=0.0)
+        with pytest.raises(ValueError):
+            scale_dataflow(flow, data_factor=-1.0)
+
+    def test_scaled_name(self, flow):
+        out = scale_dataflow(flow, cpu_factor=2.0, name="custom")
+        assert out.name == "custom"

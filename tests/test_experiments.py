@@ -1,0 +1,117 @@
+"""Tests for the multi-seed campaign runner."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import DataflowOutcome, ServiceMetrics
+from repro.core.service import Strategy
+from repro.experiments import (
+    Aggregate,
+    CampaignResult,
+    compare_campaigns,
+    dominance_holds,
+    run_campaign,
+)
+
+
+def tiny_config():
+    return ExperimentConfig(
+        total_time_s=900.0, max_skyline=2, scheduler_containers=8,
+        max_candidates=20, max_queued_gain=5,
+    )
+
+
+def fake_metrics(finished, cost_quanta=10.0):
+    m = ServiceMetrics(strategy="x", horizon_s=1e9)
+    for i in range(finished):
+        m.outcomes.append(
+            DataflowOutcome(
+                name=f"d{i}", app="montage", issued_at=0.0, started_at=0.0,
+                finished_at=60.0, money_quanta=int(cost_quanta),
+                ops_executed=10, builds_completed=0, builds_killed=0,
+            )
+        )
+    return m
+
+
+class TestAggregate:
+    def test_of(self):
+        agg = Aggregate.of([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.low == 1.0 and agg.high == 3.0
+        assert agg.n == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Aggregate.of([])
+
+    def test_str_format(self):
+        assert "±" in str(Aggregate.of([1.0, 2.0]))
+
+
+class TestCampaignResult:
+    def _campaign(self):
+        c = CampaignResult(Strategy.GAIN, "phase", seeds=[1, 2])
+        c.runs = [fake_metrics(10), fake_metrics(20)]
+        return c
+
+    def test_aggregate_finished(self):
+        agg = self._campaign().aggregate("finished")
+        assert agg.mean == pytest.approx(15.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            self._campaign().aggregate("bogus")
+
+
+class TestDominance:
+    def _pair(self, winner_vals, loser_vals):
+        w = CampaignResult(Strategy.GAIN, "phase", seeds=[1, 2])
+        w.runs = [fake_metrics(v) for v in winner_vals]
+        l = CampaignResult(Strategy.NO_INDEX, "phase", seeds=[1, 2])
+        l.runs = [fake_metrics(v) for v in loser_vals]
+        return w, l
+
+    def test_holds_everywhere(self):
+        w, l = self._pair([20, 30], [10, 10])
+        assert dominance_holds(w, l, "finished", higher_is_better=True, min_ratio=1.5)
+
+    def test_fails_on_one_seed(self):
+        w, l = self._pair([20, 9], [10, 10])
+        assert not dominance_holds(w, l, "finished", higher_is_better=True)
+
+    def test_lower_is_better(self):
+        w, l = self._pair([5, 5], [10, 10])
+        assert dominance_holds(w, l, "finished", higher_is_better=False, min_ratio=2.0)
+
+    def test_mismatched_campaigns(self):
+        w, l = self._pair([5], [10, 10])
+        with pytest.raises(ValueError):
+            dominance_holds(w, l, "finished", higher_is_better=True)
+
+    def test_bad_ratio(self):
+        w, l = self._pair([5, 5], [10, 10])
+        with pytest.raises(ValueError):
+            dominance_holds(w, l, "finished", higher_is_better=True, min_ratio=0.0)
+
+
+class TestEndToEnd:
+    def test_campaign_runs_real_experiments(self):
+        result = run_campaign(
+            Strategy.NO_INDEX, seeds=[1, 2], config=tiny_config()
+        )
+        assert len(result.runs) == 2
+        assert result.aggregate("finished").n == 2
+
+    def test_compare_campaigns_same_seeds(self):
+        out = compare_campaigns(
+            [Strategy.NO_INDEX], seeds=[3], config=tiny_config()
+        )
+        assert Strategy.NO_INDEX in out
+        assert out[Strategy.NO_INDEX].seeds == [3]
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            run_campaign(Strategy.NO_INDEX, seeds=[], config=tiny_config())

@@ -1,0 +1,220 @@
+"""Tests for the gain model (Equations 3-5) and the Figure 3 example."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.data.index_model import Index, IndexCostModel, IndexSpec
+from repro.data.table import (
+    Column,
+    ColumnType,
+    TableStatistics,
+    partition_table,
+)
+from repro.tuning.gain import (
+    DataflowGainSample,
+    GainModel,
+    GainParameters,
+    dataflow_index_gains,
+)
+
+
+def small_table(size_mb=100.0, name="t"):
+    schema_cols = (Column("k", ColumnType.INTEGER), Column("pay", ColumnType.TEXT))
+    stats = TableStatistics(avg_field_bytes={"k": 8.0, "pay": 92.0})
+    records = int(size_mb * 2**20 / 100.0)
+    from repro.data.table import TableSchema
+
+    return partition_table(name, TableSchema(name, schema_cols), stats, records)
+
+
+@pytest.fixture
+def model():
+    return GainModel(
+        PAPER_PRICING,
+        IndexCostModel(PAPER_PRICING),
+        GainParameters(alpha=0.5, fade_quanta=2.0, storage_window_quanta=2.0),
+    )
+
+
+@pytest.fixture
+def index():
+    table = small_table()
+    return Index(spec=IndexSpec("t", ("k",)), table=table)
+
+
+class TestParameters:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            GainParameters(alpha=1.5)
+        with pytest.raises(ValueError):
+            GainParameters(alpha=-0.1)
+
+    def test_fade_positive(self):
+        with pytest.raises(ValueError):
+            GainParameters(fade_quanta=0.0)
+
+
+class TestFading:
+    def test_fading_at_zero_is_one(self, model):
+        assert model.fading(0.0) == 1.0
+
+    def test_fading_decreases(self, model):
+        assert model.fading(1.0) > model.fading(2.0) > model.fading(10.0)
+
+    def test_fading_formula(self, model):
+        assert model.fading(2.0) == pytest.approx(math.exp(-1.0))  # D=2
+
+    def test_negative_age_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.fading(-1.0)
+
+
+class TestGainEquations:
+    def test_no_samples_means_negative_gain(self, model, index):
+        gain = model.evaluate(index, [])
+        assert gain.time_gain_quanta < 0  # -ti(idx)
+        assert gain.money_gain_dollars < 0  # -(mi + storage)
+        assert gain.deletable and not gain.beneficial
+
+    def test_large_sample_makes_beneficial(self, model, index):
+        samples = [DataflowGainSample(0.0, 50.0, 50.0)]
+        gain = model.evaluate(index, samples)
+        assert gain.beneficial
+        assert gain.combined_dollars > 0
+
+    def test_old_samples_fade(self, model, index):
+        fresh = model.evaluate(index, [DataflowGainSample(0.0, 50.0, 50.0)])
+        stale = model.evaluate(index, [DataflowGainSample(20.0, 50.0, 50.0)])
+        assert stale.time_gain_quanta < fresh.time_gain_quanta
+        assert stale.money_gain_dollars < fresh.money_gain_dollars
+
+    def test_window_cutoff(self, index):
+        params = GainParameters(window_quanta=5.0, fade_quanta=100.0)
+        model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), params)
+        inside = model.evaluate(index, [DataflowGainSample(4.0, 50.0, 50.0)])
+        outside = model.evaluate(index, [DataflowGainSample(6.0, 50.0, 50.0)])
+        assert inside.time_gain_quanta > outside.time_gain_quanta
+
+    def test_built_index_has_no_build_hurdle(self, model, index):
+        for p in index.table.partitions:
+            index.mark_built(p.partition_id, time=0.0)
+        assert model.build_time_quanta(index) == 0.0
+        gain = model.evaluate(index, [DataflowGainSample(0.0, 0.5, 0.5)])
+        assert gain.time_gain_quanta > 0  # only storage now weighs on gm
+
+    def test_combined_is_weighted_sum(self, model, index):
+        samples = [DataflowGainSample(0.0, 10.0, 10.0)]
+        gain = model.evaluate(index, samples)
+        expected = (
+            0.5 * PAPER_PRICING.quantum_price * gain.time_gain_quanta
+            + 0.5 * gain.money_gain_dollars
+        )
+        assert gain.combined_dollars == pytest.approx(expected)
+
+    def test_alpha_one_ignores_money(self, index):
+        params = GainParameters(alpha=1.0)
+        model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), params)
+        gain = model.evaluate(index, [DataflowGainSample(0.0, 10.0, -100.0)])
+        assert gain.combined_dollars == pytest.approx(
+            PAPER_PRICING.quantum_price * gain.time_gain_quanta
+        )
+
+
+class TestFigure3Shape:
+    """The Figure 3 example: indexes become beneficial, then fade out."""
+
+    def _gain_curve(self, arrivals, gains_t, gains_m, index, alpha=0.5, fade=60.0):
+        params = GainParameters(alpha=alpha, fade_quanta=fade, storage_window_quanta=2.0)
+        model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), params)
+        curve = []
+        for t in range(0, 200):
+            samples = [
+                DataflowGainSample(max(0.0, t - at), gt, gm)
+                for at, gt, gm in zip(arrivals, gains_t, gains_m)
+                if at <= t
+            ]
+            curve.append(model.evaluate(index, samples).combined_dollars)
+        return curve
+
+    def test_gain_rises_then_decays(self):
+        table = small_table(size_mb=500.0, name="b")
+        index = Index(spec=IndexSpec("b", ("k",)), table=table)
+        # Index B of Table 2: used by dataflows at t=10, 30, 50.
+        curve = self._gain_curve([10, 30, 50], [1.0, 2.0, 3.0], [3.0, 5.0, 8.0], index)
+        assert curve[0] < 0  # storage + build cost only
+        peak = max(curve)
+        assert peak > curve[0]
+        assert curve[-1] < peak  # fades after the last use
+        # It decays monotonically after the last dataflow.
+        tail = curve[60:]
+        assert all(a >= b - 1e-12 for a, b in zip(tail, tail[1:]))
+
+
+class TestDataflowIndexGains:
+    def test_gains_proportional_to_speedup(self):
+        from repro.dataflow.graph import Dataflow
+        from repro.dataflow.operator import DataFile, Operator
+
+        flow = Dataflow(name="d")
+        flow.add_operator(
+            Operator(
+                name="scan", runtime=120.0,
+                inputs=(DataFile("t", 100.0),),
+                index_speedup={"t__fast": 100.0, "t__slow": 2.0},
+            )
+        )
+        tg, mg = dataflow_index_gains(flow, PAPER_PRICING)
+        assert tg["t__fast"] > tg["t__slow"] > 0
+        # 120 s at speedup 2 saves 60 s = 1 quantum.
+        assert tg["t__slow"] == pytest.approx(1.0)
+
+    def test_transfer_savings_counted_when_bandwidth_given(self):
+        from repro.dataflow.graph import Dataflow
+        from repro.dataflow.operator import DataFile, Operator
+
+        flow = Dataflow(name="d")
+        flow.add_operator(
+            Operator(
+                name="scan", runtime=60.0,
+                inputs=(DataFile("t", 1250.0),),  # 10 s transfer at 125 MB/s
+                index_speedup={"t__x": 10.0},
+            )
+        )
+        without, _ = dataflow_index_gains(flow, PAPER_PRICING)
+        with_bw, _ = dataflow_index_gains(
+            flow, PAPER_PRICING, net_bw_mb_s=125.0, index_sizes_mb={"t__x": 0.0}
+        )
+        assert with_bw["t__x"] > without["t__x"]
+
+    def test_read_cost_reduces_money_gain(self):
+        from repro.dataflow.graph import Dataflow
+        from repro.dataflow.operator import DataFile, Operator
+
+        flow = Dataflow(name="d")
+        flow.add_operator(
+            Operator(
+                name="scan", runtime=120.0,
+                inputs=(DataFile("t", 1.0),),
+                index_speedup={"t__x": 2.0},
+            )
+        )
+        tg, mg = dataflow_index_gains(flow, PAPER_PRICING, index_read_quanta={"t__x": 0.3})
+        assert mg["t__x"] == pytest.approx(tg["t__x"] - 0.3)
+
+
+@given(
+    age=st.floats(min_value=0.0, max_value=100.0),
+    gain=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_gain_monotone_in_sample_strength(age, gain, ):
+    model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), GainParameters())
+    table = small_table()
+    index = Index(spec=IndexSpec("t", ("k",)), table=table)
+    weak = model.evaluate(index, [DataflowGainSample(age, gain, gain)])
+    strong = model.evaluate(index, [DataflowGainSample(age, gain + 1.0, gain + 1.0)])
+    assert strong.time_gain_quanta >= weak.time_gain_quanta
+    assert strong.money_gain_dollars >= weak.money_gain_dollars

@@ -1,0 +1,117 @@
+"""Tests for heterogeneous VM types and the heterogeneous scheduler."""
+
+import pytest
+
+from repro.cloud.container import ContainerSpec
+from repro.cloud.pricing import PAPER_PRICING
+from repro.cloud.vmtypes import VMType, default_vm_catalog
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.scheduling.hetero import HeterogeneousSkylineScheduler
+from repro.scheduling.skyline import SkylineScheduler
+
+
+def diamond(runtimes=(30.0, 120.0, 120.0, 30.0)):
+    flow = Dataflow(name="diamond")
+    for name, rt in zip("abcd", runtimes):
+        flow.add_operator(Operator(name=name, runtime=rt))
+    flow.add_edge("a", "b")
+    flow.add_edge("a", "c")
+    flow.add_edge("b", "d")
+    flow.add_edge("c", "d")
+    return flow
+
+
+class TestVMType:
+    def test_runtime_scaling(self):
+        large = default_vm_catalog()[2]
+        assert large.cpu_speed == 2.0
+        assert large.runtime_seconds(100.0) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VMType("x", ContainerSpec(), cpu_speed=0.0)
+        with pytest.raises(ValueError):
+            VMType("x", ContainerSpec(), price_per_quantum=-1.0)
+        with pytest.raises(ValueError):
+            default_vm_catalog()[0].runtime_seconds(-1.0)
+
+    def test_catalog_price_ordering(self):
+        catalog = default_vm_catalog()
+        prices = [t.price_per_quantum for t in catalog]
+        speeds = [t.cpu_speed for t in catalog]
+        assert prices == sorted(prices)
+        assert speeds == sorted(speeds)
+
+
+class TestHeterogeneousScheduler:
+    def test_single_type_reduces_to_homogeneous(self):
+        flow_a, flow_b = diamond(), diamond()
+        single = [VMType("standard", ContainerSpec(), 1.0, 0.1)]
+        hetero = HeterogeneousSkylineScheduler(
+            PAPER_PRICING, vm_types=single, max_skyline=8, max_containers=4
+        ).schedule(flow_a)
+        homo = SkylineScheduler(
+            PAPER_PRICING, max_skyline=8, max_containers=4
+        ).schedule(flow_b)
+        assert min(h.makespan_seconds() for h in hetero) == pytest.approx(
+            min(s.makespan_seconds() for s in homo)
+        )
+
+    def test_large_vms_unlock_faster_points(self):
+        hetero = HeterogeneousSkylineScheduler(
+            PAPER_PRICING, max_skyline=8, max_containers=4
+        ).schedule(diamond())
+        homo = SkylineScheduler(
+            PAPER_PRICING, max_skyline=8, max_containers=4
+        ).schedule(diamond())
+        assert min(h.makespan_seconds() for h in hetero) < min(
+            s.makespan_seconds() for s in homo
+        )
+
+    def test_small_vms_unlock_cheaper_points(self):
+        # 330 s of serial work: 6 standard quanta ($0.60) but only 11
+        # small-VM quanta ($0.55) — the half-price flavour wastes less of
+        # its final quantum.
+        flow = diamond(runtimes=(30.0, 120.0, 150.0, 30.0))
+        hetero = HeterogeneousSkylineScheduler(
+            PAPER_PRICING, max_skyline=8, max_containers=4
+        ).schedule(flow)
+        homo = SkylineScheduler(
+            PAPER_PRICING, max_skyline=8, max_containers=4
+        ).schedule(diamond(runtimes=(30.0, 120.0, 150.0, 30.0)))
+        assert min(h.money_dollars() for h in hetero) < min(
+            s.money_dollars() for s in homo
+        )
+
+    def test_skyline_is_pareto_on_time_dollars(self):
+        skyline = HeterogeneousSkylineScheduler(
+            PAPER_PRICING, max_skyline=8, max_containers=4
+        ).schedule(diamond())
+        points = [(s.makespan_seconds(), s.money_dollars()) for s in skyline]
+        for i, (t1, m1) in enumerate(points):
+            for j, (t2, m2) in enumerate(points):
+                if i != j:
+                    assert not (t2 <= t1 + 1e-9 and m2 < m1 - 1e-9)
+
+    def test_types_used_accounting(self):
+        skyline = HeterogeneousSkylineScheduler(
+            PAPER_PRICING, max_skyline=4, max_containers=4
+        ).schedule(diamond())
+        for schedule in skyline:
+            counts = schedule.types_used()
+            assert sum(counts.values()) == len(schedule.container_types)
+            assert schedule.money_dollars() > 0
+
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(ValueError):
+            HeterogeneousSkylineScheduler(PAPER_PRICING, vm_types=[])
+
+    def test_optional_ops_skipped(self):
+        flow = diamond()
+        flow.add_operator(Operator(name="bx", runtime=5.0, priority=-1, optional=True))
+        skyline = HeterogeneousSkylineScheduler(
+            PAPER_PRICING, max_skyline=4, max_containers=4
+        ).schedule(flow)
+        for schedule in skyline:
+            assert all(a.op_name != "bx" for a in schedule.assignments)

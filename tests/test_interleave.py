@@ -1,0 +1,194 @@
+"""Tests for the LP and online interleaving algorithms (Section 5.3)."""
+
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import DataFile, Operator
+from repro.interleave.lp import (
+    lp_interleave,
+    pack_builds_into_schedule,
+    select_fastest,
+    update_runtimes_for_indexes,
+)
+from repro.interleave.online import online_interleave
+from repro.interleave.slots import BuildCandidate, parse_build_op_name, slots_by_size
+from repro.scheduling.skyline import SkylineScheduler
+
+
+def fragmented_flow():
+    """Two parallel branches of unequal length create idle slots."""
+    flow = Dataflow(name="frag")
+    flow.add_operator(Operator(name="a", runtime=20.0))
+    flow.add_operator(Operator(name="long", runtime=100.0))
+    flow.add_operator(Operator(name="short", runtime=20.0))
+    flow.add_operator(Operator(name="join", runtime=20.0))
+    flow.add_edge("a", "long")
+    flow.add_edge("a", "short")
+    flow.add_edge("long", "join")
+    flow.add_edge("short", "join")
+    return flow
+
+
+def candidates(n=6, duration=15.0):
+    return [
+        BuildCandidate(index_name=f"t{i}__c", partition_id=0, duration_s=duration,
+                       gain=float(n - i))
+        for i in range(n)
+    ]
+
+
+class TestBuildCandidate:
+    def test_op_name_round_trip(self):
+        cand = BuildCandidate("tbl__col", 7, 10.0, 1.0)
+        assert parse_build_op_name(cand.op_name) == ("tbl__col", 7)
+
+    def test_parse_rejects_other_names(self):
+        assert parse_build_op_name("mProject_001") is None
+        assert parse_build_op_name("build::broken") is None
+
+    def test_operator_is_optional_negative_priority(self):
+        op = BuildCandidate("t__c", 0, 10.0, 1.0).to_operator()
+        assert op.optional and op.priority == -1
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            BuildCandidate("t__c", 0, 0.0, 1.0)
+
+
+class TestLPInterleave:
+    def test_builds_fit_in_idle_slots(self):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=4)
+        results = lp_interleave(fragmented_flow(), candidates(), scheduler)
+        assert results
+        for inter in results:
+            combined = inter.combined()
+            combined.validate(require_all_assigned=False)
+            # Interleaving must not change time or money.
+            assert combined.makespan_seconds() == pytest.approx(
+                inter.schedule.makespan_seconds()
+            )
+            assert combined.money_quanta() == inter.schedule.money_quanta()
+
+    def test_interleaving_reduces_fragmentation(self):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=4)
+        results = lp_interleave(fragmented_flow(), candidates(), scheduler)
+        placed = [r for r in results if r.num_builds > 0]
+        assert placed, "no schedule had room for any build"
+        for inter in placed:
+            assert inter.combined().fragmentation_quanta() < (
+                inter.schedule.fragmentation_quanta()
+            )
+
+    def test_no_candidates_is_fine(self):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=2)
+        results = lp_interleave(fragmented_flow(), [], scheduler)
+        assert all(r.num_builds == 0 for r in results)
+
+    def test_oversized_build_not_placed(self):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=2)
+        huge = [BuildCandidate("t__c", 0, 10_000.0, 5.0)]
+        results = lp_interleave(fragmented_flow(), huge, scheduler)
+        assert all(r.num_builds == 0 for r in results)
+
+    def test_select_fastest(self):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=4)
+        results = lp_interleave(fragmented_flow(), candidates(), scheduler)
+        best = select_fastest(results)
+        assert best.schedule.makespan_seconds() == min(
+            r.schedule.makespan_seconds() for r in results
+        )
+        with pytest.raises(ValueError):
+            select_fastest([])
+
+    def test_pack_orders_by_gain_within_slot(self):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=1)
+        schedule = scheduler.schedule(fragmented_flow())[0]
+        inter = pack_builds_into_schedule(schedule, candidates())
+        by_container = {}
+        gains = {c.op_name: c.gain for c in candidates()}
+        for a in sorted(inter.build_assignments, key=lambda a: a.start):
+            by_container.setdefault(a.container_id, []).append(gains[a.op_name])
+        for seq in by_container.values():
+            # Within one contiguous run the most useful build goes first.
+            assert seq == sorted(seq, reverse=True) or len(seq) == 1
+
+
+class TestOnlineInterleave:
+    def test_constraints_never_violated(self):
+        base = SkylineScheduler(PAPER_PRICING, max_skyline=4).schedule(fragmented_flow())
+        best_time = min(s.makespan_seconds() for s in base)
+        best_money = min(s.money_quanta() for s in base)
+        flow = fragmented_flow()
+        results = online_interleave(
+            flow, candidates(), SkylineScheduler(PAPER_PRICING, max_skyline=4)
+        )
+        assert min(r.schedule.makespan_seconds() for r in results) <= best_time + 1e-6
+        assert min(r.schedule.money_quanta() for r in results) <= best_money
+
+    def test_lp_schedules_at_least_as_many_builds(self):
+        """Figure 8: LP packs more builds than the online algorithm."""
+        scheduler_lp = SkylineScheduler(PAPER_PRICING, max_skyline=4)
+        scheduler_on = SkylineScheduler(PAPER_PRICING, max_skyline=4)
+        cands = candidates(n=10, duration=12.0)
+        lp_results = lp_interleave(fragmented_flow(), cands, scheduler_lp)
+        on_results = online_interleave(fragmented_flow(), cands, scheduler_on)
+        assert max(r.num_builds for r in lp_results) >= max(
+            r.num_builds for r in on_results
+        )
+
+    def test_build_assignments_are_build_ops(self):
+        flow = fragmented_flow()
+        results = online_interleave(
+            flow, candidates(), SkylineScheduler(PAPER_PRICING, max_skyline=2)
+        )
+        for r in results:
+            for a in r.build_assignments:
+                assert parse_build_op_name(a.op_name) is not None
+
+
+class TestRuntimeUpdate:
+    def test_update_shrinks_runtime_and_inputs(self):
+        flow = Dataflow(name="d")
+        op = Operator(
+            name="scan", runtime=100.0,
+            inputs=(DataFile("t", 1000.0),),
+            index_speedup={"t__x": 10.0},
+        )
+        flow.add_operator(op)
+        update_runtimes_for_indexes(
+            flow, {"t__x"}, fractions={"t__x": 1.0}, index_sizes_mb={"t__x": 50.0}
+        )
+        assert op.runtime == pytest.approx(10.0)
+        assert op.inputs[0].size_mb == pytest.approx(1000.0 / 10.0 + 50.0)
+
+    def test_update_never_grows_inputs(self):
+        flow = Dataflow(name="d")
+        op = Operator(
+            name="scan", runtime=100.0,
+            inputs=(DataFile("t", 10.0),),
+            index_speedup={"t__x": 2.0},
+        )
+        flow.add_operator(op)
+        update_runtimes_for_indexes(
+            flow, {"t__x"}, index_sizes_mb={"t__x": 500.0}  # index bigger than data
+        )
+        assert op.inputs[0].size_mb <= 10.0
+
+    def test_unavailable_index_leaves_op_alone(self):
+        flow = Dataflow(name="d")
+        op = Operator(
+            name="scan", runtime=100.0,
+            inputs=(DataFile("t", 10.0),),
+            index_speedup={"t__x": 10.0},
+        )
+        flow.add_operator(op)
+        update_runtimes_for_indexes(flow, {"other__y"})
+        assert op.runtime == 100.0
+
+    def test_slots_by_size_descending(self):
+        scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=1)
+        schedule = scheduler.schedule(fragmented_flow())[0]
+        slots = slots_by_size(schedule)
+        durations = [s.duration for s in slots]
+        assert durations == sorted(durations, reverse=True)

@@ -1,0 +1,156 @@
+"""Tests for the knapsack solver and the packing heuristics (Alg. 3, Fig. 11)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interleave.greedy import graham_pack, lp_pack, merged_upper_bound
+from repro.interleave.knapsack import (
+    KnapsackItem,
+    fractional_bound,
+    solve_knapsack,
+    solve_knapsack_greedy,
+)
+
+
+def brute_force(items, capacity):
+    best = 0.0
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            size = sum(i.size for i in combo)
+            if size <= capacity + 1e-12:
+                best = max(best, sum(i.gain for i in combo))
+    return best
+
+
+class TestKnapsack:
+    def test_empty(self):
+        sol = solve_knapsack([], 10.0)
+        assert sol.selected == () and sol.total_gain == 0.0
+
+    def test_single_item_fits(self):
+        sol = solve_knapsack([KnapsackItem(0, 5.0, 3.0)], 10.0)
+        assert sol.selected == (0,)
+        assert sol.total_gain == 3.0
+
+    def test_single_item_too_big(self):
+        sol = solve_knapsack([KnapsackItem(0, 15.0, 3.0)], 10.0)
+        assert sol.selected == ()
+
+    def test_classic_counterexample_to_greedy(self):
+        # Greedy by density takes item 0 (density 3) and misses the pair.
+        items = [
+            KnapsackItem(0, 1.0, 3.0),
+            KnapsackItem(1, 5.0, 7.0),
+            KnapsackItem(2, 5.0, 7.0),
+        ]
+        greedy = solve_knapsack_greedy(items, 10.0)
+        exact = solve_knapsack(items, 10.0)
+        assert exact.total_gain == 14.0
+        assert exact.total_gain >= greedy.total_gain
+
+    def test_capacity_zero(self):
+        sol = solve_knapsack([KnapsackItem(0, 1.0, 1.0)], 0.0)
+        assert sol.selected == ()
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            solve_knapsack([], -1.0)
+
+    def test_lp_bound_at_least_integer_optimum(self):
+        items = [KnapsackItem(i, s, g) for i, (s, g) in enumerate([(3, 4), (4, 5), (2, 3)])]
+        sol = solve_knapsack(items, 6.0)
+        assert sol.lp_bound >= sol.total_gain - 1e-9
+
+    def test_fractional_bound_exact_when_all_fit(self):
+        items = [KnapsackItem(0, 1.0, 1.0), KnapsackItem(1, 2.0, 2.0)]
+        assert fractional_bound(items, 10.0) == pytest.approx(3.0)
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=10.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        max_size=10,
+    ),
+    capacity=st.floats(min_value=0.0, max_value=30.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_branch_and_bound_is_optimal(data, capacity):
+    items = [KnapsackItem(i, s, g) for i, (s, g) in enumerate(data)]
+    sol = solve_knapsack(items, capacity)
+    assert sol.total_gain == pytest.approx(brute_force(items, capacity))
+    assert sol.total_size <= capacity + 1e-9
+    assert sol.total_gain >= solve_knapsack_greedy(items, capacity).total_gain - 1e-9
+    assert sol.lp_bound >= sol.total_gain - 1e-9
+
+
+class TestPackingHeuristics:
+    def _items(self):
+        sizes = [0.15, 0.12, 0.1, 0.1, 0.08, 0.08, 0.07, 0.06, 0.05, 0.05]
+        return [KnapsackItem(i, s, s) for i, s in enumerate(sizes)]
+
+    def _segments(self):
+        return [0.5, 0.35, 0.3, 0.2, 0.15, 0.1, 0.08, 0.05]
+
+    def test_hierarchy_graham_lp_upper_bound(self):
+        """Figure 11's ordering: Graham <= LP <= merged upper bound."""
+        items, segments = self._items(), self._segments()
+        g = graham_pack(items, segments)
+        lp = lp_pack(items, segments)
+        ub = merged_upper_bound(items, segments)
+        assert g.total_gain <= lp.total_gain + 1e-9
+        assert lp.total_gain <= ub + 1e-9
+
+    def test_lp_close_to_upper_bound(self):
+        """The paper reports LP within ~5% of the theoretical bound."""
+        items, segments = self._items(), self._segments()
+        lp = lp_pack(items, segments)
+        ub = merged_upper_bound(items, segments)
+        assert lp.total_gain >= 0.85 * ub
+
+    def test_graham_respects_segment_capacity(self):
+        items, segments = self._items(), self._segments()
+        result = graham_pack(items, segments)
+        by_id = {i.item_id: i for i in items}
+        for seg, ids in result.placements.items():
+            assert sum(by_id[i].size for i in ids) <= segments[seg] + 1e-9
+
+    def test_lp_respects_segment_capacity(self):
+        items, segments = self._items(), self._segments()
+        result = lp_pack(items, segments)
+        by_id = {i.item_id: i for i in items}
+        for seg, ids in result.placements.items():
+            assert sum(by_id[i].size for i in ids) <= segments[seg] + 1e-9
+
+    def test_no_item_placed_twice(self):
+        items, segments = self._items(), self._segments()
+        for result in (graham_pack(items, segments), lp_pack(items, segments)):
+            placed = [i for ids in result.placements.values() for i in ids]
+            assert len(placed) == len(set(placed))
+
+    def test_oversized_item_dropped(self):
+        items = [KnapsackItem(0, 100.0, 100.0)]
+        result = graham_pack(items, [1.0])
+        assert result.num_scheduled == 0
+
+    def test_negative_segment_rejected(self):
+        with pytest.raises(ValueError):
+            graham_pack([], [-1.0])
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=12),
+    segments=st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_packing_hierarchy(sizes, segments):
+    items = [KnapsackItem(i, s, s) for i, s in enumerate(sizes)]
+    g = graham_pack(items, segments)
+    lp = lp_pack(items, segments)
+    ub = merged_upper_bound(items, segments)
+    assert g.total_gain <= ub + 1e-6
+    assert lp.total_gain <= ub + 1e-6

@@ -1,0 +1,130 @@
+"""Tests for the cost-based access-path optimizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.btree import BPlusTree
+from repro.engine.hashindex import HashIndex
+from repro.engine.heap import HeapFile
+from repro.engine.optimizer import (
+    AccessPathOptimizer,
+    PathChoice,
+    PathKind,
+    Predicate,
+)
+
+
+@pytest.fixture
+def heap():
+    keys = list(range(1000))
+    return HeapFile({"k": keys, "cat": [k % 10 for k in keys]})
+
+
+@pytest.fixture
+def optimizer(heap):
+    return AccessPathOptimizer(
+        heap,
+        btrees={"k": BPlusTree.bulk_load(heap.index_pairs("k"), order=16)},
+        hashes={"cat": HashIndex.build(heap.index_pairs("cat"))},
+    )
+
+
+class TestPredicate:
+    def test_exactly_one_shape(self):
+        with pytest.raises(ValueError):
+            Predicate(column="k")  # nothing
+        with pytest.raises(ValueError):
+            Predicate(column="k", equals=1, low=0)  # two shapes
+        Predicate(column="k", equals=1)
+        Predicate(column="k", low=0, high=10)
+        Predicate(column="k", order_by=True)
+
+
+class TestSelectivity:
+    def test_equality_selectivity_uniform(self, optimizer):
+        assert optimizer.equality_selectivity("k") == pytest.approx(1 / 1000)
+        assert optimizer.equality_selectivity("cat") == pytest.approx(1 / 10)
+
+    def test_range_selectivity_interpolates(self, optimizer):
+        sel = optimizer.range_selectivity("k", 0, 499)
+        assert sel == pytest.approx(0.5, abs=0.01)
+        assert optimizer.range_selectivity("k", -100, 2000) == 1.0
+
+
+class TestChoices:
+    def test_point_lookup_uses_btree(self, optimizer):
+        choice = optimizer.estimate(Predicate(column="k", equals=500))
+        assert choice.kind is PathKind.BTREE
+        assert choice.estimated_cost < choice.scan_cost
+
+    def test_equality_on_hash_column_uses_hash(self, optimizer):
+        choice = optimizer.estimate(Predicate(column="cat", equals=3))
+        assert choice.kind is PathKind.HASH
+
+    def test_unindexed_column_scans(self, heap):
+        opt = AccessPathOptimizer(heap)
+        choice = opt.estimate(Predicate(column="k", equals=1))
+        assert choice.kind is PathKind.FULL_SCAN
+        assert choice.speedup_estimate == 1.0
+
+    def test_narrow_range_uses_btree(self, optimizer):
+        choice = optimizer.estimate(Predicate(column="k", low=10, high=20))
+        assert choice.kind is PathKind.BTREE
+
+    def test_huge_range_falls_back_to_scan(self, optimizer):
+        choice = optimizer.estimate(Predicate(column="k", low=-1, high=1001))
+        assert choice.kind is PathKind.FULL_SCAN
+
+    def test_hash_never_serves_ranges(self, heap):
+        opt = AccessPathOptimizer(
+            heap, hashes={"k": HashIndex.build(heap.index_pairs("k"))}
+        )
+        choice = opt.estimate(Predicate(column="k", low=1, high=3))
+        assert choice.kind is PathKind.FULL_SCAN
+
+    def test_order_by_prefers_btree(self, optimizer):
+        choice = optimizer.estimate(Predicate(column="k", order_by=True))
+        assert choice.kind is PathKind.BTREE
+        # n vs n log n
+        assert choice.estimated_cost < choice.scan_cost
+
+
+class TestExecution:
+    def test_all_paths_return_same_rows_for_equality(self, heap, optimizer):
+        choice, rows = optimizer.execute(Predicate(column="k", equals=42))
+        assert rows == [42]
+        plain = AccessPathOptimizer(heap)
+        choice2, rows2 = plain.execute(Predicate(column="k", equals=42))
+        assert choice2.kind is PathKind.FULL_SCAN
+        assert rows2 == rows
+
+    def test_range_execution_matches_scan(self, heap, optimizer):
+        _, rows = optimizer.execute(Predicate(column="k", low=100, high=110))
+        plain = AccessPathOptimizer(heap)
+        _, expected = plain.execute(Predicate(column="k", low=100, high=110))
+        assert sorted(rows) == sorted(expected)
+
+    def test_order_by_execution(self, heap, optimizer):
+        _, rows = optimizer.execute(Predicate(column="k", order_by=True))
+        keys = heap.column("k")
+        assert [keys[i] for i in rows] == sorted(keys)
+
+    def test_open_range_bounds(self, optimizer):
+        _, rows = optimizer.execute(Predicate(column="k", low=995))
+        assert sorted(rows) == [996, 997, 998, 999]
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=200), min_size=2, max_size=300),
+    low=st.integers(min_value=-10, max_value=210),
+    high=st.integers(min_value=-10, max_value=210),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_optimizer_result_equals_scan(keys, low, high):
+    heap = HeapFile({"k": keys})
+    opt = AccessPathOptimizer(
+        heap, btrees={"k": BPlusTree.bulk_load(heap.index_pairs("k"), order=8)}
+    )
+    _, rows = opt.execute(Predicate(column="k", low=low, high=high))
+    expected = [i for i, k in enumerate(keys) if low < k < high]
+    assert sorted(rows) == sorted(expected)

@@ -1,0 +1,75 @@
+"""Packaging hygiene: public API surface and runnable examples."""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.cloud",
+    "repro.data",
+    "repro.engine",
+    "repro.dataflow",
+    "repro.scheduling",
+    "repro.interleave",
+    "repro.tuning",
+    "repro.core",
+]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    """Every name in ``__all__`` is actually importable."""
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), package
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+def test_every_public_module_has_docstring():
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+
+
+def test_public_functions_have_docstrings():
+    """Public defs/classes in the library carry doc comments."""
+    missing = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    missing.append(f"{path.name}:{node.name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+@pytest.mark.parametrize(
+    "example",
+    sorted(p.name for p in (REPO_ROOT / "examples").glob("*.py")),
+)
+def test_examples_compile(example):
+    """Every example parses and compiles (running them is the docs' job)."""
+    source = (REPO_ROOT / "examples" / example).read_text()
+    compile(source, example, "exec")
+    tree = ast.parse(source)
+    assert ast.get_docstring(tree), f"{example} lacks a docstring"
+    assert '__main__' in source, f"{example} is not runnable as a script"
+
+
+def test_version_declared():
+    import repro
+
+    assert repro.__version__

@@ -1,0 +1,118 @@
+"""Tests for partitioned heaps and incrementally built indexes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.heap import HeapFile
+from repro.engine.partitioned import GlobalRowId, PartitionedHeap, PartitionedIndex
+
+
+def make_heap(partition_keys: dict[int, list[int]]) -> PartitionedHeap:
+    return PartitionedHeap(
+        {pid: HeapFile({"k": keys}) for pid, keys in partition_keys.items()}
+    )
+
+
+@pytest.fixture
+def heap():
+    return make_heap({0: [5, 1, 9, 1], 1: [2, 8, 5], 2: [7, 3]})
+
+
+@pytest.fixture
+def index(heap):
+    return PartitionedIndex(heap=heap, column="k", order=4)
+
+
+class TestPartitionedHeap:
+    def test_schema_must_match(self):
+        with pytest.raises(ValueError):
+            PartitionedHeap({0: HeapFile({"a": [1]}), 1: HeapFile({"b": [1]})})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionedHeap({})
+
+    def test_num_rows_and_scan(self, heap):
+        assert heap.num_rows() == 9
+        assert len(list(heap.scan())) == 9
+
+    def test_value_access(self, heap):
+        assert heap.value("k", GlobalRowId(1, 1)) == 8
+        with pytest.raises(KeyError):
+            heap.partition(9)
+
+
+class TestIncrementalBuild:
+    def test_starts_unbuilt(self, index):
+        assert index.built_partitions == []
+        assert index.unbuilt_partitions == [0, 1, 2]
+        assert index.built_fraction() == 0.0
+        assert not index.fully_built
+
+    def test_build_one_partition(self, index):
+        index.build_partition(0)
+        assert index.built_partitions == [0]
+        assert index.built_fraction() == pytest.approx(4 / 9)
+
+    def test_build_all(self, index):
+        for pid in list(index.unbuilt_partitions):
+            index.build_partition(pid)
+        assert index.fully_built
+        assert index.built_fraction() == 1.0
+
+    def test_drop_partition(self, index):
+        index.build_partition(1)
+        index.drop_partition(1)
+        assert index.built_partitions == []
+        index.drop_partition(1)  # idempotent
+
+
+class TestHybridAccess:
+    @pytest.mark.parametrize("built", [[], [0], [0, 2], [0, 1, 2]])
+    def test_lookup_correct_at_any_coverage(self, heap, built):
+        index = PartitionedIndex(heap=heap, column="k", order=4)
+        for pid in built:
+            index.build_partition(pid)
+        for key in (1, 5, 8, 42):
+            assert index.verify_against_scan(key), (built, key)
+
+    @pytest.mark.parametrize("built", [[], [1], [0, 1, 2]])
+    def test_range_correct_at_any_coverage(self, heap, built):
+        index = PartitionedIndex(heap=heap, column="k", order=4)
+        for pid in built:
+            index.build_partition(pid)
+        got = {(r.partition_id, r.row_id) for r in index.range(2, 8)}
+        expected = {
+            (r.partition_id, r.row_id)
+            for r in heap.scan()
+            if 2 < heap.value("k", r) < 8
+        }
+        assert got == expected
+
+    @pytest.mark.parametrize("built", [[], [2], [0, 1, 2]])
+    def test_rows_in_order_at_any_coverage(self, heap, built):
+        index = PartitionedIndex(heap=heap, column="k", order=4)
+        for pid in built:
+            index.build_partition(pid)
+        rows = index.rows_in_order()
+        keys = [heap.value("k", r) for r in rows]
+        assert keys == sorted(keys)
+        assert len(rows) == heap.num_rows()
+
+
+@given(
+    part0=st.lists(st.integers(min_value=0, max_value=50), max_size=40),
+    part1=st.lists(st.integers(min_value=0, max_value=50), max_size=40),
+    build_first=st.booleans(),
+    key=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_partial_index_is_transparent(part0, part1, build_first, key):
+    """Partial coverage never changes query answers, only their cost."""
+    heap = make_heap({0: part0 or [0], 1: part1 or [0]})
+    index = PartitionedIndex(heap=heap, column="k", order=4)
+    if build_first:
+        index.build_partition(0)
+    assert index.verify_against_scan(key)
+    keys = [heap.value("k", r) for r in index.rows_in_order()]
+    assert keys == sorted(keys)

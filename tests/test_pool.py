@@ -1,0 +1,180 @@
+"""Tests for the container pool and cache-aware pooled execution."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.config import ExperimentConfig
+from repro.core.pool import ContainerPool
+from repro.core.service import QaaSService, Strategy
+from repro.core.simulator import ExecutionSimulator
+from repro.dataflow.client import ArrivalEvent, build_workload
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import DataFile, Operator
+from repro.interleave.lp import InterleavedSchedule
+from repro.scheduling.schedule import Assignment, Schedule
+
+
+@pytest.fixture
+def pool():
+    return ContainerPool(PAPER_PRICING, max_containers=8)
+
+
+class TestPoolLifecycle:
+    def test_fresh_acquisition_is_free_until_occupied(self, pool):
+        containers = pool.acquire(2, time=10.0)
+        assert len(containers) == 2
+        assert pool.stats.quanta_paid == 0  # nothing charged yet
+        assert pool.stats.containers_created == 2
+        pool.occupy(containers[0], start=10.0, until=20.0)
+        # The lease clock starts at the first occupation (per-container
+        # quantum boundaries, like a VM billed from its launch).
+        assert containers[0].lease_start == 10.0
+        assert containers[0].lease_end == 70.0
+        assert pool.stats.quanta_paid == 1
+
+    def test_idle_container_reused_within_quantum(self, pool):
+        [c] = pool.acquire(1, time=0.0)
+        pool.occupy(c, start=0.0, until=20.0)
+        [again] = pool.acquire(1, time=30.0)
+        assert again.container_id == c.container_id
+        assert pool.stats.containers_reused == 1
+        assert pool.stats.quanta_paid == 1  # no new lease
+
+    def test_idle_container_expires_at_quantum_end(self, pool):
+        [c] = pool.acquire(1, time=0.0)
+        pool.occupy(c, start=0.0, until=20.0)
+        pool.expire_idle(time=61.0)
+        assert len(pool) == 0
+        assert pool.stats.containers_expired == 1
+        [fresh] = pool.acquire(1, time=61.0)
+        assert fresh.container_id != c.container_id
+
+    def test_busy_container_not_reused(self, pool):
+        [c] = pool.acquire(1, time=0.0)
+        pool.occupy(c, start=0.0, until=50.0)
+        [other] = pool.acquire(1, time=10.0)
+        assert other.container_id != c.container_id
+
+    def test_occupy_extends_lease_and_charges(self, pool):
+        [c] = pool.acquire(1, time=0.0)
+        added = pool.occupy(c, start=0.0, until=150.0)
+        assert added == 3  # quanta 0, 1, 2
+        assert c.lease_end == 180.0
+        assert pool.stats.quanta_paid == 3
+
+    def test_occupy_within_lease_is_free(self, pool):
+        [c] = pool.acquire(1, time=0.0)
+        assert pool.occupy(c, start=0.0, until=59.0) == 1  # first quantum
+        assert pool.occupy(c, start=59.0, until=59.5) == 0
+
+    def test_cache_survives_reuse(self, pool):
+        [c] = pool.acquire(1, time=0.0)
+        c.cache.put("file", 10.0)
+        pool.occupy(c, start=0.0, until=20.0)
+        [again] = pool.acquire(1, time=30.0)
+        assert "file" in again.cache
+
+    def test_pool_exhaustion(self):
+        small = ContainerPool(PAPER_PRICING, max_containers=1)
+        [c] = small.acquire(1, time=0.0)
+        small.occupy(c, start=0.0, until=50.0)
+        with pytest.raises(RuntimeError):
+            small.acquire(1, time=10.0)
+
+    def test_validation(self, pool):
+        with pytest.raises(ValueError):
+            pool.acquire(0, time=0.0)
+        with pytest.raises(ValueError):
+            ContainerPool(PAPER_PRICING, max_containers=0)
+        [c] = pool.acquire(1, time=0.0)
+        pool.occupy(c, start=0.0, until=40.0)
+        with pytest.raises(ValueError):
+            pool.occupy(c, start=0.0, until=10.0)
+        with pytest.raises(ValueError):
+            pool.occupy(c, start=50.0, until=45.0)
+
+
+def one_op_flow(name="d", size_mb=1250.0):
+    flow = Dataflow(name=name)
+    flow.add_operator(
+        Operator(name="scan", runtime=20.0, inputs=(DataFile("bigfile", size_mb),))
+    )
+    return flow
+
+
+def interleaved_for(flow):
+    # 1250 MB transfer = 10 s at 125 MB/s; runtime 20 s.
+    schedule = Schedule(
+        dataflow=flow, pricing=PAPER_PRICING,
+        assignments=[Assignment("scan", 0, 0.0, 30.0)],
+    )
+    return InterleavedSchedule(schedule=schedule)
+
+
+class TestPooledExecution:
+    def _simulator(self):
+        return ExecutionSimulator(PAPER_PRICING, runtime_error=0.0,
+                                  rng=np.random.default_rng(0))
+
+    def test_cold_cache_pays_transfer(self, pool):
+        sim = self._simulator()
+        result = sim.execute_pooled(interleaved_for(one_op_flow("a")), 0.0, pool)
+        assert result.makespan_seconds == pytest.approx(30.0)  # 20 + 10
+
+    def test_warm_cache_skips_transfer(self, pool):
+        sim = self._simulator()
+        sim.execute_pooled(interleaved_for(one_op_flow("a")), 0.0, pool)
+        # Second dataflow reads the same file 35 s later on the reused
+        # container: the cache is warm, so only the 20 s of compute.
+        result = sim.execute_pooled(interleaved_for(one_op_flow("b")), 35.0, pool)
+        assert result.makespan_seconds == pytest.approx(20.0)
+
+    def test_reuse_makes_second_run_cheaper(self, pool):
+        sim = self._simulator()
+        first = sim.execute_pooled(interleaved_for(one_op_flow("a")), 0.0, pool)
+        second = sim.execute_pooled(interleaved_for(one_op_flow("b")), 35.0, pool)
+        assert first.money_quanta == 1
+        assert second.money_quanta == 0  # fits the already-paid quantum
+
+    def test_expired_container_means_cold_cache(self, pool):
+        sim = self._simulator()
+        sim.execute_pooled(interleaved_for(one_op_flow("a")), 0.0, pool)
+        # Two quanta later the idle container is gone.
+        result = sim.execute_pooled(interleaved_for(one_op_flow("b")), 130.0, pool)
+        assert result.makespan_seconds == pytest.approx(30.0)
+
+
+class TestServicePooling:
+    def _run(self, enable):
+        """A backlog of same-app dataflows: once the concurrency slots
+        fill, each new execution starts exactly when an earlier one
+        finishes and can take over its still-leased containers."""
+        cfg = ExperimentConfig(
+            total_time_s=7200.0, max_skyline=2, scheduler_containers=8,
+            max_candidates=30, max_queued_gain=5, enable_pooling=enable, seed=3,
+        )
+        workload = build_workload(cfg.pricing, seed=cfg.seed)
+        service = QaaSService(workload, cfg, Strategy.NO_INDEX)
+        events = [ArrivalEvent(time=1.0 + i, app="montage") for i in range(16)]
+        return service.run(events), service
+
+    def test_pooling_reuses_containers_under_backlog(self):
+        plain, _ = self._run(enable=False)
+        pooled, service = self._run(enable=True)
+        assert pooled.num_finished == plain.num_finished
+        assert service.pool is not None
+        assert service.pool.stats.containers_reused > 0
+        assert service.pool.stats.quanta_saved_by_reuse > 0
+
+    def test_pooling_never_costs_more(self):
+        plain, _ = self._run(enable=False)
+        pooled, _ = self._run(enable=True)
+        assert pooled.compute_quanta() <= plain.compute_quanta()
+
+    def test_pooling_never_slows_dataflows(self):
+        plain, _ = self._run(enable=False)
+        pooled, _ = self._run(enable=True)
+        assert np.mean([o.makespan_quanta for o in pooled.outcomes]) <= (
+            np.mean([o.makespan_quanta for o in plain.outcomes]) + 1e-9
+        )

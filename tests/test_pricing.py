@@ -1,0 +1,99 @@
+"""Unit tests for the cloud pricing model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.pricing import PAPER_PRICING, PricingModel
+
+
+class TestUnitConversions:
+    def test_quanta_round_trip(self):
+        p = PricingModel(quantum_seconds=60.0)
+        assert p.quanta(120.0) == pytest.approx(2.0)
+        assert p.seconds(p.quanta(73.0)) == pytest.approx(73.0)
+
+    def test_money_quanta_round_trip(self):
+        p = PAPER_PRICING
+        assert p.money_to_quanta(p.quanta_to_money(5.0)) == pytest.approx(5.0)
+        assert p.quanta_to_money(1) == pytest.approx(0.1)
+
+    def test_quanta_ceil_rounds_up(self):
+        p = PricingModel(quantum_seconds=60.0)
+        assert p.quanta_ceil(1.0) == 1
+        assert p.quanta_ceil(60.0) == 1
+        assert p.quanta_ceil(60.1) == 2
+        assert p.quanta_ceil(119.9) == 2
+
+    def test_quanta_ceil_zero_still_charges_one_quantum(self):
+        assert PAPER_PRICING.quanta_ceil(0.0) == 1
+
+    def test_quanta_ceil_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_PRICING.quanta_ceil(-1.0)
+
+
+class TestCharges:
+    def test_compute_cost(self):
+        assert PAPER_PRICING.compute_cost(10) == pytest.approx(1.0)
+
+    def test_compute_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_PRICING.compute_cost(-1)
+
+    def test_storage_cost_paper_rate(self):
+        # $1e-4 per MB per quantum (Table 3).
+        assert PAPER_PRICING.storage_cost(100.0, 10.0) == pytest.approx(0.1)
+
+    def test_storage_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_PRICING.storage_cost(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            PAPER_PRICING.storage_cost(1.0, -1.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError):
+            PricingModel(quantum_seconds=0.0)
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(ValueError):
+            PricingModel(quantum_price=-0.1)
+        with pytest.raises(ValueError):
+            PricingModel(storage_price_mb_quantum=-1e-4)
+
+
+class TestMonthlyConversion:
+    def test_paper_formula(self):
+        # Mst = (MC * 12 * Q) / (365.25 * 24 * 60), Q in minutes.
+        model = PricingModel.from_monthly_storage_price(10.0, quantum_seconds=60.0)
+        expected_gb = 10.0 * 12 * 1 / (365.25 * 24 * 60)
+        assert model.storage_price_mb_quantum == pytest.approx(expected_gb / 1024.0)
+
+    def test_longer_quantum_costs_proportionally_more(self):
+        m1 = PricingModel.from_monthly_storage_price(10.0, quantum_seconds=60.0)
+        m5 = PricingModel.from_monthly_storage_price(10.0, quantum_seconds=300.0)
+        ratio = m5.storage_price_mb_quantum / m1.storage_price_mb_quantum
+        assert ratio == pytest.approx(5.0)
+
+
+@given(seconds=st.floats(min_value=0.001, max_value=1e6))
+def test_quanta_ceil_covers_duration(seconds):
+    p = PAPER_PRICING
+    q = p.quanta_ceil(seconds)
+    assert q * p.quantum_seconds >= seconds - 1e-6
+    assert (q - 1) * p.quantum_seconds < seconds or q == 1
+
+
+@given(
+    mb=st.floats(min_value=0, max_value=1e6),
+    quanta=st.floats(min_value=0, max_value=1e5),
+)
+def test_storage_cost_is_bilinear(mb, quanta):
+    p = PAPER_PRICING
+    assert p.storage_cost(mb, quanta) == pytest.approx(
+        mb * quanta * p.storage_price_mb_quantum
+    )
+    assert p.storage_cost(2 * mb, quanta) == pytest.approx(2 * p.storage_cost(mb, quanta))

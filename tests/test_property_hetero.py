@@ -1,0 +1,84 @@
+"""Property-based tests for the heterogeneous scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.container import ContainerSpec
+from repro.cloud.pricing import PAPER_PRICING
+from repro.cloud.vmtypes import VMType, default_vm_catalog
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.scheduling.hetero import HeterogeneousSkylineScheduler
+
+
+@st.composite
+def layered_dags(draw):
+    num_ops = draw(st.integers(min_value=2, max_value=12))
+    runtimes = draw(
+        st.lists(st.floats(min_value=1.0, max_value=200.0),
+                 min_size=num_ops, max_size=num_ops)
+    )
+    flow = Dataflow(name="h")
+    for i, rt in enumerate(runtimes):
+        flow.add_operator(Operator(name=f"op{i}", runtime=rt))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    for j in range(1, num_ops):
+        for i in range(j):
+            if rng.random() < 0.3:
+                flow.add_edge(f"op{i}", f"op{j}", data_mb=float(rng.uniform(0, 20)))
+    return flow
+
+
+@given(flow=layered_dags())
+@settings(max_examples=30, deadline=None)
+def test_property_hetero_skyline_feasible_and_pareto(flow):
+    scheduler = HeterogeneousSkylineScheduler(
+        PAPER_PRICING, max_skyline=5, max_containers=6
+    )
+    skyline = scheduler.schedule(flow)
+    assert skyline
+    points = []
+    for schedule in skyline:
+        # Every non-optional operator is assigned exactly once.
+        names = [a.op_name for a in schedule.assignments]
+        assert sorted(names) == sorted(flow.operators)
+        # Per-container assignments never overlap.
+        per = {}
+        for a in schedule.assignments:
+            per.setdefault(a.container_id, []).append(a)
+        for items in per.values():
+            items.sort(key=lambda a: a.start)
+            for prev, nxt in zip(items, items[1:]):
+                assert nxt.start >= prev.end - 1e-9
+        # Every used container has a type; money is positive.
+        assert set(per) == set(schedule.container_types)
+        points.append((schedule.makespan_seconds(), schedule.money_dollars()))
+        assert points[-1][1] > 0
+    # Pareto: no point dominates another.
+    for i, (t1, m1) in enumerate(points):
+        for j, (t2, m2) in enumerate(points):
+            if i != j:
+                assert not (t2 <= t1 + 1e-9 and m2 < m1 - 1e-9)
+
+
+@given(flow=layered_dags(), speed=st.floats(min_value=1.5, max_value=4.0))
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_property_faster_flavour_never_hurts_fastest_point(flow, speed):
+    """Adding a faster flavour to the menu cannot make the fastest
+    skyline point slower."""
+    base = [VMType("standard", ContainerSpec(), 1.0, 0.1)]
+    fast = base + [VMType("big", ContainerSpec(), speed, 0.1 * speed)]
+    import copy
+
+    flow2 = copy.deepcopy(flow)
+    sky_base = HeterogeneousSkylineScheduler(
+        PAPER_PRICING, vm_types=base, max_skyline=5, max_containers=4
+    ).schedule(flow)
+    sky_fast = HeterogeneousSkylineScheduler(
+        PAPER_PRICING, vm_types=fast, max_skyline=5, max_containers=4
+    ).schedule(flow2)
+    fastest_base = min(s.makespan_seconds() for s in sky_base)
+    fastest_fast = min(s.makespan_seconds() for s in sky_fast)
+    assert fastest_fast <= fastest_base + 1e-6

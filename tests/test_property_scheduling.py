@@ -1,0 +1,97 @@
+"""Property-based tests: scheduler invariants on random DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.interleave.lp import lp_interleave
+from repro.interleave.slots import BuildCandidate
+from repro.scheduling.online_lb import OnlineLoadBalanceScheduler
+from repro.scheduling.skyline import SkylineScheduler
+
+
+@st.composite
+def random_dags(draw):
+    """Random layered DAGs with 3-18 operators."""
+    num_ops = draw(st.integers(min_value=3, max_value=18))
+    runtimes = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=300.0),
+            min_size=num_ops, max_size=num_ops,
+        )
+    )
+    flow = Dataflow(name="rand")
+    for i, runtime in enumerate(runtimes):
+        flow.add_operator(Operator(name=f"op{i}", runtime=runtime))
+    # Edges only from lower to higher indices: acyclic by construction.
+    edge_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(edge_seed)
+    for j in range(1, num_ops):
+        for i in range(j):
+            if rng.random() < 0.25:
+                flow.add_edge(f"op{i}", f"op{j}", data_mb=float(rng.uniform(0, 50)))
+    return flow
+
+
+@given(flow=random_dags(), cap=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_property_skyline_schedules_always_feasible(flow, cap):
+    scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=cap, max_containers=8)
+    skyline = scheduler.schedule(flow)
+    assert skyline, "scheduler must return at least one schedule"
+    for schedule in skyline:
+        schedule.validate(net_bw_mb_s=125.0)
+        # Objectives are sane.
+        assert schedule.makespan_seconds() >= max(
+            op.runtime for op in flow.operators.values()
+        ) - 1e-6
+        assert schedule.money_quanta() >= 1
+        # Fragmentation is non-negative and bounded by the leased time.
+        frag = schedule.fragmentation_quanta()
+        assert -1e-9 <= frag <= schedule.money_quanta()
+
+
+@given(flow=random_dags())
+@settings(max_examples=30, deadline=None)
+def test_property_makespan_bounds(flow):
+    """Any schedule's makespan lies between the critical path and the
+    fully serial execution plus all transfer delays."""
+    skyline = SkylineScheduler(
+        PAPER_PRICING, max_skyline=8, max_containers=4
+    ).schedule(flow)
+    lb = OnlineLoadBalanceScheduler(PAPER_PRICING, num_containers=4).schedule(flow)
+    lower = flow.critical_path()
+    transfers = sum(e.data_mb for e in flow.edges) / 125.0
+    upper = flow.total_runtime() + transfers
+    for schedule in [lb, *skyline]:
+        assert lower - 1e-6 <= schedule.makespan_seconds() <= upper + 1e-6
+
+
+@given(
+    flow=random_dags(),
+    durations=st.lists(
+        st.floats(min_value=1.0, max_value=120.0), min_size=1, max_size=20
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_interleaving_never_hurts(flow, durations):
+    """Whatever the build candidates, LP interleaving leaves the
+    dataflow's time and money untouched and never double-books."""
+    candidates = [
+        BuildCandidate(index_name=f"t{i}__c", partition_id=0, duration_s=d, gain=d)
+        for i, d in enumerate(durations)
+    ]
+    scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=3, max_containers=6)
+    for inter in lp_interleave(flow, candidates, scheduler):
+        combined = inter.combined()
+        combined.validate(require_all_assigned=False)
+        assert combined.makespan_seconds() == pytest.approx(
+            inter.schedule.makespan_seconds()
+        )
+        assert combined.money_quanta() == inter.schedule.money_quanta()
+        # A build is placed at most once.
+        names = [a.op_name for a in inter.build_assignments]
+        assert len(names) == len(set(names))

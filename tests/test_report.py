@@ -1,0 +1,70 @@
+"""Tests for the text reporting helpers."""
+
+import pytest
+
+from repro.core.metrics import ServiceMetrics
+from repro.report import MetricsRow, bar_chart, comparison_table, metrics_row, timeseries
+
+
+class TestBarChart:
+    def test_renders_rows(self):
+        out = bar_chart([("gain", 10.0), ("no index", 5.0)])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_zero_value_gets_no_bar(self):
+        out = bar_chart([("a", 0.0), ("b", 1.0)])
+        assert "#" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_unit_suffix(self):
+        out = bar_chart([("a", 1.0)], unit="q")
+        assert "q" in out
+
+
+class TestTimeseries:
+    def test_renders_grid(self):
+        points = [(float(x), float(x % 5)) for x in range(50)]
+        out = timeseries(points, width=40, height=6)
+        assert "*" in out
+        assert out.count("\n") >= 6
+
+    def test_single_point(self):
+        out = timeseries([(1.0, 2.0)])
+        assert "*" in out
+
+    def test_empty(self):
+        assert timeseries([]) == "(no data)"
+
+    def test_axis_labels_present(self):
+        out = timeseries([(0.0, 0.0), (100.0, 10.0)])
+        assert "10.0" in out and "0.0" in out
+
+
+class TestComparisonTable:
+    def test_alignment_and_content(self):
+        rows = [
+            MetricsRow("no index", 42, 162.55, 13.15, 0.0, 0.0),
+            MetricsRow("gain", 121, 66.51, 4.69, 2.4, 95.37),
+        ]
+        out = comparison_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "162.55" in out and "121" in out
+
+    def test_empty(self):
+        assert comparison_table([]) == "(no data)"
+
+    def test_metrics_row_from_service_metrics(self):
+        metrics = ServiceMetrics(strategy="gain", horizon_s=100.0)
+        row = metrics_row("gain", metrics)
+        assert row.label == "gain"
+        assert row.finished == 0
+        assert row.cost_per_dataflow_quanta == 0.0

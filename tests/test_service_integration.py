@@ -1,0 +1,144 @@
+"""Integration tests: the full QaaS service loop on small workloads."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.config import ExperimentConfig
+from repro.core.service import QaaSService, Strategy
+from repro.dataflow.client import ArrivalEvent, build_workload
+
+
+def small_config(horizon_quanta=30, **overrides):
+    from dataclasses import replace
+
+    cfg = ExperimentConfig(
+        total_time_s=horizon_quanta * 60.0,
+        max_skyline=2,
+        scheduler_containers=10,
+        max_candidates=40,
+        max_queued_gain=10,
+        seed=5,
+    )
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def events_for(apps, gap_s=120.0):
+    return [ArrivalEvent(time=(i + 1) * gap_s, app=app) for i, app in enumerate(apps)]
+
+
+def run(strategy, apps=("montage",) * 6, horizon=30, **cfg_overrides):
+    cfg = small_config(horizon, **cfg_overrides)
+    workload = build_workload(cfg.pricing, seed=cfg.seed)
+    service = QaaSService(workload, cfg, strategy)
+    return service.run(events_for(apps)), service
+
+
+class TestNoIndexBaseline:
+    def test_executes_all_dataflows(self):
+        metrics, _ = run(Strategy.NO_INDEX)
+        assert len(metrics.outcomes) == 6
+        assert metrics.indexes_created == 0
+        assert metrics.storage_dollars() == 0.0
+
+    def test_outcomes_are_causal(self):
+        metrics, _ = run(Strategy.NO_INDEX)
+        for o in metrics.outcomes:
+            assert o.started_at >= o.issued_at
+            assert o.finished_at > o.started_at
+            assert o.money_quanta > 0
+
+    def test_horizon_cutoff(self):
+        metrics, _ = run(Strategy.NO_INDEX, horizon=3)
+        assert metrics.num_finished <= len(metrics.outcomes)
+
+
+class TestGainStrategy:
+    def test_builds_indexes_for_repeated_workload(self):
+        metrics, service = run(Strategy.GAIN, apps=("montage",) * 8, horizon=60)
+        assert metrics.indexes_created > 0
+        assert service.catalog.built_indexes()
+        assert metrics.storage_dollars() > 0
+
+    def test_built_indexes_accelerate_later_dataflows(self):
+        gain, _ = run(Strategy.GAIN, apps=("montage",) * 8, horizon=60)
+        none, _ = run(Strategy.NO_INDEX, apps=("montage",) * 8, horizon=60)
+        later_gain = [o.makespan_quanta for o in gain.outcomes[4:]]
+        later_none = [o.makespan_quanta for o in none.outcomes[4:]]
+        assert np.mean(later_gain) <= np.mean(later_none) + 1e-9
+
+    def test_snapshots_track_index_growth(self):
+        metrics, _ = run(Strategy.GAIN, apps=("montage",) * 8, horizon=60)
+        built_counts = [s.indexes_built for s in metrics.snapshots]
+        assert built_counts[-1] >= built_counts[0]
+        assert all(
+            a.time <= b.time for a, b in zip(metrics.snapshots, metrics.snapshots[1:])
+        )
+
+    def test_deletion_reclaims_storage(self):
+        # Montage phase then a long ligo phase: montage indexes fade.
+        apps = ("montage",) * 5 + ("ligo",) * 6
+        metrics, service = run(
+            Strategy.GAIN, apps=apps, horizon=120, fade_quanta=1.0
+        )
+        if metrics.indexes_deleted:
+            live_paths = service.storage.live_paths()
+            dropped = [
+                n for n, idx in service.catalog.indexes.items()
+                if not idx.any_built and n.startswith("montage")
+            ]
+            for name in dropped:
+                assert not any(name in p for p in live_paths)
+
+    def test_history_populated(self):
+        _, service = run(Strategy.GAIN, apps=("montage",) * 6)
+        assert len(service.tuner.history) > 0
+
+
+class TestRandomStrategy:
+    def test_random_builds_and_kills(self):
+        metrics, _ = run(Strategy.RANDOM, apps=("cybershake",) * 6, horizon=80)
+        assert metrics.total_ops() >= 600
+        # Random packing ignores fit, so some builds are typically cut.
+        assert metrics.killed_ops() >= 0
+
+    def test_random_never_deletes(self):
+        metrics, _ = run(Strategy.RANDOM, apps=("montage",) * 6)
+        assert metrics.indexes_deleted == 0
+
+
+class TestGainNoDelete:
+    def test_never_deletes(self):
+        apps = ("montage",) * 5 + ("ligo",) * 5
+        metrics, _ = run(Strategy.GAIN_NO_DELETE, apps=apps, horizon=120)
+        assert metrics.indexes_deleted == 0
+
+
+class TestMetricsAccounting:
+    def test_total_ops_includes_builds(self):
+        metrics, _ = run(Strategy.GAIN, apps=("montage",) * 8, horizon=60)
+        df_ops = sum(o.ops_executed for o in metrics.outcomes)
+        assert metrics.total_ops() >= df_ops
+
+    def test_killed_percentage_bounds(self):
+        metrics, _ = run(Strategy.RANDOM, apps=("cybershake",) * 4, horizon=60)
+        assert 0.0 <= metrics.killed_percentage() <= 100.0
+
+    def test_cost_per_dataflow_zero_when_nothing_finished(self):
+        cfg = small_config(1)
+        workload = build_workload(cfg.pricing, seed=1)
+        service = QaaSService(workload, cfg, Strategy.NO_INDEX)
+        metrics = service.run([ArrivalEvent(time=1e9, app="montage")])
+        assert metrics.num_finished == 0
+        assert metrics.cost_per_dataflow_quanta() == 0.0
+
+    def test_concurrent_execution_overlaps(self):
+        # Two arrivals near t=0 should overlap, not serialise.
+        cfg = small_config(60)
+        workload = build_workload(cfg.pricing, seed=2)
+        service = QaaSService(workload, cfg, Strategy.NO_INDEX)
+        metrics = service.run(
+            [ArrivalEvent(time=1.0, app="montage"), ArrivalEvent(time=2.0, app="montage")]
+        )
+        first, second = metrics.outcomes
+        assert second.started_at < first.finished_at

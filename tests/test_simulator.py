@@ -1,0 +1,151 @@
+"""Tests for the execution simulator: noise, preemption, billing."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.simulator import ExecutionSimulator
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.interleave.lp import InterleavedSchedule
+from repro.interleave.slots import BuildCandidate
+from repro.scheduling.schedule import Assignment, Schedule
+
+
+def two_container_flow():
+    flow = Dataflow(name="d")
+    flow.add_operator(Operator(name="a", runtime=30.0))
+    flow.add_operator(Operator(name="b", runtime=30.0))
+    flow.add_operator(Operator(name="c", runtime=30.0))
+    flow.add_edge("a", "c")
+    flow.add_edge("b", "c")
+    return flow
+
+
+def schedule_for(flow):
+    return Schedule(dataflow=flow, pricing=PAPER_PRICING, assignments=[
+        Assignment("a", 0, 0.0, 30.0),
+        Assignment("b", 1, 0.0, 30.0),
+        Assignment("c", 0, 30.0, 60.0),
+    ])
+
+
+def simulator(error=0.0, seed=0):
+    return ExecutionSimulator(
+        PAPER_PRICING, runtime_error=error, rng=np.random.default_rng(seed)
+    )
+
+
+class TestExactExecution:
+    def test_zero_error_matches_schedule(self):
+        flow = two_container_flow()
+        inter = InterleavedSchedule(schedule=schedule_for(flow))
+        result = simulator().execute(inter, start_time=100.0)
+        assert result.start_time == 100.0
+        assert result.makespan_seconds == pytest.approx(60.0)
+        assert result.money_quanta == 2  # 1 quantum on each container
+        assert result.dataflow_ops == 3
+        assert result.builds_killed == 0
+
+    def test_start_time_offsets_finish(self):
+        flow = two_container_flow()
+        inter = InterleavedSchedule(schedule=schedule_for(flow))
+        r0 = simulator().execute(inter, start_time=0.0)
+        r5 = simulator().execute(inter, start_time=500.0)
+        assert r5.finish_time - r0.finish_time == pytest.approx(500.0)
+
+    def test_noise_changes_makespan(self):
+        flow = two_container_flow()
+        inter = InterleavedSchedule(schedule=schedule_for(flow))
+        noisy = simulator(error=0.5, seed=3).execute(inter, start_time=0.0)
+        exact = simulator().execute(inter, start_time=0.0)
+        assert noisy.makespan_seconds != pytest.approx(exact.makespan_seconds)
+
+    def test_rejects_negative_error(self):
+        with pytest.raises(ValueError):
+            ExecutionSimulator(PAPER_PRICING, runtime_error=-0.1)
+
+
+class TestBuildExecution:
+    def _interleaved(self, build_duration, slot_container=1):
+        """Container 1 idles 30-60s (quantum 0); builds go there."""
+        flow = two_container_flow()
+        cand = BuildCandidate("t__x", 0, build_duration, 1.0)
+        sched = schedule_for(flow)
+        build = Assignment(cand.op_name, slot_container, 30.0, 30.0 + build_duration)
+        return InterleavedSchedule(
+            schedule=sched, build_assignments=[build], scheduled_builds=[cand]
+        )
+
+    def test_fitting_build_completes(self):
+        result = simulator().execute(self._interleaved(20.0), start_time=0.0)
+        assert len(result.builds_completed) == 1
+        done = result.builds_completed[0]
+        assert done.index_name == "t__x"
+        assert done.partition_id == 0
+        assert 30.0 < done.finished_at <= 60.0
+
+    def test_overflowing_build_killed_at_quantum_end(self):
+        result = simulator().execute(self._interleaved(45.0), start_time=0.0)
+        assert result.builds_completed == []
+        assert result.builds_killed == 1
+
+    def test_build_on_busy_container_preempted(self):
+        """A build scheduled where a dataflow op actually runs is cut."""
+        flow = two_container_flow()
+        cand = BuildCandidate("t__x", 0, 25.0, 1.0)
+        sched = schedule_for(flow)
+        # Scheduled in container 0's 'gap' that doesn't exist at runtime:
+        # container 0 is busy 0-60s.
+        build = Assignment(cand.op_name, 0, 20.0, 45.0)
+        inter = InterleavedSchedule(
+            schedule=sched, build_assignments=[build], scheduled_builds=[cand]
+        )
+        result = simulator().execute(inter, start_time=0.0)
+        assert result.builds_completed == []
+        assert result.builds_killed + result.builds_unstarted == 1
+
+    def test_build_counters_in_attempted(self):
+        result = simulator().execute(self._interleaved(20.0), start_time=0.0)
+        assert result.builds_attempted == 1
+
+    def test_multiple_builds_fill_gap_in_order(self):
+        flow = two_container_flow()
+        cands = [BuildCandidate(f"t{i}__x", 0, 10.0, 1.0) for i in range(4)]
+        sched = schedule_for(flow)
+        builds = []
+        t = 30.0
+        for c in cands:
+            builds.append(Assignment(c.op_name, 1, t, t + 10.0))
+            t += 10.0
+        inter = InterleavedSchedule(
+            schedule=sched, build_assignments=builds, scheduled_builds=cands
+        )
+        result = simulator().execute(inter, start_time=0.0)
+        # Gap is 30 s (30-60): three 10 s builds fit, the fourth starts at
+        # the boundary and cannot.
+        assert len(result.builds_completed) == 3
+        assert result.builds_killed + result.builds_unstarted == 1
+
+    def test_builds_never_change_dataflow_money(self):
+        plain = simulator().execute(
+            InterleavedSchedule(schedule=schedule_for(two_container_flow())), 0.0
+        )
+        with_build = simulator().execute(self._interleaved(20.0), 0.0)
+        assert plain.money_quanta == with_build.money_quanta
+        assert plain.makespan_seconds == pytest.approx(with_build.makespan_seconds)
+
+
+class TestDependenciesUnderNoise:
+    def test_actual_start_respects_dependencies(self):
+        """Even if a predecessor runs long, the successor waits."""
+        flow = two_container_flow()
+        inter = InterleavedSchedule(schedule=schedule_for(flow))
+        rng_sim = ExecutionSimulator(
+            PAPER_PRICING, runtime_error=0.5, rng=np.random.default_rng(11)
+        )
+        result = rng_sim.execute(inter, start_time=0.0)
+        # c must finish after both a and b finished; with error <= 50%,
+        # the makespan is bounded by 1.5x the scheduled chain.
+        assert result.makespan_seconds <= 1.5 * 60.0 + 1e-6
+        assert result.makespan_seconds >= 0.5 * 60.0 - 1e-6

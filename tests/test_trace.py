@@ -1,0 +1,69 @@
+"""Tests for workload trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import DataflowOutcome, ServiceMetrics
+from repro.dataflow.client import ArrivalEvent, phase_schedule
+from repro.dataflow.trace import TRACE_VERSION, OutcomeRecord, WorkloadTrace
+
+
+def sample_trace():
+    events = [ArrivalEvent(time=10.0, app="montage"), ArrivalEvent(time=70.0, app="ligo")]
+    metrics = ServiceMetrics(strategy="gain", horizon_s=1000.0)
+    metrics.outcomes.append(
+        DataflowOutcome(
+            name="montage-00001", app="montage", issued_at=10.0, started_at=10.0,
+            finished_at=200.0, money_quanta=5, ops_executed=100,
+            builds_completed=3, builds_killed=1,
+        )
+    )
+    return WorkloadTrace.from_run("phase", seed=42, horizon_s=1000.0,
+                                  events=events, metrics=metrics)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        trace = sample_trace()
+        restored = WorkloadTrace.from_json(trace.to_json())
+        assert restored == trace
+
+    def test_file_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = trace.save(tmp_path / "trace.json")
+        assert WorkloadTrace.load(path) == trace
+
+    def test_version_guard(self):
+        bad = sample_trace().to_json().replace(
+            f'"version": {TRACE_VERSION}', '"version": 999'
+        )
+        with pytest.raises(ValueError):
+            WorkloadTrace.from_json(bad)
+
+    def test_trace_without_outcomes(self):
+        trace = WorkloadTrace.from_run(
+            "random", seed=1, horizon_s=60.0,
+            events=[ArrivalEvent(time=1.0, app="ligo")],
+        )
+        restored = WorkloadTrace.from_json(trace.to_json())
+        assert restored.strategy is None
+        assert restored.outcomes == []
+
+
+class TestSummaries:
+    def test_arrivals_per_app(self):
+        trace = sample_trace()
+        assert trace.arrivals_per_app() == {"montage": 1, "ligo": 1}
+
+    def test_finished_by(self):
+        trace = sample_trace()
+        assert trace.finished_by() == 1
+        assert trace.finished_by(100.0) == 0
+
+    def test_real_phase_schedule_serialises(self):
+        rng = np.random.default_rng(7)
+        events = phase_schedule(rng)
+        trace = WorkloadTrace.from_run("phase", seed=7, horizon_s=43_200.0, events=events)
+        restored = WorkloadTrace.from_json(trace.to_json())
+        assert len(restored.events) == len(events)
+        assert restored.events[0] == events[0]
