@@ -1,0 +1,212 @@
+"""Robustness under injected faults: retries, degradation, checkpoints.
+
+Two experiments on top of the fault-injection layer:
+
+1. **Service under transient failures** — the full QaaS service runs with
+   a 5 % per-operator transient failure rate (plus crashes/storage loss
+   in the sweep). Every dataflow must still complete, retries stay
+   within the backoff budget, and Gain must keep beating No-Index on
+   dataflows finished even while paying for the recovery overhead.
+
+2. **Checkpointing under preemption** — a controlled simulator loop
+   where every build (50 s) is larger than any idle gap (30 s), so a
+   build can *only* complete by accumulating checkpointed progress
+   across preemptions. Restart-from-scratch completes nothing; a 5 s
+   checkpoint interval completes most partitions, all via resumes.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from conftest import print_header, print_rows
+
+from repro import run_experiment
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.service import Strategy
+from repro.core.simulator import ExecutionSimulator
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.faults.injector import FaultInjector, FaultProfile
+from repro.faults.retry import RetryPolicy
+from repro.interleave.lp import InterleavedSchedule
+from repro.interleave.slots import BuildCandidate
+from repro.scheduling.schedule import Assignment, Schedule
+
+
+def _faulty_config(config, **rates):
+    # The full default horizon: with a shorter one, index storage is
+    # still front-loaded and Gain's cost lead has not amortised yet.
+    return replace(config, **rates) if rates else config
+
+
+def test_service_survives_transient_failures(benchmark, config):
+    """5 % per-operator failures: everything finishes, retries bounded."""
+    faulty = _faulty_config(config, operator_failure_rate=0.05)
+
+    def run():
+        return {
+            s: run_experiment(s, generator="phase", config=faulty)
+            for s in (Strategy.NO_INDEX, Strategy.RANDOM, Strategy.GAIN)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Service under 5% per-operator transient failures")
+    rows = []
+    for strategy, m in results.items():
+        rows.append([
+            strategy.value, m.num_finished,
+            f"{m.cost_per_dataflow_quanta():.2f}",
+            m.operator_retries, m.operators_recovered, m.retries_exhausted,
+        ])
+    print_rows(
+        ["strategy", "finished", "cost/df (q)", "retries", "recovered",
+         "exhausted"],
+        rows, widths=[16, 10, 13, 9, 11, 10],
+    )
+
+    gain, none = results[Strategy.GAIN], results[Strategy.NO_INDEX]
+    for m in results.values():
+        # Every executed dataflow ran to completion despite the faults.
+        assert m.outcomes
+        assert all(o.finished_at > o.started_at for o in m.outcomes)
+        assert m.operator_retries > 0
+        # Backoff budget: retries recovered inline or via clean respawn;
+        # exhaustion is the rare tail, never the common case.
+        assert m.retries_exhausted <= 0.02 * m.operator_retries + 2
+        # Every faulted operator either recovered inline or ran clean
+        # after exhausting its budget — none is simply lost.
+        assert m.operators_recovered + m.retries_exhausted > 0
+    assert gain.num_finished >= none.num_finished
+    assert gain.cost_per_dataflow_quanta() < none.cost_per_dataflow_quanta()
+
+    benchmark.extra_info.update({
+        f"{s.value}_{k}": v
+        for s, m in results.items() for k, v in m.fault_summary().items()
+        if v
+    })
+
+
+def test_fault_rate_sweep_gain_still_dominates(benchmark, config):
+    """Gain keeps its lead over No-Index as fault pressure rises."""
+    sweep = [
+        ("none", {}),
+        ("transient 5%", {"operator_failure_rate": 0.05}),
+        ("mixed", {"operator_failure_rate": 0.05,
+                   "container_crash_rate": 0.02,
+                   "storage_put_failure_rate": 0.05,
+                   "straggler_rate": 0.02}),
+    ]
+
+    def run():
+        table = {}
+        for label, rates in sweep:
+            faulty = _faulty_config(config, **rates)
+            table[label] = {
+                s: run_experiment(s, generator="phase", config=faulty)
+                for s in (Strategy.NO_INDEX, Strategy.GAIN)
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Fault-rate sweep — Gain vs No-Index")
+    rows = []
+    for label, by_strategy in table.items():
+        none, gain = by_strategy[Strategy.NO_INDEX], by_strategy[Strategy.GAIN]
+        rows.append([
+            label, none.num_finished, gain.num_finished,
+            f"{none.cost_per_dataflow_quanta():.2f}",
+            f"{gain.cost_per_dataflow_quanta():.2f}",
+            gain.total_faults_injected, gain.degraded_builds,
+        ])
+    print_rows(
+        ["faults", "none fin", "gain fin", "none c/df", "gain c/df",
+         "injected", "degraded"],
+        rows, widths=[16, 10, 10, 11, 11, 10, 9],
+    )
+
+    for label, by_strategy in table.items():
+        none, gain = by_strategy[Strategy.NO_INDEX], by_strategy[Strategy.GAIN]
+        assert gain.num_finished >= none.num_finished, label
+        assert gain.cost_per_dataflow_quanta() < none.cost_per_dataflow_quanta(), label
+    clean_gain = table["none"][Strategy.GAIN]
+    assert clean_gain.total_faults_injected == 0
+
+
+def _checkpoint_experiment(ckpt_interval: float):
+    """Builds (50 s) never fit an idle gap (30 s); only checkpoints help.
+
+    One container runs a 30 s dataflow op per round, leaving a 30 s idle
+    tail in its quantum. Each round re-schedules every unbuilt
+    partition's *remaining* work into that tail — exactly what the tuner
+    does with ``Index.checkpoint_seconds`` — under 10 % container
+    preemption.
+    """
+    FULL, PARTS, ROUNDS = 50.0, 8, 12
+    profile = FaultProfile(container_crash_rate=0.10,
+                           checkpoint_interval_s=ckpt_interval)
+    sim = ExecutionSimulator(
+        PAPER_PRICING,
+        injector=FaultInjector(profile, rng=np.random.default_rng(7)),
+        retry=RetryPolicy(rng=np.random.default_rng(8)),
+    )
+    progress = {pid: 0.0 for pid in range(PARTS)}
+    built: set[int] = set()
+    resumes = 0
+    for rnd in range(ROUNDS):
+        flow = Dataflow(name=f"d{rnd}")
+        flow.add_operator(Operator(name="a", runtime=30.0))
+        sched = Schedule(dataflow=flow, pricing=PAPER_PRICING,
+                         assignments=[Assignment("a", 0, 0.0, 30.0)])
+        builds, cands, t = [], [], 30.0
+        for pid in range(PARTS):
+            if pid in built:
+                continue
+            remaining = max(FULL - progress[pid], 1e-6)
+            cand = BuildCandidate("t__x", pid, remaining, 1.0)
+            cands.append(cand)
+            builds.append(Assignment(cand.op_name, 0, t, t + remaining))
+            t += remaining
+        inter = InterleavedSchedule(schedule=sched, build_assignments=builds,
+                                    scheduled_builds=cands)
+        result = sim.execute(inter, start_time=rnd * 1000.0)
+        for done in result.builds_completed:
+            if progress[done.partition_id] > 0:
+                resumes += 1
+            built.add(done.partition_id)
+        for ckpt in result.checkpoints:
+            progress[ckpt.partition_id] += ckpt.seconds
+    return len(built), resumes
+
+
+def test_checkpointing_beats_restart_under_preemption(benchmark):
+    """10 % preemption: checkpointed builds strictly out-build scratch."""
+
+    def run():
+        return {ck: _checkpoint_experiment(ck) for ck in (0.0, 5.0, 15.0)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Build checkpointing under 10% preemption "
+                 "(8 partitions x 50 s builds, 30 s gaps, 12 rounds)")
+    rows = [[f"{ck:.0f} s" if ck else "off (scratch)", built, resumes]
+            for ck, (built, resumes) in results.items()]
+    print_rows(["checkpoint interval", "partitions built", "resumes"],
+               rows, widths=[22, 18, 10])
+
+    scratch_built, _ = results[0.0]
+    fine_built, fine_resumes = results[5.0]
+    # No build fits a gap, so restart-from-scratch can never finish one.
+    assert scratch_built == 0
+    # Checkpointing completes strictly more partitions, all via resumes.
+    assert fine_built > scratch_built
+    assert fine_resumes == fine_built
+    # A coarser interval banks less progress per round, never more builds.
+    assert results[15.0][0] <= fine_built
+
+    benchmark.extra_info.update({
+        "scratch_built": scratch_built,
+        "ckpt5_built": fine_built,
+        "ckpt5_resumes": fine_resumes,
+    })

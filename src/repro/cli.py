@@ -12,12 +12,23 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from dataclasses import replace
 
 from repro.cloud.pricing import PAPER_PRICING
 from repro.core.config import default_config
 from repro.core.service import Strategy
+
+#: argparse dest -> ExperimentConfig field for the fault-injection knobs.
+_FAULT_OVERRIDES = {
+    "op_failure_rate": "operator_failure_rate",
+    "crash_rate": "container_crash_rate",
+    "storage_failure_rate": None,  # expands to put + delete rates
+    "straggler_rate": "straggler_rate",
+    "checkpoint_interval": "checkpoint_interval_s",
+    "retry_max_attempts": "retry_max_attempts",
+}
 
 
 def _config(args) -> "ExperimentConfig":  # noqa: F821
@@ -27,6 +38,15 @@ def _config(args) -> "ExperimentConfig":  # noqa: F821
         overrides["total_time_s"] = args.horizon_quanta * 60.0
     if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
+    for dest, field in _FAULT_OVERRIDES.items():
+        value = getattr(args, dest, None)
+        if value is None:
+            continue
+        if field is not None:
+            overrides[field] = value
+        else:
+            overrides["storage_put_failure_rate"] = value
+            overrides["storage_delete_failure_rate"] = value
     return replace(config, **overrides) if overrides else config
 
 
@@ -38,6 +58,17 @@ def _print_metrics(label: str, metrics) -> None:
         f"killed={metrics.killed_percentage():4.1f}%  "
         f"storage=${metrics.storage_dollars():.2f}"
     )
+    if metrics.total_faults_injected:
+        print(
+            f"{'':<18} faults={metrics.total_faults_injected:<5d} "
+            f"retries={metrics.operator_retries:<4d} "
+            f"recovered={metrics.operators_recovered:<4d} "
+            f"crashes={metrics.containers_crashed:<4d} "
+            f"builds_failed={metrics.builds_failed:<4d} "
+            f"checkpoints={metrics.checkpoints_recorded:<4d} "
+            f"resumes={metrics.checkpoint_resumes:<4d} "
+            f"degraded={metrics.degraded_builds}"
+        )
 
 
 def cmd_run(args) -> int:
@@ -131,7 +162,26 @@ def build_parser() -> argparse.ArgumentParser:
         description="Automated index management for dataflow engines "
                     "(EDBT 2020 reproduction)",
     )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="structured-logging verbosity of the core/faults modules",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_fault_args(p) -> None:
+        p.add_argument("--op-failure-rate", type=float, default=None,
+                       help="per-operator transient failure probability")
+        p.add_argument("--crash-rate", type=float, default=None,
+                       help="per-operator container crash/preemption probability")
+        p.add_argument("--storage-failure-rate", type=float, default=None,
+                       help="storage put/delete loss probability")
+        p.add_argument("--straggler-rate", type=float, default=None,
+                       help="per-operator straggler probability")
+        p.add_argument("--checkpoint-interval", type=float, default=None,
+                       help="build checkpoint interval in seconds (0 = off)")
+        p.add_argument("--retry-max-attempts", type=int, default=None,
+                       help="retry budget per dataflow operator")
 
     run_p = sub.add_parser("run", help="run one service experiment")
     run_p.add_argument("--strategy", choices=[s.value for s in Strategy],
@@ -140,12 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--interleaver", choices=["lp", "online"], default="lp")
     run_p.add_argument("--horizon-quanta", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=None)
+    add_fault_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare all four strategies")
     cmp_p.add_argument("--generator", choices=["phase", "random"], default="phase")
     cmp_p.add_argument("--horizon-quanta", type=int, default=None)
     cmp_p.add_argument("--seed", type=int, default=None)
+    add_fault_args(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
 
     sch_p = sub.add_parser("schedule", help="print a dataflow's schedule skyline")
@@ -170,7 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+    )
+    try:
+        return args.func(args)
+    except ValueError as exc:  # bad knob values (ExperimentConfig.validate)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

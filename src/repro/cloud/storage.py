@@ -10,9 +10,13 @@ invalidate indexes built on old versions (Section 3, "Data Model").
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.cloud.pricing import PricingModel
+from repro.faults.injector import FaultInjector, TransientStorageError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -37,8 +41,11 @@ class CloudStorage:
     integral and experiment time series can be recomputed exactly.
     """
 
-    def __init__(self, pricing: PricingModel) -> None:
+    def __init__(
+        self, pricing: PricingModel, injector: FaultInjector | None = None
+    ) -> None:
         self._pricing = pricing
+        self._injector = injector
         self._objects: dict[str, StoredObject] = {}
         self._history: list[StoredObject] = []
         self._versions: dict[str, int] = {}
@@ -52,9 +59,16 @@ class CloudStorage:
     # Object lifecycle
     # ------------------------------------------------------------------
     def put(self, path: str, size_mb: float, time: float) -> StoredObject:
-        """Store (or overwrite) an object, advancing the billing clock."""
+        """Store (or overwrite) an object, advancing the billing clock.
+
+        Raises :class:`TransientStorageError` when the configured fault
+        injector loses the write; nothing is stored or billed.
+        """
         if size_mb < 0:
             raise ValueError("size_mb must be non-negative")
+        if self._injector is not None and self._injector.storage_put_fails():
+            logger.debug("storage put lost: %s (%.1f MB)", path, size_mb)
+            raise TransientStorageError("put", path)
         self._advance(time)
         if path in self._objects:
             self._objects[path].deleted_at = time
@@ -86,10 +100,18 @@ class CloudStorage:
         return obj.size_mb
 
     def delete(self, path: str, time: float) -> None:
-        """Delete an object; storage charges stop accruing from ``time``."""
+        """Delete an object; storage charges stop accruing from ``time``.
+
+        Raises :class:`TransientStorageError` when the fault injector
+        drops the request: the object lingers (and keeps billing) until
+        a later retry succeeds.
+        """
         obj = self._objects.get(path)
         if obj is None or not obj.live:
             raise KeyError(f"no live object at {path!r}")
+        if self._injector is not None and self._injector.storage_delete_fails():
+            logger.debug("storage delete lost: %s", path)
+            raise TransientStorageError("delete", path)
         self._advance(time)
         obj.deleted_at = time
 

@@ -20,6 +20,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.cloud.pricing import PricingModel
+from repro.faults.injector import FaultProfile
 from repro.tuning.gain import GainParameters
 
 
@@ -60,7 +61,85 @@ class ExperimentConfig:
     # headline benchmarks isolate the index-management effect; the
     # pooling ablation quantifies it.
     enable_pooling: bool = False
+    # Fault injection (all rates default to 0 = the paper's reliable
+    # cloud; the injector draws from its own seeded RNG stream, so a
+    # zero-rate run is byte-identical to the fault-free simulator).
+    operator_failure_rate: float = 0.0
+    container_crash_rate: float = 0.0
+    storage_put_failure_rate: float = 0.0
+    storage_delete_failure_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_slowdown: float = 3.0
+    respawn_delay_s: float = 5.0
+    checkpoint_interval_s: float = 0.0
+    # Retry policy for transient dataflow-operator failures (build
+    # operators are never retried inline: their partitions re-enter the
+    # tuner's candidate pool instead).
+    retry_max_attempts: int = 4
+    retry_base_delay_s: float = 1.0
+    retry_multiplier: float = 2.0
+    retry_max_delay_s: float = 60.0
+    retry_jitter: float = 0.1
     seed: int = 42
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject configurations that would silently corrupt a run."""
+        if not 0.0 <= self.runtime_error <= 1.0:
+            raise ValueError(
+                f"runtime_error must be in [0, 1], got {self.runtime_error}"
+            )
+        rate_fields = (
+            "operator_failure_rate",
+            "container_crash_rate",
+            "storage_put_failure_rate",
+            "storage_delete_failure_rate",
+            "straggler_rate",
+            "retry_jitter",
+        )
+        for name in rate_fields:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        interval_fields = (
+            "poisson_mean_s",
+            "total_time_s",
+            "update_interval_s",
+            "respawn_delay_s",
+            "checkpoint_interval_s",
+            "retry_base_delay_s",
+            "retry_max_delay_s",
+        )
+        for name in interval_fields:
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError(
+                f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
+            )
+        if self.retry_multiplier < 1.0:
+            raise ValueError(
+                f"retry_multiplier must be >= 1, got {self.retry_multiplier}"
+            )
+        if self.retry_max_attempts < 1:
+            raise ValueError(
+                f"retry_max_attempts must be at least 1, got {self.retry_max_attempts}"
+            )
+
+    def fault_profile(self) -> FaultProfile:
+        return FaultProfile(
+            operator_failure_rate=self.operator_failure_rate,
+            container_crash_rate=self.container_crash_rate,
+            storage_put_failure_rate=self.storage_put_failure_rate,
+            storage_delete_failure_rate=self.storage_delete_failure_rate,
+            straggler_rate=self.straggler_rate,
+            straggler_slowdown=self.straggler_slowdown,
+            respawn_delay_s=self.respawn_delay_s,
+            checkpoint_interval_s=self.checkpoint_interval_s,
+        )
 
     def gain_parameters(self) -> GainParameters:
         return GainParameters(

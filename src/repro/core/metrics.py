@@ -18,6 +18,7 @@ class DataflowOutcome:
     ops_executed: int
     builds_completed: int
     builds_killed: int
+    operator_retries: int = 0
 
     @property
     def makespan_quanta(self) -> float:
@@ -53,6 +54,21 @@ class ServiceMetrics:
     indexes_created: int = 0
     indexes_deleted: int = 0
     horizon_s: float = 0.0
+    # ------------------------------------------------------------------
+    # Fault tolerance (robustness experiments)
+    # ------------------------------------------------------------------
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    operator_retries: int = 0
+    operators_recovered: int = 0
+    retries_exhausted: int = 0
+    containers_crashed: int = 0
+    stragglers: int = 0
+    builds_failed: int = 0
+    checkpoints_recorded: int = 0
+    checkpoint_resumes: int = 0
+    storage_put_failures: int = 0
+    storage_delete_failures: int = 0
+    degraded_builds: int = 0
 
     # ------------------------------------------------------------------
     # Aggregates (Figure 12 / 14)
@@ -109,3 +125,34 @@ class ServiceMetrics:
     def killed_percentage(self) -> float:
         total = self.total_ops()
         return 100.0 * self.killed_ops() / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    @property
+    def total_faults_injected(self) -> int:
+        return sum(self.faults_injected.values())
+
+    @property
+    def faults_recovered(self) -> int:
+        """Faults the service absorbed without losing a dataflow:
+        recovered operators, crashes survived by respawn, and stragglers
+        simply waited out."""
+        return self.operators_recovered + self.containers_crashed + self.stragglers
+
+    def fault_summary(self) -> dict[str, int]:
+        """Flat dict of every fault-tolerance counter (for reports)."""
+        return {
+            "faults_injected": self.total_faults_injected,
+            "operator_retries": self.operator_retries,
+            "operators_recovered": self.operators_recovered,
+            "retries_exhausted": self.retries_exhausted,
+            "containers_crashed": self.containers_crashed,
+            "stragglers": self.stragglers,
+            "builds_failed": self.builds_failed,
+            "checkpoints_recorded": self.checkpoints_recorded,
+            "checkpoint_resumes": self.checkpoint_resumes,
+            "storage_put_failures": self.storage_put_failures,
+            "storage_delete_failures": self.storage_delete_failures,
+            "degraded_builds": self.degraded_builds,
+        }

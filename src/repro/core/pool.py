@@ -22,12 +22,15 @@ meaningful while reuse discounts show up naturally.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 
 from repro.cloud.cache import LRUCache
 from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
 from repro.cloud.pricing import PricingModel
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -55,6 +58,7 @@ class PoolStats:
     containers_created: int = 0
     containers_reused: int = 0
     containers_expired: int = 0
+    containers_crashed: int = 0
     quanta_paid: int = 0
     quanta_saved_by_reuse: float = 0.0
 
@@ -145,6 +149,22 @@ class ContainerPool:
             self._containers[container.container_id] = container
             chosen.append(container)
         return chosen
+
+    def note_crash(self, container: PooledContainer, count: int = 1) -> None:
+        """Record that a container crashed and was respawned in place.
+
+        The replacement inherits the lease bookkeeping (the simulator
+        bills the forfeited quantum separately) but its local disk is
+        empty: "After deleting a particular VM, the files stored in its
+        local disk cannot be recovered."
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        container.cache = LRUCache(capacity_mb=self.spec.disk_mb)
+        self.stats.containers_crashed += count
+        logger.debug(
+            "container %d crashed x%d; cache dropped", container.container_id, count
+        )
 
     def occupy(self, container: PooledContainer, start: float, until: float) -> int:
         """Mark a container busy for [start, until]; extend its lease.

@@ -14,6 +14,8 @@ running the index management strategy at each arrival:
 
 from __future__ import annotations
 
+import heapq
+import logging
 from dataclasses import dataclass
 from enum import Enum
 
@@ -24,6 +26,8 @@ from repro.core.config import ExperimentConfig
 from repro.core.metrics import DataflowOutcome, IndexSnapshot, ServiceMetrics
 from repro.core.simulator import ExecutionSimulator
 from repro.dataflow.client import ArrivalEvent, Workload
+from repro.faults.injector import FaultInjector, TransientStorageError
+from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import BuildCandidate
 from repro.scheduling.schedule import Assignment, Schedule
@@ -31,6 +35,8 @@ from repro.scheduling.skyline import SkylineScheduler
 from repro.tuning.gain import GainModel
 from repro.tuning.history import DataflowHistory
 from repro.tuning.tuner import OnlineIndexTuner
+
+logger = logging.getLogger(__name__)
 
 
 class Strategy(Enum):
@@ -65,7 +71,23 @@ class QaaSService:
         self.strategy = strategy
         self.catalog = workload.catalog
         self.pricing = config.pricing
-        self.storage = CloudStorage(self.pricing)
+        # Fault injection and retry draw from their own seeded streams
+        # (seed+3 / seed+4): a zero-rate profile leaves the workload,
+        # service and simulator streams — and hence every metric —
+        # byte-identical to the fault-free configuration.
+        self.injector = FaultInjector(
+            config.fault_profile(), rng=np.random.default_rng(config.seed + 3)
+        )
+        self.retry_policy = RetryPolicy(
+            max_attempts=config.retry_max_attempts,
+            base_delay_s=config.retry_base_delay_s,
+            multiplier=config.retry_multiplier,
+            max_delay_s=config.retry_max_delay_s,
+            jitter=config.retry_jitter,
+            rng=np.random.default_rng(config.seed + 4),
+        )
+        self.storage = CloudStorage(self.pricing, injector=self.injector)
+        self._orphan_paths: list[str] = []
         self.rng = np.random.default_rng(config.seed + 1)
         self.scheduler = SkylineScheduler(
             self.pricing,
@@ -76,6 +98,8 @@ class QaaSService:
             self.pricing,
             runtime_error=config.runtime_error,
             rng=np.random.default_rng(config.seed + 2),
+            injector=self.injector,
+            retry=self.retry_policy,
         )
         self._next_update = (
             config.update_interval_s if config.update_interval_s > 0 else float("inf")
@@ -181,11 +205,12 @@ class QaaSService:
             model = self.catalog.cost_model.partition_model(
                 table, spec, table.partition(pid)
             )
+            remaining_s = model.total_build_seconds - index.checkpoint_seconds(pid)
             candidates.append(
                 BuildCandidate(
                     index_name=name,
                     partition_id=pid,
-                    duration_s=max(model.total_build_seconds, 1e-6),
+                    duration_s=max(remaining_s, 1e-6),
                     gain=0.0,
                 )
             )
@@ -222,7 +247,34 @@ class QaaSService:
     # ------------------------------------------------------------------
     # State updates
     # ------------------------------------------------------------------
-    def _apply_data_updates(self, now: float) -> int:
+    def _safe_delete(self, path: str, time: float, metrics: ServiceMetrics) -> bool:
+        """Delete a storage object, absorbing transient failures.
+
+        A dropped delete leaves the object live (and billing); the path
+        is queued and retried at later settle points.
+        """
+        try:
+            self.storage.delete(path, time)
+            return True
+        except TransientStorageError:
+            metrics.storage_delete_failures += 1
+            self._orphan_paths.append(path)
+            logger.info("delete of %s failed transiently; will retry", path)
+            return False
+
+    def _retry_orphan_deletes(self, now: float, metrics: ServiceMetrics) -> None:
+        """Retry storage deletes that failed transiently earlier."""
+        if not self._orphan_paths:
+            return
+        pending = self._orphan_paths
+        self._orphan_paths = []
+        now = max(now, self.storage.accounted_until)
+        for path in pending:
+            if not self.storage.exists(path):
+                continue
+            self._safe_delete(path, now, metrics)
+
+    def _apply_data_updates(self, now: float, metrics: ServiceMetrics) -> int:
         """Simulate the periodic batch updates of Section 3.
 
         Every ``update_interval_s`` one random table receives a new
@@ -254,20 +306,26 @@ class QaaSService:
                         index.invalidate_partition(pid)
                         path = index.spec.path(pid)
                         if self.storage.exists(path):
-                            self.storage.delete(
-                                path, max(update_time, self.storage.accounted_until)
+                            self._safe_delete(
+                                path,
+                                max(update_time, self.storage.accounted_until),
+                                metrics,
                             )
                         invalidated += 1
         return invalidated
 
-    def _apply_builds(self, result) -> int:
-        """Mark completed index partitions built; store them. Returns count."""
+    def _apply_builds(self, result, metrics: ServiceMetrics) -> int:
+        """Mark completed index partitions built; store them. Returns count.
+
+        A transiently failed storage put degrades gracefully: the
+        partition stays unbuilt and unbilled, and re-enters the tuner's
+        candidate pool at the next decision.
+        """
         built = 0
         for done in sorted(result.builds_completed, key=lambda b: b.finished_at):
             index = self.catalog.indexes.get(done.index_name)
             if index is None or index.partitions[done.partition_id].built:
                 continue
-            index.mark_built(done.partition_id, done.finished_at)
             size_mb = self.catalog.cost_model.partition_size_mb(
                 index.table, index.spec, index.table.partition(done.partition_id)
             )
@@ -275,11 +333,40 @@ class QaaSService:
             # (and occasionally just past) the dataflow; never rewind the
             # storage billing clock.
             at = max(done.finished_at, self.storage.accounted_until)
-            self.storage.put(index.spec.path(done.partition_id), size_mb, at)
+            try:
+                self.storage.put(index.spec.path(done.partition_id), size_mb, at)
+            except TransientStorageError:
+                metrics.storage_put_failures += 1
+                metrics.degraded_builds += 1
+                logger.info(
+                    "put of %s partition %d lost; partition stays unbuilt",
+                    done.index_name, done.partition_id,
+                )
+                continue
+            if index.partitions[done.partition_id].checkpoint_seconds > 0:
+                metrics.checkpoint_resumes += 1
+            index.mark_built(done.partition_id, done.finished_at)
             built += 1
         return built
 
-    def _apply_deletions(self, names: list[str], now: float) -> int:
+    def _apply_checkpoints(self, result, metrics: ServiceMetrics) -> int:
+        """Persist partial-build progress of interrupted builds."""
+        recorded = 0
+        for ckpt in result.checkpoints:
+            index = self.catalog.indexes.get(ckpt.index_name)
+            if index is None or index.partitions[ckpt.partition_id].built:
+                continue
+            index.record_checkpoint(ckpt.partition_id, ckpt.seconds)
+            metrics.checkpoints_recorded += 1
+            recorded += 1
+            logger.debug(
+                "checkpoint: %s partition %d +%.1fs (total %.1fs)",
+                ckpt.index_name, ckpt.partition_id, ckpt.seconds,
+                index.checkpoint_seconds(ckpt.partition_id),
+            )
+        return recorded
+
+    def _apply_deletions(self, names: list[str], now: float, metrics: ServiceMetrics) -> int:
         deleted = 0
         now = max(now, self.storage.accounted_until)
         for name in names:
@@ -289,7 +376,7 @@ class QaaSService:
             for pid in index.built_partition_ids():
                 path = index.spec.path(pid)
                 if self.storage.exists(path):
-                    self.storage.delete(path, now)
+                    self._safe_delete(path, now, metrics)
             index.drop_all()
             deleted += 1
         return deleted
@@ -306,8 +393,6 @@ class QaaSService:
         wait in the queue — and queued dataflows raise the gains of the
         indexes they would use (Section 4).
         """
-        import heapq
-
         metrics = ServiceMetrics(
             strategy=self.strategy.value, horizon_s=self.config.total_time_s
         )
@@ -335,7 +420,8 @@ class QaaSService:
                     remaining.append((finish, result, decision, app))
                     continue
                 before = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
-                self._apply_builds(result)
+                self._apply_builds(result, metrics)
+                self._apply_checkpoints(result, metrics)
                 after = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
                 metrics.indexes_created += len(after - before)
                 if self.strategy in (Strategy.GAIN, Strategy.GAIN_NO_DELETE):
@@ -348,16 +434,20 @@ class QaaSService:
                 metrics.snapshots.append(self._snapshot(result.finish_time))
             pending[:] = remaining
 
+        def acquire_slot(arrival: float) -> float:
+            """Earliest start: the arrival itself if a slot is free, else
+            when the earliest running dataflow finishes."""
+            if len(running) < slots:
+                return arrival
+            return max(arrival, heapq.heappop(running))
+
         for i, event in enumerate(ordered):
-            exec_start = event.time
-            if len(running) >= slots:
-                exec_start = max(exec_start, heapq.heappop(running))
-            elif running:
-                pass  # a free slot: start at arrival
+            exec_start = acquire_slot(event.time)
             if exec_start >= self.config.total_time_s:
                 break
             settle(exec_start)
-            self._apply_data_updates(exec_start)
+            self._retry_orphan_deletes(exec_start, metrics)
+            self._apply_data_updates(exec_start, metrics)
             dataflow = dataflow_at(i)
             # Dataflows already issued but still waiting count toward the
             # index gains at age 0 (Section 4: "currently running or
@@ -368,7 +458,8 @@ class QaaSService:
                     break
                 queued.append(dataflow_at(j))
             decision = self._decide(dataflow, now=exec_start, queued=queued)
-            deleted = self._apply_deletions(decision.to_delete, now=exec_start)
+            deleted = self._apply_deletions(decision.to_delete, now=exec_start,
+                                            metrics=metrics)
             metrics.indexes_deleted += deleted
 
             if self.pool is not None:
@@ -382,6 +473,13 @@ class QaaSService:
             heapq.heappush(running, result.finish_time)
             pending.append((result.finish_time, result, decision, event.app))
 
+            metrics.operator_retries += result.operator_retries
+            metrics.operators_recovered += result.operators_recovered
+            metrics.retries_exhausted += result.retries_exhausted
+            metrics.containers_crashed += result.containers_crashed
+            metrics.stragglers += result.stragglers
+            metrics.builds_failed += result.builds_failed
+            metrics.degraded_builds += result.builds_failed
             metrics.outcomes.append(
                 DataflowOutcome(
                     name=dataflow.name,
@@ -393,9 +491,21 @@ class QaaSService:
                     ops_executed=result.dataflow_ops,
                     builds_completed=len(result.builds_completed),
                     builds_killed=result.builds_killed,
+                    operator_retries=result.operator_retries,
                 )
             )
         settle(float("inf"))
+        self._retry_orphan_deletes(self.config.total_time_s, metrics)
+        metrics.faults_injected = dict(self.injector.stats.by_kind)
+        if metrics.total_faults_injected:
+            logger.info(
+                "run complete under faults: %s; retries=%d recovered=%d "
+                "crashes=%d checkpoints=%d resumes=%d degraded=%d",
+                metrics.faults_injected, metrics.operator_retries,
+                metrics.operators_recovered, metrics.containers_crashed,
+                metrics.checkpoints_recorded, metrics.checkpoint_resumes,
+                metrics.degraded_builds,
+            )
         # Settle storage accounting to the horizon.
         last = metrics.snapshots[-1].time if metrics.snapshots else 0.0
         if last < self.config.total_time_s:

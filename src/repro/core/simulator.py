@@ -11,6 +11,7 @@ dataflow). Dataflow execution is therefore never delayed by builds.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 
@@ -18,8 +19,12 @@ import numpy as np
 
 from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
 from repro.cloud.pricing import PricingModel
+from repro.faults.injector import FaultInjector, FaultKind
+from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import parse_build_op_name
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -29,6 +34,39 @@ class CompletedBuild:
     index_name: str
     partition_id: int
     finished_at: float  # absolute simulation seconds
+
+
+@dataclass(frozen=True)
+class BuildCheckpoint:
+    """Durable partial progress of an interrupted index build.
+
+    ``seconds`` is the checkpointed build work achieved *in this
+    execution* (already floored to the checkpoint interval); the service
+    accumulates it into the partition's total progress, which the tuner
+    subtracts from future build-candidate durations.
+    """
+
+    index_name: str
+    partition_id: int
+    seconds: float
+
+
+@dataclass
+class _OpFaultTally:
+    """Per-execution counters of injected operator faults."""
+
+    retries: int = 0
+    recovered: int = 0
+    exhausted: int = 0
+    crashes: int = 0
+    stragglers: int = 0
+
+    def merge(self, other: "_OpFaultTally") -> None:
+        self.retries += other.retries
+        self.recovered += other.recovered
+        self.exhausted += other.exhausted
+        self.crashes += other.crashes
+        self.stragglers += other.stragglers
 
 
 @dataclass
@@ -47,6 +85,13 @@ class ExecutionResult:
     builds_completed: list[CompletedBuild] = field(default_factory=list)
     builds_killed: int = 0
     builds_unstarted: int = 0
+    builds_failed: int = 0
+    checkpoints: list[BuildCheckpoint] = field(default_factory=list)
+    operator_retries: int = 0
+    operators_recovered: int = 0
+    retries_exhausted: int = 0
+    containers_crashed: int = 0
+    stragglers: int = 0
 
     @property
     def makespan_seconds(self) -> float:
@@ -54,7 +99,7 @@ class ExecutionResult:
 
     @property
     def builds_attempted(self) -> int:
-        return len(self.builds_completed) + self.builds_killed
+        return len(self.builds_completed) + self.builds_killed + self.builds_failed
 
 
 @dataclass(frozen=True)
@@ -78,6 +123,8 @@ class ExecutionSimulator:
         container: ContainerSpec = PAPER_CONTAINER,
         runtime_error: float = 0.0,
         rng: np.random.Generator | None = None,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if runtime_error < 0:
             raise ValueError("runtime_error must be non-negative")
@@ -85,12 +132,68 @@ class ExecutionSimulator:
         self.container = container
         self.runtime_error = runtime_error
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.injector = injector
+        self.retry = retry if retry is not None else RetryPolicy()
 
     # ------------------------------------------------------------------
     def _noise(self) -> float:
         if self.runtime_error == 0:
             return 1.0
         return float(self.rng.uniform(1.0 - self.runtime_error, 1.0 + self.runtime_error))
+
+    @property
+    def _faults_active(self) -> bool:
+        return self.injector is not None and self.injector.active
+
+    @property
+    def _checkpoint_interval(self) -> float:
+        if self.injector is None:
+            return 0.0
+        return self.injector.profile.checkpoint_interval_s
+
+    def _operator_elapsed(self, base: float) -> tuple[float, _OpFaultTally]:
+        """Wall-clock one dataflow operator occupies under faults.
+
+        Attempts run until one succeeds or the retry budget is spent:
+        stragglers stretch an attempt; a transient failure loses the
+        partial work and waits out the policy's backoff; a container
+        crash loses the work, forfeits the quantum remainder (billed by
+        the caller) and pays the respawn delay. If every attempt fails,
+        the operator moves to a freshly respawned container where the
+        transient condition is assumed cleared and runs once more —
+        dataflows always complete, at an honest time/money price.
+        """
+        injector = self.injector
+        assert injector is not None
+        tally = _OpFaultTally()
+        elapsed = 0.0
+        for attempt in range(self.retry.attempts_for(FaultKind.OPERATOR_TRANSIENT)):
+            duration = base
+            if injector.straggles():
+                duration *= injector.straggler_factor()
+                tally.stragglers += 1
+            if injector.container_crashes():
+                elapsed += duration * injector.failure_point()
+                elapsed += injector.profile.respawn_delay_s
+                tally.crashes += 1
+                tally.retries += 1
+                continue
+            if injector.operator_fails():
+                elapsed += duration * injector.failure_point()
+                elapsed += self.retry.delay_s(attempt, FaultKind.OPERATOR_TRANSIENT)
+                tally.retries += 1
+                continue
+            elapsed += duration
+            if attempt > 0:
+                tally.recovered += 1
+            return elapsed, tally
+        tally.exhausted += 1
+        elapsed += injector.profile.respawn_delay_s + base
+        logger.debug(
+            "retry budget exhausted after %d attempts; clean run on respawned container",
+            self.retry.attempts_for(FaultKind.OPERATOR_TRANSIENT),
+        )
+        return elapsed, tally
 
     def execute(self, interleaved: InterleavedSchedule, start_time: float) -> ExecutionResult:
         """Execute the schedule starting at ``start_time`` (absolute s)."""
@@ -102,6 +205,7 @@ class ExecutionSimulator:
         df_assignments = sorted(
             schedule.dataflow_assignments(), key=lambda a: (a.start, a.end)
         )
+        faults = _OpFaultTally()
         avail: dict[int, float] = {}
         op_end: dict[str, float] = {}
         op_container: dict[str, int] = {}
@@ -119,6 +223,9 @@ class ExecutionSimulator:
                 ready = max(ready, arrival)
             start = max(ready, avail.get(a.container_id, 0.0))
             duration = a.duration * self._noise()
+            if self._faults_active:
+                duration, tally = self._operator_elapsed(duration)
+                faults.merge(tally)
             end = start + duration
             avail[a.container_id] = end
             op_end[a.op_name] = end
@@ -147,8 +254,10 @@ class ExecutionSimulator:
             builds_by_container.setdefault(a.container_id, []).append(a)
 
         completed: list[CompletedBuild] = []
+        checkpoints: list[BuildCheckpoint] = []
         killed = 0
         unstarted = 0
+        failed = 0
         for cid, build_list in builds_by_container.items():
             lease = leases.get(cid)
             if lease is None:
@@ -156,44 +265,25 @@ class ExecutionSimulator:
                 # happen for empty dataflows); builds cannot run.
                 unstarted += len(build_list)
                 continue
-            gaps = self._actual_gaps(busy.get(cid, []), lease)
-            gap_idx = 0
-            cursor = gaps[0].start if gaps else None
-            for a in build_list:
-                parsed = parse_build_op_name(a.op_name)
-                duration = a.duration * self._noise()
-                placed = False
-                while gap_idx < len(gaps):
-                    gap = gaps[gap_idx]
-                    if cursor is None or cursor < gap.start:
-                        cursor = gap.start
-                    remaining = gap.end - cursor
-                    if remaining <= 1e-9:
-                        gap_idx += 1
-                        cursor = None
-                        continue
-                    if duration <= remaining + 1e-9:
-                        finish = cursor + duration
-                        if parsed is not None:
-                            completed.append(
-                                CompletedBuild(
-                                    index_name=parsed[0],
-                                    partition_id=parsed[1],
-                                    finished_at=start_time + finish,
-                                )
-                            )
-                        cursor = finish
-                        placed = True
-                    else:
-                        # Started but cut off by the next dataflow
-                        # operator or the quantum expiry.
-                        killed += 1
-                        gap_idx += 1
-                        cursor = None
-                        placed = True
-                    break
-                if not placed:
-                    unstarted += 1
+            done, ckpts, cut, lost, skipped = self._run_builds(
+                build_list, busy.get(cid, []), lease
+            )
+            completed.extend(
+                CompletedBuild(
+                    index_name=b.index_name,
+                    partition_id=b.partition_id,
+                    finished_at=start_time + b.finished_at,
+                )
+                for b in done
+            )
+            checkpoints.extend(ckpts)
+            killed += cut
+            failed += lost
+            unstarted += skipped
+
+        # Each container crash forfeits the remainder of its quantum and
+        # re-leases: one extra quantum billed beyond the lease integral.
+        money_quanta += faults.crashes
 
         return ExecutionResult(
             dataflow_name=dataflow.name,
@@ -204,6 +294,13 @@ class ExecutionSimulator:
             builds_completed=completed,
             builds_killed=killed,
             builds_unstarted=unstarted,
+            builds_failed=failed,
+            checkpoints=checkpoints,
+            operator_retries=faults.retries,
+            operators_recovered=faults.recovered,
+            retries_exhausted=faults.exhausted,
+            containers_crashed=faults.crashes,
+            stragglers=faults.stragglers,
         )
 
     # ------------------------------------------------------------------
@@ -234,6 +331,7 @@ class ExecutionSimulator:
         df_assignments = sorted(
             schedule.dataflow_assignments(), key=lambda a: (a.start, a.end)
         )
+        faults = _OpFaultTally()
         avail: dict[int, float] = {}
         op_end: dict[str, float] = {}
         op_container: dict[str, int] = {}
@@ -258,7 +356,17 @@ class ExecutionSimulator:
                 transfer += data_file.size_mb / self.container.net_bw_mb_s
                 container.cache.put(data_file.name, data_file.size_mb)
                 container.cache.stats.bytes_read_remote += data_file.size_mb
-            end = start + op.runtime * self._noise() + transfer
+            runtime = op.runtime * self._noise()
+            if self._faults_active:
+                duration, tally = self._operator_elapsed(runtime + transfer)
+                faults.merge(tally)
+                if tally.crashes:
+                    # The crashed VM's local disk is unrecoverable; the
+                    # respawned replacement starts with a cold cache.
+                    pool.note_crash(container, tally.crashes)
+                end = start + duration
+            else:
+                end = start + runtime + transfer
             pool.occupy(container, start, end)
             avail[a.container_id] = end
             op_end[a.op_name] = end
@@ -272,8 +380,10 @@ class ExecutionSimulator:
 
         # Builds run in the actual gaps up to each container's paid lease.
         completed: list[CompletedBuild] = []
+        checkpoints: list[BuildCheckpoint] = []
         killed = 0
         unstarted = 0
+        failed = 0
         builds_by_container: dict[int, list] = {}
         for a in sorted(interleaved.build_assignments, key=lambda a: a.start):
             builds_by_container.setdefault(a.container_id, []).append(a)
@@ -284,12 +394,16 @@ class ExecutionSimulator:
                 continue
             intervals = busy.get(cid, [])
             lease = (start_time, container.lease_end)
-            done, cut, skipped = self._run_builds(build_list, intervals, lease)
+            done, ckpts, cut, lost, skipped = self._run_builds(
+                build_list, intervals, lease
+            )
             completed.extend(done)
+            checkpoints.extend(ckpts)
             killed += cut
+            failed += lost
             unstarted += skipped
 
-        money = pool.stats.quanta_paid - paid_before
+        money = pool.stats.quanta_paid - paid_before + faults.crashes
         return ExecutionResult(
             dataflow_name=dataflow.name,
             start_time=start_time,
@@ -299,6 +413,13 @@ class ExecutionSimulator:
             builds_completed=completed,
             builds_killed=killed,
             builds_unstarted=unstarted,
+            builds_failed=failed,
+            checkpoints=checkpoints,
+            operator_retries=faults.retries,
+            operators_recovered=faults.recovered,
+            retries_exhausted=faults.exhausted,
+            containers_crashed=faults.crashes,
+            stragglers=faults.stragglers,
         )
 
     def _run_builds(
@@ -306,15 +427,24 @@ class ExecutionSimulator:
         build_list: list,
         intervals: list[_Interval],
         lease: tuple[float, float],
-    ) -> tuple[list[CompletedBuild], int, int]:
+    ) -> tuple[list[CompletedBuild], list[BuildCheckpoint], int, int, int]:
         """FIFO-fill builds into one container's actual gaps.
 
-        Times inside ``intervals``/``lease`` are absolute; completed
-        builds carry absolute finish times.
+        Completed builds carry finish times in the same frame (relative
+        or absolute) as ``intervals``/``lease``. A build cut off by a
+        dataflow operator or the quantum expiry counts as killed; one
+        that fails transiently mid-run counts as failed (never retried
+        inline — its partition re-enters the candidate pool). Either
+        way, with checkpointing enabled the work completed up to the
+        last checkpoint boundary survives as a :class:`BuildCheckpoint`.
         """
         completed: list[CompletedBuild] = []
+        checkpoints: list[BuildCheckpoint] = []
         killed = 0
         unstarted = 0
+        failed = 0
+        faults_active = self._faults_active
+        ckpt_interval = self._checkpoint_interval
         gaps = self._actual_gaps(intervals, lease)
         gap_idx = 0
         cursor = gaps[0].start if gaps else None
@@ -332,6 +462,19 @@ class ExecutionSimulator:
                     cursor = None
                     continue
                 if duration <= remaining + 1e-9:
+                    if faults_active and self.injector.build_fails():
+                        spent = duration * self.injector.failure_point()
+                        failed += 1
+                        cursor = cursor + spent
+                        placed = True
+                        if parsed is not None and ckpt_interval > 0:
+                            durable = self.injector.checkpointed(spent)
+                            if durable > 0:
+                                checkpoints.append(
+                                    BuildCheckpoint(parsed[0], parsed[1], durable)
+                                )
+                        logger.debug("build %s failed transiently", a.op_name)
+                        break
                     finish = cursor + duration
                     if parsed is not None:
                         completed.append(
@@ -344,14 +487,22 @@ class ExecutionSimulator:
                     cursor = finish
                     placed = True
                 else:
+                    # Started but cut off by the next dataflow operator
+                    # or the quantum expiry.
                     killed += 1
+                    if parsed is not None and ckpt_interval > 0:
+                        durable = self.injector.checkpointed(remaining)
+                        if durable > 0:
+                            checkpoints.append(
+                                BuildCheckpoint(parsed[0], parsed[1], durable)
+                            )
                     gap_idx += 1
                     cursor = None
                     placed = True
                 break
             if not placed:
                 unstarted += 1
-        return completed, killed, unstarted
+        return completed, checkpoints, killed, failed, unstarted
 
     def _actual_gaps(self, intervals: list[_Interval], lease: tuple[float, float]) -> list[_Interval]:
         """Idle periods of one container, split at quantum boundaries.

@@ -220,21 +220,37 @@ class IndexCostModel:
 
 @dataclass
 class IndexPartitionState:
-    """Mutable build state of one index partition."""
+    """Mutable build state of one index partition.
+
+    ``checkpoint_seconds`` is durable partial-build progress: the build
+    work already persisted by an interrupted (preempted, crashed or
+    transiently failed) build operator. The tuner subtracts it from the
+    partition's build-candidate duration, so a resumed build only pays
+    for the remaining work. It resets when the partition is built (the
+    checkpoints are subsumed) or invalidated (the data changed).
+    """
 
     partition_id: int
     built: bool = False
     built_at: float | None = None
     table_version: int = 0
+    checkpoint_seconds: float = 0.0
 
     def mark_built(self, time: float, table_version: int) -> None:
         self.built = True
         self.built_at = time
         self.table_version = table_version
+        self.checkpoint_seconds = 0.0
+
+    def add_checkpoint(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("checkpoint progress must be non-negative")
+        self.checkpoint_seconds += seconds
 
     def invalidate(self) -> None:
         self.built = False
         self.built_at = None
+        self.checkpoint_seconds = 0.0
 
 
 @dataclass
@@ -305,6 +321,13 @@ class Index:
     def mark_built(self, partition_id: int, time: float) -> None:
         state = self.partitions[partition_id]
         state.mark_built(time, self.table.partition(partition_id).version)
+
+    def record_checkpoint(self, partition_id: int, seconds: float) -> None:
+        """Accumulate durable partial-build progress for a partition."""
+        self.partitions[partition_id].add_checkpoint(seconds)
+
+    def checkpoint_seconds(self, partition_id: int) -> float:
+        return self.partitions[partition_id].checkpoint_seconds
 
     def invalidate_partition(self, partition_id: int) -> None:
         """Drop an index partition after a data update invalidates it."""

@@ -10,6 +10,7 @@ deletion.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.data.catalog import Catalog
@@ -89,8 +90,11 @@ class OnlineIndexTuner:
         self._read_quanta_cache: dict[str, float] = {}
         # Per-dataflow gtd/gmd are intrinsic to the dataflow (original
         # runtimes); queued dataflows are re-examined at every decision,
-        # so memoise by name.
-        self._df_gain_cache: dict[str, tuple[dict[str, float], dict[str, float]]] = {}
+        # so memoise by name with LRU eviction — hot names (queued
+        # dataflows re-ranked at every arrival) survive cache pressure.
+        self._df_gain_cache: OrderedDict[
+            str, tuple[dict[str, float], dict[str, float]]
+        ] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Gain bookkeeping
@@ -106,10 +110,14 @@ class OnlineIndexTuner:
         index = self.catalog.index(name)
         return self.gain_model.cost_model.index_size_mb(index.table, index.spec)
 
+    #: Bound of the per-dataflow gain memo (LRU-evicted beyond this).
+    GAIN_CACHE_MAX = 512
+
     def dataflow_gains(self, dataflow: Dataflow) -> tuple[dict[str, float], dict[str, float]]:
         """gtd/gmd of one dataflow for every index it can use (memoised)."""
         cached = self._df_gain_cache.get(dataflow.name)
         if cached is not None:
+            self._df_gain_cache.move_to_end(dataflow.name)
             return cached
         known = [n for n in dataflow.candidate_indexes if n in self.catalog.indexes]
         read = {n: self.index_read_quanta(self.catalog.index(n)) for n in known}
@@ -121,8 +129,8 @@ class OnlineIndexTuner:
             net_bw_mb_s=self.gain_model.cost_model.container.net_bw_mb_s,
             index_sizes_mb=sizes,
         )
-        if len(self._df_gain_cache) > 512:
-            self._df_gain_cache.clear()
+        while len(self._df_gain_cache) >= self.GAIN_CACHE_MAX:
+            self._df_gain_cache.popitem(last=False)
         self._df_gain_cache[dataflow.name] = gains
         return gains
 
@@ -203,7 +211,9 @@ class OnlineIndexTuner:
 
         The index's combined gain is split over its unbuilt partitions in
         proportion to the records they cover (partial indexes are usable
-        incrementally).
+        incrementally). Durable checkpoint progress from interrupted
+        builds is subtracted from the duration: a resumed build only
+        pays for the remaining work.
         """
         candidates: list[BuildCandidate] = []
         for gain in ranked:
@@ -214,11 +224,12 @@ class OnlineIndexTuner:
                 partition = table.partition(pid)
                 model = self.gain_model.cost_model.partition_model(table, spec, partition)
                 share = partition.num_records / total_records
+                remaining_s = model.total_build_seconds - index.checkpoint_seconds(pid)
                 candidates.append(
                     BuildCandidate(
                         index_name=index.name,
                         partition_id=pid,
-                        duration_s=max(model.total_build_seconds, 1e-6),
+                        duration_s=max(remaining_s, 1e-6),
                         gain=max(gain.combined_dollars * share, 0.0),
                     )
                 )

@@ -136,6 +136,79 @@ class TestBuildExecution:
         assert plain.makespan_seconds == pytest.approx(with_build.makespan_seconds)
 
 
+class TestPreemptionEdgeCases:
+    def _interleaved(self, build_duration, slot_container=1, start=30.0):
+        flow = two_container_flow()
+        cand = BuildCandidate("t__x", 0, build_duration, 1.0)
+        sched = schedule_for(flow)
+        build = Assignment(cand.op_name, slot_container, start,
+                           start + build_duration)
+        return InterleavedSchedule(
+            schedule=sched, build_assignments=[build], scheduled_builds=[cand]
+        )
+
+    def test_build_exactly_filling_quantum_completes(self):
+        """A build ending exactly at quantum expiry is not preempted."""
+        result = simulator().execute(self._interleaved(30.0), start_time=0.0)
+        assert len(result.builds_completed) == 1
+        assert result.builds_completed[0].finished_at == pytest.approx(60.0)
+        assert result.builds_killed == 0
+
+    def test_build_a_hair_over_quantum_is_killed(self):
+        result = simulator().execute(self._interleaved(30.0 + 1e-3), start_time=0.0)
+        assert result.builds_completed == []
+        assert result.builds_killed == 1
+
+    def test_build_on_unleased_container_is_unstarted(self):
+        """A build on a container the dataflow never leases cannot run."""
+        flow = two_container_flow()
+        cand = BuildCandidate("t__x", 0, 10.0, 1.0)
+        inter = InterleavedSchedule(
+            schedule=schedule_for(flow),
+            build_assignments=[Assignment(cand.op_name, 7, 0.0, 10.0)],
+            scheduled_builds=[cand],
+        )
+        result = simulator().execute(inter, start_time=0.0)
+        assert result.builds_completed == []
+        assert result.builds_killed == 0
+        assert result.builds_unstarted == 1
+
+    def test_unstarted_overflow_accounting(self):
+        """Builds past the cut point split into one killed + N unstarted."""
+        flow = two_container_flow()
+        cands = [BuildCandidate(f"t{i}__x", 0, 20.0, 1.0) for i in range(3)]
+        sched = schedule_for(flow)
+        builds = [
+            Assignment(cands[i].op_name, 1, 30.0 + 20.0 * i, 50.0 + 20.0 * i)
+            for i in range(3)
+        ]
+        inter = InterleavedSchedule(
+            schedule=sched, build_assignments=builds, scheduled_builds=cands
+        )
+        result = simulator().execute(inter, start_time=0.0)
+        # Gap is 30 s: the first 20 s build fits, the second is cut at the
+        # quantum boundary, the third never starts.
+        assert len(result.builds_completed) == 1
+        assert result.builds_killed == 1
+        assert result.builds_unstarted == 1
+        # Attempted counts builds that actually ran; unstarted ones never did.
+        assert result.builds_attempted == 2
+
+    def test_attempted_includes_failed_builds(self):
+        from repro.faults.injector import FaultInjector, FaultProfile
+        from repro.faults.retry import RetryPolicy
+
+        sim = ExecutionSimulator(
+            PAPER_PRICING,
+            injector=FaultInjector(FaultProfile(operator_failure_rate=1.0),
+                                   rng=np.random.default_rng(0)),
+            retry=RetryPolicy(rng=np.random.default_rng(1)),
+        )
+        result = sim.execute(self._interleaved(10.0), start_time=0.0)
+        assert result.builds_failed == 1
+        assert result.builds_attempted == 1
+
+
 class TestDependenciesUnderNoise:
     def test_actual_start_respects_dependencies(self):
         """Even if a predecessor runs long, the successor waits."""
