@@ -1,0 +1,39 @@
+"""repro.analysis — the repo's own static-analysis gate.
+
+An AST-based lint framework plus an optional ``mypy --strict`` leg that
+together machine-check the invariants the paper reproduction depends
+on: bit-deterministic simulation (DET01, SEED01), numerically safe
+billing math (NUM01), an acyclic package DAG (LAY01), hashable
+simulation records (SIM01) and fully-annotated public APIs in the
+billing-critical packages (TYP01).
+
+Run it as ``python -m repro.analysis src/repro`` or via the
+``repro-lint`` console script; rules and rationale are documented in
+``docs/ANALYSIS.md``. The package deliberately imports nothing from the
+rest of ``repro`` at runtime (the typecheck leg resolves the source
+root lazily), so the linter still runs on a tree it is about to reject.
+"""
+
+from repro.analysis.context import ModuleContext, module_name_for_path
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import LINT_META_CODE, Rule, all_rules, known_codes, register
+from repro.analysis.runner import discover_files, lint_paths, lint_source, main
+from repro.analysis.typecheck import STRICT_PACKAGES, TypecheckResult, run_mypy
+
+__all__ = [
+    "Diagnostic",
+    "ModuleContext",
+    "module_name_for_path",
+    "Rule",
+    "register",
+    "all_rules",
+    "known_codes",
+    "LINT_META_CODE",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "STRICT_PACKAGES",
+    "TypecheckResult",
+    "run_mypy",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.analysis [paths...]``."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

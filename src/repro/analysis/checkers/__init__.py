@@ -1,0 +1,24 @@
+"""Built-in checkers. Importing this package registers every rule.
+
+Adding a rule: create a module here, decorate one generator function
+with :func:`repro.analysis.registry.register`, and import the module
+below. The runner and the fixture self-tests pick it up automatically.
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (imported for registration)
+    annotations,
+    determinism,
+    frozen_dataclasses,
+    layering,
+    numeric_safety,
+    seed_threading,
+)
+
+__all__ = [
+    "annotations",
+    "determinism",
+    "frozen_dataclasses",
+    "layering",
+    "numeric_safety",
+    "seed_threading",
+]

@@ -1,0 +1,86 @@
+"""TYP01 — public API of core/cloud/tuning is fully annotated.
+
+``mypy --strict`` is wired into the same gate (see
+:mod:`repro.analysis.typecheck`), but mypy is an optional dev
+dependency — this rule enforces the load-bearing part (complete public
+signatures in the billing-critical packages) with zero dependencies, so
+the gate never silently weakens on a machine without mypy.
+
+Scope: module-level and class-level ``def``s in ``repro.core``,
+``repro.cloud`` and ``repro.tuning`` whose names are public (no leading
+underscore; dunders included). Every parameter except ``self``/``cls``
+and the return type must be annotated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+GATED_PACKAGES: tuple[str, ...] = ("repro.core", "repro.cloud", "repro.tuning")
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def _missing_annotations(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    ordered = [*args.posonlyargs, *args.args]
+    missing = [
+        a.arg
+        for i, a in enumerate(ordered)
+        if a.annotation is None and not (i == 0 and a.arg in ("self", "cls"))
+    ]
+    missing += [a.arg for a in args.kwonlyargs if a.annotation is None]
+    if args.vararg and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    return missing
+
+
+def _functions_of(body: list[ast.stmt]) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Module- and class-level functions (nested closures are exempt)."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield member
+
+
+@register("TYP01", "public functions in core/cloud/tuning are fully annotated")
+def check_annotations(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    """Flag incompletely-annotated public defs in strict packages."""
+    module = ctx.module
+    if module is None or not any(
+        module == pkg or module.startswith(pkg + ".") for pkg in GATED_PACKAGES
+    ):
+        return
+    for fn in _functions_of(ctx.tree.body):
+        if not _is_public(fn.name):
+            continue
+        missing = _missing_annotations(fn)
+        needs_return = fn.returns is None
+        if not missing and not needs_return:
+            continue
+        parts = []
+        if missing:
+            parts.append(f"unannotated parameter(s): {', '.join(missing)}")
+        if needs_return:
+            parts.append("missing return annotation")
+        yield Diagnostic(
+            path=str(ctx.path),
+            line=fn.lineno,
+            col=fn.col_offset + 1,
+            code="TYP01",
+            message=f"public `{fn.name}` in a strict-typed package has " + " and ".join(parts),
+        )

@@ -1,0 +1,123 @@
+"""DET01 — no unseeded randomness, no wall-clock reads.
+
+The paper's gain model (Eqs. 3-5) and the quantum-billing experiments
+are validated by *bit-deterministic* replay: the same seed must produce
+byte-identical metrics (PR 1's zero-rate fault runs were verified that
+way by hand). A single ``random.random()``, module-level
+``numpy.random.*`` draw, unseeded ``default_rng()`` or wall-clock read
+(``time.time``, ``datetime.now``) silently couples a run to global
+state or to the host clock and makes every downstream number
+unreproducible.
+
+Exempt: ``repro.cli`` (the operator-facing entry point may timestamp
+its own output). Anywhere else, a legitimate wall-clock use (e.g. a
+real microbenchmark) must carry an inline justification::
+
+    t0 = time.perf_counter()  # repro-lint: disable=DET01 -- measures real work
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+#: Modules allowed to read the wall clock / host entropy.
+_EXEMPT_MODULES = frozenset({"repro.cli"})
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+_DATETIME_NOW = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random attributes that construct explicit, seedable state
+#: (fine when given a seed; the no-argument forms are flagged below).
+_NP_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+def _has_arguments(node: ast.Call) -> bool:
+    return bool(node.args or node.keywords)
+
+
+@register("DET01", "no unseeded randomness or wall-clock reads in the simulator")
+def check_determinism(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    """Flag wall-clock reads and unseeded/global-state randomness."""
+    if ctx.module in _EXEMPT_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.call_target(node)
+        if target is None:
+            continue
+        message: str | None = None
+        if target in _WALL_CLOCK or target in _DATETIME_NOW:
+            message = (
+                f"wall-clock read `{target}()` — simulated time must come from "
+                "the event clock, not the host"
+            )
+        elif target == "random.Random":
+            if not _has_arguments(node):
+                message = (
+                    "`random.Random()` without a seed draws entropy from the OS; "
+                    "pass an explicit seed"
+                )
+        elif target == "random.SystemRandom":
+            message = "`random.SystemRandom` is OS entropy and can never be seeded"
+        elif target.startswith("random."):
+            message = (
+                f"module-level `{target}()` uses the global random state; "
+                "thread a seeded `random.Random`/`numpy` Generator instead"
+            )
+        elif target.startswith("numpy.random."):
+            tail = target.removeprefix("numpy.random.")
+            if tail in ("default_rng", "RandomState"):
+                if not _has_arguments(node):
+                    message = (
+                        f"`numpy.random.{tail}()` without a seed draws OS entropy; "
+                        "pass an explicit seed"
+                    )
+            elif tail not in _NP_CONSTRUCTORS:
+                message = (
+                    f"module-level `{target}()` uses numpy's global random state; "
+                    "use a seeded `numpy.random.default_rng(seed)` generator"
+                )
+        if message is not None:
+            yield Diagnostic(
+                path=str(ctx.path),
+                line=node.lineno,
+                col=node.col_offset + 1,
+                code="DET01",
+                message=message,
+            )

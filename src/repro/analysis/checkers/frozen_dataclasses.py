@@ -1,0 +1,135 @@
+"""SIM01 — dataclasses used as dict keys or set members must be frozen.
+
+``@dataclass`` with ``eq=True`` (the default) sets ``__hash__ = None``:
+instances are *unhashable*, and using one as a dict key or set member
+raises ``TypeError`` at runtime — but only on the code path that
+actually does it, which in this repo tends to be a rarely-exercised
+branch of the simulator (e.g. deduplicating ``_Interval`` gaps). Passing
+``frozen=True`` restores a value-based hash *and* makes the instance
+immutable, which the simulator additionally relies on: a schedule
+assignment that mutates after being recorded corrupts replay.
+
+Detection is per-module and syntactic: a non-frozen dataclass defined
+here is flagged wherever this module uses it as a ``dict[K, ...]`` key
+annotation, inside ``set[...]``/``frozenset[...]``, as a dict-literal
+key, in a set literal, or via ``some_set.add(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+_SET_TYPES = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+_DICT_TYPES = frozenset({"dict", "Dict", "defaultdict", "DefaultDict", "Counter", "OrderedDict"})
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        return _decorator_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _nonfrozen_dataclasses(tree: ast.Module) -> dict[str, int]:
+    """Names of ``@dataclass`` classes in this module without frozen=True."""
+    found: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for deco in node.decorator_list:
+            if _decorator_name(deco) != "dataclass":
+                continue
+            frozen = False
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                        frozen = bool(kw.value.value)
+            if not frozen:
+                found[node.name] = node.lineno
+            break
+    return found
+
+
+def _type_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the outermost identifier.
+        return node.value.split("[", 1)[0].strip()
+    return None
+
+
+def _key_positions(node: ast.Subscript) -> list[ast.expr]:
+    """Type expressions used in hashed positions of a subscript annotation."""
+    container = _type_name(node.value)
+    slice_node = node.slice
+    if container in _SET_TYPES:
+        return [slice_node]
+    if container in _DICT_TYPES:
+        if isinstance(slice_node, ast.Tuple) and slice_node.elts:
+            return [slice_node.elts[0]]
+        return [slice_node]
+    return []
+
+
+def _constructed_class(node: ast.expr) -> str | None:
+    """Class name if the expression constructs ``ClassName(...)``."""
+    if isinstance(node, ast.Call):
+        return _type_name(node.func)
+    return None
+
+
+@register("SIM01", "dataclasses used as dict keys / set members must be frozen")
+def check_frozen_dataclasses(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    """Flag non-frozen local dataclasses used in hashed positions."""
+    suspects = _nonfrozen_dataclasses(ctx.tree)
+    if not suspects:
+        return
+
+    def diag(node: ast.AST, name: str, how: str) -> Diagnostic:
+        return Diagnostic(
+            path=str(ctx.path),
+            line=node.lineno,
+            col=node.col_offset + 1,
+            code="SIM01",
+            message=(
+                f"non-frozen @dataclass `{name}` (defined at line "
+                f"{suspects[name]}) is {how}; declare it "
+                "@dataclass(frozen=True) or it is unhashable/mutable"
+            ),
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Subscript):
+            for key_expr in _key_positions(node):
+                name = _type_name(key_expr)
+                if name in suspects:
+                    yield diag(node, name, "annotated as a dict key / set element")
+        elif isinstance(node, ast.Set):
+            for elt in node.elts:
+                name = _constructed_class(elt)
+                if name in suspects:
+                    yield diag(elt, name, "placed in a set literal")
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is None:
+                    continue
+                name = _constructed_class(key)
+                if name in suspects:
+                    yield diag(key, name, "used as a dict-literal key")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "add" and node.args:
+                name = _constructed_class(node.args[0])
+                if name in suspects:
+                    yield diag(node, name, "added to a set")

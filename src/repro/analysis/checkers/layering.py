@@ -1,0 +1,116 @@
+"""LAY01 — package layering stays an acyclic DAG.
+
+The package layers, bottom to top::
+
+    cloud, data          (substrate: pricing, tables, indexes)
+    dataflow, engine     (workload + measurement)
+    scheduling, interleave
+    tuning
+    core                 (service, simulator — the composition root)
+
+Lower layers must never import upper ones: ``data``/``cloud`` must not
+import ``scheduling``/``tuning``/``core``, and ``engine`` (the real
+B-tree/heap measurement layer) must not import ``core``. An upward
+import closes a package cycle, and Python package cycles fail at import
+time in whichever module loads second — typically in production, not in
+the test that imported things in the lucky order.
+
+One carve-out: :mod:`repro.core.numeric` is a dependency-free leaf
+(pure ``math``), the shared home of the NUM01 tolerance helpers. Any
+layer may import it; it cannot participate in a cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+#: Package prefix -> package prefixes it must not import.
+FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "repro.data": ("repro.scheduling", "repro.tuning", "repro.core"),
+    "repro.cloud": ("repro.scheduling", "repro.tuning", "repro.core"),
+    "repro.engine": ("repro.core", "repro.scheduling", "repro.tuning"),
+}
+
+#: Dependency-free leaf modules importable from any layer.
+ALLOWED_LEAVES: tuple[str, ...] = ("repro.core.numeric",)
+
+
+def _within(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def _is_allowed(target: str) -> bool:
+    return any(_within(target, leaf) for leaf in ALLOWED_LEAVES)
+
+
+def _violated_prefix(target: str, forbidden: tuple[str, ...]) -> str | None:
+    if _is_allowed(target):
+        return None
+    for prefix in forbidden:
+        if _within(target, prefix):
+            return prefix
+    return None
+
+
+def _import_targets(node: ast.Import | ast.ImportFrom, ctx: ModuleContext) -> list[str]:
+    """Most-specific module paths an import statement pulls in."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    base = ctx._resolve_from_base(node)
+    if base is None:
+        return []
+    # ``from repro.core import numeric`` imports repro.core.numeric, not
+    # repro.core itself — resolve to the most specific path so the
+    # ALLOWED_LEAVES carve-out sees it.
+    return [f"{base}.{alias.name}" if alias.name != "*" else base for alias in node.names]
+
+
+@register("LAY01", "package layering: no upward imports (data/cloud/engine)")
+def check_layering(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    """Flag upward imports from the data/cloud/engine layers."""
+    module = ctx.module
+    if module is None:
+        return
+    forbidden: tuple[str, ...] | None = None
+    for prefix, banned in FORBIDDEN.items():
+        if _within(module, prefix):
+            forbidden = banned
+            break
+    if forbidden is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for target in _import_targets(node, ctx):
+            hit = _violated_prefix(target, forbidden)
+            if hit is None and isinstance(node, ast.ImportFrom):
+                # The names may not be submodules (`from repro.core import
+                # QaaSService` still imports repro.core) — check the base too.
+                base = ctx._resolve_from_base(node)
+                if base is not None and not _is_allowed(target):
+                    hit = _violated_prefix(base, forbidden)
+            if hit is not None:
+                yield Diagnostic(
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code="LAY01",
+                    message=(
+                        f"`{module}` (layer `{_layer_of(module)}`) must not import "
+                        f"`{target}`: `{_layer_of(module)}` -> `{hit}` is an upward "
+                        "edge that makes the package DAG cyclic"
+                    ),
+                )
+                break  # one diagnostic per import statement
+
+
+def _layer_of(module: str) -> str:
+    for prefix in FORBIDDEN:
+        if _within(module, prefix):
+            return prefix
+    return module

@@ -1,0 +1,94 @@
+"""NUM01 — no exact float equality on money or time expressions.
+
+Costs and durations in this codebase are accumulated floats: summed
+per-operator runtimes, faded gain contributions (Eqs. 3-5), storage
+integrals, quantum bills. ``==``/``!=`` between two such values
+compares the last ulp of two different summation orders — it holds in
+the test you wrote and fails in the one you didn't. All tolerant
+comparisons live in :mod:`repro.core.numeric` (``money_eq``,
+``time_eq``, ``ge_tol``, ``le_tol``); this rule rejects exact equality
+anywhere a money/time expression is recognisable.
+
+Recognition is lexical (this is a linter, not a type checker): an
+operand is money/time-flavoured if it is a float literal, or a name /
+attribute / call whose terminal identifier contains one of the billing
+vocabulary tokens (``cost``, ``price``, ``dollars``, ``seconds``,
+``quanta``, ``gain``, ``makespan``, ``budget``, ``money``) or ends in
+a unit suffix (``_s``, ``_mb``). Integer-typed quanta counters compared
+with ``==`` should be renamed or suppressed with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+_VOCAB = (
+    "cost",
+    "price",
+    "dollar",
+    "money",
+    "seconds",
+    "quanta",
+    "gain",
+    "makespan",
+    "budget",
+)
+
+_UNIT_SUFFIXES = ("_s", "_mb", "_usd")
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    """The last identifier of a name/attribute/call expression."""
+    if isinstance(node, ast.Call):
+        return _terminal_identifier(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_money_or_time(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_money_or_time(node.operand)
+    ident = _terminal_identifier(node)
+    if ident is None:
+        return False
+    lowered = ident.lower()
+    if lowered.endswith(_UNIT_SUFFIXES):
+        return True
+    return any(token in lowered for token in _VOCAB)
+
+
+@register("NUM01", "no ==/!= between float cost/time expressions")
+def check_numeric_safety(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    """Flag ``==``/``!=`` where an operand is money/time-flavoured."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        flagged = next((o for o in operands if _is_money_or_time(o)), None)
+        if flagged is None:
+            continue
+        ident = _terminal_identifier(flagged)
+        subject = f"`{ident}`" if ident else "a float literal"
+        yield Diagnostic(
+            path=str(ctx.path),
+            line=node.lineno,
+            col=node.col_offset + 1,
+            code="NUM01",
+            message=(
+                f"exact float equality involving {subject} — accumulated "
+                "cost/time values must use repro.core.numeric "
+                "(money_eq/time_eq/ge_tol/le_tol)"
+            ),
+        )

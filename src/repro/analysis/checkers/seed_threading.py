@@ -1,0 +1,109 @@
+"""SEED01 — functions that receive rng/seed must thread it, not fork it.
+
+The repo's determinism contract assigns every stochastic component its
+own named stream derived from the experiment seed (workload = seed+0,
+service = seed+1, simulator = seed+2, faults = seed+3, retry = seed+4).
+A function that *accepts* an ``rng`` or ``seed`` parameter and then
+quietly constructs its own generator breaks that contract twice: the
+caller's carefully-threaded stream is ignored, and the fresh stream
+collides with (or drifts from) the documented ones.
+
+Flagged, inside any function with an ``rng`` parameter:
+
+* ``default_rng()`` / ``random.Random()`` / ``RandomState()`` with no
+  arguments — an unseeded fork (a *seeded* constant fallback such as
+  ``rng if rng is not None else default_rng(0)`` is explicitly allowed).
+
+Inside any function with a ``seed`` parameter (and no ``rng``):
+
+* RNG construction whose arguments never mention ``seed`` — the
+  parameter exists but the entropy comes from somewhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+_RNG_CONSTRUCTORS = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _walk_own_body(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # the nested function is checked on its own
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mentions_name(node: ast.Call, name: str) -> bool:
+    for arg in (*node.args, *(kw.value for kw in node.keywords)):
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and sub.id == name:
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr == name:
+                return True
+    return False
+
+
+@register("SEED01", "rng/seed parameters must be threaded to callees, not replaced")
+def check_seed_threading(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    """Flag functions that take rng/seed but construct their own RNG."""
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = _param_names(fn)
+        has_rng = "rng" in params
+        has_seed = "seed" in params
+        if not has_rng and not has_seed:
+            continue
+        for node in _walk_own_body(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.call_target(node)
+            if target not in _RNG_CONSTRUCTORS:
+                continue
+            short = target.rsplit(".", 1)[-1]
+            if has_rng:
+                if not node.args and not node.keywords:
+                    yield Diagnostic(
+                        path=str(ctx.path),
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        code="SEED01",
+                        message=(
+                            f"`{fn.name}` receives `rng` but constructs an unseeded "
+                            f"`{short}()`; thread the rng parameter (a seeded "
+                            "constant fallback is fine)"
+                        ),
+                    )
+            elif has_seed and not _mentions_name(node, "seed"):
+                yield Diagnostic(
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code="SEED01",
+                    message=(
+                        f"`{fn.name}` receives `seed` but `{short}(...)` does not "
+                        "use it; derive the generator from the seed parameter"
+                    ),
+                )

@@ -1,0 +1,142 @@
+"""Per-module analysis context shared by all checkers.
+
+Wraps one parsed source file with the helpers every checker needs:
+
+* the module's dotted name (``repro.core.simulator``), derived from the
+  path or overridden by a ``# lint-module: <name>`` header (used by the
+  self-test fixtures, which live outside the package tree);
+* an alias map from local names to canonical module paths, built from
+  the module's import statements (``np`` -> ``numpy``, ``datetime`` ->
+  ``datetime.datetime`` after ``from datetime import datetime``);
+* resolution of call targets to canonical dotted names, so checkers
+  match ``numpy.random.uniform`` regardless of how numpy was imported.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_LINT_MODULE_RE = re.compile(r"^#\s*lint-module:\s*([\w.]+)\s*$")
+
+#: How many leading lines may carry ``# lint-module:`` headers.
+_HEADER_SCAN_LINES = 10
+
+
+def module_name_for_path(path: Path) -> str | None:
+    """Dotted module name of a file inside the ``repro`` package tree."""
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    start = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = list(parts[start:])
+    dotted[-1] = dotted[-1].removesuffix(".py")
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+@dataclass
+class ModuleContext:
+    """One source file, parsed, with import-resolution helpers."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module: str | None
+    _aliases: dict[str, str] | None = field(default=None, repr=False)
+
+    @classmethod
+    def parse(
+        cls, source: str, path: Path, module: str | None = None
+    ) -> "ModuleContext":
+        """Parse ``source``; may raise :class:`SyntaxError`.
+
+        The module name is taken from, in priority order: the explicit
+        argument, a ``# lint-module:`` header in the first few lines
+        (fixture escape hatch), or the path's position under ``repro/``.
+        """
+        if module is None:
+            for raw in source.splitlines()[:_HEADER_SCAN_LINES]:
+                match = _LINT_MODULE_RE.match(raw.strip())
+                if match:
+                    module = match.group(1)
+                    break
+        if module is None:
+            module = module_name_for_path(path)
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, source=source, tree=tree, module=module)
+
+    # ------------------------------------------------------------------
+    # Import resolution
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> canonical dotted path, from all import statements."""
+        if self._aliases is None:
+            self._aliases = self._build_aliases()
+        return self._aliases
+
+    def _build_aliases(self) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{base}.{alias.name}" if base else alias.name
+        return aliases
+
+    def _resolve_from_base(self, node: ast.ImportFrom) -> str | None:
+        """Absolute module a ``from X import ...`` pulls from."""
+        if node.level == 0:
+            return node.module
+        if self.module is None:
+            return None
+        # Relative import: climb ``level`` packages from this module.
+        parts = self.module.split(".")
+        if len(parts) < node.level:
+            return None
+        base_parts = parts[: len(parts) - node.level]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    # ------------------------------------------------------------------
+    # Name canonicalisation
+    # ------------------------------------------------------------------
+    def canonical_name(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, or None.
+
+        Only resolves chains whose root name was introduced by an import
+        (a chain rooted at a local variable is not a module reference).
+        """
+        chain: list[str] = []
+        cursor: ast.expr = node
+        while isinstance(cursor, ast.Attribute):
+            chain.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = self.aliases.get(cursor.id)
+        if root is None:
+            return None
+        chain.append(root)
+        return ".".join(reversed(chain))
+
+    def call_target(self, node: ast.Call) -> str | None:
+        """Canonical dotted path of a call's target, or None."""
+        return self.canonical_name(node.func)

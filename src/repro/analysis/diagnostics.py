@@ -1,0 +1,29 @@
+"""Diagnostic records emitted by the lint checkers.
+
+A diagnostic anchors one rule violation to a ``file:line:col`` location.
+The runner renders them as human-readable lines and as a machine-readable
+JSON report (see :mod:`repro.analysis.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        """Human-readable ``file:line:col: CODE message`` anchor."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return asdict(self)

@@ -1,0 +1,58 @@
+"""Pluggable checker registry.
+
+A checker is a function ``(ModuleContext) -> Iterable[Diagnostic]``
+registered under a stable rule code via the :func:`register` decorator.
+New rules drop in by adding a module under ``repro.analysis.checkers``
+and decorating one function — the runner discovers them through this
+registry, never through hard-coded lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+
+CheckerFn = Callable[[ModuleContext], Iterable[Diagnostic]]
+
+#: Reserved code for lint infrastructure errors (malformed suppressions,
+#: unparsable files). Not a registrable checker.
+LINT_META_CODE = "LINT00"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: its code, a one-line summary, the checker."""
+
+    code: str
+    summary: str
+    checker: CheckerFn
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(code: str, summary: str) -> Callable[[CheckerFn], CheckerFn]:
+    """Class/function decorator registering a checker under ``code``."""
+
+    def decorate(fn: CheckerFn) -> CheckerFn:
+        if code == LINT_META_CODE:
+            raise ValueError(f"{LINT_META_CODE} is reserved for the lint runner")
+        if code in _RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        _RULES[code] = Rule(code=code, summary=summary, checker=fn)
+        return fn
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by code (stable report order)."""
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def known_codes() -> frozenset[str]:
+    """All valid rule codes, including the reserved meta code."""
+    return frozenset(_RULES) | {LINT_META_CODE}

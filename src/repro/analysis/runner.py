@@ -1,0 +1,191 @@
+"""The lint runner: file discovery, rule dispatch, reporting, CLI.
+
+Usage::
+
+    python -m repro.analysis src/repro            # full gate (lint + mypy)
+    repro-lint src/repro --json report.json       # machine-readable report
+    repro-lint --list-rules                       # what is enforced, and why
+    repro-lint tests/analysis_fixtures --no-typecheck --select DET01
+
+Exit status is 0 only when every lint rule passes and the mypy leg did
+not fail (a *skipped* mypy — not installed — does not fail the gate;
+the JSON report records the skip so CI can insist on the real thing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import repro.analysis.checkers  # noqa: F401  (registers the built-in rules)
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import LINT_META_CODE, all_rules, known_codes
+from repro.analysis.suppressions import SuppressionTable
+from repro.analysis.typecheck import STRICT_PACKAGES, TypecheckResult, run_mypy
+
+REPORT_VERSION = 1
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    module: str | None = None,
+    select: frozenset[str] | None = None,
+) -> list[Diagnostic]:
+    """Run every (selected) registered rule over one source text."""
+    try:
+        ctx = ModuleContext.parse(source, path, module=module)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=LINT_META_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    table = SuppressionTable(source, path, known_codes())
+    diagnostics: list[Diagnostic] = list(table.problems)
+    for rule in all_rules():
+        if select is not None and rule.code not in select:
+            continue
+        for diag in rule.checker(ctx):
+            if not table.is_suppressed(diag.code, diag.line):
+                diagnostics.append(diag)
+    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.col, d.code))
+
+
+def lint_paths(
+    paths: Sequence[str | Path], select: frozenset[str] | None = None
+) -> list[Diagnostic]:
+    """Lint every Python file under ``paths``."""
+    diagnostics: list[Diagnostic] = []
+    for path in discover_files(paths):
+        diagnostics.extend(lint_source(path.read_text(), path, select=select))
+    return diagnostics
+
+
+def _build_report(
+    paths: Sequence[str],
+    diagnostics: list[Diagnostic],
+    typecheck: TypecheckResult | None,
+) -> dict[str, object]:
+    counts: dict[str, int] = {}
+    for diag in diagnostics:
+        counts[diag.code] = counts.get(diag.code, 0) + 1
+    return {
+        "tool": "repro-lint",
+        "version": REPORT_VERSION,
+        "paths": list(paths),
+        "rules": [
+            {"code": rule.code, "summary": rule.summary} for rule in all_rules()
+        ],
+        "diagnostics": [diag.to_json() for diag in diagnostics],
+        "counts": dict(sorted(counts.items())),
+        "typecheck": typecheck.to_json() if typecheck is not None else None,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point for ``repro-lint`` / ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST lint + typecheck gate for simulator determinism, "
+            "billing-math safety and package layering."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write a machine-readable JSON report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-typecheck", action="store_true",
+        help="skip the mypy --strict leg of the gate",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        print(
+            f"{LINT_META_CODE}  (reserved) malformed suppressions / unparsable files"
+        )
+        return 0
+
+    select: frozenset[str] | None = None
+    if args.select:
+        select = frozenset(code.strip().upper() for code in args.select.split(","))
+        unknown = select - known_codes()
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+
+    try:
+        diagnostics = lint_paths(args.paths, select=select)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    typecheck: TypecheckResult | None = None
+    if not args.no_typecheck and select is None:
+        typecheck = run_mypy()
+
+    # With `--json -` the report owns stdout; human diagnostics move to
+    # stderr so the stream stays machine-parsable.
+    out = sys.stderr if args.json == "-" else sys.stdout
+    for diag in diagnostics:
+        print(diag.format(), file=out)
+    if diagnostics:
+        print(f"repro-lint: {len(diagnostics)} problem(s) found", file=out)
+    else:
+        print("repro-lint: clean", file=out)
+    if typecheck is not None:
+        label = f"mypy --strict ({', '.join(STRICT_PACKAGES)}): {typecheck.status}"
+        print(label, file=out)
+        if typecheck.failed:
+            print(typecheck.detail, file=out)
+
+    if args.json:
+        report = json.dumps(
+            _build_report(args.paths, diagnostics, typecheck), indent=2
+        )
+        if args.json == "-":
+            print(report)
+        else:
+            Path(args.json).write_text(report + "\n")
+
+    failed = bool(diagnostics) or (typecheck is not None and typecheck.failed)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Inline suppression comments.
+
+A violation can be silenced on its own line with::
+
+    something_flagged()  # repro-lint: disable=DET01 -- why this is safe
+
+The justification after ``--`` is **mandatory**: a suppression without
+one, or naming an unknown rule code, is itself reported (as the reserved
+``LINT00`` meta code). This keeps every escape hatch auditable — the
+reviewer sees *why* the invariant does not apply, not just that someone
+turned the rule off.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import LINT_META_CODE
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]*?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    codes: frozenset[str]
+    justification: str | None
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """All ``repro-lint: disable=`` comments in ``source``, by line."""
+    found: list[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper() for code in match.group("codes").split(",") if code.strip()
+        )
+        found.append(
+            Suppression(
+                line=lineno, codes=codes, justification=match.group("why")
+            )
+        )
+    return found
+
+
+class SuppressionTable:
+    """Validated per-file suppressions, plus their own diagnostics."""
+
+    def __init__(
+        self, source: str, path: Path, valid_codes: frozenset[str]
+    ) -> None:
+        self.problems: list[Diagnostic] = []
+        self._by_line: dict[int, frozenset[str]] = {}
+        for sup in parse_suppressions(source):
+            ok = True
+            if not sup.codes:
+                self._note(path, sup.line, "suppression lists no rule codes")
+                ok = False
+            unknown = sorted(sup.codes - valid_codes)
+            if unknown:
+                self._note(
+                    path, sup.line,
+                    f"suppression names unknown rule code(s): {', '.join(unknown)}",
+                )
+                ok = False
+            if not sup.justification:
+                self._note(
+                    path, sup.line,
+                    "suppression requires a justification: append "
+                    "`-- <why this is safe>` after the rule code(s)",
+                )
+                ok = False
+            if ok:
+                merged = self._by_line.get(sup.line, frozenset()) | sup.codes
+                self._by_line[sup.line] = merged
+
+    def _note(self, path: Path, line: int, message: str) -> None:
+        self.problems.append(
+            Diagnostic(
+                path=str(path), line=line, col=1,
+                code=LINT_META_CODE, message=message,
+            )
+        )
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether a valid suppression on ``line`` covers ``code``."""
+        return code in self._by_line.get(line, frozenset())

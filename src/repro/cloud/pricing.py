@@ -14,8 +14,11 @@ Management").
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+# repro.core.numeric is a dependency-free leaf (the one sanctioned
+# upward import; see the LAY01 carve-out in docs/ANALYSIS.md).
+from repro.core.numeric import ceil_tol
 
 #: Minutes in an average year (365.25 days), used by the paper's Mst formula.
 _MINUTES_PER_YEAR = 365.25 * 24 * 60
@@ -60,7 +63,7 @@ class PricingModel:
         """
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        return max(1, math.ceil(seconds / self.quantum_seconds - 1e-12))
+        return max(1, ceil_tol(seconds / self.quantum_seconds, tol=1e-12))
 
     def money_to_quanta(self, dollars: float) -> float:
         """Express a dollar amount in quanta of VM time (the paper's unit)."""

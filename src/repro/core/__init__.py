@@ -1,23 +1,51 @@
-"""Core: the QaaS service, execution simulator, config and metrics."""
+"""Core: the QaaS service, execution simulator, config and metrics.
 
-from repro.core.config import ExperimentConfig, default_config
-from repro.core.metrics import DataflowOutcome, IndexSnapshot, ServiceMetrics
-from repro.core.pool import ContainerPool, PooledContainer, PoolStats
-from repro.core.service import QaaSService, Strategy
-from repro.core.simulator import CompletedBuild, ExecutionResult, ExecutionSimulator
+Exports are resolved lazily (PEP 562): importing a low-layer leaf such
+as :mod:`repro.core.numeric` must not drag in the full service stack —
+``repro.cloud.pricing`` depends on that leaf, and an eager ``from
+repro.core.service import ...`` here would close a package-level import
+cycle (pricing -> core -> service -> config -> pricing).
+"""
 
-__all__ = [
-    "ExperimentConfig",
-    "default_config",
-    "DataflowOutcome",
-    "IndexSnapshot",
-    "ServiceMetrics",
-    "ContainerPool",
-    "PooledContainer",
-    "PoolStats",
-    "QaaSService",
-    "Strategy",
-    "CompletedBuild",
-    "ExecutionResult",
-    "ExecutionSimulator",
-]
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+#: Public name -> defining module, resolved on first attribute access.
+_EXPORTS: dict[str, str] = {
+    "ExperimentConfig": "repro.core.config",
+    "default_config": "repro.core.config",
+    "DataflowOutcome": "repro.core.metrics",
+    "IndexSnapshot": "repro.core.metrics",
+    "ServiceMetrics": "repro.core.metrics",
+    "ContainerPool": "repro.core.pool",
+    "PooledContainer": "repro.core.pool",
+    "PoolStats": "repro.core.pool",
+    "QaaSService": "repro.core.service",
+    "Strategy": "repro.core.service",
+    "CompletedBuild": "repro.core.simulator",
+    "ExecutionResult": "repro.core.simulator",
+    "ExecutionSimulator": "repro.core.simulator",
+    "MONEY_EPS": "repro.core.numeric",
+    "TIME_EPS": "repro.core.numeric",
+    "money_eq": "repro.core.numeric",
+    "time_eq": "repro.core.numeric",
+    "ge_tol": "repro.core.numeric",
+    "le_tol": "repro.core.numeric",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

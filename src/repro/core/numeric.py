@@ -1,0 +1,114 @@
+"""Tolerant float comparisons for money and simulated time.
+
+Every monetary amount (dollars, quanta of VM price) and every simulated
+duration in this codebase is an accumulated float: sums of per-operator
+runtimes, faded gain contributions (Eqs. 3-5), storage-cost integrals.
+Comparing such values with ``==``/``!=`` — or with magic ``1e-9``
+epsilons scattered inline — is how billing bugs are born: two
+mathematically equal costs differ in the last ulp and a lease is billed
+twice, or a build that exactly fills an idle gap is "killed" by a
+rounding crumb.
+
+This module is the single sanctioned home for those epsilons.  The
+``NUM01`` lint rule (see :mod:`repro.analysis`) rejects float equality
+on cost/time expressions anywhere else and points offenders here.
+
+It deliberately imports nothing from the rest of ``repro`` (and nothing
+beyond :mod:`math`): it is a dependency-free leaf, which is why the
+layering rule ``LAY01`` allows even the lowest layers (``repro.cloud``,
+``repro.data``) to use it without creating a package cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "MONEY_EPS",
+    "TIME_EPS",
+    "money_eq",
+    "time_eq",
+    "eq_tol",
+    "ne_tol",
+    "ge_tol",
+    "le_tol",
+    "gt_tol",
+    "lt_tol",
+    "is_zero",
+    "floor_tol",
+    "ceil_tol",
+]
+
+#: Default tolerance for monetary comparisons, in dollars.  One
+#: nano-dollar is far below the smallest billable unit (a fraction of a
+#: storage quantum) yet far above float64 noise on realistic bills.
+MONEY_EPS: float = 1e-9
+
+#: Default tolerance for simulated-time comparisons, in seconds.  The
+#: simulator's gap/lease arithmetic historically used inline ``1e-9``
+#: slop; this constant preserves that behaviour exactly.
+TIME_EPS: float = 1e-9
+
+
+def eq_tol(a: float, b: float, tol: float = TIME_EPS) -> bool:
+    """``a == b`` up to an absolute tolerance."""
+    return abs(a - b) <= tol
+
+
+def ne_tol(a: float, b: float, tol: float = TIME_EPS) -> bool:
+    """``a != b`` beyond an absolute tolerance."""
+    return abs(a - b) > tol
+
+
+def money_eq(a: float, b: float, tol: float = MONEY_EPS) -> bool:
+    """Two dollar amounts (or price-denominated quanta) are equal."""
+    return abs(a - b) <= tol
+
+
+def time_eq(a: float, b: float, tol: float = TIME_EPS) -> bool:
+    """Two simulated durations/instants (seconds or quanta) are equal."""
+    return abs(a - b) <= tol
+
+
+def ge_tol(a: float, b: float, tol: float = TIME_EPS) -> bool:
+    """``a >= b`` allowing ``a`` to fall short by at most ``tol``."""
+    return a >= b - tol
+
+
+def le_tol(a: float, b: float, tol: float = TIME_EPS) -> bool:
+    """``a <= b`` allowing ``a`` to overshoot by at most ``tol``."""
+    return a <= b + tol
+
+
+def gt_tol(a: float, b: float, tol: float = TIME_EPS) -> bool:
+    """``a > b`` by clearly more than ``tol`` (tolerant strict greater)."""
+    return a > b + tol
+
+
+def lt_tol(a: float, b: float, tol: float = TIME_EPS) -> bool:
+    """``a < b`` by clearly more than ``tol`` (tolerant strict less)."""
+    return a < b - tol
+
+
+def is_zero(x: float, tol: float = 1e-12) -> bool:
+    """``x`` is zero up to float noise (for rates and error factors)."""
+    return abs(x) <= tol
+
+
+def floor_tol(x: float, tol: float = TIME_EPS) -> int:
+    """``floor(x)`` that forgives values a crumb *below* an integer.
+
+    ``floor_tol(2.9999999995)`` is 3: a quantity that is an integer up
+    to ``tol`` is treated as that integer, so billing-grid arithmetic
+    (``floor(t / TQ)``) never drops a whole quantum to rounding noise.
+    """
+    return math.floor(x + tol)
+
+
+def ceil_tol(x: float, tol: float = TIME_EPS) -> int:
+    """``ceil(x)`` that forgives values a crumb *above* an integer.
+
+    ``ceil_tol(3.0000000005)`` is 3: a lease that exceeds a quantum
+    boundary only by rounding noise is not billed an extra quantum.
+    """
+    return math.ceil(x - tol)

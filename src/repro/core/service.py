@@ -26,6 +26,7 @@ from repro.core.config import ExperimentConfig
 from repro.core.metrics import DataflowOutcome, IndexSnapshot, ServiceMetrics
 from repro.core.simulator import ExecutionSimulator
 from repro.dataflow.client import ArrivalEvent, Workload
+from repro.dataflow.graph import Dataflow
 from repro.faults.injector import FaultInjector, TransientStorageError
 from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
@@ -126,7 +127,9 @@ class QaaSService:
     # ------------------------------------------------------------------
     # Strategy dispatch
     # ------------------------------------------------------------------
-    def _decide(self, dataflow, now: float, queued: list | None = None) -> _PendingDecision:
+    def _decide(
+        self, dataflow: Dataflow, now: float, queued: list[Dataflow] | None = None
+    ) -> _PendingDecision:
         if self.strategy is Strategy.NO_INDEX:
             skyline = self.scheduler.schedule(dataflow)
             fastest = min(skyline, key=lambda s: s.makespan_seconds())
@@ -147,7 +150,7 @@ class QaaSService:
             to_delete=to_delete,
         )
 
-    def _decide_random(self, dataflow) -> _PendingDecision:
+    def _decide_random(self, dataflow: Dataflow) -> _PendingDecision:
         """Random baseline: random indexes, random slot assignment.
 
         The available indexes still speed up operators (the baseline
@@ -178,7 +181,7 @@ class QaaSService:
             interleaved=interleaved, time_gains={}, money_gains={}, to_delete=[]
         )
 
-    def _random_candidates(self, dataflow) -> list[BuildCandidate]:
+    def _random_candidates(self, dataflow: Dataflow) -> list[BuildCandidate]:
         """Random partitions of random indexes from the full potential set.
 
         The paper's random baseline "randomly selects indexes from the
@@ -397,14 +400,16 @@ class QaaSService:
             strategy=self.strategy.value, horizon_s=self.config.total_time_s
         )
         ordered = sorted(events, key=lambda e: e.time)
-        generated: list = [None] * len(ordered)
+        generated: list[Dataflow | None] = [None] * len(ordered)
 
-        def dataflow_at(i: int):
-            if generated[i] is None:
-                generated[i] = self.workload.next_dataflow(
+        def dataflow_at(i: int) -> Dataflow:
+            dataflow = generated[i]
+            if dataflow is None:
+                dataflow = self.workload.next_dataflow(
                     ordered[i].app, issued_at=ordered[i].time
                 )
-            return generated[i]
+                generated[i] = dataflow
+            return dataflow
 
         slots = max(1, self.config.max_containers // self.config.scheduler_containers)
         running: list[float] = []  # min-heap of finish times

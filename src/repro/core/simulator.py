@@ -12,17 +12,22 @@ dataflow). Dataflow execution is therefore never delayed by builds.
 from __future__ import annotations
 
 import logging
-import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
 from repro.cloud.pricing import PricingModel
+from repro.core.numeric import ceil_tol, floor_tol, gt_tol, is_zero, le_tol, lt_tol
 from repro.faults.injector import FaultInjector, FaultKind
 from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import parse_build_op_name
+
+if TYPE_CHECKING:
+    from repro.core.pool import ContainerPool
+    from repro.scheduling.schedule import Assignment
 
 logger = logging.getLogger(__name__)
 
@@ -137,7 +142,7 @@ class ExecutionSimulator:
 
     # ------------------------------------------------------------------
     def _noise(self) -> float:
-        if self.runtime_error == 0:
+        if is_zero(self.runtime_error):
             return 1.0
         return float(self.rng.uniform(1.0 - self.runtime_error, 1.0 + self.runtime_error))
 
@@ -243,13 +248,13 @@ class ExecutionSimulator:
         for cid, intervals in busy.items():
             first = min(iv.start for iv in intervals)
             last = max(iv.end for iv in intervals)
-            lease_start = math.floor(first / tq + 1e-9) * tq
-            lease_end = max(lease_start + tq, math.ceil(last / tq - 1e-9) * tq)
+            lease_start = floor_tol(first / tq) * tq
+            lease_end = max(lease_start + tq, ceil_tol(last / tq) * tq)
             leases[cid] = (lease_start, lease_end)
             money_quanta += int(round((lease_end - lease_start) / tq))
 
         # ---- Phase 2: build operators into the actual idle gaps. ------
-        builds_by_container: dict[int, list] = {}
+        builds_by_container: dict[int, list[Assignment]] = {}
         for a in sorted(interleaved.build_assignments, key=lambda a: a.start):
             builds_by_container.setdefault(a.container_id, []).append(a)
 
@@ -307,7 +312,7 @@ class ExecutionSimulator:
     # Pooled, cache-aware execution (Section 6.1's container reuse)
     # ------------------------------------------------------------------
     def execute_pooled(
-        self, interleaved: InterleavedSchedule, start_time: float, pool
+        self, interleaved: InterleavedSchedule, start_time: float, pool: ContainerPool
     ) -> ExecutionResult:
         """Execute on a :class:`~repro.core.pool.ContainerPool`.
 
@@ -384,7 +389,7 @@ class ExecutionSimulator:
         killed = 0
         unstarted = 0
         failed = 0
-        builds_by_container: dict[int, list] = {}
+        builds_by_container: dict[int, list[Assignment]] = {}
         for a in sorted(interleaved.build_assignments, key=lambda a: a.start):
             builds_by_container.setdefault(a.container_id, []).append(a)
         for cid, build_list in builds_by_container.items():
@@ -424,7 +429,7 @@ class ExecutionSimulator:
 
     def _run_builds(
         self,
-        build_list: list,
+        build_list: list[Assignment],
         intervals: list[_Interval],
         lease: tuple[float, float],
     ) -> tuple[list[CompletedBuild], list[BuildCheckpoint], int, int, int]:
@@ -443,8 +448,9 @@ class ExecutionSimulator:
         killed = 0
         unstarted = 0
         failed = 0
-        faults_active = self._faults_active
-        ckpt_interval = self._checkpoint_interval
+        injector = self.injector
+        faults_active = self._faults_active and injector is not None
+        ckpt_interval = self._checkpoint_interval if injector is not None else 0.0
         gaps = self._actual_gaps(intervals, lease)
         gap_idx = 0
         cursor = gaps[0].start if gaps else None
@@ -457,18 +463,18 @@ class ExecutionSimulator:
                 if cursor is None or cursor < gap.start:
                     cursor = gap.start
                 remaining = gap.end - cursor
-                if remaining <= 1e-9:
+                if le_tol(remaining, 0.0):
                     gap_idx += 1
                     cursor = None
                     continue
-                if duration <= remaining + 1e-9:
-                    if faults_active and self.injector.build_fails():
-                        spent = duration * self.injector.failure_point()
+                if le_tol(duration, remaining):
+                    if faults_active and injector is not None and injector.build_fails():
+                        spent = duration * injector.failure_point()
                         failed += 1
                         cursor = cursor + spent
                         placed = True
-                        if parsed is not None and ckpt_interval > 0:
-                            durable = self.injector.checkpointed(spent)
+                        if parsed is not None and ckpt_interval > 0 and injector is not None:
+                            durable = injector.checkpointed(spent)
                             if durable > 0:
                                 checkpoints.append(
                                     BuildCheckpoint(parsed[0], parsed[1], durable)
@@ -490,8 +496,8 @@ class ExecutionSimulator:
                     # Started but cut off by the next dataflow operator
                     # or the quantum expiry.
                     killed += 1
-                    if parsed is not None and ckpt_interval > 0:
-                        durable = self.injector.checkpointed(remaining)
+                    if parsed is not None and ckpt_interval > 0 and injector is not None:
+                        durable = injector.checkpointed(remaining)
                         if durable > 0:
                             checkpoints.append(
                                 BuildCheckpoint(parsed[0], parsed[1], durable)
@@ -519,16 +525,16 @@ class ExecutionSimulator:
         raw: list[tuple[float, float]] = []
         cursor = lease_start
         for iv in sorted(intervals, key=lambda iv: iv.start):
-            if iv.start > cursor + 1e-9:
+            if gt_tol(iv.start, cursor):
                 raw.append((cursor, iv.start))
             cursor = max(cursor, iv.end)
-        if cursor < lease_end - 1e-9:
+        if lt_tol(cursor, lease_end):
             raw.append((cursor, lease_end))
         gaps: list[_Interval] = []
         for g_start, g_end in raw:
             piece = g_start
-            while piece < g_end - 1e-9:
-                boundary = math.floor(piece / tq + 1e-9) * tq + tq
+            while lt_tol(piece, g_end):
+                boundary = floor_tol(piece / tq) * tq + tq
                 gaps.append(_Interval(piece, min(boundary, g_end)))
                 piece = min(boundary, g_end)
         return gaps

@@ -14,6 +14,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.core.numeric import is_zero
 from repro.dataflow.graph import Dataflow, Edge
 from repro.dataflow.operator import DataFile, Operator
 
@@ -58,7 +59,7 @@ def perturb_dataflow(
 
 
 def _factor(rng: np.random.Generator, error: float) -> float:
-    if error == 0:
+    if is_zero(error):
         return 1.0
     return float(rng.uniform(max(0.0, 1.0 - error), 1.0 + error))
 

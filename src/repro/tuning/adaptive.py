@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.cloud.pricing import PricingModel
 
@@ -75,7 +76,7 @@ class AdaptiveFadingController:
         """Note that a dataflow issued at ``time`` would use the index."""
         self._traces.setdefault(index_name, UsageTrace()).record(time)
 
-    def record_dataflow(self, candidate_indexes, time: float) -> None:
+    def record_dataflow(self, candidate_indexes: Iterable[str], time: float) -> None:
         for name in candidate_indexes:
             self.record_usage(name, time)
 

@@ -19,9 +19,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cloud.pricing import PricingModel
+from repro.core.numeric import gt_tol, le_tol
 from repro.data.index_model import Index, IndexCostModel
+
+if TYPE_CHECKING:
+    from repro.dataflow.graph import Dataflow
 
 
 @dataclass(frozen=True)
@@ -106,8 +111,16 @@ class IndexGain:
 
     @property
     def beneficial(self) -> bool:
-        """Both gains positive — the Algorithm 1 build criterion."""
-        return self.time_gain_quanta > 0 and self.money_gain_dollars > 0
+        """Both gains positive — the Algorithm 1 build criterion.
+
+        The tolerance is zero on purpose: the build hurdle is already
+        folded into both gains, so *any* strictly positive residue means
+        the index pays for itself (making the threshold explicit keeps
+        NUM01 honest without changing the paper's criterion).
+        """
+        return gt_tol(self.time_gain_quanta, 0.0, tol=0.0) and gt_tol(
+            self.money_gain_dollars, 0.0, tol=0.0
+        )
 
     @property
     def deletable(self) -> bool:
@@ -119,7 +132,9 @@ class IndexGain:
         """
         eps_t = self.delete_threshold_quanta
         eps_m = self.delete_threshold_quanta * 0.1  # Mc dollars per quantum
-        return self.time_gain_quanta <= eps_t and self.money_gain_dollars <= eps_m
+        return le_tol(self.time_gain_quanta, 0.0, tol=eps_t) and le_tol(
+            self.money_gain_dollars, 0.0, tol=eps_m
+        )
 
 
 class GainModel:
@@ -239,7 +254,7 @@ class GainModel:
 
 
 def dataflow_index_gains(
-    dataflow,
+    dataflow: Dataflow,
     pricing: PricingModel,
     index_read_quanta: dict[str, float] | None = None,
     net_bw_mb_s: float | None = None,
@@ -262,7 +277,7 @@ def dataflow_index_gains(
         weights = op.input_weights()
         sizes = {f.name: f.size_mb for f in op.inputs}
         for index_name, speedup in op.index_speedup.items():
-            if speedup <= 1.0:
+            if le_tol(speedup, 1.0):
                 continue
             table = index_name.split("__", 1)[0]
             weight = weights.get(table, 1.0 if not weights else 0.0)
@@ -270,7 +285,7 @@ def dataflow_index_gains(
             if net_bw_mb_s and table in sizes:
                 index_mb = (index_sizes_mb or {}).get(index_name, 0.0)
                 avoided = sizes[table] - (sizes[table] / speedup + index_mb)
-                if avoided > 0:
+                if gt_tol(avoided, 0.0):
                     saved_s += avoided / net_bw_mb_s
             time_gains[index_name] = time_gains.get(index_name, 0.0) + pricing.quanta(saved_s)
     money_gains: dict[str, float] = {}

@@ -30,5 +30,10 @@ def rank_indexes(gains: list[IndexGain]) -> list[IndexGain]:
 
 
 def deletable_indexes(gains: list[IndexGain]) -> list[IndexGain]:
-    """Indexes whose time and money gains are both non-positive."""
-    return [g for g in gains if g.deletable]
+    """Indexes whose time and money gains are both non-positive.
+
+    Sorted by (most-negative combined gain, name): deletion order is a
+    stable function of the gains, never of dict insertion order.
+    """
+    deletable = [g for g in gains if g.deletable]
+    return sorted(deletable, key=lambda g: (g.combined_dollars, g.index_name))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.data.catalog import Catalog
 from repro.data.index_model import Index
@@ -28,6 +29,9 @@ from repro.tuning.gain import (
 )
 from repro.tuning.history import DataflowHistory, DataflowRecord
 from repro.tuning.ranking import deletable_indexes, rank_indexes
+
+if TYPE_CHECKING:
+    from repro.tuning.adaptive import AdaptiveFadingController
 
 
 @dataclass
@@ -72,7 +76,7 @@ class OnlineIndexTuner:
         scheduler: SkylineScheduler,
         interleaver: str = "lp",
         max_candidates: int = 150,
-        fading_controller=None,
+        fading_controller: AdaptiveFadingController | None = None,
     ) -> None:
         if interleaver not in ("lp", "online"):
             raise ValueError("interleaver must be 'lp' or 'online'")
@@ -220,12 +224,13 @@ class OnlineIndexTuner:
             index = self.catalog.index(gain.index_name)
             table, spec = index.table, index.spec
             total_records = max(1, table.num_records)
-            for pid in index.unbuilt_partition_ids():
+            per_index: list[BuildCandidate] = []
+            for pid in sorted(index.unbuilt_partition_ids()):
                 partition = table.partition(pid)
                 model = self.gain_model.cost_model.partition_model(table, spec, partition)
                 share = partition.num_records / total_records
                 remaining_s = model.total_build_seconds - index.checkpoint_seconds(pid)
-                candidates.append(
+                per_index.append(
                     BuildCandidate(
                         index_name=index.name,
                         partition_id=pid,
@@ -233,8 +238,14 @@ class OnlineIndexTuner:
                         gain=max(gain.combined_dollars * share, 0.0),
                     )
                 )
-                if len(candidates) >= self.max_candidates:
-                    return candidates
+            # Stable (-gain, partition_id) order: the most valuable
+            # partitions are offered first and ties never depend on dict
+            # insertion order (equal-share partitions keep ascending pid).
+            per_index.sort(key=lambda c: (-c.gain, c.partition_id))
+            take = self.max_candidates - len(candidates)
+            candidates.extend(per_index[:take])
+            if len(candidates) >= self.max_candidates:
+                break
         return candidates
 
     # ------------------------------------------------------------------

@@ -1,0 +1,17 @@
+# expect: DET01,DET01,DET01,DET01,DET01
+"""Known-bad fixture: every flavour of nondeterminism DET01 rejects."""
+
+import random
+import time
+
+import numpy as np
+from datetime import datetime
+
+
+def simulate_arrivals(n):
+    jitter = [random.random() for _ in range(n)]
+    stamp = time.time()
+    started = datetime.now()
+    rng = np.random.default_rng()
+    noise = np.random.normal(0.0, 1.0)
+    return jitter, stamp, started, rng, noise

@@ -1,0 +1,12 @@
+# expect:
+"""Known-good fixture: explicit, seeded randomness; no wall clock."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng, n):
+    return rng.uniform(0.0, 1.0, size=n)

@@ -1,0 +1,6 @@
+# lint-module: repro.data.fixture_loader
+# expect: LAY01,LAY01
+"""Known-bad fixture: a data-layer module importing upward."""
+
+import repro.core.service
+from repro.tuning.gain import IndexGain

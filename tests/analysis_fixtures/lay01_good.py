@@ -1,0 +1,8 @@
+# lint-module: repro.data.fixture_loader_ok
+# expect:
+"""Known-good fixture: sideways/downward imports plus the numeric leaf."""
+
+import math
+
+from repro.core.numeric import money_eq
+from repro.data.tpch import generate_lineitem_rows

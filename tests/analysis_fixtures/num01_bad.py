@@ -1,0 +1,8 @@
+# expect: NUM01,NUM01
+"""Known-bad fixture: exact float equality on billing quantities."""
+
+
+def within_budget(total_cost, budget):
+    if total_cost == budget:
+        return True
+    return total_cost != 0.0

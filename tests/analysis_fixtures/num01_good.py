@@ -1,0 +1,10 @@
+# expect:
+"""Known-good fixture: billing comparisons via repro.core.numeric."""
+
+from repro.core.numeric import is_zero, le_tol, money_eq
+
+
+def within_budget(total_cost, budget):
+    if money_eq(total_cost, budget):
+        return True
+    return not is_zero(total_cost) and le_tol(total_cost, budget)

@@ -1,0 +1,14 @@
+# expect: DET01,SEED01,SEED01
+"""Known-bad fixture: rng/seed parameters ignored in favour of fresh RNGs."""
+
+import numpy as np
+
+
+def perturb(values, rng):
+    fresh = np.random.default_rng()
+    return [v + fresh.uniform() for v in values]
+
+
+def sample_runtimes(n, seed):
+    rng = np.random.default_rng(1234)
+    return rng.uniform(size=n)

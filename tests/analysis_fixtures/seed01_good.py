@@ -1,0 +1,14 @@
+# expect:
+"""Known-good fixture: rng threaded, seed actually used, seeded fallback."""
+
+import numpy as np
+
+
+def perturb(values, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return [v + rng.uniform() for v in values]
+
+
+def sample_runtimes(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=n)

@@ -1,0 +1,16 @@
+# expect: SIM01,SIM01,SIM01
+"""Known-bad fixture: a non-frozen dataclass in hashed positions."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PartitionKey:
+    index_name: str
+    partition: int
+
+
+def dedupe(pairs):
+    seen: set[PartitionKey] = set()
+    seen.add(PartitionKey("idx", 3))
+    return {PartitionKey("idx", 1): "first"}

@@ -1,0 +1,16 @@
+# expect:
+"""Known-good fixture: the same usage with frozen=True is fine."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartitionKey:
+    index_name: str
+    partition: int
+
+
+def dedupe(pairs):
+    seen: set[PartitionKey] = set()
+    seen.add(PartitionKey("idx", 3))
+    return {PartitionKey("idx", 1): "first"}

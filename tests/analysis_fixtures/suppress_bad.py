@@ -1,0 +1,15 @@
+# expect: DET01,DET01,LINT00,LINT00
+"""Known-bad fixture: malformed suppressions do not silence anything.
+
+The first lacks the mandatory justification; the second names a rule
+code that does not exist. Both are reported as LINT00 and the DET01
+they tried to hide is reported anyway.
+"""
+
+import time
+
+
+def bench(fn):
+    start = time.perf_counter()  # repro-lint: disable=DET01
+    fn()
+    return time.perf_counter() - start  # repro-lint: disable=NOPE99 -- not a real rule code

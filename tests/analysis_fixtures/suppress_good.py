@@ -1,0 +1,10 @@
+# expect:
+"""Known-good fixture: justified suppressions silence the rule."""
+
+import time
+
+
+def bench(fn):
+    start = time.perf_counter()  # repro-lint: disable=DET01 -- fixture: real wall-clock microbenchmark
+    fn()
+    return time.perf_counter() - start  # repro-lint: disable=DET01 -- fixture: same microbenchmark clock

@@ -1,0 +1,12 @@
+# lint-module: repro.core.fixture_estimates
+# expect: TYP01,TYP01
+"""Known-bad fixture: incomplete public signatures in a strict package."""
+
+
+def estimate_cost(rows, selectivity: float):
+    return rows * selectivity
+
+
+class Estimator:
+    def update(self, observation):
+        return observation

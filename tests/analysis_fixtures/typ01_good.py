@@ -1,0 +1,16 @@
+# lint-module: repro.core.fixture_estimates_ok
+# expect:
+"""Known-good fixture: public API annotated; private helpers exempt."""
+
+
+def estimate_cost(rows: int, selectivity: float) -> float:
+    return _scale(rows * selectivity)
+
+
+def _scale(x, factor=2.0):
+    return x * factor
+
+
+class Estimator:
+    def update(self, observation: float) -> float:
+        return observation

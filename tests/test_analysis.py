@@ -1,0 +1,176 @@
+"""Self-tests for the repro.analysis lint framework.
+
+Fixture-driven: every file under ``tests/analysis_fixtures/`` carries an
+``# expect: CODE[,CODE...]`` header (empty for known-good fixtures) and
+the harness asserts the linter reports exactly that multiset of codes.
+The meta-test at the bottom then asserts the *live* ``src/repro`` tree
+is lint-clean — the gate the CI lint job enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LINT_META_CODE,
+    all_rules,
+    known_codes,
+    lint_paths,
+    lint_source,
+    module_name_for_path,
+    register,
+)
+from repro.analysis.runner import main
+from repro.analysis.suppressions import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_TREE = REPO_ROOT / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+RULE_CODES = ("DET01", "LAY01", "NUM01", "SEED01", "SIM01", "TYP01")
+
+
+def expected_codes(source: str) -> list[str]:
+    for raw in source.splitlines()[:5]:
+        stripped = raw.strip()
+        if stripped.startswith("# expect:"):
+            spec = stripped.removeprefix("# expect:").strip()
+            return sorted(c.strip().upper() for c in spec.split(",") if c.strip())
+    raise AssertionError("fixture is missing an `# expect:` header")
+
+
+def all_fixtures() -> list[Path]:
+    fixtures = sorted(FIXTURES.glob("*.py"))
+    assert fixtures, f"no fixtures found under {FIXTURES}"
+    return fixtures
+
+
+# ----------------------------------------------------------------------
+# Fixture-driven rule self-tests
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fixture", all_fixtures(), ids=lambda p: p.stem)
+def test_fixture_reports_expected_codes(fixture: Path) -> None:
+    source = fixture.read_text()
+    diags = lint_source(source, fixture)
+    got = sorted(d.code for d in diags)
+    detail = "\n".join(d.format() for d in diags)
+    assert got == expected_codes(source), f"diagnostics were:\n{detail}"
+
+
+def test_every_rule_has_bad_and_good_fixtures() -> None:
+    for code in RULE_CODES:
+        assert (FIXTURES / f"{code.lower()}_bad.py").is_file()
+        assert (FIXTURES / f"{code.lower()}_good.py").is_file()
+
+
+def test_fixture_suite_exercises_every_known_code() -> None:
+    covered: set[str] = set()
+    for fixture in all_fixtures():
+        covered.update(expected_codes(fixture.read_text()))
+    assert covered >= set(known_codes()), "some rule has no failing fixture"
+
+
+def test_registered_rules_match_documented_codes() -> None:
+    assert tuple(rule.code for rule in all_rules()) == RULE_CODES
+
+
+# ----------------------------------------------------------------------
+# The meta-test: the live tree itself passes its own gate
+# ----------------------------------------------------------------------
+def test_live_tree_is_lint_clean() -> None:
+    diags = lint_paths([SRC_TREE])
+    assert diags == [], "\n".join(d.format() for d in diags)
+
+
+# ----------------------------------------------------------------------
+# Framework plumbing
+# ----------------------------------------------------------------------
+def test_registry_rejects_duplicate_code() -> None:
+    with pytest.raises(ValueError, match="duplicate"):
+        register("DET01", "imposter")(lambda ctx: [])
+
+
+def test_registry_reserves_meta_code() -> None:
+    with pytest.raises(ValueError, match="reserved"):
+        register(LINT_META_CODE, "meta")(lambda ctx: [])
+
+
+def test_module_name_for_path() -> None:
+    assert module_name_for_path(Path("src/repro/core/simulator.py")) == "repro.core.simulator"
+    assert module_name_for_path(Path("src/repro/core/__init__.py")) == "repro.core"
+    assert module_name_for_path(Path("elsewhere/other.py")) is None
+
+
+def test_unparsable_source_reports_meta_code() -> None:
+    diags = lint_source("def broken(:\n", Path("broken.py"))
+    assert [d.code for d in diags] == [LINT_META_CODE]
+
+
+def test_suppression_parsing() -> None:
+    sups = parse_suppressions("x = f()  # repro-lint: disable=DET01,NUM01 -- both safe here\n")
+    assert len(sups) == 1
+    assert sups[0].codes == {"DET01", "NUM01"}
+    assert sups[0].justification == "both safe here"
+
+
+def test_layering_carve_out_for_numeric_leaf() -> None:
+    clean = "from repro.core.numeric import money_eq\n"
+    assert lint_source(clean, Path("x.py"), module="repro.cloud.fixture") == []
+    dirty = "from repro.core.service import QaaSService\n"
+    diags = lint_source(dirty, Path("x.py"), module="repro.cloud.fixture")
+    assert [d.code for d in diags] == ["LAY01"]
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+def test_cli_exit_nonzero_on_bad_fixture(capsys: pytest.CaptureFixture[str]) -> None:
+    code = main([str(FIXTURES / "det01_bad.py"), "--no-typecheck"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "DET01" in out and "problem(s) found" in out
+
+
+def test_cli_clean_run(capsys: pytest.CaptureFixture[str]) -> None:
+    code = main([str(FIXTURES / "det01_good.py"), "--no-typecheck"])
+    assert code == 0
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_cli_select_filters_rules(capsys: pytest.CaptureFixture[str]) -> None:
+    code = main([str(FIXTURES / "seed01_bad.py"), "--select", "SEED01"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "SEED01" in out and "DET01" not in out
+
+
+def test_cli_unknown_select_rejected(capsys: pytest.CaptureFixture[str]) -> None:
+    with pytest.raises(SystemExit):
+        main(["--select", "NOPE99", str(FIXTURES / "det01_good.py")])
+
+
+def test_cli_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in (*RULE_CODES, LINT_META_CODE):
+        assert code in out
+
+
+def test_cli_json_report(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    report_file = tmp_path / "report.json"
+    code = main(
+        [str(FIXTURES / "num01_bad.py"), "--no-typecheck", "--json", str(report_file)]
+    )
+    assert code == 1
+    report = json.loads(report_file.read_text())
+    assert report["tool"] == "repro-lint"
+    assert report["counts"] == {"NUM01": 2}
+    assert {r["code"] for r in report["rules"]} == set(RULE_CODES)
+    for diag in report["diagnostics"]:
+        assert {"path", "line", "col", "code", "message"} <= set(diag)
+    assert report["typecheck"] is None

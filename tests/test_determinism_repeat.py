@@ -1,0 +1,56 @@
+"""Acceptance test for the DET01/SEED01 contract: same seed, same bytes.
+
+Runs the full service loop twice with identical configuration and
+asserts the complete metrics object — every outcome timestamp, bill and
+counter, rendered to its full float repr — is byte-identical. Repeated
+for two different seeds, per the PR acceptance criterion.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import ServiceMetrics
+from repro.core.service import QaaSService, Strategy
+from repro.dataflow.client import ArrivalEvent, build_workload
+
+
+def run_once(seed: int) -> ServiceMetrics:
+    cfg = ExperimentConfig(
+        total_time_s=30 * 60.0,
+        max_skyline=2,
+        scheduler_containers=10,
+        max_candidates=40,
+        max_queued_gain=10,
+        seed=seed,
+    )
+    workload = build_workload(cfg.pricing, seed=cfg.seed)
+    service = QaaSService(workload, cfg, Strategy.GAIN)
+    events = [ArrivalEvent(time=(i + 1) * 120.0, app="montage") for i in range(6)]
+    return service.run(events)
+
+
+def fingerprint(metrics: ServiceMetrics) -> str:
+    # Dataclass repr renders every float at full precision: any drift in
+    # any field of any outcome changes the string.
+    return repr(metrics) + repr(
+        (
+            metrics.compute_dollars,
+            metrics.storage_dollars(),
+            metrics.total_dollars(),
+            metrics.avg_makespan_quanta(),
+        )
+    )
+
+
+def test_same_seed_runs_are_byte_identical() -> None:
+    assert fingerprint(run_once(5)) == fingerprint(run_once(5))
+
+
+def test_second_seed_is_also_repeatable() -> None:
+    a, b = run_once(11), run_once(11)
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_different_seeds_actually_differ() -> None:
+    # Guard against a fingerprint that ignores the interesting state.
+    assert fingerprint(run_once(5)) != fingerprint(run_once(11))

@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.numeric — the sanctioned tolerance helpers."""
+
+from repro.core.numeric import (
+    MONEY_EPS,
+    TIME_EPS,
+    ceil_tol,
+    eq_tol,
+    floor_tol,
+    ge_tol,
+    gt_tol,
+    is_zero,
+    le_tol,
+    lt_tol,
+    money_eq,
+    ne_tol,
+    time_eq,
+)
+
+
+class TestEquality:
+    def test_money_eq_absorbs_summation_noise(self):
+        assert money_eq(0.1 + 0.2, 0.3)
+        assert money_eq(sum([0.1] * 10), 1.0)
+
+    def test_money_eq_rejects_real_differences(self):
+        assert not money_eq(0.3, 0.3 + 1e-6)
+        assert not money_eq(0.0, MONEY_EPS * 10)
+
+    def test_time_eq(self):
+        assert time_eq(60.0 * 7, 420.0000000001)
+        assert not time_eq(60.0, 60.001)
+
+    def test_eq_ne_are_complements(self):
+        for a, b in [(1.0, 1.0 + 1e-12), (1.0, 1.1), (0.0, 0.0)]:
+            assert eq_tol(a, b) != ne_tol(a, b)
+
+
+class TestOrderings:
+    def test_ge_tol_forgives_shortfall_within_tol(self):
+        assert ge_tol(1.0 - 1e-12, 1.0)
+        assert not ge_tol(0.9, 1.0)
+
+    def test_le_tol_forgives_overshoot_within_tol(self):
+        assert le_tol(1.0 + 1e-12, 1.0)
+        assert not le_tol(1.1, 1.0)
+
+    def test_strict_comparisons_need_clear_margin(self):
+        assert not gt_tol(1.0 + 1e-12, 1.0)
+        assert gt_tol(1.0 + 1e-6, 1.0)
+        assert not lt_tol(1.0 - 1e-12, 1.0)
+        assert lt_tol(1.0 - 1e-6, 1.0)
+
+    def test_zero_tolerance_is_exact(self):
+        # The paper's benefit criterion (gain strictly positive) uses tol=0.
+        assert gt_tol(1e-300, 0.0, tol=0.0)
+        assert not gt_tol(0.0, 0.0, tol=0.0)
+
+
+class TestGridRounding:
+    def test_floor_tol_forgives_crumb_below_integer(self):
+        assert floor_tol(2.9999999999) == 3
+        assert floor_tol(2.5) == 2
+        assert floor_tol(3.0) == 3
+
+    def test_ceil_tol_forgives_crumb_above_integer(self):
+        assert ceil_tol(3.0000000001) == 3
+        assert ceil_tol(2.5) == 3
+        assert ceil_tol(3.0) == 3
+
+    def test_billing_grid_never_drops_a_quantum(self):
+        # 42 quanta of 60 s accumulated as floats still bill 42 quanta.
+        elapsed = sum([60.0 / 7] * 7 * 42)
+        assert floor_tol(elapsed / 60.0) == 42
+        assert ceil_tol(elapsed / 60.0) == 42
+
+    def test_is_zero(self):
+        assert is_zero(0.0)
+        assert is_zero(1e-15)
+        assert not is_zero(1e-9)
+        assert TIME_EPS > 0
