@@ -10,6 +10,11 @@ horizon; set ``REPRO_FULL=1`` for the full horizon.
 
 from __future__ import annotations
 
+import json
+import os
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.cloud.pricing import PAPER_PRICING
@@ -47,3 +52,27 @@ def pricing():
 def workload(config):
     """A fresh workload/catalog per benchmark (catalogs are mutable)."""
     return build_workload(config.pricing, seed=config.seed)
+
+
+@pytest.fixture()
+def figure_metrics(request):
+    """Opt-in per-figure metrics sink for CI artifact collection.
+
+    Benchmarks drop their headline numbers into the yielded dict; when
+    ``REPRO_BENCH_METRICS_DIR`` is set, teardown writes them to
+    ``BENCH_<test>.json`` in that directory (sorted keys, so artifacts
+    diff cleanly across runs). With the variable unset — the default
+    local workflow — nothing is written.
+    """
+    values: dict[str, object] = {}
+    yield values
+    out_dir = os.environ.get("REPRO_BENCH_METRICS_DIR")
+    if not out_dir or not values:
+        return
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    payload = {"test": request.node.nodeid, "metrics": values}
+    (target / f"BENCH_{stem}.json").write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    )

@@ -56,7 +56,7 @@ def _gain_curves():
     return times, curves
 
 
-def test_figure3_gain_over_time(benchmark):
+def test_figure3_gain_over_time(benchmark, figure_metrics):
     times, curves = benchmark.pedantic(_gain_curves, rounds=1, iterations=1)
 
     print_header("Figure 3 — Gain over time of indexes A (100 MB) and B (500 MB)")
@@ -83,3 +83,6 @@ def test_figure3_gain_over_time(benchmark):
     print(f"\nB stops being beneficial at t = {crossing} (paper: ~125)")
     benchmark.extra_info["b_beneficial_at"] = first_b
     benchmark.extra_info["b_deleted_at"] = crossing
+    figure_metrics["a_beneficial_at_quanta"] = first_a
+    figure_metrics["b_beneficial_at_quanta"] = first_b
+    figure_metrics["b_deleted_at_quanta"] = crossing

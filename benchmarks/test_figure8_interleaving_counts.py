@@ -44,7 +44,7 @@ def _run(workload):
     return lp, online
 
 
-def test_figure8_indexes_scheduled(benchmark, workload):
+def test_figure8_indexes_scheduled(benchmark, workload, figure_metrics):
     lp, online = benchmark.pedantic(_run, args=(workload,), rounds=1, iterations=1)
 
     print_header("Figure 8 — Indexes scheduled per skyline point (Montage)")
@@ -72,3 +72,5 @@ def test_figure8_indexes_scheduled(benchmark, workload):
     assert lp_money != online_money
     benchmark.extra_info["lp_max_builds"] = lp_max
     benchmark.extra_info["online_max_builds"] = online_max
+    figure_metrics["lp_max_builds"] = lp_max
+    figure_metrics["online_max_builds"] = online_max

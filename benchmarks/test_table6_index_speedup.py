@@ -28,7 +28,7 @@ PAPER = {
 _NUM_ROWS = 400_000 if os.environ.get("REPRO_FULL") == "1" else 150_000
 
 
-def test_table6_index_speedup(benchmark):
+def test_table6_index_speedup(benchmark, figure_metrics):
     results = benchmark.pedantic(
         measure_table6_speedups,
         kwargs={"num_rows": _NUM_ROWS, "repeats": 3},
@@ -48,6 +48,7 @@ def test_table6_index_speedup(benchmark):
             f"{timing.speedup:8.1f}x ({pspeed}x)",
         ])
         benchmark.extra_info[f"{key}_speedup"] = round(timing.speedup, 1)
+        figure_metrics[f"{key}_speedup"] = round(timing.speedup, 1)
     print_rows(["query", "no-index", "index", "speedup (paper)"], rows,
                widths=[24, 16, 16, 22])
 

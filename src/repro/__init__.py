@@ -34,6 +34,7 @@ from repro.core.metrics import ServiceMetrics
 from repro.core.service import QaaSService, Strategy
 from repro.dataflow.client import build_workload, phase_schedule, random_schedule
 from repro.experiments import CampaignResult, compare_campaigns, run_campaign
+from repro.obs import Observation
 
 __version__ = "1.0.0"
 
@@ -49,6 +50,7 @@ __all__ = [
     "phase_schedule",
     "random_schedule",
     "run_experiment",
+    "Observation",
     "CampaignResult",
     "compare_campaigns",
     "run_campaign",
@@ -61,6 +63,7 @@ def run_experiment(
     config: ExperimentConfig | None = None,
     interleaver: str = "lp",
     seed: int | None = None,
+    obs: Observation | None = None,
 ) -> ServiceMetrics:
     """Run one end-to-end service experiment (the Section 6.5 loop).
 
@@ -71,6 +74,9 @@ def run_experiment(
             :func:`~repro.core.config.default_config`.
         interleaver: "lp" (Algorithm 2) or "online" (Section 5.3.2).
         seed: Overrides the config seed (for repeated trials).
+        obs: Observation sinks (:func:`repro.obs.Observation.recording`)
+            to collect a schedule trace, decision journal and metrics;
+            ``None`` runs without any observability overhead.
 
     Returns:
         The collected :class:`~repro.core.metrics.ServiceMetrics`.
@@ -97,5 +103,5 @@ def run_experiment(
         )
     else:
         raise ValueError(f"unknown generator {generator!r} (use 'phase' or 'random')")
-    service = QaaSService(workload, cfg, strategy, interleaver=interleaver)
+    service = QaaSService(workload, cfg, strategy, interleaver=interleaver, obs=obs)
     return service.run(events)

@@ -15,9 +15,16 @@ import closes a package cycle, and Python package cycles fail at import
 time in whichever module loads second — typically in production, not in
 the test that imported things in the lucky order.
 
-One carve-out: :mod:`repro.core.numeric` is a dependency-free leaf
-(pure ``math``), the shared home of the NUM01 tolerance helpers. Any
-layer may import it; it cannot participate in a cycle.
+Two carve-outs, both dependency-free leaves that any layer may import
+because they cannot participate in a cycle:
+
+* :mod:`repro.core.numeric` (pure ``math``), the shared home of the
+  NUM01 tolerance helpers;
+* :mod:`repro.obs` (pure stdlib), the observability sinks — tracer,
+  metrics registry, journal. It sits *below* every instrumented layer,
+  and its own imports are checked in the reverse direction: ``repro.obs``
+  must not import any other ``repro`` package, which is what keeps the
+  carve-out sound.
 """
 
 from __future__ import annotations
@@ -34,10 +41,25 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.data": ("repro.scheduling", "repro.tuning", "repro.core"),
     "repro.cloud": ("repro.scheduling", "repro.tuning", "repro.core"),
     "repro.engine": ("repro.core", "repro.scheduling", "repro.tuning"),
+    # repro.obs is importable from everywhere (ALLOWED_LEAVES), so it
+    # must itself import nothing above it — otherwise the carve-out
+    # would smuggle a cycle back in.
+    "repro.obs": (
+        "repro.analysis",
+        "repro.cloud",
+        "repro.core",
+        "repro.data",
+        "repro.dataflow",
+        "repro.engine",
+        "repro.faults",
+        "repro.interleave",
+        "repro.scheduling",
+        "repro.tuning",
+    ),
 }
 
 #: Dependency-free leaf modules importable from any layer.
-ALLOWED_LEAVES: tuple[str, ...] = ("repro.core.numeric",)
+ALLOWED_LEAVES: tuple[str, ...] = ("repro.core.numeric", "repro.obs")
 
 
 def _within(module: str, prefix: str) -> bool:

@@ -71,16 +71,47 @@ def _print_metrics(label: str, metrics) -> None:
         )
 
 
+def _write_obs(args, obs) -> None:
+    """Dump the observation sinks to the paths named on the CLI."""
+    from pathlib import Path
+
+    from repro.obs import write_chrome_trace
+    from repro.report import obs_summary
+
+    for out in (args.trace_out, args.events_out, args.metrics_out):
+        if out:
+            Path(out).parent.mkdir(parents=True, exist_ok=True)
+    if args.trace_out:
+        write_chrome_trace(obs.tracer, args.trace_out)
+        print(f"trace written to {args.trace_out} (load in ui.perfetto.dev "
+              "or chrome://tracing)")
+    if args.events_out:
+        obs.journal.write_jsonl(args.events_out)
+        print(f"decision journal written to {args.events_out}")
+    if args.metrics_out:
+        obs.metrics.write_json(args.metrics_out)
+        print(f"metrics snapshot written to {args.metrics_out}")
+    print()
+    print(obs_summary(obs.metrics.snapshot(), obs.journal.counts_by_event()))
+
+
 def cmd_run(args) -> int:
     """Run one strategy/generator experiment and print its summary."""
     from repro import run_experiment
 
+    obs = None
+    if args.trace_out or args.events_out or args.metrics_out:
+        from repro.obs import Observation
+
+        obs = Observation.recording()
     strategy = Strategy(args.strategy)
     metrics = run_experiment(
         strategy, generator=args.generator, config=_config(args),
-        interleaver=args.interleaver,
+        interleaver=args.interleaver, obs=obs,
     )
     _print_metrics(strategy.value, metrics)
+    if obs is not None:
+        _write_obs(args, obs)
     return 0
 
 
@@ -190,6 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--interleaver", choices=["lp", "online"], default="lp")
     run_p.add_argument("--horizon-quanta", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the executed schedules as Chrome-trace/"
+                            "Perfetto JSON (containers as tracks)")
+    run_p.add_argument("--events-out", default=None, metavar="PATH",
+                       help="write the tuner decision journal as JSONL "
+                            "(per-candidate Eq. 3-5 gain breakdowns)")
+    run_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics registry snapshot as JSON")
     add_fault_args(run_p)
     run_p.set_defaults(func=cmd_run)
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class DataflowOutcome:
@@ -40,12 +42,22 @@ class IndexSnapshot:
     cumulative_storage_dollars: float
 
 
+#: The injected-fault kind histogram lives under this registry prefix.
+_INJECTED_PREFIX = "faults/injected/"
+
+
 @dataclass
 class ServiceMetrics:
     """Everything a service run reports.
 
     ``compute_dollars`` is the total leased-quanta bill of all executed
     dataflows; ``storage_dollars`` the integral of index bytes over time.
+
+    The fault-tolerance counters are *views* onto the metrics registry:
+    reads and ``+=`` writes go through ``registry`` so one store backs
+    both this dataclass's public API and ``--metrics-out`` dumps. The
+    registry is excluded from ``repr``/``==`` — two runs compare equal
+    iff their observable outcomes match, exactly as before.
     """
 
     strategy: str
@@ -54,21 +66,126 @@ class ServiceMetrics:
     indexes_created: int = 0
     indexes_deleted: int = 0
     horizon_s: float = 0.0
+    registry: MetricsRegistry = field(
+        default_factory=MetricsRegistry, repr=False, compare=False
+    )
+
     # ------------------------------------------------------------------
-    # Fault tolerance (robustness experiments)
+    # Fault tolerance (robustness experiments): registry-backed views
     # ------------------------------------------------------------------
-    faults_injected: dict[str, int] = field(default_factory=dict)
-    operator_retries: int = 0
-    operators_recovered: int = 0
-    retries_exhausted: int = 0
-    containers_crashed: int = 0
-    stragglers: int = 0
-    builds_failed: int = 0
-    checkpoints_recorded: int = 0
-    checkpoint_resumes: int = 0
-    storage_put_failures: int = 0
-    storage_delete_failures: int = 0
-    degraded_builds: int = 0
+    def _get(self, name: str) -> int:
+        return int(self.registry.counter(f"faults/{name}").value)
+
+    def _set(self, name: str, total: int) -> None:
+        self.registry.counter(f"faults/{name}").set(total)
+
+    @property
+    def faults_injected(self) -> dict[str, int]:
+        return {
+            name[len(_INJECTED_PREFIX):]: int(counter.value)
+            for name, counter in sorted(
+                self.registry.counters_with_prefix(_INJECTED_PREFIX).items()
+            )
+            if counter.value
+        }
+
+    @faults_injected.setter
+    def faults_injected(self, by_kind: dict[str, int]) -> None:
+        for name, counter in self.registry.counters_with_prefix(
+            _INJECTED_PREFIX
+        ).items():
+            if name[len(_INJECTED_PREFIX):] not in by_kind:
+                counter.set(0)
+        for kind, count in by_kind.items():
+            self.registry.counter(f"{_INJECTED_PREFIX}{kind}").set(count)
+
+    @property
+    def operator_retries(self) -> int:
+        return self._get("operator_retries")
+
+    @operator_retries.setter
+    def operator_retries(self, total: int) -> None:
+        self._set("operator_retries", total)
+
+    @property
+    def operators_recovered(self) -> int:
+        return self._get("operators_recovered")
+
+    @operators_recovered.setter
+    def operators_recovered(self, total: int) -> None:
+        self._set("operators_recovered", total)
+
+    @property
+    def retries_exhausted(self) -> int:
+        return self._get("retries_exhausted")
+
+    @retries_exhausted.setter
+    def retries_exhausted(self, total: int) -> None:
+        self._set("retries_exhausted", total)
+
+    @property
+    def containers_crashed(self) -> int:
+        return self._get("containers_crashed")
+
+    @containers_crashed.setter
+    def containers_crashed(self, total: int) -> None:
+        self._set("containers_crashed", total)
+
+    @property
+    def stragglers(self) -> int:
+        return self._get("stragglers")
+
+    @stragglers.setter
+    def stragglers(self, total: int) -> None:
+        self._set("stragglers", total)
+
+    @property
+    def builds_failed(self) -> int:
+        return self._get("builds_failed")
+
+    @builds_failed.setter
+    def builds_failed(self, total: int) -> None:
+        self._set("builds_failed", total)
+
+    @property
+    def checkpoints_recorded(self) -> int:
+        return self._get("checkpoints_recorded")
+
+    @checkpoints_recorded.setter
+    def checkpoints_recorded(self, total: int) -> None:
+        self._set("checkpoints_recorded", total)
+
+    @property
+    def checkpoint_resumes(self) -> int:
+        return self._get("checkpoint_resumes")
+
+    @checkpoint_resumes.setter
+    def checkpoint_resumes(self, total: int) -> None:
+        self._set("checkpoint_resumes", total)
+
+    @property
+    def storage_put_failures(self) -> int:
+        return self._get("storage_put_failures")
+
+    @storage_put_failures.setter
+    def storage_put_failures(self, total: int) -> None:
+        self._set("storage_put_failures", total)
+
+    @property
+    def storage_delete_failures(self) -> int:
+        return self._get("storage_delete_failures")
+
+    @storage_delete_failures.setter
+    def storage_delete_failures(self, total: int) -> None:
+        self._set("storage_delete_failures", total)
+
+    @property
+    def degraded_builds(self) -> int:
+        return self._get("degraded_builds")
+
+    @degraded_builds.setter
+    def degraded_builds(self, total: int) -> None:
+        self._set("degraded_builds", total)
 
     # ------------------------------------------------------------------
     # Aggregates (Figure 12 / 14)

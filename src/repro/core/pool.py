@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.cloud.cache import LRUCache
 from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
 from repro.cloud.pricing import PricingModel
+from repro.obs import NOOP_OBS, Observation
 
 logger = logging.getLogger(__name__)
 
@@ -76,6 +77,7 @@ class ContainerPool:
         pricing: PricingModel,
         spec: ContainerSpec = PAPER_CONTAINER,
         max_containers: int = 100,
+        obs: Observation | None = None,
     ) -> None:
         if max_containers <= 0:
             raise ValueError("max_containers must be positive")
@@ -83,6 +85,7 @@ class ContainerPool:
         self.spec = spec
         self.max_containers = max_containers
         self.stats = PoolStats()
+        self.obs = obs if obs is not None else NOOP_OBS
         self._containers: dict[int, PooledContainer] = {}
         self._next_id = 0
 
@@ -107,6 +110,8 @@ class ContainerPool:
         for cid in expired:
             del self._containers[cid]
         self.stats.containers_expired += len(expired)
+        if expired and self.obs.enabled:
+            self.obs.metrics.counter("pool/containers_expired").inc(len(expired))
         return len(expired)
 
     # ------------------------------------------------------------------
@@ -128,6 +133,12 @@ class ContainerPool:
         self.stats.containers_reused += len(chosen)
         for c in chosen:
             self.stats.quanta_saved_by_reuse += self.pricing.quanta(c.lease_end - time)
+        if self.obs.enabled:
+            self.obs.metrics.counter("pool/containers_reused").inc(len(chosen))
+            self.obs.metrics.counter("pool/containers_created").inc(count - len(chosen))
+            self.obs.metrics.gauge("pool/live_containers").set(
+                float(len(self._containers) + count - len(chosen))
+            )
         while len(chosen) < count:
             if len(self._containers) >= self.max_containers:
                 raise RuntimeError(
@@ -162,6 +173,8 @@ class ContainerPool:
             raise ValueError("count must be positive")
         container.cache = LRUCache(capacity_mb=self.spec.disk_mb)
         self.stats.containers_crashed += count
+        if self.obs.enabled:
+            self.obs.metrics.counter("pool/containers_crashed").inc(count)
         logger.debug(
             "container %d crashed x%d; cache dropped", container.container_id, count
         )
@@ -196,4 +209,6 @@ class ContainerPool:
             container.lease_end = needed_end
         container.quanta_paid += added
         self.stats.quanta_paid += added
+        if added and self.obs.enabled:
+            self.obs.metrics.counter("pool/quanta_paid").inc(added)
         return added

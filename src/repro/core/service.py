@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
@@ -31,9 +31,10 @@ from repro.faults.injector import FaultInjector, TransientStorageError
 from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import BuildCandidate
+from repro.obs import MetricsRegistry, NOOP_OBS, Observation
 from repro.scheduling.schedule import Assignment, Schedule
 from repro.scheduling.skyline import SkylineScheduler
-from repro.tuning.gain import GainModel
+from repro.tuning.gain import GainModel, IndexGain
 from repro.tuning.history import DataflowHistory
 from repro.tuning.tuner import OnlineIndexTuner
 
@@ -55,6 +56,10 @@ class _PendingDecision:
     time_gains: dict[str, float]
     money_gains: dict[str, float]
     to_delete: list[str]
+    # Full per-index gain evaluations (Eq. 3-5 terms) of the decision
+    # that produced this schedule; the journal's index_build/index_delete
+    # events carry the matching breakdown.
+    gains: dict[str, IndexGain] = field(default_factory=dict)
 
 
 class QaaSService:
@@ -66,12 +71,17 @@ class QaaSService:
         config: ExperimentConfig,
         strategy: Strategy,
         interleaver: str = "lp",
+        obs: Observation | None = None,
     ) -> None:
         self.workload = workload
         self.config = config
         self.strategy = strategy
         self.catalog = workload.catalog
         self.pricing = config.pricing
+        # Observability is strictly read-only: every obs call is gated on
+        # ``obs.enabled`` and nothing downstream branches on it, so an
+        # obs-enabled run is behaviour-identical to a disabled one.
+        self.obs = obs if obs is not None else NOOP_OBS
         # Fault injection and retry draw from their own seeded streams
         # (seed+3 / seed+4): a zero-rate profile leaves the workload,
         # service and simulator streams — and hence every metric —
@@ -94,6 +104,7 @@ class QaaSService:
             self.pricing,
             max_containers=config.scheduler_containers,
             max_skyline=config.max_skyline,
+            obs=self.obs,
         )
         self.simulator = ExecutionSimulator(
             self.pricing,
@@ -101,6 +112,7 @@ class QaaSService:
             rng=np.random.default_rng(config.seed + 2),
             injector=self.injector,
             retry=self.retry_policy,
+            obs=self.obs,
         )
         self._next_update = (
             config.update_interval_s if config.update_interval_s > 0 else float("inf")
@@ -110,7 +122,7 @@ class QaaSService:
             from repro.core.pool import ContainerPool
 
             self.pool = ContainerPool(
-                self.pricing, max_containers=config.max_containers
+                self.pricing, max_containers=config.max_containers, obs=self.obs
             )
         gain_model = GainModel(
             self.pricing, self.catalog.cost_model, config.gain_parameters()
@@ -122,6 +134,7 @@ class QaaSService:
             scheduler=self.scheduler,
             interleaver=interleaver,
             max_candidates=config.max_candidates,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -148,6 +161,7 @@ class QaaSService:
             time_gains=decision.dataflow_time_gains,
             money_gains=decision.dataflow_money_gains,
             to_delete=to_delete,
+            gains=decision.gains,
         )
 
     def _decide_random(self, dataflow: Dataflow) -> _PendingDecision:
@@ -317,7 +331,12 @@ class QaaSService:
                         invalidated += 1
         return invalidated
 
-    def _apply_builds(self, result, metrics: ServiceMetrics) -> int:
+    def _apply_builds(
+        self,
+        result,
+        metrics: ServiceMetrics,
+        gains: dict[str, IndexGain] | None = None,
+    ) -> int:
         """Mark completed index partitions built; store them. Returns count.
 
         A transiently failed storage put degrades gracefully: the
@@ -346,10 +365,23 @@ class QaaSService:
                     done.index_name, done.partition_id,
                 )
                 continue
-            if index.partitions[done.partition_id].checkpoint_seconds > 0:
+            resumed = index.partitions[done.partition_id].checkpoint_seconds > 0
+            if resumed:
                 metrics.checkpoint_resumes += 1
             index.mark_built(done.partition_id, done.finished_at)
             built += 1
+            if self.obs.enabled:
+                gain = (gains or {}).get(done.index_name)
+                self.obs.journal.emit(
+                    "index_build",
+                    t=done.finished_at,
+                    index=done.index_name,
+                    partition=done.partition_id,
+                    size_mb=size_mb,
+                    resumed=resumed,
+                    breakdown=gain.breakdown() if gain is not None else None,
+                )
+                self.obs.metrics.counter("service/partitions_built").inc()
         return built
 
     def _apply_checkpoints(self, result, metrics: ServiceMetrics) -> int:
@@ -369,19 +401,36 @@ class QaaSService:
             )
         return recorded
 
-    def _apply_deletions(self, names: list[str], now: float, metrics: ServiceMetrics) -> int:
+    def _apply_deletions(
+        self,
+        names: list[str],
+        now: float,
+        metrics: ServiceMetrics,
+        gains: dict[str, IndexGain] | None = None,
+    ) -> int:
         deleted = 0
         now = max(now, self.storage.accounted_until)
         for name in names:
             index = self.catalog.indexes.get(name)
             if index is None or not index.any_built:
                 continue
+            dropped_partitions = len(index.built_partition_ids())
             for pid in index.built_partition_ids():
                 path = index.spec.path(pid)
                 if self.storage.exists(path):
                     self._safe_delete(path, now, metrics)
             index.drop_all()
             deleted += 1
+            if self.obs.enabled:
+                gain = (gains or {}).get(name)
+                self.obs.journal.emit(
+                    "index_delete",
+                    t=now,
+                    index=name,
+                    partitions_dropped=dropped_partitions,
+                    breakdown=gain.breakdown() if gain is not None else None,
+                )
+                self.obs.metrics.counter("service/indexes_deleted").inc()
         return deleted
 
     # ------------------------------------------------------------------
@@ -397,7 +446,15 @@ class QaaSService:
         indexes they would use (Section 4).
         """
         metrics = ServiceMetrics(
-            strategy=self.strategy.value, horizon_s=self.config.total_time_s
+            strategy=self.strategy.value,
+            horizon_s=self.config.total_time_s,
+            # Enabled runs share the observation's registry so the fault
+            # counters land in --metrics-out; disabled runs still need a
+            # real registry behind the view properties (a NullRegistry
+            # would silently drop every count).
+            registry=(
+                self.obs.metrics if self.obs.enabled else MetricsRegistry()
+            ),
         )
         ordered = sorted(events, key=lambda e: e.time)
         generated: list[Dataflow | None] = [None] * len(ordered)
@@ -425,7 +482,7 @@ class QaaSService:
                     remaining.append((finish, result, decision, app))
                     continue
                 before = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
-                self._apply_builds(result, metrics)
+                self._apply_builds(result, metrics, gains=decision.gains)
                 self._apply_checkpoints(result, metrics)
                 after = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
                 metrics.indexes_created += len(after - before)
@@ -464,7 +521,7 @@ class QaaSService:
                 queued.append(dataflow_at(j))
             decision = self._decide(dataflow, now=exec_start, queued=queued)
             deleted = self._apply_deletions(decision.to_delete, now=exec_start,
-                                            metrics=metrics)
+                                            metrics=metrics, gains=decision.gains)
             metrics.indexes_deleted += deleted
 
             if self.pool is not None:
@@ -499,6 +556,19 @@ class QaaSService:
                     operator_retries=result.operator_retries,
                 )
             )
+            if self.obs.enabled:
+                self.obs.journal.emit(
+                    "dataflow_executed",
+                    t=result.finish_time,
+                    dataflow=dataflow.name,
+                    app=event.app,
+                    issued_at=event.time,
+                    started_at=exec_start,
+                    money_quanta=result.money_quanta,
+                    builds_completed=len(result.builds_completed),
+                    builds_killed=result.builds_killed,
+                )
+                self.obs.metrics.counter("service/dataflows_executed").inc()
         settle(float("inf"))
         self._retry_orphan_deletes(self.config.total_time_s, metrics)
         metrics.faults_injected = dict(self.injector.stats.by_kind)

@@ -24,6 +24,7 @@ from repro.faults.injector import FaultInjector, FaultKind
 from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import parse_build_op_name
+from repro.obs import NOOP_OBS, Observation
 
 if TYPE_CHECKING:
     from repro.core.pool import ContainerPool
@@ -130,6 +131,7 @@ class ExecutionSimulator:
         rng: np.random.Generator | None = None,
         injector: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
+        obs: Observation | None = None,
     ) -> None:
         if runtime_error < 0:
             raise ValueError("runtime_error must be non-negative")
@@ -139,6 +141,10 @@ class ExecutionSimulator:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.injector = injector
         self.retry = retry if retry is not None else RetryPolicy()
+        self.obs = obs if obs is not None else NOOP_OBS
+        # Deterministic trace track id: one pid per execution, in call
+        # order (the service loop is single-threaded and deterministic).
+        self._exec_seq = 0
 
     # ------------------------------------------------------------------
     def _noise(self) -> float:
@@ -205,6 +211,11 @@ class ExecutionSimulator:
         schedule = interleaved.schedule
         dataflow = schedule.dataflow
         tq = self.pricing.quantum_seconds
+        obs = self.obs
+        pid = self._exec_seq
+        self._exec_seq += 1
+        if obs.enabled:
+            obs.tracer.name_process(pid, dataflow.name)
 
         # ---- Phase 1: dataflow operators with actual runtimes. --------
         df_assignments = sorted(
@@ -236,6 +247,18 @@ class ExecutionSimulator:
             op_end[a.op_name] = end
             op_container[a.op_name] = a.container_id
             busy.setdefault(a.container_id, []).append(_Interval(start, end))
+            if obs.enabled:
+                obs.tracer.name_thread(
+                    pid, a.container_id, f"container {a.container_id}"
+                )
+                obs.tracer.span(
+                    a.op_name,
+                    "operator",
+                    pid,
+                    a.container_id,
+                    start_time + start,
+                    start_time + end,
+                )
 
         if busy:
             makespan = max(iv.end for ivs in busy.values() for iv in ivs)
@@ -271,7 +294,7 @@ class ExecutionSimulator:
                 unstarted += len(build_list)
                 continue
             done, ckpts, cut, lost, skipped = self._run_builds(
-                build_list, busy.get(cid, []), lease
+                build_list, busy.get(cid, []), lease, pid=pid, tid=cid, offset=start_time
             )
             completed.extend(
                 CompletedBuild(
@@ -289,6 +312,9 @@ class ExecutionSimulator:
         # Each container crash forfeits the remainder of its quantum and
         # re-leases: one extra quantum billed beyond the lease integral.
         money_quanta += faults.crashes
+
+        if obs.enabled:
+            self._record_execution(makespan, money_quanta, completed, killed, failed, unstarted)
 
         return ExecutionResult(
             dataflow_name=dataflow.name,
@@ -328,6 +354,11 @@ class ExecutionSimulator:
         schedule = interleaved.schedule
         dataflow = schedule.dataflow
         paid_before = pool.stats.quanta_paid
+        obs = self.obs
+        pid = self._exec_seq
+        self._exec_seq += 1
+        if obs.enabled:
+            obs.tracer.name_process(pid, dataflow.name)
 
         sched_cids = sorted({a.container_id for a in schedule.assignments})
         pooled = pool.acquire(max(1, len(sched_cids)), start_time)
@@ -377,6 +408,13 @@ class ExecutionSimulator:
             op_end[a.op_name] = end
             op_container[a.op_name] = a.container_id
             busy.setdefault(a.container_id, []).append(_Interval(start, end))
+            if obs.enabled:
+                obs.tracer.name_thread(
+                    pid, a.container_id, f"container {container.container_id}"
+                )
+                obs.tracer.span(
+                    a.op_name, "operator", pid, a.container_id, start, end
+                )
 
         if busy:
             makespan = max(iv.end for ivs in busy.values() for iv in ivs) - start_time
@@ -400,7 +438,7 @@ class ExecutionSimulator:
             intervals = busy.get(cid, [])
             lease = (start_time, container.lease_end)
             done, ckpts, cut, lost, skipped = self._run_builds(
-                build_list, intervals, lease
+                build_list, intervals, lease, pid=pid, tid=cid, offset=0.0
             )
             completed.extend(done)
             checkpoints.extend(ckpts)
@@ -409,6 +447,8 @@ class ExecutionSimulator:
             unstarted += skipped
 
         money = pool.stats.quanta_paid - paid_before + faults.crashes
+        if obs.enabled:
+            self._record_execution(makespan, money, completed, killed, failed, unstarted)
         return ExecutionResult(
             dataflow_name=dataflow.name,
             start_time=start_time,
@@ -427,11 +467,34 @@ class ExecutionSimulator:
             stragglers=faults.stragglers,
         )
 
+    def _record_execution(
+        self,
+        makespan: float,
+        money_quanta: int,
+        completed: list[CompletedBuild],
+        killed: int,
+        failed: int,
+        unstarted: int,
+    ) -> None:
+        """Fold one execution's outcome into the metrics registry."""
+        m = self.obs.metrics
+        m.counter("sim/executions").inc()
+        m.counter("sim/money_quanta").inc(money_quanta)
+        m.counter("sim/builds_completed").inc(len(completed))
+        m.counter("sim/builds_killed").inc(killed)
+        m.counter("sim/builds_failed").inc(failed)
+        m.counter("sim/builds_unstarted").inc(unstarted)
+        m.histogram("sim/makespan_s").observe(makespan)
+
     def _run_builds(
         self,
         build_list: list[Assignment],
         intervals: list[_Interval],
         lease: tuple[float, float],
+        *,
+        pid: int = 0,
+        tid: int = 0,
+        offset: float = 0.0,
     ) -> tuple[list[CompletedBuild], list[BuildCheckpoint], int, int, int]:
         """FIFO-fill builds into one container's actual gaps.
 
@@ -442,6 +505,10 @@ class ExecutionSimulator:
         inline — its partition re-enters the candidate pool). Either
         way, with checkpointing enabled the work completed up to the
         last checkpoint boundary survives as a :class:`BuildCheckpoint`.
+
+        ``pid``/``tid``/``offset`` locate the emitted trace slices:
+        ``offset`` shifts this container's (possibly schedule-relative)
+        times onto the absolute simulation clock.
         """
         completed: list[CompletedBuild] = []
         checkpoints: list[BuildCheckpoint] = []
@@ -451,7 +518,18 @@ class ExecutionSimulator:
         injector = self.injector
         faults_active = self._faults_active and injector is not None
         ckpt_interval = self._checkpoint_interval if injector is not None else 0.0
+        obs = self.obs
         gaps = self._actual_gaps(intervals, lease)
+        if obs.enabled:
+            for gap in gaps:
+                obs.tracer.instant(
+                    "idle_slot",
+                    "slot",
+                    pid,
+                    tid,
+                    offset + gap.start,
+                    args={"duration_s": gap.end - gap.start},
+                )
         gap_idx = 0
         cursor = gaps[0].start if gaps else None
         for a in build_list:
@@ -471,6 +549,24 @@ class ExecutionSimulator:
                     if faults_active and injector is not None and injector.build_fails():
                         spent = duration * injector.failure_point()
                         failed += 1
+                        if obs.enabled:
+                            obs.tracer.span(
+                                a.op_name,
+                                "build",
+                                pid,
+                                tid,
+                                offset + cursor,
+                                offset + cursor + spent,
+                                args={"outcome": "failed"},
+                            )
+                            obs.journal.emit(
+                                "build_fail",
+                                t=offset + cursor + spent,
+                                op=a.op_name,
+                                index=parsed[0] if parsed else None,
+                                partition=parsed[1] if parsed else None,
+                                spent_s=spent,
+                            )
                         cursor = cursor + spent
                         placed = True
                         if parsed is not None and ckpt_interval > 0 and injector is not None:
@@ -490,12 +586,41 @@ class ExecutionSimulator:
                                 finished_at=finish,
                             )
                         )
+                    if obs.enabled:
+                        obs.tracer.span(
+                            a.op_name,
+                            "build",
+                            pid,
+                            tid,
+                            offset + cursor,
+                            offset + finish,
+                            args={"outcome": "completed"},
+                        )
                     cursor = finish
                     placed = True
                 else:
                     # Started but cut off by the next dataflow operator
                     # or the quantum expiry.
                     killed += 1
+                    if obs.enabled:
+                        obs.tracer.span(
+                            a.op_name,
+                            "build",
+                            pid,
+                            tid,
+                            offset + cursor,
+                            offset + gap.end,
+                            args={"outcome": "killed"},
+                        )
+                        obs.journal.emit(
+                            "build_kill",
+                            t=offset + gap.end,
+                            op=a.op_name,
+                            index=parsed[0] if parsed else None,
+                            partition=parsed[1] if parsed else None,
+                            ran_s=remaining,
+                            needed_s=duration,
+                        )
                     if parsed is not None and ckpt_interval > 0 and injector is not None:
                         durable = injector.checkpointed(remaining)
                         if durable > 0:

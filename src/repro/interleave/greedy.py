@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.interleave.knapsack import KnapsackItem, solve_knapsack
+from repro.obs import NOOP_OBS, Observation
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,23 @@ class PackingResult:
         return sum(len(v) for v in self.placements.values())
 
 
-def graham_pack(items: list[KnapsackItem], segments: list[float]) -> PackingResult:
+def _note_packing(
+    obs: Observation, algo: str, result: PackingResult, offered: int
+) -> None:
+    """Record a packing heuristic's placement counts in the registry."""
+    if not obs.enabled:
+        return
+    obs.metrics.counter(f"interleave/{algo}/items_placed").inc(result.num_scheduled)
+    obs.metrics.counter(f"interleave/{algo}/items_dropped").inc(
+        offered - result.num_scheduled
+    )
+
+
+def graham_pack(
+    items: list[KnapsackItem],
+    segments: list[float],
+    obs: Observation | None = None,
+) -> PackingResult:
     """LPT-style greedy: biggest item first into the emptiest segment."""
     if any(s < 0 for s in segments):
         raise ValueError("segment sizes must be non-negative")
@@ -43,13 +60,19 @@ def graham_pack(items: list[KnapsackItem], segments: list[float]) -> PackingResu
             remaining[best] -= item.size
             placements[best].append(item.item_id)
             total += item.gain
-    return PackingResult(
+    result = PackingResult(
         total_gain=total,
         placements={k: tuple(v) for k, v in placements.items() if v},
     )
+    _note_packing(obs if obs is not None else NOOP_OBS, "graham", result, len(items))
+    return result
 
 
-def lp_pack(items: list[KnapsackItem], segments: list[float]) -> PackingResult:
+def lp_pack(
+    items: list[KnapsackItem],
+    segments: list[float],
+    obs: Observation | None = None,
+) -> PackingResult:
     """Per-segment knapsacks in decreasing segment size (Algorithm 2)."""
     order = sorted(range(len(segments)), key=segments.__getitem__, reverse=True)
     pool = list(items)
@@ -65,7 +88,9 @@ def lp_pack(items: list[KnapsackItem], segments: list[float]) -> PackingResult:
         total += solution.total_gain
         taken = set(solution.selected)
         pool = [it for it in pool if it.item_id not in taken]
-    return PackingResult(total_gain=total, placements=placements)
+    result = PackingResult(total_gain=total, placements=placements)
+    _note_packing(obs if obs is not None else NOOP_OBS, "lp_pack", result, len(items))
+    return result
 
 
 def merged_upper_bound(items: list[KnapsackItem], segments: list[float]) -> float:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.dataflow.graph import Dataflow
 from repro.interleave.knapsack import KnapsackItem, solve_knapsack
 from repro.interleave.slots import BuildCandidate, slots_by_size
+from repro.obs import NOOP_OBS, Observation
 from repro.scheduling.schedule import Assignment, Schedule
 from repro.scheduling.skyline import SkylineScheduler
 
@@ -79,14 +80,18 @@ def pack_builds_into_schedule(
     schedule: Schedule,
     candidates: list[BuildCandidate],
     max_nodes: int = 50_000,
+    obs: Observation | None = None,
 ) -> InterleavedSchedule:
     """Fill one schedule's idle slots with build operators via knapsacks."""
+    obs = obs if obs is not None else NOOP_OBS
     remaining = list(candidates)
     build_assignments: list[Assignment] = []
     scheduled: list[BuildCandidate] = []
+    slots_visited = 0
     for slot in slots_by_size(schedule):
         if not remaining:
             break
+        slots_visited += 1
         items = [
             KnapsackItem(item_id=i, size=c.duration_s, gain=c.gain)
             for i, c in enumerate(remaining)
@@ -107,6 +112,10 @@ def pack_builds_into_schedule(
             scheduled.append(cand)
         taken = set(solution.selected)
         remaining = [c for i, c in enumerate(remaining) if i not in taken]
+    if obs.enabled:
+        obs.metrics.counter("interleave/lp/slots_visited").inc(slots_visited)
+        obs.metrics.counter("interleave/lp/builds_packed").inc(len(scheduled))
+        obs.metrics.counter("interleave/lp/builds_unplaced").inc(len(remaining))
     return InterleavedSchedule(
         schedule=schedule,
         build_assignments=build_assignments,
@@ -122,6 +131,7 @@ def lp_interleave(
     index_fractions: dict[str, float] | None = None,
     index_sizes_mb: dict[str, float] | None = None,
     max_nodes: int = 50_000,
+    obs: Observation | None = None,
 ) -> list[InterleavedSchedule]:
     """Algorithm 2: the full LP interleaving pipeline.
 
@@ -136,7 +146,8 @@ def lp_interleave(
         )
     skyline = scheduler.schedule(dataflow)
     return [
-        pack_builds_into_schedule(s, candidates, max_nodes=max_nodes) for s in skyline
+        pack_builds_into_schedule(s, candidates, max_nodes=max_nodes, obs=obs)
+        for s in skyline
     ]
 
 

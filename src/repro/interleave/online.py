@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.dataflow.graph import Dataflow
 from repro.interleave.lp import InterleavedSchedule, update_runtimes_for_indexes
 from repro.interleave.slots import BuildCandidate, parse_build_op_name
+from repro.obs import NOOP_OBS, Observation
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.skyline import SkylineScheduler
 
@@ -26,6 +27,7 @@ def online_interleave(
     available_indexes: set[str] | None = None,
     index_fractions: dict[str, float] | None = None,
     index_sizes_mb: dict[str, float] | None = None,
+    obs: Observation | None = None,
 ) -> list[InterleavedSchedule]:
     """Schedule the dataflow with optional build operators in one pass.
 
@@ -33,6 +35,7 @@ def online_interleave(
     part of the submitted job from the scheduler's point of view).
     Returns one interleaved schedule per skyline point.
     """
+    obs = obs if obs is not None else NOOP_OBS
     if available_indexes:
         update_runtimes_for_indexes(
             dataflow, available_indexes, index_fractions, index_sizes_mb
@@ -57,6 +60,11 @@ def online_interleave(
         base = Schedule(
             dataflow=dataflow, pricing=sched.pricing, assignments=dataflow_assignments
         )
+        if obs.enabled:
+            obs.metrics.counter("interleave/online/builds_packed").inc(len(scheduled))
+            obs.metrics.counter("interleave/online/builds_unplaced").inc(
+                len(candidates) - len(scheduled)
+            )
         out.append(
             InterleavedSchedule(
                 schedule=base,

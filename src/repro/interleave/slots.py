@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dataflow.operator import BUILD_INDEX_PRIORITY, Operator
-from repro.scheduling.schedule import IdleSlot, Schedule
+from repro.scheduling.schedule import Assignment, IdleSlot, Schedule
 
 #: Prefix of synthetic build-operator names.
 BUILD_OP_PREFIX = "build::"
@@ -67,3 +67,30 @@ def slots_by_size(schedule: Schedule, merge_quanta: bool = False) -> list[IdleSl
     """Idle slots of a schedule in decreasing size order (Algorithm 2)."""
     slots = schedule.idle_slots(merge_quanta=merge_quanta)
     return sorted(slots, key=lambda s: s.duration, reverse=True)
+
+
+def slot_fill_payloads(
+    build_assignments: list[Assignment],
+) -> list[dict[str, object]]:
+    """Journal payloads for the builds an interleaver placed into slots.
+
+    One JSON-ready dict per build assignment (schedule-relative times);
+    the tuner emits these as ``slot_fill`` events for the schedule it
+    actually selected, so a journal reader can reconstruct exactly how
+    the idle capacity was allocated.
+    """
+    payloads: list[dict[str, object]] = []
+    for a in sorted(build_assignments, key=lambda a: (a.container_id, a.start)):
+        parsed = parse_build_op_name(a.op_name)
+        if parsed is None:
+            continue
+        payloads.append(
+            {
+                "index": parsed[0],
+                "partition": parsed[1],
+                "container": a.container_id,
+                "slot_start_s": a.start,
+                "duration_s": a.end - a.start,
+            }
+        )
+    return payloads

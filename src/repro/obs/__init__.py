@@ -1,0 +1,82 @@
+"""repro.obs: deterministic observability (tracing, metrics, journal).
+
+A dependency-free *leaf* package — like :mod:`repro.core.numeric`, any
+layer may import it and it imports nothing from the rest of ``repro``
+(the LAY01 lint rule enforces both directions). All timestamps are
+simulated seconds supplied by callers; nothing here reads the wall
+clock (DET01), draws randomness, or mutates simulation state, so an
+instrumented run is behaviour-identical to an uninstrumented one and
+every exported artifact is byte-deterministic under a fixed seed.
+
+The :class:`Observation` facade bundles the three sinks:
+
+* :class:`~repro.obs.tracer.Tracer` — sim-clock span tracing of
+  schedules (operators, builds, idle slots) for the Perfetto exporter;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms;
+* :class:`~repro.obs.journal.Journal` — the structured decision
+  journal (gain breakdowns, builds, deletes, kills, slot fills).
+
+``NOOP_OBS`` is the shared disabled instance every instrumented
+component defaults to: all three sinks are allocation-free no-ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.journal import Journal, RecordingJournal
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.perfetto import chrome_trace, trace_json, write_chrome_trace
+from repro.obs.tracer import Instant, RecordingTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "Journal",
+    "MetricsRegistry",
+    "NOOP_OBS",
+    "NullRegistry",
+    "Observation",
+    "RecordingJournal",
+    "RecordingTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "trace_json",
+    "write_chrome_trace",
+]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One bundle of tracer + metrics + journal threaded through a run."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    journal: Journal
+    enabled: bool = False
+
+    @classmethod
+    def recording(cls) -> "Observation":
+        """A fully-recording bundle (used by the CLI output flags)."""
+        return cls(
+            tracer=RecordingTracer(),
+            metrics=MetricsRegistry(),
+            journal=RecordingJournal(),
+            enabled=True,
+        )
+
+
+#: The shared disabled bundle: all sinks are allocation-free no-ops.
+NOOP_OBS = Observation(
+    tracer=Tracer(), metrics=NullRegistry(), journal=Journal(), enabled=False
+)

@@ -1,0 +1,212 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the single home for run-level quantitative
+observability: the service's fault counters are registry-backed views
+(:class:`repro.core.metrics.ServiceMetrics`), the simulator and pool
+record execution counts into it, and the CLI's ``--metrics-out`` dumps
+its snapshot as JSON.
+
+Determinism: instrument names are sorted in every snapshot, histogram
+bucket bounds are fixed at creation, and nothing here reads a clock —
+the same seeded run always serialises to the same bytes.
+
+A :class:`NullRegistry` mirrors the API with shared no-op instruments
+so disabled runs pay one dict-free method call per instrumentation
+point and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Default histogram bucket upper bounds (seconds-ish magnitudes).
+DEFAULT_BUCKETS: tuple[float, ...] = (0.1, 1.0, 10.0, 60.0, 300.0, 3600.0)
+
+
+class Counter:
+    """A monotonically increasing count (plus write-through ``set``)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (negative amounts are rejected)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use set() for views")
+        self._value += amount
+
+    def set(self, total: float) -> None:
+        """Overwrite the running total.
+
+        Exists for the write-through views in ``ServiceMetrics``: code
+        that historically assigned counter fields directly keeps
+        working while the registry stays the single storage.
+        """
+        self._value = total
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything beyond the last bound. Bounds are frozen at creation so
+    two same-seed runs always bucket identically.
+    """
+
+    __slots__ = ("bounds", "counts", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a non-empty ascending tuple")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self._count,
+            "sum": self._sum,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-serialisable."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    # ------------------------------------------------------------------
+    def counters_with_prefix(self, prefix: str) -> dict[str, Counter]:
+        """Registered counters whose name starts with ``prefix``."""
+        return {n: c for n, c in self._counters.items() if n.startswith(prefix)}
+
+    def snapshot(self) -> dict[str, object]:
+        """All instruments as one JSON-ready dict, names sorted."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": {
+                n: self._histograms[n].snapshot() for n in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2) + "\n"
+
+    def write_json(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, total: float) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: shared inert instruments, empty snapshots."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return _NULL_HISTOGRAM

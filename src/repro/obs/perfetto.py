@@ -1,0 +1,97 @@
+"""Chrome-trace / Perfetto exporter for recorded sim-time traces.
+
+Renders a :class:`~repro.obs.tracer.RecordingTracer` into the Chrome
+Trace Event JSON format (the ``traceEvents`` array form), loadable in
+``chrome://tracing`` and https://ui.perfetto.dev:
+
+* each dataflow execution is one *process* (pid), labelled with the
+  dataflow's name via ``process_name`` metadata;
+* each container is one *thread* (tid) inside it — one track per
+  container, labelled ``container <id>``;
+* dataflow operators and interleaved index builds are complete ``"X"``
+  slices (categories ``operator`` / ``build`` / ``build_killed`` /
+  ``build_failed``);
+* idle slots are thread-scoped instant markers (``"i"``) carrying the
+  slot duration in their args.
+
+Timestamps are simulated seconds scaled to the format's microseconds;
+events are sorted by (ts, pid, tid, name) and serialised with sorted
+keys, so the file is byte-deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import RecordingTracer
+
+#: Chrome trace timestamps are microseconds; sim times are seconds.
+_US_PER_S = 1e6
+
+
+def chrome_trace(tracer: RecordingTracer) -> dict[str, object]:
+    """The trace as a JSON-ready dict (``{"traceEvents": [...]}``)."""
+    events: list[dict[str, object]] = []
+    for pid in sorted(tracer.process_names):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": tracer.process_names[pid]},
+            }
+        )
+    for pid, tid in sorted(tracer.thread_names):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tracer.thread_names[(pid, tid)]},
+            }
+        )
+    timed: list[dict[str, object]] = []
+    for span in tracer.spans:
+        timed.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.cat,
+                "pid": span.pid,
+                "tid": span.tid,
+                "ts": span.start_s * _US_PER_S,
+                "dur": span.duration_s * _US_PER_S,
+                "args": dict(span.args),
+            }
+        )
+    for mark in tracer.instants:
+        timed.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": mark.name,
+                "cat": mark.cat,
+                "pid": mark.pid,
+                "tid": mark.tid,
+                "ts": mark.ts_s * _US_PER_S,
+                "args": dict(mark.args),
+            }
+        )
+    timed.sort(
+        key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"])  # type: ignore[arg-type]
+    )
+    events.extend(timed)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def trace_json(tracer: RecordingTracer) -> str:
+    """The trace serialised to a byte-deterministic JSON string."""
+    return json.dumps(chrome_trace(tracer), sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(tracer: RecordingTracer, path: str | Path) -> None:
+    """Write ``trace.json`` for chrome://tracing / Perfetto."""
+    Path(path).write_text(trace_json(tracer))

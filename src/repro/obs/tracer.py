@@ -1,0 +1,164 @@
+"""Sim-clock span tracer.
+
+Spans are timestamped with *simulated* seconds supplied by the caller —
+never the host clock — so a trace produced under a fixed seed is
+byte-deterministic and the DET01 lint rule holds for this module like
+any other. Tracks are addressed Chrome-trace style: a ``pid`` groups
+one dataflow execution, a ``tid`` is one container within it.
+
+Two implementations share the :class:`Tracer` interface:
+
+* :class:`Tracer` itself is the no-op: every method is a ``pass`` and
+  **allocates nothing** (no :class:`Span` objects are ever created), so
+  instrumented code can call it unconditionally on hot paths.
+* :class:`RecordingTracer` accumulates :class:`Span`/:class:`Instant`
+  records in memory for the Perfetto exporter
+  (:mod:`repro.obs.perfetto`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _freeze_args(args: dict[str, object] | None) -> tuple[tuple[str, object], ...]:
+    """Normalise an args dict to a sorted, hashable tuple of pairs."""
+    if not args:
+        return ()
+    return tuple(sorted(args.items()))
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed slice of simulated time on one track.
+
+    Attributes:
+        name: Slice label (operator name, build op name, ...).
+        cat: Category ("operator", "build", "build_killed", ...).
+        pid: Track group (one dataflow execution).
+        tid: Track within the group (one container).
+        start_s: Simulated start time, absolute seconds.
+        end_s: Simulated end time, absolute seconds.
+        args: Extra key/value payload, sorted for determinism.
+    """
+
+    name: str
+    cat: str
+    pid: int
+    tid: int
+    start_s: float
+    end_s: float
+    args: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("span cannot end before it starts")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker on one track (idle slots, decisions)."""
+
+    name: str
+    cat: str
+    pid: int
+    tid: int
+    ts_s: float
+    args: tuple[tuple[str, object], ...] = ()
+
+
+class Tracer:
+    """The no-op tracer: the default for every instrumented component.
+
+    Deliberately allocation-free — calling any method creates no span,
+    no tuple, nothing (the ``test_noop_tracer_allocates_no_spans`` test
+    pins this down), so leaving instrumentation calls unguarded costs
+    one attribute lookup and one function call.
+    """
+
+    __slots__ = ()
+
+    #: Whether spans are recorded; instrumentation may branch on this to
+    #: skip building expensive payloads.
+    enabled: bool = False
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Label a track group (no-op)."""
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        """Label a track (no-op)."""
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        start_s: float,
+        end_s: float,
+        args: dict[str, object] | None = None,
+    ) -> None:
+        """Record one completed sim-time slice (no-op)."""
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        ts_s: float,
+        args: dict[str, object] | None = None,
+    ) -> None:
+        """Record one zero-duration marker (no-op)."""
+
+
+class RecordingTracer(Tracer):
+    """Accumulates spans and instants for export."""
+
+    __slots__ = ("spans", "instants", "process_names", "thread_names")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.process_names: dict[int, str] = {}
+        self.thread_names: dict[tuple[int, int], str] = {}
+
+    def name_process(self, pid: int, name: str) -> None:
+        self.process_names.setdefault(pid, name)
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        self.thread_names.setdefault((pid, tid), name)
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        start_s: float,
+        end_s: float,
+        args: dict[str, object] | None = None,
+    ) -> None:
+        self.spans.append(
+            Span(name, cat, pid, tid, start_s, end_s, _freeze_args(args))
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        ts_s: float,
+        args: dict[str, object] | None = None,
+    ) -> None:
+        self.instants.append(Instant(name, cat, pid, tid, ts_s, _freeze_args(args)))
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)

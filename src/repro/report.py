@@ -92,6 +92,36 @@ def comparison_table(rows: Sequence[MetricsRow]) -> str:
     return "\n".join(out)
 
 
+def obs_summary(
+    snapshot: dict,
+    event_counts: dict[str, int] | None = None,
+) -> str:
+    """Observability roll-up: counters, histograms, journal event counts.
+
+    ``snapshot`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict;
+    ``event_counts`` comes from
+    :meth:`repro.obs.RecordingJournal.counts_by_event`. Names are sorted
+    so the block is stable across same-seed runs.
+    """
+    lines = ["observability summary:"]
+    counters = snapshot.get("counters", {})
+    if counters:
+        name_w = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{name_w}}  {counters[name]:>12.0f}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        lines.append(f"  {name}: n={hist['count']} sum={hist['sum']:.1f}s")
+    if event_counts:
+        lines.append("  journal events:")
+        event_w = max(len(e) for e in event_counts)
+        for event in sorted(event_counts):
+            lines.append(f"    {event:<{event_w}}  {event_counts[event]:>8d}")
+    if len(lines) == 1:
+        lines.append("  (no instruments recorded)")
+    return "\n".join(lines)
+
+
 def metrics_row(label: str, metrics) -> MetricsRow:
     """Build a comparison row from a ServiceMetrics object."""
     return MetricsRow(

@@ -23,6 +23,7 @@ from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
 from repro.cloud.pricing import PricingModel
 from repro.dataflow.graph import Dataflow
 from repro.dataflow.operator import Operator
+from repro.obs import NOOP_OBS, Observation
 from repro.scheduling.schedule import Assignment, Schedule
 
 
@@ -74,6 +75,7 @@ class SkylineScheduler:
         max_containers: int = 100,
         max_skyline: int = 8,
         include_input_transfer: bool = True,
+        obs: Observation | None = None,
     ) -> None:
         if max_containers <= 0:
             raise ValueError("max_containers must be positive")
@@ -84,6 +86,7 @@ class SkylineScheduler:
         self.max_containers = max_containers
         self.max_skyline = max_skyline
         self.include_input_transfer = include_input_transfer
+        self.obs = obs if obs is not None else NOOP_OBS
 
     # ------------------------------------------------------------------
     # Public API
@@ -92,6 +95,7 @@ class SkylineScheduler:
         """Return the skyline of execution schedules for ``dataflow``."""
         order = self._ready_order(dataflow)
         skyline: list[_Partial] = [_Partial()]
+        branched_total = 0
         for op_name in order:
             op = dataflow.operators[op_name]
             branched: list[_Partial] = []
@@ -100,7 +104,15 @@ class SkylineScheduler:
             for partial in skyline:
                 for cid in self._candidate_containers(partial):
                     branched.append(self._assign(partial, dataflow, op, cid))
+            branched_total += len(branched)
             skyline = self._prune(branched)
+        if self.obs.enabled:
+            self.obs.metrics.counter("scheduler/invocations").inc()
+            self.obs.metrics.counter("scheduler/operators_placed").inc(len(order))
+            self.obs.metrics.counter("scheduler/partials_branched").inc(branched_total)
+            self.obs.metrics.histogram(
+                "scheduler/skyline_size", bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+            ).observe(float(len(skyline)))
         return [
             Schedule(dataflow=dataflow, pricing=self.pricing, assignments=list(p.assignments))
             for p in skyline

@@ -99,7 +99,14 @@ class DataflowGainSample:
 
 @dataclass(frozen=True)
 class IndexGain:
-    """Evaluated gains of one index at one time point."""
+    """Evaluated gains of one index at one time point.
+
+    Beyond the three Eq. 3-5 results, the evaluation records the terms
+    they were computed from (faded benefit inflow, build hurdle,
+    storage holding cost, fading controller, sample count) so a
+    decision journal can show *why* an index was built or dropped
+    without re-running the model.
+    """
 
     index_name: str
     time_gain_quanta: float  # gt(idx, t)
@@ -108,6 +115,24 @@ class IndexGain:
     #: Deletion threshold (quanta) the evaluating model was configured
     #: with; see GainParameters.delete_threshold_quanta.
     delete_threshold_quanta: float = 0.05
+    # ------------------------------------------------------------------
+    # Eq. 3-5 term breakdown (zero-cost: derived from values the
+    # evaluation computes anyway).
+    # ------------------------------------------------------------------
+    #: Σ dc(ΔT)·gtd — the faded time-benefit inflow, in quanta.
+    faded_time_quanta: float = 0.0
+    #: Σ dc(ΔT)·Mc·gmd — the faded money-benefit inflow, in dollars.
+    faded_money_dollars: float = 0.0
+    #: ti(idx) — remaining build time over unbuilt partitions, quanta.
+    build_time_quanta: float = 0.0
+    #: Mc·mi(idx) — monetary cost of the remaining build, dollars.
+    build_cost_dollars: float = 0.0
+    #: st(idx, W) — holding cost over the storage window, dollars.
+    storage_cost_dollars: float = 0.0
+    #: The fading controller D the evaluation used, in quanta.
+    fade_quanta: float = 0.0
+    #: Number of in-window dataflow samples that contributed.
+    samples: int = 0
 
     @property
     def beneficial(self) -> bool:
@@ -135,6 +160,28 @@ class IndexGain:
         return le_tol(self.time_gain_quanta, 0.0, tol=eps_t) and le_tol(
             self.money_gain_dollars, 0.0, tol=eps_m
         )
+
+    def breakdown(self) -> dict[str, object]:
+        """The full Eq. 3-5 term breakdown as a JSON-ready dict.
+
+        This is the payload the decision journal attaches to every
+        gain evaluation, index build and index delete event.
+        """
+        return {
+            "index": self.index_name,
+            "time_gain_quanta": self.time_gain_quanta,
+            "money_gain_dollars": self.money_gain_dollars,
+            "combined_dollars": self.combined_dollars,
+            "faded_time_quanta": self.faded_time_quanta,
+            "faded_money_dollars": self.faded_money_dollars,
+            "build_time_quanta": self.build_time_quanta,
+            "build_cost_dollars": self.build_cost_dollars,
+            "storage_cost_dollars": self.storage_cost_dollars,
+            "fade_quanta": self.fade_quanta,
+            "samples": self.samples,
+            "beneficial": self.beneficial,
+            "deletable": self.deletable,
+        }
 
 
 class GainModel:
@@ -239,17 +286,35 @@ class GainModel:
         samples: list[DataflowGainSample],
         fade_quanta: float | None = None,
     ) -> IndexGain:
-        """Equation 3: the weighted combined gain (and its components)."""
+        """Equation 3: the weighted combined gain (and its components).
+
+        The returned :class:`IndexGain` also carries the Eq. 3-5 term
+        breakdown; the inflow terms are derived from the gains and the
+        cost terms (never recomputed), so evaluation cost and the gt/gm
+        float arithmetic are bit-identical to the unadorned model.
+        """
         gt = self.time_gain(index, samples, fade_quanta)
         gm = self.money_gain(index, samples, fade_quanta)
         alpha = self.params.alpha
         combined = alpha * self.pricing.quantum_price * gt + (1.0 - alpha) * gm
+        build_time = self.build_time_quanta(index)
+        build_cost = self.pricing.quantum_price * build_time  # mi(idx) == ti(idx)
+        storage_cost = self.storage_cost_dollars(index)
+        fade = self.params.fade_quanta if fade_quanta is None else fade_quanta
+        in_window = sum(1 for s in samples if self.in_window(s.age_quanta))
         return IndexGain(
             index_name=index.name,
             time_gain_quanta=gt,
             money_gain_dollars=gm,
             combined_dollars=combined,
             delete_threshold_quanta=self.params.delete_threshold_quanta,
+            faded_time_quanta=gt + build_time,
+            faded_money_dollars=gm + build_cost + storage_cost,
+            build_time_quanta=build_time,
+            build_cost_dollars=build_cost,
+            storage_cost_dollars=storage_cost,
+            fade_quanta=fade,
+            samples=in_window,
         )
 
 

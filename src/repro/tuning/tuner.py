@@ -19,7 +19,8 @@ from repro.data.index_model import Index
 from repro.dataflow.graph import Dataflow
 from repro.interleave.lp import InterleavedSchedule, lp_interleave, select_fastest
 from repro.interleave.online import online_interleave
-from repro.interleave.slots import BuildCandidate
+from repro.interleave.slots import BuildCandidate, slot_fill_payloads
+from repro.obs import NOOP_OBS, Observation
 from repro.scheduling.skyline import SkylineScheduler
 from repro.tuning.gain import (
     DataflowGainSample,
@@ -77,6 +78,7 @@ class OnlineIndexTuner:
         interleaver: str = "lp",
         max_candidates: int = 150,
         fading_controller: AdaptiveFadingController | None = None,
+        obs: Observation | None = None,
     ) -> None:
         if interleaver not in ("lp", "online"):
             raise ValueError("interleaver must be 'lp' or 'online'")
@@ -88,6 +90,7 @@ class OnlineIndexTuner:
         self.scheduler = scheduler
         self.interleaver = interleaver
         self.max_candidates = max_candidates
+        self.obs = obs if obs is not None else NOOP_OBS
         # Optional AdaptiveFadingController: learns a per-index fading
         # horizon D from usage regularity (Section 7 future work).
         self.fading_controller = fading_controller
@@ -284,6 +287,7 @@ class OnlineIndexTuner:
             available_indexes=available,
             index_fractions=fractions,
             index_sizes_mb=sizes_mb,
+            obs=self.obs,
         )
         chosen = select_fastest(skyline)
 
@@ -292,6 +296,29 @@ class OnlineIndexTuner:
             for g in deletable_indexes(list(gains.values()))
             if self.catalog.index(g.index_name).any_built
         ]
+        obs = self.obs
+        if obs.enabled:
+            obs.journal.emit(
+                "tuner_decision",
+                t=now,
+                dataflow=dataflow.name,
+                interleaver=self.interleaver,
+                candidates_offered=len(candidates),
+                builds_scheduled=chosen.num_builds,
+                skyline_points=len(skyline),
+                ranked=[g.index_name for g in ranked],
+                to_delete=list(to_delete),
+                gains={name: g.breakdown() for name, g in sorted(gains.items())},
+            )
+            for payload in slot_fill_payloads(chosen.build_assignments):
+                obs.journal.emit(
+                    "slot_fill", t=now, dataflow=dataflow.name, **payload
+                )
+            m = obs.metrics
+            m.counter("tuner/decisions").inc()
+            m.counter("tuner/candidates_offered").inc(len(candidates))
+            m.counter("tuner/builds_scheduled").inc(chosen.num_builds)
+            m.counter("tuner/deletions_flagged").inc(len(to_delete))
         return TunerDecision(
             chosen=chosen,
             skyline=skyline,
@@ -305,8 +332,22 @@ class OnlineIndexTuner:
     def periodic_cleanup(self, now: float) -> list[str]:
         """Deletion-only trigger (fires when no dataflow arrives)."""
         gains = self.evaluate_gains(now, current=None)
-        return [
+        to_delete = [
             g.index_name
             for g in deletable_indexes(list(gains.values()))
             if self.catalog.index(g.index_name).any_built
         ]
+        if self.obs.enabled:
+            self.obs.journal.emit(
+                "periodic_cleanup",
+                t=now,
+                to_delete=list(to_delete),
+                gains={
+                    name: g.breakdown()
+                    for name, g in sorted(gains.items())
+                    if name in set(to_delete)
+                },
+            )
+            self.obs.metrics.counter("tuner/cleanups").inc()
+            self.obs.metrics.counter("tuner/deletions_flagged").inc(len(to_delete))
+        return to_delete

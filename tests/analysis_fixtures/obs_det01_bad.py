@@ -1,0 +1,14 @@
+# lint-module: repro.obs.fixture_tracer
+# expect: DET01
+"""Known-bad fixture: an obs module timestamping with the wall clock.
+
+The tracer must stamp spans with *simulated* seconds passed in by the
+instrumented caller — a ``time.time()`` here would make two same-seed
+trace files differ byte-for-byte.
+"""
+
+import time
+
+
+def span_stamp() -> float:
+    return time.time()

@@ -1,0 +1,11 @@
+# lint-module: repro.obs.fixture_exporter
+# expect: LAY01,LAY01
+"""Known-bad fixture: the obs leaf importing instrumented layers.
+
+``repro.obs`` is on the LAY01 ``ALLOWED_LEAVES`` list precisely because
+it imports nothing above it; an import of ``tuning`` or ``core`` from
+inside obs would close the cycle the carve-out promises away.
+"""
+
+import repro.core.service
+from repro.tuning.gain import IndexGain

@@ -1,0 +1,17 @@
+# lint-module: repro.obs.fixture_ok
+# expect:
+"""Known-good fixture: obs sticks to the stdlib and its own package."""
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    payload: str
+
+
+def render(registry: MetricsRegistry) -> Snapshot:
+    return Snapshot(payload=json.dumps(registry.snapshot(), sort_keys=True))

@@ -124,6 +124,17 @@ def test_layering_carve_out_for_numeric_leaf() -> None:
     assert [d.code for d in diags] == ["LAY01"]
 
 
+def test_layering_carve_out_for_obs_leaf() -> None:
+    # Any layer (here: the lowest ones) may import the obs leaf...
+    clean = "from repro.obs import Observation\n"
+    for module in ("repro.cloud.fixture", "repro.data.fixture", "repro.engine.fixture"):
+        assert lint_source(clean, Path("x.py"), module=module) == []
+    # ...because obs itself must not import anything above it.
+    dirty = "from repro.tuning.gain import IndexGain\n"
+    diags = lint_source(dirty, Path("x.py"), module="repro.obs.fixture")
+    assert [d.code for d in diags] == ["LAY01"]
+
+
 # ----------------------------------------------------------------------
 # CLI behaviour
 # ----------------------------------------------------------------------

@@ -12,10 +12,11 @@ from repro.core.config import ExperimentConfig
 from repro.core.metrics import ServiceMetrics
 from repro.core.service import QaaSService, Strategy
 from repro.dataflow.client import ArrivalEvent, build_workload
+from repro.obs import Observation, trace_json
 
 
-def run_once(seed: int) -> ServiceMetrics:
-    cfg = ExperimentConfig(
+def _config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
         total_time_s=30 * 60.0,
         max_skyline=2,
         scheduler_containers=10,
@@ -23,15 +24,21 @@ def run_once(seed: int) -> ServiceMetrics:
         max_queued_gain=10,
         seed=seed,
     )
+
+
+def run_once(seed: int, obs: Observation | None = None) -> ServiceMetrics:
+    cfg = _config(seed)
     workload = build_workload(cfg.pricing, seed=cfg.seed)
-    service = QaaSService(workload, cfg, Strategy.GAIN)
+    service = QaaSService(workload, cfg, Strategy.GAIN, obs=obs)
     events = [ArrivalEvent(time=(i + 1) * 120.0, app="montage") for i in range(6)]
     return service.run(events)
 
 
 def fingerprint(metrics: ServiceMetrics) -> str:
     # Dataclass repr renders every float at full precision: any drift in
-    # any field of any outcome changes the string.
+    # any field of any outcome changes the string. The fault counters are
+    # registry-backed properties (outside the dataclass repr), so the
+    # fault_summary dict folds them back into the fingerprint.
     return repr(metrics) + repr(
         (
             metrics.compute_dollars,
@@ -39,7 +46,7 @@ def fingerprint(metrics: ServiceMetrics) -> str:
             metrics.total_dollars(),
             metrics.avg_makespan_quanta(),
         )
-    )
+    ) + repr(sorted(metrics.fault_summary().items()))
 
 
 def test_same_seed_runs_are_byte_identical() -> None:
@@ -54,3 +61,49 @@ def test_second_seed_is_also_repeatable() -> None:
 def test_different_seeds_actually_differ() -> None:
     # Guard against a fingerprint that ignores the interesting state.
     assert fingerprint(run_once(5)) != fingerprint(run_once(11))
+
+
+# ----------------------------------------------------------------------
+# Observability artifacts share the contract: same seed, same bytes
+# ----------------------------------------------------------------------
+def test_obs_artifacts_are_byte_identical_across_runs() -> None:
+    obs_a, obs_b = Observation.recording(), Observation.recording()
+    fp_a = fingerprint(run_once(5, obs=obs_a))
+    fp_b = fingerprint(run_once(5, obs=obs_b))
+    assert fp_a == fp_b
+    assert obs_a.journal.to_jsonl() == obs_b.journal.to_jsonl()
+    assert trace_json(obs_a.tracer) == trace_json(obs_b.tracer)
+    assert obs_a.metrics.to_json() == obs_b.metrics.to_json()
+    # and they are not vacuously empty
+    assert len(obs_a.journal) > 0
+    assert len(obs_a.tracer) > 0
+
+
+def test_obs_enabled_run_is_behaviour_identical_to_disabled() -> None:
+    # Observability is read-only: recording must not perturb a single
+    # timestamp, bill or counter relative to the uninstrumented run.
+    assert fingerprint(run_once(5, obs=Observation.recording())) == fingerprint(
+        run_once(5)
+    )
+
+
+def test_journal_build_events_carry_gain_breakdown() -> None:
+    obs = Observation.recording()
+    run_once(5, obs=obs)
+    builds = [e for e in obs.journal.events if e["event"] == "index_build"]
+    assert builds, "expected at least one index build in 30 quanta"
+    required = {
+        "time_gain_quanta",
+        "money_gain_dollars",
+        "combined_dollars",
+        "build_time_quanta",
+        "build_cost_dollars",
+        "storage_cost_dollars",
+        "faded_time_quanta",
+        "faded_money_dollars",
+        "fade_quanta",
+    }
+    for event in builds:
+        breakdown = event["breakdown"]
+        assert breakdown is not None
+        assert required <= set(breakdown)

@@ -1,0 +1,295 @@
+"""Tests for repro.obs: tracer, metrics registry, journal, Perfetto export.
+
+Covers the unit behaviour of every sink, the allocation-free no-op
+contract of the disabled tracer, and a golden-file check of the Chrome
+trace produced for a tiny two-container schedule.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.simulator import ExecutionSimulator
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.interleave.lp import InterleavedSchedule
+from repro.interleave.slots import BuildCandidate, slot_fill_payloads
+from repro.obs import (
+    Counter,
+    Instant,
+    Journal,
+    MetricsRegistry,
+    NOOP_OBS,
+    NullRegistry,
+    Observation,
+    RecordingJournal,
+    RecordingTracer,
+    Span,
+    Tracer,
+    chrome_trace,
+    trace_json,
+    write_chrome_trace,
+)
+from repro.scheduling.schedule import Assignment, Schedule
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_recording_tracer_accumulates(self):
+        tracer = RecordingTracer()
+        tracer.name_process(0, "df")
+        tracer.name_thread(0, 1, "container 1")
+        tracer.span("op", "operator", 0, 1, 10.0, 20.0, args={"b": 2, "a": 1})
+        tracer.instant("idle_slot", "slot", 0, 1, 20.0)
+        assert len(tracer) == 2
+        assert tracer.spans[0].duration_s == pytest.approx(10.0)
+        # args are frozen sorted so equal payloads always compare equal
+        assert tracer.spans[0].args == (("a", 1), ("b", 2))
+
+    def test_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Span("x", "operator", 0, 0, 5.0, 4.0)
+
+    def test_process_and_thread_names_first_write_wins(self):
+        tracer = RecordingTracer()
+        tracer.name_process(0, "first")
+        tracer.name_process(0, "second")
+        tracer.name_thread(0, 1, "t-first")
+        tracer.name_thread(0, 1, "t-second")
+        assert tracer.process_names[0] == "first"
+        assert tracer.thread_names[(0, 1)] == "t-first"
+
+    def test_noop_tracer_allocates_no_spans(self):
+        """The disabled tracer must create zero Span/Instant objects."""
+        tracer = Tracer()
+        assert not tracer.enabled
+        gc.collect()
+        before = sum(
+            1 for o in gc.get_objects() if isinstance(o, (Span, Instant))
+        )
+        for i in range(200):
+            tracer.name_process(i, "p")
+            tracer.name_thread(i, 0, "t")
+            tracer.span("op", "operator", i, 0, 0.0, 1.0)
+            tracer.instant("mark", "slot", i, 0, 0.5)
+        gc.collect()
+        after = sum(
+            1 for o in gc.get_objects() if isinstance(o, (Span, Instant))
+        )
+        assert after == before
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_counter_set_for_views(self):
+        c = Counter()
+        c.set(7)
+        assert c.value == 7
+
+    def test_registry_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 1, 1]  # <=1, <=10, overflow
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(55.5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", bounds=(10.0, 1.0))
+
+    def test_snapshot_sorted_and_json_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert reg.to_json() == reg.to_json()
+        assert reg.to_json().endswith("\n")
+
+    def test_counters_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("faults/injected/crash").inc(3)
+        reg.counter("sim/executions").inc()
+        hits = reg.counters_with_prefix("faults/injected/")
+        assert list(hits) == ["faults/injected/crash"]
+
+    def test_null_registry_is_inert(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        assert reg.counter("x") is reg.counter("y")  # shared null instrument
+        reg.counter("x").inc(100)
+        reg.gauge("g").set(5.0)
+        reg.histogram("h").observe(1.0)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_noop_journal_records_nothing(self):
+        j = Journal()
+        assert not j.enabled
+        j.emit("decision", t=1.0, extra="x")  # must not raise or store
+
+    def test_recording_journal_order_and_counts(self):
+        j = RecordingJournal()
+        j.emit("b_event", t=2.0, value=1)
+        j.emit("a_event", t=1.0)
+        j.emit("b_event", t=3.0)
+        assert len(j) == 3
+        assert [e["event"] for e in j.events] == ["b_event", "a_event", "b_event"]
+        assert j.counts_by_event() == {"a_event": 1, "b_event": 2}
+
+    def test_jsonl_is_sorted_and_deterministic(self):
+        j = RecordingJournal()
+        j.emit("e", t=1.0, zebra=1, alpha=2)
+        line = j.to_jsonl().splitlines()[0]
+        assert line == '{"alpha":2,"event":"e","t":1.0,"zebra":1}'
+
+    def test_write_jsonl(self, tmp_path):
+        j = RecordingJournal()
+        j.emit("e", t=0.0)
+        out = tmp_path / "events.jsonl"
+        j.write_jsonl(out)
+        assert out.read_text() == j.to_jsonl()
+
+
+# ----------------------------------------------------------------------
+# Observation facade
+# ----------------------------------------------------------------------
+class TestObservation:
+    def test_noop_bundle_disabled(self):
+        assert not NOOP_OBS.enabled
+        assert not NOOP_OBS.tracer.enabled
+        assert not NOOP_OBS.metrics.enabled
+        assert not NOOP_OBS.journal.enabled
+
+    def test_recording_bundle(self):
+        obs = Observation.recording()
+        assert obs.enabled
+        assert isinstance(obs.tracer, RecordingTracer)
+        assert isinstance(obs.journal, RecordingJournal)
+        assert obs.metrics.enabled
+
+
+# ----------------------------------------------------------------------
+# Slot-fill payloads
+# ----------------------------------------------------------------------
+def test_slot_fill_payloads_sorted_and_parsed():
+    cand = BuildCandidate("tbl__col", 2, 15.0, 1.0)
+    builds = [
+        Assignment(cand.op_name, 1, 90.0, 105.0),
+        Assignment(BuildCandidate("tbl__col", 0, 10.0, 1.0).op_name, 0, 30.0, 40.0),
+    ]
+    payloads = slot_fill_payloads(builds)
+    assert [p["container"] for p in payloads] == [0, 1]
+    assert payloads[0]["index"] == "tbl__col"
+    assert payloads[0]["partition"] == 0
+    assert payloads[1]["slot_start_s"] == pytest.approx(90.0)
+
+
+# ----------------------------------------------------------------------
+# Perfetto export: golden two-container schedule
+# ----------------------------------------------------------------------
+def _two_container_run(obs: Observation) -> None:
+    """One dataflow on two containers plus one interleaved build."""
+    flow = Dataflow(name="golden-df")
+    flow.add_operator(Operator(name="a", runtime=30.0))
+    flow.add_operator(Operator(name="b", runtime=30.0))
+    flow.add_operator(Operator(name="c", runtime=30.0))
+    flow.add_edge("a", "c")
+    flow.add_edge("b", "c")
+    schedule = Schedule(
+        dataflow=flow,
+        pricing=PAPER_PRICING,
+        assignments=[
+            Assignment("a", 0, 0.0, 30.0),
+            Assignment("b", 1, 0.0, 30.0),
+            Assignment("c", 0, 30.0, 60.0),
+        ],
+    )
+    cand = BuildCandidate("tbl__col", 0, 20.0, 1.0)
+    inter = InterleavedSchedule(
+        schedule=schedule,
+        build_assignments=[Assignment(cand.op_name, 1, 30.0, 50.0)],
+        scheduled_builds=[cand],
+    )
+    sim = ExecutionSimulator(
+        PAPER_PRICING, runtime_error=0.0, rng=np.random.default_rng(0), obs=obs
+    )
+    result = sim.execute(inter, start_time=0.0)
+    assert [b.index_name for b in result.builds_completed] == ["tbl__col"]
+
+
+def test_two_container_trace_matches_golden():
+    obs = Observation.recording()
+    _two_container_run(obs)
+    golden = (GOLDEN / "two_container_trace.json").read_text()
+    assert trace_json(obs.tracer) == golden
+
+
+def test_two_container_trace_structure():
+    obs = Observation.recording()
+    _two_container_run(obs)
+    trace = chrome_trace(obs.tracer)
+    events = trace["traceEvents"]
+    phases = [e["ph"] for e in events]
+    # one process_name + two thread_name metadata records
+    assert phases.count("M") == 3
+    # three operators + one completed build
+    slices = [e for e in events if e["ph"] == "X"]
+    assert sorted(e["cat"] for e in slices) == ["build", "operator", "operator", "operator"]
+    build = next(e for e in slices if e["cat"] == "build")
+    assert build["args"]["outcome"] == "completed"
+    assert build["dur"] == pytest.approx(20.0 * 1e6)
+    # idle slots rendered as thread-scoped instants
+    marks = [e for e in events if e["ph"] == "i"]
+    assert marks and all(m["s"] == "t" for m in marks)
+    # the JSON loads back — what chrome://tracing actually requires
+    assert json.loads(trace_json(obs.tracer))["displayTimeUnit"] == "ms"
+
+
+def test_write_chrome_trace(tmp_path):
+    obs = Observation.recording()
+    _two_container_run(obs)
+    out = tmp_path / "trace.json"
+    write_chrome_trace(obs.tracer, out)
+    assert out.read_text() == trace_json(obs.tracer)
+
+
+def test_disabled_obs_emits_nothing_from_simulator():
+    obs = NOOP_OBS
+    _two_container_run(obs)
+    # NOOP sinks are shared no-ops: nothing accumulates anywhere
+    assert isinstance(obs.tracer, Tracer) and not isinstance(obs.tracer, RecordingTracer)
+    assert obs.metrics.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

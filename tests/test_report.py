@@ -3,7 +3,14 @@
 import pytest
 
 from repro.core.metrics import ServiceMetrics
-from repro.report import MetricsRow, bar_chart, comparison_table, metrics_row, timeseries
+from repro.report import (
+    MetricsRow,
+    bar_chart,
+    comparison_table,
+    metrics_row,
+    obs_summary,
+    timeseries,
+)
 
 
 class TestBarChart:
@@ -19,6 +26,20 @@ class TestBarChart:
 
     def test_empty(self):
         assert bar_chart([]) == "(no data)"
+
+    def test_small_positive_value_gets_at_least_one_tick(self):
+        # A bar that would round to zero width must still be visible so a
+        # tiny-but-real measurement is distinguishable from exactly zero.
+        out = bar_chart([("tiny", 0.001), ("big", 1000.0)])
+        tiny_line, big_line = out.splitlines()
+        assert tiny_line.count("#") == 1
+        assert big_line.count("#") == 40
+
+    def test_zero_and_small_positive_render_differently(self):
+        out = bar_chart([("zero", 0.0), ("tiny", 1e-9), ("big", 100.0)])
+        zero_line, tiny_line, _ = out.splitlines()
+        assert "#" not in zero_line
+        assert "#" in tiny_line
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
@@ -68,3 +89,25 @@ class TestComparisonTable:
         assert row.label == "gain"
         assert row.finished == 0
         assert row.cost_per_dataflow_quanta == 0.0
+
+
+class TestObsSummary:
+    def test_counters_histograms_and_events(self):
+        snapshot = {
+            "counters": {"sim/executions": 8.0, "pool/quanta_paid": 120.0},
+            "gauges": {},
+            "histograms": {"sim/makespan_s": {"count": 8, "sum": 4302.5, "bounds": [], "counts": []}},
+        }
+        out = obs_summary(snapshot, {"tuner_decision": 13, "index_build": 307})
+        lines = out.splitlines()
+        assert lines[0] == "observability summary:"
+        # counters are sorted by name
+        assert lines[1].split()[0] == "pool/quanta_paid"
+        assert lines[2].split()[0] == "sim/executions"
+        assert "sim/makespan_s: n=8 sum=4302.5s" in out
+        assert "journal events:" in out
+        assert "index_build" in out and "307" in out
+
+    def test_empty_snapshot(self):
+        out = obs_summary({"counters": {}, "gauges": {}, "histograms": {}})
+        assert "(no instruments recorded)" in out
