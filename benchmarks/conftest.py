@@ -71,7 +71,14 @@ def figure_metrics(request):
         return
     target = Path(out_dir)
     target.mkdir(parents=True, exist_ok=True)
-    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    # A benchmark may name its artifact explicitly (reserved key);
+    # otherwise the test name is used.
+    explicit = values.pop("artifact_stem", None)
+    if not values:
+        return
+    stem = str(explicit) if explicit else re.sub(
+        r"[^A-Za-z0-9_.-]+", "_", request.node.name
+    )
     payload = {"test": request.node.nodeid, "metrics": values}
     (target / f"BENCH_{stem}.json").write_text(
         json.dumps(payload, sort_keys=True, indent=2) + "\n"

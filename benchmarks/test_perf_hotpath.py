@@ -1,0 +1,218 @@
+"""Hot-path performance benchmark: before/after the optimisation layer.
+
+Three measurements, each against the frozen naive oracles of
+``tests/differential/oracle.py`` (the pre-optimisation implementations),
+so "before" numbers are produced by the code that actually shipped
+before, in the same process, on the same inputs:
+
+* **gain window update** — per-decision faded-sum evaluation over a
+  long history: naive O(window) refold vs the incremental evaluator
+  (required: >= 3x);
+* **skyline schedule** — Algorithm 4 on workload DAGs: full branch +
+  rescore-from-scratch vs dominance prefilter + incremental objectives;
+* **full simulated day** — the end-to-end service loop: the optimised
+  stack vs the service with the oracle scheduler, the oracle knapsack
+  (no memo) and the naive gain path patched back in (required: >= 1.5x).
+
+Headline numbers land in ``BENCH_hotpath.json`` via the
+``figure_metrics`` fixture when ``REPRO_BENCH_METRICS_DIR`` is set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from conftest import print_header, print_rows
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import ServiceMetrics
+from repro.core.service import QaaSService, Strategy
+from repro.data.index_model import IndexCostModel
+from repro.dataflow.client import ArrivalEvent, build_workload
+from repro.obs import NOOP_OBS
+from repro.tuning.gain import GainModel, GainParameters
+from repro.tuning.history import DataflowHistory, DataflowRecord
+from repro.tuning.incremental import IncrementalGainEvaluator
+
+from tests.differential.oracle import (
+    OracleSkylineScheduler,
+    oracle_faded_sums,
+    oracle_solve_knapsack,
+)
+
+INDEX = "lineitem__l_orderkey"
+
+
+# ----------------------------------------------------------------------
+# Part 1: gain window update (microbenchmark, >= 3x required)
+# ----------------------------------------------------------------------
+def _gain_fixture(num_records: int) -> tuple[GainModel, DataflowHistory]:
+    params = GainParameters(fade_quanta=5.0, window_quanta=60.0)
+    model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), params)
+    history = DataflowHistory(PAPER_PRICING)
+    for i in range(num_records):
+        history.add(
+            DataflowRecord(
+                name=f"df{i}",
+                executed_at=30.0 * i,
+                time_gains={INDEX: 2.0 + (i % 7)},
+                money_gains={INDEX: 1.0 + (i % 5)},
+            )
+        )
+    return model, history
+
+
+def _bench_gain_update(num_records: int = 1500, checkpoints: int = 300):
+    model, history = _gain_fixture(num_records)
+    start_now = 30.0 * num_records
+    nows = [start_now + 45.0 * k for k in range(checkpoints)]
+
+    t0 = time.perf_counter()
+    for now in nows:
+        oracle_faded_sums(model, history, INDEX, now)
+    naive_s = time.perf_counter() - t0
+
+    evaluator = IncrementalGainEvaluator(model, history)
+    evaluator.faded_sums(INDEX, nows[0])  # cold rebuild outside the timer
+    t0 = time.perf_counter()
+    for now in nows:
+        evaluator.faded_sums(INDEX, now)
+    incremental_s = time.perf_counter() - t0
+
+    return {
+        "window_records": num_records,
+        "checkpoints": checkpoints,
+        "naive_ops_per_s": checkpoints / naive_s,
+        "incremental_ops_per_s": checkpoints / incremental_s,
+        "speedup": naive_s / incremental_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Part 2: skyline schedule (oracle vs optimised)
+# ----------------------------------------------------------------------
+def _bench_skyline(rounds: int = 4):
+    workload = build_workload(PAPER_PRICING, seed=42)
+    flows = [
+        workload.next_dataflow(app, issued_at=0.0)
+        for app in ("montage", "ligo", "cybershake", "montage")
+    ]
+    from repro.scheduling.skyline import SkylineScheduler
+
+    oracle = OracleSkylineScheduler(PAPER_PRICING, max_skyline=4, max_containers=10)
+    optimised = SkylineScheduler(PAPER_PRICING, max_skyline=4, max_containers=10)
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for flow in flows:
+            oracle.schedule(flow)
+    naive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for flow in flows:
+            optimised.schedule(flow)
+    optimised_s = time.perf_counter() - t0
+
+    calls = rounds * len(flows)
+    return {
+        "schedule_calls": calls,
+        "naive_ops_per_s": calls / naive_s,
+        "optimised_ops_per_s": calls / optimised_s,
+        "speedup": naive_s / optimised_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Part 3: full simulated day, end to end (>= 1.5x required)
+# ----------------------------------------------------------------------
+class _OracleSchedulerForService(OracleSkylineScheduler):
+    """The frozen scheduler with the service's constructor surface."""
+
+    def __init__(self, *args, obs=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.obs = NOOP_OBS
+
+
+def _e2e_config(incremental_gain: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        total_time_s=30 * 60.0,
+        max_skyline=2,
+        scheduler_containers=10,
+        max_candidates=40,
+        max_queued_gain=10,
+        seed=5,
+        incremental_gain=incremental_gain,
+    )
+
+
+def _run_service(config: ExperimentConfig) -> tuple[float, ServiceMetrics]:
+    workload = build_workload(config.pricing, seed=config.seed)
+    service = QaaSService(workload, config, Strategy.GAIN)
+    events = [ArrivalEvent(time=(i + 1) * 120.0, app="montage") for i in range(6)]
+    t0 = time.perf_counter()
+    metrics = service.run(events)
+    return time.perf_counter() - t0, metrics
+
+
+def _bench_e2e(monkeypatch):
+    optimised_s, optimised_metrics = _run_service(_e2e_config(incremental_gain=True))
+
+    # Patch the pre-optimisation stack back in: oracle scheduler, oracle
+    # knapsack (no memo, per-node suffix rebuilds), naive gain refold.
+    with monkeypatch.context() as patch:
+        patch.setattr("repro.core.service.SkylineScheduler", _OracleSchedulerForService)
+        patch.setattr("repro.interleave.lp.solve_knapsack", oracle_solve_knapsack)
+        naive_s, naive_metrics = _run_service(_e2e_config(incremental_gain=False))
+
+    # The exact scheduler optimisations and the knapsack memo preserve
+    # results bit for bit; the incremental gain path is tolerance-equal,
+    # so the two simulated days must agree on the headline outcomes.
+    assert naive_metrics.num_finished == optimised_metrics.num_finished
+    return {
+        "horizon_quanta": 30,
+        "naive_wall_s": naive_s,
+        "optimised_wall_s": optimised_s,
+        "naive_days_per_hour": 3600.0 / naive_s,
+        "optimised_days_per_hour": 3600.0 / optimised_s,
+        "speedup": naive_s / optimised_s,
+        "dataflows_finished": optimised_metrics.num_finished,
+    }
+
+
+def test_hotpath(benchmark, figure_metrics, monkeypatch):
+    gain = _bench_gain_update()
+    skyline = _bench_skyline()
+    e2e = benchmark.pedantic(lambda: _bench_e2e(monkeypatch), rounds=1, iterations=1)
+
+    print_header("Hot-path performance: naive oracle vs optimised layer")
+    print_rows(
+        ["component", "naive ops/s", "optimised ops/s", "speedup"],
+        [
+            ["gain window update", f"{gain['naive_ops_per_s']:.1f}",
+             f"{gain['incremental_ops_per_s']:.1f}", f"{gain['speedup']:.1f}x"],
+            ["skyline schedule", f"{skyline['naive_ops_per_s']:.2f}",
+             f"{skyline['optimised_ops_per_s']:.2f}", f"{skyline['speedup']:.1f}x"],
+            ["full sim day (30 q)", f"{e2e['naive_days_per_hour']:.1f}/h",
+             f"{e2e['optimised_days_per_hour']:.1f}/h", f"{e2e['speedup']:.1f}x"],
+        ],
+        widths=[22, 16, 18, 10],
+    )
+
+    figure_metrics["artifact_stem"] = "hotpath"  # -> BENCH_hotpath.json
+    figure_metrics["gain_window_update"] = gain
+    figure_metrics["skyline_schedule"] = skyline
+    figure_metrics["full_sim_day"] = e2e
+    benchmark.extra_info.update(
+        gain_speedup=gain["speedup"],
+        skyline_speedup=skyline["speedup"],
+        e2e_speedup=e2e["speedup"],
+    )
+
+    # Acceptance floors (the measured margins are far larger; these trip
+    # only on a genuine hot-path regression).
+    assert gain["speedup"] >= 3.0
+    assert skyline["speedup"] >= 1.2
+    assert e2e["speedup"] >= 1.5

@@ -56,10 +56,25 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.scheduling",
         "repro.tuning",
     ),
+    # repro.perf (memo tables + cache stats) is likewise importable from
+    # every hot-path layer, so it too must stay a pure-stdlib leaf.
+    "repro.perf": (
+        "repro.analysis",
+        "repro.cloud",
+        "repro.core",
+        "repro.data",
+        "repro.dataflow",
+        "repro.engine",
+        "repro.faults",
+        "repro.interleave",
+        "repro.obs",
+        "repro.scheduling",
+        "repro.tuning",
+    ),
 }
 
 #: Dependency-free leaf modules importable from any layer.
-ALLOWED_LEAVES: tuple[str, ...] = ("repro.core.numeric", "repro.obs")
+ALLOWED_LEAVES: tuple[str, ...] = ("repro.core.numeric", "repro.obs", "repro.perf")
 
 
 def _within(module: str, prefix: str) -> bool:

@@ -71,47 +71,84 @@ def _print_metrics(label: str, metrics) -> None:
         )
 
 
-def _write_obs(args, obs) -> None:
-    """Dump the observation sinks to the paths named on the CLI."""
-    from pathlib import Path
+def _print_obs_summary(metrics_json: str | None, journal_jsonl: str | None) -> None:
+    """Print the observability roll-up from the serialised artifacts.
 
-    from repro.obs import write_chrome_trace
+    Repetitions may have run in worker processes, so the summary is
+    reconstructed from the artifact strings (the exact bytes written to
+    disk) rather than from a live observation object.
+    """
+    import json
+
     from repro.report import obs_summary
 
-    for out in (args.trace_out, args.events_out, args.metrics_out):
-        if out:
-            Path(out).parent.mkdir(parents=True, exist_ok=True)
-    if args.trace_out:
-        write_chrome_trace(obs.tracer, args.trace_out)
-        print(f"trace written to {args.trace_out} (load in ui.perfetto.dev "
-              "or chrome://tracing)")
-    if args.events_out:
-        obs.journal.write_jsonl(args.events_out)
-        print(f"decision journal written to {args.events_out}")
-    if args.metrics_out:
-        obs.metrics.write_json(args.metrics_out)
-        print(f"metrics snapshot written to {args.metrics_out}")
+    snapshot = json.loads(metrics_json) if metrics_json else {}
+    counts: dict[str, int] = {}
+    for line in (journal_jsonl or "").splitlines():
+        event = str(json.loads(line)["event"])
+        counts[event] = counts.get(event, 0) + 1
     print()
-    print(obs_summary(obs.metrics.snapshot(), obs.journal.counts_by_event()))
+    print(obs_summary(snapshot, {name: counts[name] for name in sorted(counts)}))
+
+
+def _rep_path(path: str, repetition: int, repeats: int) -> str:
+    """Artifact path of one repetition (suffix only when repeating)."""
+    if repeats <= 1:
+        return path
+    from pathlib import Path
+
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}-rep{repetition}{p.suffix}"))
 
 
 def cmd_run(args) -> int:
-    """Run one strategy/generator experiment and print its summary."""
-    from repro import run_experiment
+    """Run one (or several) experiments, optionally across workers.
 
-    obs = None
-    if args.trace_out or args.events_out or args.metrics_out:
-        from repro.obs import Observation
+    ``--repeats R`` runs R repetitions with independently derived seeds
+    (repetition 0 keeps the root seed); ``--workers N`` fans them out
+    over spawned processes. Results and artifacts are merged in
+    repetition order and are byte-identical to a serial run of the same
+    repetitions — worker count is a throughput knob, never a semantic
+    one.
+    """
+    from repro.experiments import ExperimentTask, derive_seed, run_tasks
 
-        obs = Observation.recording()
     strategy = Strategy(args.strategy)
-    metrics = run_experiment(
-        strategy, generator=args.generator, config=_config(args),
-        interleaver=args.interleaver, obs=obs,
-    )
-    _print_metrics(strategy.value, metrics)
-    if obs is not None:
-        _write_obs(args, obs)
+    config = _config(args)
+    repeats = max(1, args.repeats)
+    record_obs = bool(args.trace_out or args.events_out or args.metrics_out)
+    tasks = [
+        ExperimentTask(
+            strategy=strategy,
+            generator=args.generator,
+            seed=derive_seed(config.seed, rep),
+            config=config,
+            interleaver=args.interleaver,
+            record_obs=record_obs,
+        )
+        for rep in range(repeats)
+    ]
+    results = run_tasks(tasks, workers=max(1, args.workers))
+    from pathlib import Path
+
+    for rep, result in enumerate(results):
+        label = strategy.value if repeats == 1 else f"{strategy.value}[rep{rep}]"
+        _print_metrics(label, result.metrics)
+        for out, payload, what in (
+            (args.trace_out, result.trace_json,
+             "trace written to {} (load in ui.perfetto.dev or chrome://tracing)"),
+            (args.events_out, result.journal_jsonl,
+             "decision journal written to {}"),
+            (args.metrics_out, result.metrics_json,
+             "metrics snapshot written to {}"),
+        ):
+            if out and payload is not None:
+                path = Path(_rep_path(out, rep, repeats))
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(payload)
+                print(what.format(path))
+        if record_obs:
+            _print_obs_summary(result.metrics_json, result.journal_jsonl)
     return 0
 
 
@@ -229,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(per-candidate Eq. 3-5 gain breakdowns)")
     run_p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the metrics registry snapshot as JSON")
+    run_p.add_argument("--repeats", type=int, default=1,
+                       help="repetitions with independently derived per-rep "
+                            "seeds (rep 0 keeps --seed)")
+    run_p.add_argument("--workers", type=int, default=1,
+                       help="worker processes to fan repetitions over "
+                            "(results are byte-identical to --workers 1)")
     add_fault_args(run_p)
     run_p.set_defaults(func=cmd_run)
 

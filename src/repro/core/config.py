@@ -47,6 +47,10 @@ class ExperimentConfig:
     scheduler_containers: int = 20
     max_candidates: int = 120
     history_max_records: int = 300
+    # Maintain the faded gain sums incrementally between decisions
+    # (tolerance-equal to the naive re-fold; see repro.tuning.incremental
+    # and docs/PERFORMANCE.md). False falls back to the naive model.
+    incremental_gain: bool = True
     max_queued_gain: int = 30
     random_builds_per_dataflow: int = 40
     # Batch data updates (Section 3): every interval one table gets a new

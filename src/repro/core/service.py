@@ -29,6 +29,7 @@ from repro.dataflow.client import ArrivalEvent, Workload
 from repro.dataflow.graph import Dataflow
 from repro.faults.injector import FaultInjector, TransientStorageError
 from repro.faults.retry import RetryPolicy
+from repro.interleave.knapsack import reset_knapsack_cache
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import BuildCandidate
 from repro.obs import MetricsRegistry, NOOP_OBS, Observation
@@ -134,6 +135,7 @@ class QaaSService:
             scheduler=self.scheduler,
             interleaver=interleaver,
             max_candidates=config.max_candidates,
+            incremental_gain=config.incremental_gain,
             obs=self.obs,
         )
 
@@ -321,6 +323,10 @@ class QaaSService:
                 for pid in pids:
                     if index.partitions[pid].built:
                         index.invalidate_partition(pid)
+                        # Stale cost terms die with the build version;
+                        # the explicit call keeps the memo bounded and
+                        # the invalidation observable.
+                        self.tuner.gain_model.invalidate_index(index.name)
                         path = index.spec.path(pid)
                         if self.storage.exists(path):
                             self._safe_delete(
@@ -369,6 +375,7 @@ class QaaSService:
             if resumed:
                 metrics.checkpoint_resumes += 1
             index.mark_built(done.partition_id, done.finished_at)
+            self.tuner.gain_model.invalidate_index(done.index_name)
             built += 1
             if self.obs.enabled:
                 gain = (gains or {}).get(done.index_name)
@@ -420,6 +427,7 @@ class QaaSService:
                 if self.storage.exists(path):
                     self._safe_delete(path, now, metrics)
             index.drop_all()
+            self.tuner.gain_model.invalidate_index(name)
             deleted += 1
             if self.obs.enabled:
                 gain = (gains or {}).get(name)
@@ -445,6 +453,10 @@ class QaaSService:
         wait in the queue — and queued dataflows raise the gains of the
         indexes they would use (Section 4).
         """
+        # The knapsack memo is process-global: start every run cold so
+        # the run's artifacts (including cache counters) are a pure
+        # function of its config and seed.
+        reset_knapsack_cache()
         metrics = ServiceMetrics(
             strategy=self.strategy.value,
             horizon_s=self.config.total_time_s,

@@ -264,6 +264,11 @@ class Index:
     spec: IndexSpec
     table: Table
     partitions: dict[int, IndexPartitionState] = field(default_factory=dict)
+    #: Bumped on every build-state mutation (build, invalidation, drop,
+    #: checkpoint). Memoised cost terms key on ``(name, build_version)``:
+    #: a stale version can never be served because every mutation path
+    #: goes through the methods below.
+    build_version: int = 0
 
     def __post_init__(self) -> None:
         if not self.partitions:
@@ -321,10 +326,12 @@ class Index:
     def mark_built(self, partition_id: int, time: float) -> None:
         state = self.partitions[partition_id]
         state.mark_built(time, self.table.partition(partition_id).version)
+        self.build_version += 1
 
     def record_checkpoint(self, partition_id: int, seconds: float) -> None:
         """Accumulate durable partial-build progress for a partition."""
         self.partitions[partition_id].add_checkpoint(seconds)
+        self.build_version += 1
 
     def checkpoint_seconds(self, partition_id: int) -> float:
         return self.partitions[partition_id].checkpoint_seconds
@@ -332,7 +339,9 @@ class Index:
     def invalidate_partition(self, partition_id: int) -> None:
         """Drop an index partition after a data update invalidates it."""
         self.partitions[partition_id].invalidate()
+        self.build_version += 1
 
     def drop_all(self) -> None:
         for state in self.partitions.values():
             state.invalidate()
+        self.build_version += 1

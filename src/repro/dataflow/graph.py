@@ -98,17 +98,58 @@ class Dataflow:
     def in_edges(self, name: str) -> list[Edge]:
         return [e for e in self.edges if e.dst == name]
 
+    def in_edges_map(self) -> dict[str, list[Edge]]:
+        """All incoming edges grouped by destination in one O(E) pass.
+
+        Produces exactly what per-operator :meth:`in_edges` calls would
+        (edge-list order preserved), without rescanning the edge list
+        for every operator — the skyline scheduler's branching loop
+        queries predecessors once per (partial, container) pair.
+        """
+        grouped: dict[str, list[Edge]] = {name: [] for name in self.operators}
+        for edge in self.edges:
+            grouped[edge.dst].append(edge)
+        return grouped
+
+    def successors_map(self) -> dict[str, list[str]]:
+        """Successor names (sorted, duplicates kept) per operator."""
+        grouped: dict[str, list[str]] = {name: [] for name in self.operators}
+        for edge in self.edges:
+            grouped[edge.src].append(edge.dst)
+        for succs in grouped.values():
+            succs.sort()
+        return grouped
+
+    def structure_key(self) -> tuple:
+        """Hashable signature of everything the topological order and
+        operator optionality depend on: operator names (insertion
+        order), optional flags and the edge endpoints. Two dataflows
+        with equal keys (e.g. repeated Montage instances with fresh
+        runtimes) share the same topological order, which lets the
+        scheduler memoise it across arrivals."""
+        return (
+            tuple(self.operators),
+            tuple(op.optional for op in self.operators.values()),
+            tuple((e.src, e.dst) for e in self.edges),
+        )
+
     def topological_order(self) -> list[str]:
-        """Kahn topological order; raises CycleError on cycles."""
+        """Kahn topological order; raises CycleError on cycles.
+
+        The ready queue starts sorted and successors are visited in
+        sorted order, so the result is a deterministic function of the
+        graph structure alone (never of edge insertion order).
+        """
         indegree = {name: 0 for name in self.operators}
         for edge in self.edges:
             indegree[edge.dst] += 1
+        successors = self.successors_map()
         ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
         order: list[str] = []
         while ready:
             name = ready.popleft()
             order.append(name)
-            for succ in sorted(self.successors(name)):
+            for succ in successors[name]:
                 indegree[succ] -= 1
                 if indegree[succ] == 0:
                     ready.append(succ)

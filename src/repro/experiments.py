@@ -6,12 +6,38 @@ random workload draw. ``run_campaign`` repeats
 metrics (mean, standard deviation, min, max), so reproduction claims
 ("Gain finishes ~2x the dataflows of No-Index") can be asserted across
 draws rather than on a single lucky one.
+
+Campaigns and repeated CLI runs fan out over worker *processes*
+(``workers > 1``) without giving up the repo's byte-determinism
+contract:
+
+* each task carries its own explicitly derived seed
+  (:func:`derive_seed`: repetition 0 keeps the root seed so a parallel
+  run of one repetition is byte-identical to a serial run; repetition
+  ``r > 0`` derives an independent stream via
+  ``np.random.SeedSequence(root, spawn_key=(r,))``);
+* workers are spawned (never forked), so no inherited RNG or cache
+  state leaks between tasks — every task computes exactly what a fresh
+  serial process would compute;
+* results are merged in *submission* order, never completion order, so
+  the output is independent of worker timing;
+* observability artifacts are serialised to strings inside the worker
+  (the same bytes a serial run would write), which is what the
+  worker-parity differential test compares.
+
+A worker that dies (OOM-kill, segfault) or raises surfaces as a
+``BrokenProcessPool`` / re-raised exception from :func:`run_tasks` —
+a crashed repetition can never silently produce a truncated campaign.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+import numpy as np
 
 from repro.core.config import ExperimentConfig, default_config
 from repro.core.metrics import ServiceMetrics
@@ -69,26 +95,127 @@ class CampaignResult:
         return Aggregate.of([extract(m) for m in self.runs])
 
 
+def derive_seed(root_seed: int, repetition: int) -> int:
+    """The seed of one repetition of a root-seeded run.
+
+    Repetition 0 IS the root seed: ``--workers N`` on a single run must
+    reproduce the serial run byte for byte. Later repetitions draw
+    statistically independent streams through ``SeedSequence`` spawn
+    keys — a deterministic function of ``(root_seed, repetition)``, so
+    any repetition can be reproduced in isolation.
+    """
+    if repetition < 0:
+        raise ValueError("repetition must be non-negative")
+    if repetition == 0:
+        return root_seed
+    seq = np.random.SeedSequence(entropy=root_seed, spawn_key=(repetition,))
+    return int(seq.generate_state(1, dtype=np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One self-contained experiment run (picklable, worker-ready)."""
+
+    strategy: Strategy
+    generator: str
+    seed: int
+    config: ExperimentConfig
+    interleaver: str = "lp"
+    #: Record observability artifacts and return them as strings.
+    record_obs: bool = False
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Metrics plus (optionally) the serialised observability artifacts.
+
+    The artifact strings are exactly what a serial in-process run would
+    have written to ``--events-out`` / ``--metrics-out`` /
+    ``--trace-out`` — worker-count parity is asserted on these bytes.
+    """
+
+    task: ExperimentTask
+    metrics: ServiceMetrics
+    journal_jsonl: str | None = None
+    metrics_json: str | None = None
+    trace_json: str | None = None
+
+
+def _run_task(task: ExperimentTask) -> TaskResult:
+    """Worker entry point: run one task and serialise its outputs."""
+    from repro import run_experiment
+    from repro.obs import Observation, trace_json
+
+    obs = Observation.recording() if task.record_obs else None
+    metrics = run_experiment(
+        task.strategy,
+        generator=task.generator,
+        config=task.config,
+        interleaver=task.interleaver,
+        seed=task.seed,
+        obs=obs,
+    )
+    return TaskResult(
+        task=task,
+        metrics=metrics,
+        journal_jsonl=obs.journal.to_jsonl() if obs is not None else None,
+        metrics_json=obs.metrics.to_json() if obs is not None else None,
+        trace_json=trace_json(obs.tracer) if obs is not None else None,
+    )
+
+
+def run_tasks(tasks: list[ExperimentTask], workers: int = 1) -> list[TaskResult]:
+    """Run tasks serially (``workers <= 1``) or across spawned processes.
+
+    Results are returned in task (submission) order regardless of which
+    worker finishes first. A task that raises — or a worker process that
+    dies — re-raises here; there is no silent truncation and no hang.
+    """
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    if not tasks:
+        return []
+    if workers <= 1 or len(tasks) == 1:
+        return [_run_task(task) for task in tasks]
+    # Spawn (not fork): each worker imports a fresh interpreter, so no
+    # RNG state, memo table or module global crosses task boundaries —
+    # a parallel repetition computes exactly what a serial one would.
+    ctx = get_context("spawn")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        futures = [pool.submit(_run_task, task) for task in tasks]
+        return [future.result() for future in futures]
+
+
 def run_campaign(
     strategy: Strategy,
     generator: str = "phase",
     seeds: list[int] | None = None,
     config: ExperimentConfig | None = None,
     interleaver: str = "lp",
+    workers: int = 1,
 ) -> CampaignResult:
-    """Run one strategy across several seeds and collect the metrics."""
-    from repro import run_experiment
+    """Run one strategy across several seeds and collect the metrics.
 
+    ``workers > 1`` fans the seeds out over spawned processes; the
+    per-seed results are identical to a serial campaign and arrive in
+    seed order.
+    """
     chosen_seeds = seeds if seeds is not None else [41, 42, 43]
     if not chosen_seeds:
         raise ValueError("need at least one seed")
     cfg = config or default_config()
-    result = CampaignResult(strategy=strategy, generator=generator, seeds=list(chosen_seeds))
-    for seed in chosen_seeds:
-        result.runs.append(
-            run_experiment(strategy, generator=generator, config=cfg,
-                           interleaver=interleaver, seed=seed)
+    tasks = [
+        ExperimentTask(
+            strategy=strategy,
+            generator=generator,
+            seed=seed,
+            config=cfg,
+            interleaver=interleaver,
         )
+        for seed in chosen_seeds
+    ]
+    result = CampaignResult(strategy=strategy, generator=generator, seeds=list(chosen_seeds))
+    result.runs.extend(r.metrics for r in run_tasks(tasks, workers=workers))
     return result
 
 

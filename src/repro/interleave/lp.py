@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dataflow.graph import Dataflow
-from repro.interleave.knapsack import KnapsackItem, solve_knapsack
+from repro.interleave.knapsack import KnapsackItem, knapsack_cache_stats, solve_knapsack
 from repro.interleave.slots import BuildCandidate, slots_by_size
 from repro.obs import NOOP_OBS, Observation
 from repro.scheduling.schedule import Assignment, Schedule
@@ -116,6 +116,7 @@ def pack_builds_into_schedule(
         obs.metrics.counter("interleave/lp/slots_visited").inc(slots_visited)
         obs.metrics.counter("interleave/lp/builds_packed").inc(len(scheduled))
         obs.metrics.counter("interleave/lp/builds_unplaced").inc(len(remaining))
+        knapsack_cache_stats().publish(obs.metrics, "cache/knapsack")
     return InterleavedSchedule(
         schedule=schedule,
         build_assignments=build_assignments,

@@ -85,7 +85,7 @@ def recost_schedule_on_actuals(
     op_end: dict[str, float] = {}
     op_container: dict[str, int] = {}
     new_assignments: list[Assignment] = []
-    in_edges = {name: actual.in_edges(name) for name in actual.operators}
+    in_edges = actual.in_edges_map()
     for a in order:
         op = actual.operators[a.op_name]
         ready = 0.0

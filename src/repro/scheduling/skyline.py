@@ -12,6 +12,22 @@ survives only where it does not hurt time or money.
 
 The skyline is capped (``max_skyline``) for tractability; the paper's
 scheduler [12] applies the same kind of pruning.
+
+Performance layer (behaviour-identical to the reference scheduler kept
+in ``tests/differential/oracle.py``):
+
+* topological orders are memoised across dataflows keyed on the graph
+  structure (repeated Montage/LIGO/CyberShake instances share shapes);
+* predecessor edges and operator durations are precomputed once per
+  ``schedule()`` call instead of per branch;
+* each partial carries its money (lease quanta, exact integers) and its
+  longest *closed* idle gap incrementally, so scoring a partial is O(1)
+  in the number of assignments;
+* branches are previewed (scored without copying the partial's state)
+  and strictly dominated previews are pruned before materialisation.
+  Dropping a strictly dominated partial can never change the skyline:
+  it can neither enter the Pareto front nor win any equal-(time, money)
+  tie-break group.
 """
 
 from __future__ import annotations
@@ -21,9 +37,10 @@ from dataclasses import dataclass, field
 
 from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
 from repro.cloud.pricing import PricingModel
-from repro.dataflow.graph import Dataflow
+from repro.dataflow.graph import Dataflow, Edge
 from repro.dataflow.operator import Operator
 from repro.obs import NOOP_OBS, Observation
+from repro.perf import CacheStats, LRUMemo
 from repro.scheduling.schedule import Assignment, Schedule
 
 
@@ -36,6 +53,13 @@ class _Partial:
     ``container_avail`` (capacity) and are charged in the money objective
     if they spill past the quanta the dataflow already leases — which is
     exactly what makes such schedules dominated and discarded.
+
+    ``money_quanta`` is the total leased quanta over all containers,
+    maintained exactly (integer arithmetic) as assignments land.
+    ``max_closed_gap`` is the longest idle period that can no longer
+    grow — the head gap of each container's lease plus every gap between
+    consecutive assignments; only the per-container tail gaps (which move
+    with the lease end) are computed at scoring time.
     """
 
     assignments: tuple[Assignment, ...] = ()
@@ -44,6 +68,8 @@ class _Partial:
     op_end: dict[str, float] = field(default_factory=dict)
     op_container: dict[str, int] = field(default_factory=dict)
     time_end: float = 0.0
+    money_quanta: int = 0
+    max_closed_gap: float = 0.0
 
     def branch(self) -> "_Partial":
         return _Partial(
@@ -53,7 +79,24 @@ class _Partial:
             op_end=dict(self.op_end),
             op_container=dict(self.op_container),
             time_end=self.time_end,
+            money_quanta=self.money_quanta,
+            max_closed_gap=self.max_closed_gap,
         )
+
+
+@dataclass(frozen=True)
+class _Preview:
+    """The scored outcome of assigning one operator to one container,
+    computed without copying the parent partial's dictionaries."""
+
+    parent: _Partial
+    cid: int
+    start: float
+    end: float
+    time_end: float
+    money_quanta: int
+    max_closed_gap: float
+    num_ops: int
 
 
 class SkylineScheduler:
@@ -67,6 +110,11 @@ class SkylineScheduler:
         include_input_transfer: Whether entry operators pay the time to
             pull their input files from the storage service.
     """
+
+    #: Memoised topological orders shared across scheduler instances,
+    #: keyed by :meth:`Dataflow.structure_key`. Orders are pure
+    #: functions of the structure, so sharing is semantically invisible.
+    _TOPO_CACHE_SIZE = 256
 
     def __init__(
         self,
@@ -87,6 +135,10 @@ class SkylineScheduler:
         self.max_skyline = max_skyline
         self.include_input_transfer = include_input_transfer
         self.obs = obs if obs is not None else NOOP_OBS
+        self.topo_stats = CacheStats()
+        self._topo_cache: LRUMemo[list[str]] = LRUMemo(
+            self._TOPO_CACHE_SIZE, stats=self.topo_stats
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -94,17 +146,33 @@ class SkylineScheduler:
     def schedule(self, dataflow: Dataflow) -> list[Schedule]:
         """Return the skyline of execution schedules for ``dataflow``."""
         order = self._ready_order(dataflow)
+        in_edges = dataflow.in_edges_map()
+        durations = self._op_durations(dataflow)
         skyline: list[_Partial] = [_Partial()]
         branched_total = 0
         for op_name in order:
             op = dataflow.operators[op_name]
-            branched: list[_Partial] = []
+            duration = durations[op_name]
+            edges = in_edges[op_name]
+            previews: list[_Preview] = []
+            passthrough: list[_Partial] = []
             if op.optional:
-                branched.extend(skyline)  # keeping the op unscheduled is allowed
+                passthrough.extend(skyline)  # keeping the op unscheduled is allowed
             for partial in skyline:
                 for cid in self._candidate_containers(partial):
-                    branched.append(self._assign(partial, dataflow, op, cid))
-            branched_total += len(branched)
+                    previews.append(
+                        self._preview(partial, edges, duration, op, cid)
+                    )
+            branched_total += len(previews) + len(passthrough)
+            survivors = _filter_strictly_dominated(
+                previews, passthrough, self.pricing.quantum_seconds
+            )
+            branched: list[_Partial] = []
+            for entry in survivors:
+                if isinstance(entry, _Preview):
+                    branched.append(self._materialize(entry, op))
+                else:
+                    branched.append(entry)
             skyline = self._prune(branched)
         if self.obs.enabled:
             self.obs.metrics.counter("scheduler/invocations").inc()
@@ -113,6 +181,7 @@ class SkylineScheduler:
             self.obs.metrics.histogram(
                 "scheduler/skyline_size", bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
             ).observe(float(len(skyline)))
+            self.topo_stats.publish(self.obs.metrics, "cache/scheduler_topo")
         return [
             Schedule(dataflow=dataflow, pricing=self.pricing, assignments=list(p.assignments))
             for p in skyline
@@ -121,18 +190,41 @@ class SkylineScheduler:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _ready_order(dataflow: Dataflow) -> list[str]:
+    def _ready_order(self, dataflow: Dataflow) -> list[str]:
         """Topological order with optional operators appended last.
 
         Optional index build operators have no dependencies or dependents,
         so processing them after the dataflow operators preserves the
         union semantics of the online interleaving algorithm.
+
+        Orders are memoised on the dataflow's structural signature:
+        generated workloads re-issue the same DAG shapes (with fresh
+        runtimes) thousands of times per simulated day.
         """
+        key = dataflow.structure_key()
+        cached = self._topo_cache.get(key)
+        if cached is not None:
+            return cached
         topo = dataflow.topological_order()
         required = [n for n in topo if not dataflow.operators[n].optional]
         optional = [n for n in topo if dataflow.operators[n].optional]
-        return required + optional
+        order = required + optional
+        self._topo_cache.put(key, order)
+        return order
+
+    def _op_durations(self, dataflow: Dataflow) -> dict[str, float]:
+        """Each operator's on-container duration, computed once.
+
+        Matches the reference arithmetic exactly: ``runtime`` plus (when
+        input transfer is modelled) ``input_mb() / net_bw``.
+        """
+        durations: dict[str, float] = {}
+        for name, op in dataflow.operators.items():
+            duration = op.runtime
+            if self.include_input_transfer and op.inputs:
+                duration += op.input_mb() / self.container.net_bw_mb_s
+            durations[name] = duration
+        return durations
 
     def _candidate_containers(self, partial: _Partial) -> list[int]:
         used = sorted(partial.container_avail)
@@ -141,12 +233,17 @@ class SkylineScheduler:
             return used + [fresh]
         return used
 
-    def _assign(
-        self, partial: _Partial, dataflow: Dataflow, op: Operator, cid: int
-    ) -> _Partial:
-        out = partial.branch()
+    def _preview(
+        self,
+        partial: _Partial,
+        edges: list[Edge],
+        duration: float,
+        op: Operator,
+        cid: int,
+    ) -> _Preview:
+        """Score assigning ``op`` to ``cid`` without copying any state."""
         ready = 0.0
-        for edge in dataflow.in_edges(op.name):
+        for edge in edges:
             src_end = partial.op_end.get(edge.src)
             if src_end is None:
                 continue
@@ -154,21 +251,57 @@ class SkylineScheduler:
             if partial.op_container.get(edge.src) != cid:
                 arrival += edge.data_mb / self.container.net_bw_mb_s
             ready = max(ready, arrival)
-        start = max(ready, partial.container_avail.get(cid, 0.0))
-        duration = op.runtime
-        if self.include_input_transfer and op.inputs:
-            duration += op.input_mb() / self.container.net_bw_mb_s
+        avail = partial.container_avail.get(cid)
+        start = max(ready, avail if avail is not None else 0.0)
         end = start + duration
-        out.assignments = (*partial.assignments, Assignment(op.name, cid, start, end))
-        out.container_avail[cid] = end
-        out.container_first.setdefault(cid, start)
-        out.op_end[op.name] = end
+        tq = self.pricing.quantum_seconds
+        if avail is None:
+            first = start
+            old_contrib = 0
+        else:
+            first = partial.container_first[cid]
+            start_q = math.floor(first / tq + 1e-9)
+            old_contrib = max(start_q + 1, math.ceil(avail / tq - 1e-9)) - start_q
+        start_q = math.floor(first / tq + 1e-9)
+        new_contrib = max(start_q + 1, math.ceil(end / tq - 1e-9)) - start_q
+        if avail is None:
+            # Head gap of a fresh lease: from the quantum boundary the
+            # lease starts on to the operator's start.
+            gap = start - math.floor(start / tq + 1e-9) * tq
+        else:
+            gap = start - avail
+        return _Preview(
+            parent=partial,
+            cid=cid,
+            start=start,
+            end=end,
+            time_end=partial.time_end if op.optional else max(partial.time_end, end),
+            money_quanta=partial.money_quanta + (new_contrib - old_contrib),
+            max_closed_gap=max(partial.max_closed_gap, gap),
+            num_ops=len(partial.assignments) + 1,
+        )
+
+    def _materialize(self, preview: _Preview, op: Operator) -> _Partial:
+        """Commit a preview: copy the parent state and apply the move."""
+        partial = preview.parent
+        out = partial.branch()
+        cid = preview.cid
+        out.assignments = (
+            *partial.assignments,
+            Assignment(op.name, cid, preview.start, preview.end),
+        )
+        out.container_avail[cid] = preview.end
+        out.container_first.setdefault(cid, preview.start)
+        out.op_end[op.name] = preview.end
         out.op_container[op.name] = cid
-        if not op.optional:
-            out.time_end = max(partial.time_end, end)
+        out.time_end = preview.time_end
+        out.money_quanta = preview.money_quanta
+        out.max_closed_gap = preview.max_closed_gap
         return out
 
     def _money_quanta(self, partial: _Partial) -> int:
+        """Reference money recompute (kept for tests and assertions);
+        the hot path reads the incrementally maintained value."""
         tq = self.pricing.quantum_seconds
         total = 0
         for cid, first in partial.container_first.items():
@@ -178,21 +311,20 @@ class SkylineScheduler:
         return total
 
     def _max_sequential_idle(self, partial: _Partial) -> float:
-        """Longest contiguous idle period across containers (tie-break)."""
+        """Longest contiguous idle period across containers (tie-break).
+
+        O(containers): the closed gaps are carried in the partial; only
+        each lease's tail gap (which still moves) is computed here. The
+        float arithmetic mirrors the reference walk over sorted
+        assignments term by term.
+        """
         tq = self.pricing.quantum_seconds
-        per_container: dict[int, list[Assignment]] = {}
-        for a in partial.assignments:
-            per_container.setdefault(a.container_id, []).append(a)
-        best = 0.0
-        for cid, items in per_container.items():
-            items = sorted(items, key=lambda a: a.start)
-            lease_start = math.floor(items[0].start / tq + 1e-9) * tq
-            lease_end = math.ceil(max(a.end for a in items) / tq - 1e-9) * tq
-            cursor = lease_start
-            for a in items:
-                best = max(best, a.start - cursor)
-                cursor = max(cursor, a.end)
-            best = max(best, lease_end - cursor)
+        best = partial.max_closed_gap
+        for cid, avail in partial.container_avail.items():
+            lease_end = math.ceil(avail / tq - 1e-9) * tq
+            tail = lease_end - avail
+            if tail > best:
+                best = tail
         return best
 
     def _prune(self, partials: list[_Partial]) -> list[_Partial]:
@@ -202,10 +334,9 @@ class SkylineScheduler:
         scored = []
         for p in partials:
             time_q = p.time_end / self.pricing.quantum_seconds
-            money_q = self._money_quanta(p)
-            scored.append([time_q, money_q, -len(p.assignments), 0.0, p])
-        # The sequential-idle tie-break is expensive; compute it only for
-        # candidates that actually tie on (time, money, #ops).
+            scored.append([time_q, p.money_quanta, -len(p.assignments), 0.0, p])
+        # The sequential-idle tie-break is only meaningful for candidates
+        # that actually tie on (time, money, #ops).
         groups: dict[tuple[float, int, int], list[list]] = {}
         for row in scored:
             groups.setdefault((round(row[0], 9), row[1], row[2]), []).append(row)
@@ -234,3 +365,51 @@ class SkylineScheduler:
                 picked = {round(i * step) for i in range(self.max_skyline)}
                 front = [front[i] for i in sorted(picked)]
         return [p for _, _, p in front]
+
+
+def _filter_strictly_dominated(
+    previews: list[_Preview],
+    passthrough: list[_Partial],
+    quantum_seconds: float,
+) -> list[_Preview | _Partial]:
+    """Drop candidates strictly dominated on (time, money).
+
+    A candidate is dropped only when some other candidate has strictly
+    smaller time *and* strictly smaller money. Such a candidate can
+    never be selected by :meth:`SkylineScheduler._prune`: in the
+    (time, money)-sorted walk its dominator is visited first with
+    ``best_money`` at most the dominator's money, so the dominated
+    candidate always fails the ``money < best_money`` test — and
+    tie-break groups only ever contain candidates with *equal*
+    (time, money), which strict dominance excludes. Filtering is
+    therefore exact, and it saves materialising the partial-schedule
+    state for branches the prune step would discard anyway.
+    """
+    entries: list[tuple[float, int, _Preview | _Partial]] = []
+    for preview in previews:
+        entries.append((preview.time_end / quantum_seconds, preview.money_quanta, preview))
+    for partial in passthrough:
+        entries.append((partial.time_end / quantum_seconds, partial.money_quanta, partial))
+    if len(entries) <= 1:
+        return [e[2] for e in entries]
+    order = sorted(range(len(entries)), key=lambda i: (entries[i][0], entries[i][1]))
+    survivors: list[_Preview | _Partial] = []
+    # Walk in (time, money) order; a candidate is strictly dominated iff
+    # some candidate with strictly smaller time had strictly smaller
+    # money than it.
+    best_money_strictly_before = math.inf  # over times < current time
+    best_money_current_time = math.inf  # over times == current time
+    current_time: float | None = None
+    for i in order:
+        time_q, money_q, entry = entries[i]
+        if current_time is None or time_q > current_time:
+            best_money_strictly_before = min(
+                best_money_strictly_before, best_money_current_time
+            )
+            best_money_current_time = math.inf
+            current_time = time_q
+        if money_q > best_money_strictly_before:
+            continue  # strictly dominated
+        best_money_current_time = min(best_money_current_time, money_q)
+        survivors.append(entry)
+    return survivors

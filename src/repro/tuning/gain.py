@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 from repro.cloud.pricing import PricingModel
 from repro.core.numeric import gt_tol, le_tol
 from repro.data.index_model import Index, IndexCostModel
+from repro.perf import CacheStats
 
 if TYPE_CHECKING:
     from repro.dataflow.graph import Dataflow
@@ -196,6 +197,16 @@ class GainModel:
         self.pricing = pricing
         self.cost_model = cost_model
         self.params = params or GainParameters()
+        #: Hit/miss/invalidation counters of the cost-term memo below.
+        self.cost_stats = CacheStats()
+        # ti(idx) depends only on the index's build state (which
+        # partitions are unbuilt): partition record counts never change
+        # (updates bump versions, not sizes), so the memo keys on
+        # (name, build_version) — every build/invalidate/drop bumps the
+        # version, making stale hits impossible.
+        self._build_time_cache: dict[str, tuple[int, float]] = {}
+        # st(idx, W) and the index size are static per index.
+        self._storage_cache: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -219,14 +230,38 @@ class GainModel:
         return age_quanta <= self.params.window_quanta
 
     def build_time_quanta(self, index: Index) -> float:
-        """ti(idx): remaining build time over unbuilt partitions."""
+        """ti(idx): remaining build time over unbuilt partitions.
+
+        Memoised on ``(index.name, index.build_version)`` — the exact
+        float the sum below would produce is returned, so the memo is
+        invisible to the gain arithmetic.
+        """
+        cached = self._build_time_cache.get(index.name)
+        if cached is not None and cached[0] == index.build_version:
+            self.cost_stats.hit()
+            return cached[1]
+        self.cost_stats.miss()
         table, spec = index.table, index.spec
-        return self.pricing.quanta(
+        value = self.pricing.quanta(
             sum(
                 self.cost_model.partition_model(table, spec, table.partition(pid)).total_build_seconds
                 for pid in index.unbuilt_partition_ids()
             )
         )
+        self._build_time_cache[index.name] = (index.build_version, value)
+        return value
+
+    def invalidate_index(self, index_name: str) -> None:
+        """Drop memoised cost terms of one index.
+
+        The build-version keying already prevents stale hits; explicit
+        invalidation (called by the service when an index is built,
+        dropped or data-invalidated) keeps the table bounded by live
+        indexes and makes the cache lifecycle observable through
+        ``cost_stats.invalidations``.
+        """
+        if self._build_time_cache.pop(index_name, None) is not None:
+            self.cost_stats.invalidate()
 
     def build_cost_quanta(self, index: Index) -> float:
         """mi(idx): monetary cost of the remaining build, in quanta.
@@ -237,10 +272,22 @@ class GainModel:
         return self.build_time_quanta(index)
 
     def storage_cost_dollars(self, index: Index) -> float:
-        """st(idx, W): keeping the whole index for the storage window."""
-        return self.cost_model.storage_cost_dollars(
+        """st(idx, W): keeping the whole index for the storage window.
+
+        Memoised per index name: partition record counts are immutable
+        (data updates version partitions without resizing them), so the
+        storage cost of an index never changes over a run.
+        """
+        cached = self._storage_cache.get(index.name)
+        if cached is not None:
+            self.cost_stats.hit()
+            return cached
+        self.cost_stats.miss()
+        value = self.cost_model.storage_cost_dollars(
             index.table, index.spec, self.params.storage_window_quanta
         )
+        self._storage_cache[index.name] = value
+        return value
 
     def index_read_quanta(self, index: Index) -> float:
         """Time to read the full index from the storage service."""
@@ -315,6 +362,47 @@ class GainModel:
             storage_cost_dollars=storage_cost,
             fade_quanta=fade,
             samples=in_window,
+        )
+
+    def evaluate_from_sums(
+        self,
+        index: Index,
+        faded_time_quanta: float,
+        faded_money_dollars: float,
+        samples_in_window: int,
+        fade_quanta: float | None = None,
+    ) -> IndexGain:
+        """Equations 3-5 from pre-aggregated benefit inflows.
+
+        ``faded_time_quanta`` is Σ dc(ΔT)·gtd over the in-window samples
+        and ``faded_money_dollars`` is Σ dc(ΔT)·Mc·gmd — exactly the two
+        sums :meth:`time_gain` / :meth:`money_gain` fold over the sample
+        list. The incremental evaluator maintains those sums across
+        calls (:mod:`repro.tuning.incremental`); everything downstream
+        of the sums (cost terms, Eq. 3 weighting, breakdown) is the
+        identical arithmetic of :meth:`evaluate`.
+        """
+        build_time = self.build_time_quanta(index)
+        build_cost = self.pricing.quantum_price * build_time  # mi(idx) == ti(idx)
+        storage_cost = self.storage_cost_dollars(index)
+        gt = faded_time_quanta - build_time
+        gm = faded_money_dollars - (build_cost + storage_cost)
+        alpha = self.params.alpha
+        combined = alpha * self.pricing.quantum_price * gt + (1.0 - alpha) * gm
+        fade = self.params.fade_quanta if fade_quanta is None else fade_quanta
+        return IndexGain(
+            index_name=index.name,
+            time_gain_quanta=gt,
+            money_gain_dollars=gm,
+            combined_dollars=combined,
+            delete_threshold_quanta=self.params.delete_threshold_quanta,
+            faded_time_quanta=faded_time_quanta,
+            faded_money_dollars=faded_money_dollars,
+            build_time_quanta=build_time,
+            build_cost_dollars=build_cost,
+            storage_cost_dollars=storage_cost,
+            fade_quanta=fade,
+            samples=samples_in_window,
         )
 
 

@@ -29,6 +29,7 @@ from repro.tuning.gain import (
     dataflow_index_gains,
 )
 from repro.tuning.history import DataflowHistory, DataflowRecord
+from repro.tuning.incremental import IncrementalGainEvaluator
 from repro.tuning.ranking import deletable_indexes, rank_indexes
 
 if TYPE_CHECKING:
@@ -78,6 +79,7 @@ class OnlineIndexTuner:
         interleaver: str = "lp",
         max_candidates: int = 150,
         fading_controller: AdaptiveFadingController | None = None,
+        incremental_gain: bool = True,
         obs: Observation | None = None,
     ) -> None:
         if interleaver not in ("lp", "online"):
@@ -94,6 +96,14 @@ class OnlineIndexTuner:
         # Optional AdaptiveFadingController: learns a per-index fading
         # horizon D from usage regularity (Section 7 future work).
         self.fading_controller = fading_controller
+        # Incremental maintenance of the faded gain sums: the running
+        # aggregates are decay-rescaled between decisions instead of
+        # re-folding the whole window (tolerance-equal to the naive
+        # model; see repro.tuning.incremental). The naive path stays as
+        # the oracle and as the fallback (incremental_gain=False).
+        self._incremental: IncrementalGainEvaluator | None = (
+            IncrementalGainEvaluator(gain_model, history) if incremental_gain else None
+        )
         self._read_quanta_cache: dict[str, float] = {}
         # Per-dataflow gtd/gmd are intrinsic to the dataflow (original
         # runtimes); queued dataflows are re-examined at every decision,
@@ -194,6 +204,24 @@ class OnlineIndexTuner:
             index = self.catalog.indexes.get(name)
             if index is None:
                 continue
+            fade = None
+            if self.fading_controller is not None:
+                fade = self.fading_controller.suggest_fade(name)
+            if self._incremental is not None:
+                # Historical inflow from the maintained running sums;
+                # live dataflows contribute at dc(0) = 1 on top, exactly
+                # as the naive path appends them at age 0.
+                sum_t, sum_m, count = self._incremental.faded_sums(name, now, fade)
+                mc = self.gain_model.pricing.quantum_price
+                for time_gains, money_gains in live:
+                    if name in time_gains:
+                        sum_t += time_gains[name]
+                        sum_m += mc * money_gains[name]
+                        count += 1
+                gains[name] = self.gain_model.evaluate_from_sums(
+                    index, sum_t, sum_m, count, fade_quanta=fade
+                )
+                continue
             samples = self.history.samples_for(name, now)
             for time_gains, money_gains in live:
                 if name in time_gains:
@@ -204,9 +232,6 @@ class OnlineIndexTuner:
                             money_gain_quanta=money_gains[name],
                         )
                     )
-            fade = None
-            if self.fading_controller is not None:
-                fade = self.fading_controller.suggest_fade(name)
             gains[name] = self.gain_model.evaluate(index, samples, fade_quanta=fade)
         return gains
 
@@ -319,6 +344,9 @@ class OnlineIndexTuner:
             m.counter("tuner/candidates_offered").inc(len(candidates))
             m.counter("tuner/builds_scheduled").inc(chosen.num_builds)
             m.counter("tuner/deletions_flagged").inc(len(to_delete))
+            self.gain_model.cost_stats.publish(m, "cache/gain_costs")
+            if self._incremental is not None:
+                self._incremental.stats.publish(m, "cache/gain_sums")
         return TunerDecision(
             chosen=chosen,
             skyline=skyline,

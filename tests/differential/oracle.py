@@ -1,0 +1,311 @@
+"""Naive oracle implementations the optimised hot paths are tested against.
+
+These are *frozen references*: deliberately simple, recompute-everything
+implementations whose correctness is evident from the paper's equations
+(or that are verbatim copies of the pre-optimisation code). They are
+never imported by ``src/`` — only the differential tests use them — and
+they must stay naive: do not "optimise" an oracle.
+
+Contents:
+
+* :func:`oracle_faded_sums` — the O(window) per-decision fold of the
+  faded benefit inflows (Eqs. 4/5) that
+  :class:`repro.tuning.incremental.IncrementalGainEvaluator` replaces.
+* :class:`OracleSkylineScheduler` — the pre-optimisation Algorithm 4
+  scheduler (no dominance prefilter, objectives recomputed from scratch
+  at every prune, no topo-order cache). The optimised scheduler must be
+  **assignment-identical** to it.
+* :func:`oracle_solve_knapsack` — the pre-optimisation branch-and-bound
+  (recursive suffix bounds, no memo). The optimised solver must return
+  bit-identical solutions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.container import PAPER_CONTAINER, ContainerSpec
+from repro.cloud.pricing import PricingModel
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.interleave.knapsack import (
+    KnapsackItem,
+    KnapsackSolution,
+    fractional_bound,
+)
+from repro.scheduling.schedule import Assignment, Schedule
+from repro.tuning.gain import GainModel
+from repro.tuning.history import DataflowHistory
+
+
+# ----------------------------------------------------------------------
+# Gain oracle: Eqs. 4/5 benefit inflow, recomputed from scratch
+# ----------------------------------------------------------------------
+def oracle_faded_sums(
+    model: GainModel,
+    history: DataflowHistory,
+    index_name: str,
+    now: float,
+    fade_quanta: float | None = None,
+) -> tuple[float, float, int]:
+    """(Σ dc·gtd, Σ dc·Mc·gmd, #in-window samples) by direct summation.
+
+    One ``exp`` per sample per call — exactly what the naive tuner path
+    does via :meth:`GainModel.time_gain` / :meth:`GainModel.money_gain`,
+    and exactly what ``IncrementalGainEvaluator.faded_sums`` maintains
+    incrementally.
+    """
+    mc = model.pricing.quantum_price
+    sum_time = 0.0
+    sum_money = 0.0
+    count = 0
+    for sample in history.samples_for(index_name, now):
+        if not model.in_window(sample.age_quanta):
+            continue
+        dc = model.fading(sample.age_quanta, fade_quanta)
+        sum_time += dc * sample.time_gain_quanta
+        sum_money += dc * mc * sample.money_gain_quanta
+        count += 1
+    return sum_time, sum_money, count
+
+
+# ----------------------------------------------------------------------
+# Skyline oracle: the pre-optimisation Algorithm 4 (frozen copy)
+# ----------------------------------------------------------------------
+@dataclass
+class _OraclePartial:
+    """A partial schedule: enough state to branch and to score."""
+
+    assignments: tuple[Assignment, ...] = ()
+    container_avail: dict[int, float] = field(default_factory=dict)
+    container_first: dict[int, float] = field(default_factory=dict)
+    op_end: dict[str, float] = field(default_factory=dict)
+    op_container: dict[str, int] = field(default_factory=dict)
+    time_end: float = 0.0
+
+    def branch(self) -> "_OraclePartial":
+        return _OraclePartial(
+            assignments=self.assignments,
+            container_avail=dict(self.container_avail),
+            container_first=dict(self.container_first),
+            op_end=dict(self.op_end),
+            op_container=dict(self.op_container),
+            time_end=self.time_end,
+        )
+
+
+class OracleSkylineScheduler:
+    """The skyline scheduler exactly as it was before the hot-path work.
+
+    Every branch copies the full partial state, every prune recomputes
+    money and idle from the assignment list, and nothing is filtered
+    before scoring. Slow, but every step is a direct transcription of
+    Algorithm 4 — which is what makes it an oracle.
+    """
+
+    def __init__(
+        self,
+        pricing: PricingModel,
+        container: ContainerSpec = PAPER_CONTAINER,
+        max_containers: int = 100,
+        max_skyline: int = 8,
+        include_input_transfer: bool = True,
+    ) -> None:
+        if max_containers <= 0:
+            raise ValueError("max_containers must be positive")
+        if max_skyline <= 0:
+            raise ValueError("max_skyline must be positive")
+        self.pricing = pricing
+        self.container = container
+        self.max_containers = max_containers
+        self.max_skyline = max_skyline
+        self.include_input_transfer = include_input_transfer
+
+    def schedule(self, dataflow: Dataflow) -> list[Schedule]:
+        order = self._ready_order(dataflow)
+        skyline: list[_OraclePartial] = [_OraclePartial()]
+        for op_name in order:
+            op = dataflow.operators[op_name]
+            branched: list[_OraclePartial] = []
+            if op.optional:
+                branched.extend(skyline)  # keeping the op unscheduled is allowed
+            for partial in skyline:
+                for cid in self._candidate_containers(partial):
+                    branched.append(self._assign(partial, dataflow, op, cid))
+            skyline = self._prune(branched)
+        return [
+            Schedule(dataflow=dataflow, pricing=self.pricing, assignments=list(p.assignments))
+            for p in skyline
+        ]
+
+    @staticmethod
+    def _ready_order(dataflow: Dataflow) -> list[str]:
+        topo = dataflow.topological_order()
+        required = [n for n in topo if not dataflow.operators[n].optional]
+        optional = [n for n in topo if dataflow.operators[n].optional]
+        return required + optional
+
+    def _candidate_containers(self, partial: _OraclePartial) -> list[int]:
+        used = sorted(partial.container_avail)
+        if len(used) < self.max_containers:
+            fresh = (max(used) + 1) if used else 0
+            return used + [fresh]
+        return used
+
+    def _assign(
+        self, partial: _OraclePartial, dataflow: Dataflow, op: Operator, cid: int
+    ) -> _OraclePartial:
+        out = partial.branch()
+        ready = 0.0
+        for edge in dataflow.in_edges(op.name):
+            src_end = partial.op_end.get(edge.src)
+            if src_end is None:
+                continue
+            arrival = src_end
+            if partial.op_container.get(edge.src) != cid:
+                arrival += edge.data_mb / self.container.net_bw_mb_s
+            ready = max(ready, arrival)
+        start = max(ready, partial.container_avail.get(cid, 0.0))
+        duration = op.runtime
+        if self.include_input_transfer and op.inputs:
+            duration += op.input_mb() / self.container.net_bw_mb_s
+        end = start + duration
+        out.assignments = (*partial.assignments, Assignment(op.name, cid, start, end))
+        out.container_avail[cid] = end
+        out.container_first.setdefault(cid, start)
+        out.op_end[op.name] = end
+        out.op_container[op.name] = cid
+        if not op.optional:
+            out.time_end = max(partial.time_end, end)
+        return out
+
+    def _money_quanta(self, partial: _OraclePartial) -> int:
+        tq = self.pricing.quantum_seconds
+        total = 0
+        for cid, first in partial.container_first.items():
+            start_q = math.floor(first / tq + 1e-9)
+            end_q = max(start_q + 1, math.ceil(partial.container_avail[cid] / tq - 1e-9))
+            total += end_q - start_q
+        return total
+
+    def _max_sequential_idle(self, partial: _OraclePartial) -> float:
+        tq = self.pricing.quantum_seconds
+        per_container: dict[int, list[Assignment]] = {}
+        for a in partial.assignments:
+            per_container.setdefault(a.container_id, []).append(a)
+        best = 0.0
+        for cid, items in per_container.items():
+            items = sorted(items, key=lambda a: a.start)
+            lease_start = math.floor(items[0].start / tq + 1e-9) * tq
+            lease_end = math.ceil(max(a.end for a in items) / tq - 1e-9) * tq
+            cursor = lease_start
+            for a in items:
+                best = max(best, a.start - cursor)
+                cursor = max(cursor, a.end)
+            best = max(best, lease_end - cursor)
+        return best
+
+    def _prune(self, partials: list[_OraclePartial]) -> list[_OraclePartial]:
+        if not partials:
+            return []
+        scored = []
+        for p in partials:
+            time_q = p.time_end / self.pricing.quantum_seconds
+            money_q = self._money_quanta(p)
+            scored.append([time_q, money_q, -len(p.assignments), 0.0, p])
+        groups: dict[tuple[float, int, int], list[list]] = {}
+        for row in scored:
+            groups.setdefault((round(row[0], 9), row[1], row[2]), []).append(row)
+        for rows in groups.values():
+            if len(rows) > 1:
+                for row in rows:
+                    row[3] = -self._max_sequential_idle(row[4])
+        scored.sort(key=lambda s: (s[0], s[1], s[2], s[3]))
+        front: list[tuple[float, int, _OraclePartial]] = []
+        best_money = math.inf
+        seen: set[tuple[float, int]] = set()
+        for time_q, money_q, _neg_ops, _neg_idle, p in scored:
+            key = (round(time_q, 9), money_q)
+            if money_q < best_money and key not in seen:
+                front.append((time_q, money_q, p))
+                best_money = money_q
+                seen.add(key)
+        if len(front) > self.max_skyline:
+            if self.max_skyline == 1:
+                front = [front[0]]
+            else:
+                step = (len(front) - 1) / (self.max_skyline - 1)
+                picked = {round(i * step) for i in range(self.max_skyline)}
+                front = [front[i] for i in sorted(picked)]
+        return [p for _, _, p in front]
+
+
+# ----------------------------------------------------------------------
+# Knapsack oracle: the pre-optimisation branch-and-bound (frozen copy)
+# ----------------------------------------------------------------------
+def oracle_solve_knapsack(
+    items: list[KnapsackItem],
+    capacity: float,
+    max_nodes: int = 200_000,
+) -> KnapsackSolution:
+    """Branch-and-bound exactly as shipped before the array-based DFS.
+
+    Suffix bounds re-walk ``order[depth:]`` per node and paths are built
+    as tuples — the float accumulation order the optimised solver must
+    preserve bit for bit.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    fit = [it for it in items if it.size <= capacity + 1e-12]
+    if not fit:
+        return KnapsackSolution(selected=(), total_gain=0.0, total_size=0.0, lp_bound=0.0)
+    order = sorted(fit, key=_density, reverse=True)
+    lp_bound = fractional_bound(order, capacity)
+
+    def suffix_bound(depth: int, room: float) -> float:
+        value = 0.0
+        for item in order[depth:]:
+            if item.size <= 0:
+                value += item.gain
+            elif item.size <= room:
+                value += item.gain
+                room -= item.size
+            else:
+                value += item.gain * (room / item.size)
+                break
+        return value
+
+    best_gain = -1.0
+    best_set: tuple[int, ...] = ()
+    best_size = 0.0
+    nodes = 0
+
+    stack: list[tuple[int, float, float, tuple[int, ...]]] = [(0, 0.0, 0.0, ())]
+    while stack:
+        depth, used, gain, chosen = stack.pop()
+        nodes += 1
+        if gain > best_gain:
+            best_gain, best_set, best_size = gain, chosen, used
+        if depth >= len(order) or nodes > max_nodes:
+            continue
+        bound = gain + suffix_bound(depth, capacity - used)
+        if bound <= best_gain + 1e-12:
+            continue
+        item = order[depth]
+        stack.append((depth + 1, used, gain, chosen))
+        if used + item.size <= capacity + 1e-12:
+            stack.append((depth + 1, used + item.size, gain + item.gain, (*chosen, item.item_id)))
+
+    return KnapsackSolution(
+        selected=best_set,
+        total_gain=max(best_gain, 0.0),
+        total_size=best_size,
+        lp_bound=lp_bound,
+    )
+
+
+def _density(item: KnapsackItem) -> float:
+    if item.size <= 0:
+        return float("inf")
+    return item.gain / item.size

@@ -1,0 +1,84 @@
+"""Differential tests: memoised array-DFS knapsack vs the frozen oracle.
+
+The optimised solver changed the mechanics (parallel arrays, cons-list
+paths, whole-solve memo) but is required to preserve the original float
+accumulation order, so solutions must be **bit-identical** to the
+oracle — selected ids, total gain, total size and LP bound — on every
+input, memo hit or miss. A brute-force subset enumeration additionally
+anchors both against ground truth on small instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.interleave.knapsack import (
+    KnapsackItem,
+    clear_knapsack_cache,
+    solve_knapsack,
+)
+
+from tests.differential.oracle import oracle_solve_knapsack
+
+_items = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0),  # size
+        st.floats(min_value=0.0, max_value=100.0),  # gain
+    ),
+    min_size=0,
+    max_size=14,
+).map(
+    lambda raw: [
+        KnapsackItem(item_id=i, size=size, gain=gain)
+        for i, (size, gain) in enumerate(raw)
+    ]
+)
+
+
+@given(
+    items=_items,
+    capacity=st.floats(min_value=0.0, max_value=120.0),
+    max_nodes=st.sampled_from([50, 200_000]),
+)
+@settings(max_examples=120, deadline=None, derandomize=True)
+def test_optimised_solver_is_bit_identical_to_oracle(items, capacity, max_nodes):
+    expected = oracle_solve_knapsack(items, capacity, max_nodes)
+    clear_knapsack_cache()
+    cold = solve_knapsack(items, capacity, max_nodes)
+    warm = solve_knapsack(items, capacity, max_nodes)  # memo hit
+    for got in (cold, warm):
+        assert got.selected == expected.selected
+        assert got.total_gain == expected.total_gain
+        assert got.total_size == expected.total_size
+        assert got.lp_bound == expected.lp_bound
+
+
+@given(
+    items=_items.filter(lambda xs: len(xs) <= 10),
+    capacity=st.floats(min_value=0.0, max_value=120.0),
+)
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_solver_gain_is_sandwiched_by_brute_force_optima(items, capacity):
+    """Ground truth: exhaustive enumeration sandwiches the solver.
+
+    The solver admits items within a 1e-12 fit slop, so its value lies
+    between the strict-capacity optimum (it never does worse, modulo
+    the bound-prune epsilon) and the slop-capacity optimum (it cannot
+    conjure gain from nowhere).
+    """
+    best_strict = 0.0
+    best_slop = 0.0
+    for r in range(len(items) + 1):
+        for combo in combinations(items, r):
+            size = sum(it.size for it in combo)
+            gain = sum(it.gain for it in combo)
+            if size <= capacity:
+                best_strict = max(best_strict, gain)
+            if size <= capacity + 1e-12:
+                best_slop = max(best_slop, gain)
+    solution = solve_knapsack(items, capacity)
+    assert solution.total_gain >= best_strict - 1e-9 * max(1.0, best_strict)
+    assert solution.total_gain <= best_slop + 1e-9 * max(1.0, best_slop)
+    assert solution.total_size <= capacity + 1e-9

@@ -1,0 +1,118 @@
+"""Differential tests: optimised skyline scheduler vs the frozen oracle.
+
+The dominance prefilter, incremental money/idle objectives and cached
+topological orders are all *exact* optimisations — the optimised
+scheduler must produce assignment-identical schedules to the
+pre-optimisation oracle on every input, not merely an equivalent Pareto
+front. Random layered DAGs (with optional index-build operators, the
+online-interleaving case) exercise branching, tie-breaking and the
+skyline cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.scheduling.skyline import SkylineScheduler
+
+from tests.differential.oracle import OracleSkylineScheduler
+
+
+@st.composite
+def random_dags(draw):
+    """Random layered DAGs, some operators optional (index builds)."""
+    num_ops = draw(st.integers(min_value=2, max_value=14))
+    runtimes = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=400.0),
+            min_size=num_ops, max_size=num_ops,
+        )
+    )
+    num_optional = draw(st.integers(min_value=0, max_value=3))
+    edge_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    edge_prob = draw(st.sampled_from([0.0, 0.2, 0.45]))
+    flow = Dataflow(name="diff")
+    for i, runtime in enumerate(runtimes):
+        flow.add_operator(Operator(name=f"op{i}", runtime=runtime))
+    rng = np.random.default_rng(edge_seed)
+    # Edges only from lower to higher indices: acyclic by construction.
+    for j in range(1, num_ops):
+        for i in range(j):
+            if rng.random() < edge_prob:
+                flow.add_edge(f"op{i}", f"op{j}", data_mb=float(rng.uniform(0, 80)))
+    # Optional operators model index builds: no edges, skippable.
+    for k in range(num_optional):
+        flow.add_operator(
+            Operator(
+                name=f"build{k}",
+                runtime=float(rng.uniform(10, 200)),
+                optional=True,
+            )
+        )
+    return flow
+
+
+def _fingerprint(schedules) -> list[tuple]:
+    """Assignment-level identity: (op, container, start, end) per schedule."""
+    return [
+        tuple((a.op_name, a.container_id, a.start, a.end) for a in s.assignments)
+        for s in schedules
+    ]
+
+
+@given(
+    flow=random_dags(),
+    max_skyline=st.sampled_from([1, 2, 4, 8]),
+    max_containers=st.sampled_from([2, 3, 8, 100]),
+)
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_optimised_scheduler_is_assignment_identical_to_oracle(
+    flow, max_skyline, max_containers
+):
+    oracle = OracleSkylineScheduler(
+        PAPER_PRICING, max_skyline=max_skyline, max_containers=max_containers
+    )
+    optimised = SkylineScheduler(
+        PAPER_PRICING, max_skyline=max_skyline, max_containers=max_containers
+    )
+    expected = oracle.schedule(flow)
+    actual = optimised.schedule(flow)
+    assert _fingerprint(actual) == _fingerprint(expected)
+
+
+@given(flow=random_dags(), max_skyline=st.sampled_from([2, 6]))
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_pareto_front_objectives_match_oracle(flow, max_skyline):
+    """Beyond identical assignments: the (time, money) points and the
+    idle-slot tie-break objective agree schedule by schedule."""
+    oracle = OracleSkylineScheduler(PAPER_PRICING, max_skyline=max_skyline, max_containers=6)
+    optimised = SkylineScheduler(PAPER_PRICING, max_skyline=max_skyline, max_containers=6)
+    expected = oracle.schedule(flow)
+    actual = optimised.schedule(flow)
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert got.makespan_quanta() == want.makespan_quanta()
+        assert got.money_quanta() == want.money_quanta()
+        assert got.fragmentation_quanta() == want.fragmentation_quanta()
+
+
+def test_topo_cache_reuse_does_not_change_schedules():
+    """Scheduling the same structure repeatedly (the service's steady
+    state, where the topo cache hits) returns identical schedules."""
+    rng = np.random.default_rng(7)
+    flow = Dataflow(name="steady")
+    for i in range(8):
+        flow.add_operator(Operator(name=f"op{i}", runtime=float(rng.uniform(5, 300))))
+    for j in range(1, 8):
+        for i in range(j):
+            if rng.random() < 0.3:
+                flow.add_edge(f"op{i}", f"op{j}", data_mb=float(rng.uniform(0, 40)))
+    scheduler = SkylineScheduler(PAPER_PRICING, max_skyline=4, max_containers=8)
+    first = _fingerprint(scheduler.schedule(flow))
+    for _ in range(3):
+        assert _fingerprint(scheduler.schedule(flow)) == first
+    assert scheduler.topo_stats.hits >= 3

@@ -87,6 +87,37 @@ def test_obs_enabled_run_is_behaviour_identical_to_disabled() -> None:
     )
 
 
+def test_cli_worker_fanout_artifacts_match_serial(tmp_path) -> None:
+    # The parallel runner shares the contract end to end: a fanned-out
+    # `repro run --repeats 2 --workers 2` writes, for repetition 0 (which
+    # keeps the root seed), the same bytes a plain serial run writes.
+    from repro.cli import main
+
+    serial = tmp_path / "serial"
+    fanout = tmp_path / "fanout"
+    common = ["run", "--strategy", "gain", "--horizon-quanta", "8", "--seed", "5"]
+
+    assert main(common + [
+        "--metrics-out", str(serial / "m.json"),
+        "--events-out", str(serial / "e.jsonl"),
+        "--trace-out", str(serial / "t.json"),
+    ]) == 0
+    assert main(common + [
+        "--repeats", "2", "--workers", "2",
+        "--metrics-out", str(fanout / "m.json"),
+        "--events-out", str(fanout / "e.jsonl"),
+        "--trace-out", str(fanout / "t.json"),
+    ]) == 0
+
+    for name in ("m.json", "e.jsonl", "t.json"):
+        rep0 = fanout / name.replace(".", "-rep0.", 1)
+        assert rep0.read_bytes() == (serial / name).read_bytes()
+        # Repetition 1 runs a genuinely different derived seed.
+        rep1 = fanout / name.replace(".", "-rep1.", 1)
+        assert rep1.exists()
+    assert (fanout / "e-rep1.jsonl").read_bytes() != (serial / "e.jsonl").read_bytes()
+
+
 def test_journal_build_events_carry_gain_breakdown() -> None:
     obs = Observation.recording()
     run_once(5, obs=obs)
