@@ -26,6 +26,8 @@ Subpackages:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.cloud.pricing import PAPER_PRICING, PricingModel
@@ -35,6 +37,10 @@ from repro.core.service import QaaSService, Strategy
 from repro.dataflow.client import build_workload, phase_schedule, random_schedule
 from repro.experiments import CampaignResult, compare_campaigns, run_campaign
 from repro.obs import Observation
+
+if TYPE_CHECKING:
+    from repro.dataflow.client import ArrivalEvent
+    from repro.recovery.hooks import RecoveryLog
 
 __version__ = "1.0.0"
 
@@ -49,7 +55,9 @@ __all__ = [
     "build_workload",
     "phase_schedule",
     "random_schedule",
+    "prepare_run",
     "run_experiment",
+    "resume_run",
     "Observation",
     "CampaignResult",
     "compare_campaigns",
@@ -57,29 +65,21 @@ __all__ = [
 ]
 
 
-def run_experiment(
+def prepare_run(
     strategy: Strategy,
     generator: str = "phase",
     config: ExperimentConfig | None = None,
     interleaver: str = "lp",
     seed: int | None = None,
     obs: Observation | None = None,
-) -> ServiceMetrics:
-    """Run one end-to-end service experiment (the Section 6.5 loop).
+    recovery: "RecoveryLog | None" = None,
+) -> "tuple[QaaSService, list[ArrivalEvent]]":
+    """Build the service and arrival stream of one experiment.
 
-    Args:
-        strategy: Index management strategy to evaluate.
-        generator: "phase" or "random" dataflow generator client.
-        config: Experiment configuration; defaults to
-            :func:`~repro.core.config.default_config`.
-        interleaver: "lp" (Algorithm 2) or "online" (Section 5.3.2).
-        seed: Overrides the config seed (for repeated trials).
-        obs: Observation sinks (:func:`repro.obs.Observation.recording`)
-            to collect a schedule trace, decision journal and metrics;
-            ``None`` runs without any observability overhead.
-
-    Returns:
-        The collected :class:`~repro.core.metrics.ServiceMetrics`.
+    The construction is a pure function of ``(config, seed, generator)``
+    — workload, event stream and every RNG stream derive from the seed —
+    which is what lets crash recovery rebuild an identical run from a
+    persisted config when no snapshot survived (cold resume).
     """
     cfg = config or default_config()
     if seed is not None:
@@ -103,5 +103,79 @@ def run_experiment(
         )
     else:
         raise ValueError(f"unknown generator {generator!r} (use 'phase' or 'random')")
-    service = QaaSService(workload, cfg, strategy, interleaver=interleaver, obs=obs)
+    service = QaaSService(
+        workload, cfg, strategy, interleaver=interleaver, obs=obs, recovery=recovery
+    )
+    return service, events
+
+
+def run_experiment(
+    strategy: Strategy,
+    generator: str = "phase",
+    config: ExperimentConfig | None = None,
+    interleaver: str = "lp",
+    seed: int | None = None,
+    obs: Observation | None = None,
+    recovery: "RecoveryLog | None" = None,
+) -> ServiceMetrics:
+    """Run one end-to-end service experiment (the Section 6.5 loop).
+
+    Args:
+        strategy: Index management strategy to evaluate.
+        generator: "phase" or "random" dataflow generator client.
+        config: Experiment configuration; defaults to
+            :func:`~repro.core.config.default_config`.
+        interleaver: "lp" (Algorithm 2) or "online" (Section 5.3.2).
+        seed: Overrides the config seed (for repeated trials).
+        obs: Observation sinks (:func:`repro.obs.Observation.recording`)
+            to collect a schedule trace, decision journal and metrics;
+            ``None`` runs without any observability overhead.
+        recovery: A :class:`repro.recovery.RecoveryManager` to journal
+            the run durably; ``None`` (default) runs without recovery
+            and is byte-identical to builds without the subsystem.
+
+    Returns:
+        The collected :class:`~repro.core.metrics.ServiceMetrics`.
+    """
+    service, events = prepare_run(
+        strategy,
+        generator=generator,
+        config=config,
+        interleaver=interleaver,
+        seed=seed,
+        obs=obs,
+        recovery=recovery,
+    )
     return service.run(events)
+
+
+def resume_run(directory: str) -> "tuple[ServiceMetrics, QaaSService]":
+    """Continue a crashed recovery-enabled run to completion.
+
+    Restores the newest usable snapshot in ``directory`` (or rebuilds
+    the run from its persisted config when none survived) and
+    re-executes the remaining iterations while verifying every
+    regenerated WAL record byte-for-byte against the log. The returned
+    metrics — and the service's obs artifacts — are byte-identical to
+    the uninterrupted run.
+    """
+    from repro.recovery.manager import RecoveryManager
+
+    resumed = RecoveryManager.resume(directory)
+    if resumed.service is not None:
+        service, state = resumed.service, resumed.state
+    else:
+        manifest = resumed.manifest
+        obs = Observation.recording() if manifest.get("obs") else None
+        service, events = prepare_run(
+            Strategy(manifest["strategy"]),
+            generator=manifest.get("generator", "phase"),
+            config=resumed.config,
+            interleaver=manifest.get("interleaver", "lp"),
+            obs=obs,
+            recovery=resumed.manager,
+        )
+        state = service.begin_run(events)
+    while service.step(state):
+        pass
+    return service.finish_run(state), service

@@ -15,8 +15,8 @@ import closes a package cycle, and Python package cycles fail at import
 time in whichever module loads second — typically in production, not in
 the test that imported things in the lucky order.
 
-Two carve-outs, both dependency-free leaves that any layer may import
-because they cannot participate in a cycle:
+Carve-outs — dependency-free leaves that any layer may import because
+they cannot participate in a cycle:
 
 * :mod:`repro.core.numeric` (pure ``math``), the shared home of the
   NUM01 tolerance helpers;
@@ -25,6 +25,12 @@ because they cannot participate in a cycle:
   and its own imports are checked in the reverse direction: ``repro.obs``
   must not import any other ``repro`` package, which is what keeps the
   carve-out sound.
+* :mod:`repro.recovery.hooks` (pure stdlib), the crash-point barriers
+  and the no-op :class:`RecoveryLog` interface the instrumented layers
+  call. Only the *hooks* module is a leaf: the rest of
+  :mod:`repro.recovery` (WAL, snapshots, resume driver, chaos harness)
+  sits *above* ``repro.core`` — it may import core/obs but is banned
+  from the lower layers' import lists like any other upper layer.
 """
 
 from __future__ import annotations
@@ -36,11 +42,36 @@ from repro.analysis.context import ModuleContext
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.registry import register
 
-#: Package prefix -> package prefixes it must not import.
+#: Package prefix -> package prefixes it must not import. Order matters:
+#: a module is checked against its *first* matching prefix, so the
+#: ``repro.recovery.hooks`` entry must precede ``repro.recovery``.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "repro.data": ("repro.scheduling", "repro.tuning", "repro.core"),
-    "repro.cloud": ("repro.scheduling", "repro.tuning", "repro.core"),
-    "repro.engine": ("repro.core", "repro.scheduling", "repro.tuning"),
+    "repro.data": ("repro.scheduling", "repro.tuning", "repro.core",
+                   "repro.recovery"),
+    "repro.cloud": ("repro.scheduling", "repro.tuning", "repro.core",
+                    "repro.recovery"),
+    "repro.engine": ("repro.core", "repro.scheduling", "repro.tuning",
+                     "repro.recovery"),
+    # repro.recovery.hooks is importable from everywhere (ALLOWED_LEAVES),
+    # so like repro.obs it must itself stay a pure-stdlib leaf.
+    "repro.recovery.hooks": (
+        "repro.analysis",
+        "repro.cloud",
+        "repro.core",
+        "repro.data",
+        "repro.dataflow",
+        "repro.engine",
+        "repro.faults",
+        "repro.interleave",
+        "repro.obs",
+        "repro.perf",
+        "repro.scheduling",
+        "repro.tuning",
+    ),
+    # The heavy recovery machinery sits at the top of the DAG (it may
+    # import core/obs/interleave), but never the analysis gate or the
+    # measurement engine.
+    "repro.recovery": ("repro.analysis", "repro.engine"),
     # repro.obs is importable from everywhere (ALLOWED_LEAVES), so it
     # must itself import nothing above it — otherwise the carve-out
     # would smuggle a cycle back in.
@@ -53,6 +84,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.engine",
         "repro.faults",
         "repro.interleave",
+        "repro.recovery",
         "repro.scheduling",
         "repro.tuning",
     ),
@@ -68,13 +100,19 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.faults",
         "repro.interleave",
         "repro.obs",
+        "repro.recovery",
         "repro.scheduling",
         "repro.tuning",
     ),
 }
 
 #: Dependency-free leaf modules importable from any layer.
-ALLOWED_LEAVES: tuple[str, ...] = ("repro.core.numeric", "repro.obs", "repro.perf")
+ALLOWED_LEAVES: tuple[str, ...] = (
+    "repro.core.numeric",
+    "repro.obs",
+    "repro.perf",
+    "repro.recovery.hooks",
+)
 
 
 def _within(module: str, prefix: str) -> bool:

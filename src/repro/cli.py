@@ -113,9 +113,21 @@ def cmd_run(args) -> int:
     """
     from repro.experiments import ExperimentTask, derive_seed, run_tasks
 
+    repeats = max(1, args.repeats)
+    if args.resume:
+        if args.recover_dir:
+            raise ValueError("--resume cannot be combined with --recover-dir")
+        if repeats > 1 or args.workers > 1:
+            raise ValueError(
+                "--resume continues a single run; drop --repeats/--workers"
+            )
+        return _cmd_resume(args)
+    if args.recover_dir and (repeats > 1 or args.workers > 1):
+        raise ValueError(
+            "--recover-dir journals a single run; drop --repeats/--workers"
+        )
     strategy = Strategy(args.strategy)
     config = _config(args)
-    repeats = max(1, args.repeats)
     record_obs = bool(args.trace_out or args.events_out or args.metrics_out)
     tasks = [
         ExperimentTask(
@@ -125,6 +137,8 @@ def cmd_run(args) -> int:
             config=config,
             interleaver=args.interleaver,
             record_obs=record_obs,
+            recovery_dir=args.recover_dir,
+            snapshot_every=args.snapshot_every,
         )
         for rep in range(repeats)
     ]
@@ -149,6 +163,83 @@ def cmd_run(args) -> int:
                 print(what.format(path))
         if record_obs:
             _print_obs_summary(result.metrics_json, result.journal_jsonl)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    """Continue a crashed ``--recover-dir`` run to completion.
+
+    Workload flags are ignored — strategy, generator and config come
+    from the recovery directory's manifest. Output (report lines and
+    artifact files) is byte-identical to the uninterrupted run, which is
+    the property the chaos sweep asserts.
+    """
+    from pathlib import Path
+
+    from repro import resume_run
+    from repro.obs import trace_json
+
+    metrics, service = resume_run(args.resume)
+    _print_metrics(service.strategy.value, metrics)
+    obs = service.obs if service.obs.enabled else None
+    journal_jsonl = obs.journal.to_jsonl() if obs is not None else None
+    metrics_json = obs.metrics.to_json() if obs is not None else None
+    schedule_json = trace_json(obs.tracer) if obs is not None else None
+    for out, payload, what in (
+        (args.trace_out, schedule_json,
+         "trace written to {} (load in ui.perfetto.dev or chrome://tracing)"),
+        (args.events_out, journal_jsonl,
+         "decision journal written to {}"),
+        (args.metrics_out, metrics_json,
+         "metrics snapshot written to {}"),
+    ):
+        if out and payload is not None:
+            path = Path(out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(payload)
+            print(what.format(path))
+    if obs is not None:
+        _print_obs_summary(metrics_json, journal_jsonl)
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the crash-recovery chaos harness (sweep or soak)."""
+    from repro.recovery.chaos import run_chaos_soak, run_crash_sweep
+
+    if args.mode == "sweep":
+        report = run_crash_sweep(
+            args.workdir,
+            seed=args.seed,
+            strategy=args.strategy,
+            generator=args.generator,
+            horizon_quanta=args.horizon_quanta,
+            snapshot_every=args.snapshot_every,
+            wal_stride=args.wal_stride,
+            torn_samples=args.torn_samples,
+        )
+        print(
+            f"sweep: {len(report.cases)} cases ({report.crashes} crashed, "
+            f"{report.wal_records} WAL records), "
+            f"{len(report.failures)} failures"
+        )
+        for case in report.failures:
+            print(f"  FAIL {case.label}: {case.detail}")
+        return 0 if report.ok else 1
+    report = run_chaos_soak(
+        args.workdir,
+        seed=args.seed,
+        strategy=args.strategy,
+        generator=args.generator,
+        horizon_quanta=args.horizon_quanta,
+        crashes=args.crashes,
+        snapshot_every=args.snapshot_every,
+    )
+    print(
+        f"soak: {report.crashes_hit}/{report.crashes_planned} crashes, "
+        f"{report.resumes} resumes ({report.cold_resumes} cold), "
+        f"{report.checks} invariant checks, identical={report.identical}"
+    )
     return 0
 
 
@@ -266,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(per-candidate Eq. 3-5 gain breakdowns)")
     run_p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the metrics registry snapshot as JSON")
+    run_p.add_argument("--recover-dir", default=None, metavar="DIR",
+                       help="journal the run durably (WAL + snapshots) into "
+                            "DIR so a killed run can be resumed")
+    run_p.add_argument("--snapshot-every", type=int, default=8,
+                       help="iterations between snapshots with --recover-dir")
+    run_p.add_argument("--resume", default=None, metavar="DIR",
+                       help="continue the crashed run journalled in DIR "
+                            "(byte-identical to the uninterrupted run)")
     run_p.add_argument("--repeats", type=int, default=1,
                        help="repetitions with independently derived per-rep "
                             "seeds (rep 0 keeps --seed)")
@@ -298,6 +397,31 @@ def build_parser() -> argparse.ArgumentParser:
     t6_p.add_argument("--rows", type=int, default=150_000)
     t6_p.set_defaults(func=cmd_table6)
 
+    chaos_p = sub.add_parser(
+        "chaos", help="crash-recovery chaos harness (sweep or soak)"
+    )
+    chaos_p.add_argument("mode", choices=["sweep", "soak"],
+                         help="sweep: subprocess kill at every crash point "
+                              "and WAL boundary; soak: in-process crashes "
+                              "composed with fault injection under "
+                              "invariant monitors")
+    chaos_p.add_argument("--workdir", required=True,
+                         help="scratch directory for baseline + case runs")
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument("--strategy", choices=[s.value for s in Strategy],
+                         default="gain")
+    chaos_p.add_argument("--generator", choices=["phase", "random"],
+                         default="phase")
+    chaos_p.add_argument("--horizon-quanta", type=int, default=6)
+    chaos_p.add_argument("--snapshot-every", type=int, default=4)
+    chaos_p.add_argument("--wal-stride", type=int, default=1,
+                         help="test every Nth WAL record boundary (sweep)")
+    chaos_p.add_argument("--torn-samples", type=int, default=3,
+                         help="torn-record kills sampled across the log (sweep)")
+    chaos_p.add_argument("--crashes", type=int, default=5,
+                         help="planned in-process crashes (soak)")
+    chaos_p.set_defaults(func=cmd_chaos)
+
     return parser
 
 
@@ -308,6 +432,11 @@ def main(argv: list[str] | None = None) -> int:
         level=getattr(logging, args.log_level.upper()),
         format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
     )
+    # The chaos sweep plants deterministic kills via REPRO_CRASH_* in
+    # subprocess environments; a plain run installs no plan (free path).
+    from repro.recovery.hooks import CrashPlan, install_crash_plan
+
+    install_crash_plan(CrashPlan.from_env())
     try:
         return args.func(args)
     except ValueError as exc:  # bad knob values (ExperimentConfig.validate)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.cloud.pricing import PricingModel
 from repro.faults.injector import FaultInjector, TransientStorageError
+from repro.recovery.hooks import crash_point
 
 logger = logging.getLogger(__name__)
 
@@ -69,6 +70,7 @@ class CloudStorage:
         if self._injector is not None and self._injector.storage_put_fails():
             logger.debug("storage put lost: %s (%.1f MB)", path, size_mb)
             raise TransientStorageError("put", path)
+        crash_point("storage.pre_put")
         self._advance(time)
         if path in self._objects:
             self._objects[path].deleted_at = time
@@ -78,6 +80,7 @@ class CloudStorage:
         self._objects[path] = obj
         self._history.append(obj)
         self.bytes_uploaded_mb += size_mb
+        crash_point("storage.post_put")
         return obj
 
     def get(self, path: str, time: float) -> StoredObject:
@@ -112,6 +115,7 @@ class CloudStorage:
         if self._injector is not None and self._injector.storage_delete_fails():
             logger.debug("storage delete lost: %s", path)
             raise TransientStorageError("delete", path)
+        crash_point("storage.pre_delete")
         self._advance(time)
         obj.deleted_at = time
 
@@ -134,6 +138,11 @@ class CloudStorage:
         """Total size of all live objects."""
         return sum(o.size_mb for o in self._objects.values() if o.live)
 
+    @property
+    def accounted_mb_seconds(self) -> float:
+        """The running MB·seconds billing integral (read-only)."""
+        return self._mb_seconds
+
     def live_paths(self) -> list[str]:
         return [p for p, o in self._objects.items() if o.live]
 
@@ -152,6 +161,24 @@ class CloudStorage:
         self._advance(until)
         mb_quanta = self._mb_seconds / self._pricing.quantum_seconds
         return mb_quanta * self._pricing.storage_price_mb_quantum
+
+    def recompute_mb_seconds(self) -> float:
+        """Re-integrate the billing history from scratch (invariant check).
+
+        Walks the full object history and integrates each object's live
+        span against the billing clock position — the conservation
+        property the chaos soak asserts: the running integral maintained
+        incrementally by :meth:`_advance` must equal the recomputation
+        (money spent == stored MB × time × price, no interval counted
+        twice or dropped across crash/recovery).
+        """
+        total = 0.0
+        until = self._accounted_until
+        for obj in self._history:
+            start = min(obj.created_at, until)
+            end = until if obj.deleted_at is None else min(obj.deleted_at, until)
+            total += obj.size_mb * max(0.0, end - start)
+        return total
 
     def snapshot(self, time: float) -> dict[str, float]:
         """Map of live path -> size at ``time`` (history-based, read-only)."""

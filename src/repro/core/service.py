@@ -33,6 +33,7 @@ from repro.interleave.knapsack import reset_knapsack_cache
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import BuildCandidate
 from repro.obs import MetricsRegistry, NOOP_OBS, Observation
+from repro.recovery.hooks import NOOP_RECOVERY, RecoveryLog, crash_point
 from repro.scheduling.schedule import Assignment, Schedule
 from repro.scheduling.skyline import SkylineScheduler
 from repro.tuning.gain import GainModel, IndexGain
@@ -63,6 +64,36 @@ class _PendingDecision:
     gains: dict[str, IndexGain] = field(default_factory=dict)
 
 
+@dataclass
+class RunState:
+    """The loop state of one service run, between iterations.
+
+    Everything :meth:`QaaSService.step` needs lives here (not in
+    closures) so crash recovery can pickle the run mid-stream and a
+    restored (service, state) pair continues exactly where the original
+    stopped. ``generated`` caches the workload's lazily generated
+    dataflows: generation draws from the workload RNG in *admission*
+    order (including queued-lookahead peeks), so only the cache — never
+    the RNG position alone — makes restoration sound.
+    """
+
+    metrics: ServiceMetrics
+    ordered: list[ArrivalEvent]
+    generated: list[Dataflow | None]
+    slots: int
+    #: Min-heap of finish times of running dataflows.
+    running: list[float] = field(default_factory=list)
+    #: Results whose effects (built partitions, history) have not been
+    #: applied yet — applied once simulated time passes their finish.
+    pending: list[tuple[float, object, _PendingDecision, str]] = field(
+        default_factory=list
+    )
+    #: Index of the next arrival to admit.
+    i: int = 0
+    #: Set when the horizon cut the run short of the event stream.
+    exhausted: bool = False
+
+
 class QaaSService:
     """One service instance bound to a workload, config and strategy."""
 
@@ -73,6 +104,7 @@ class QaaSService:
         strategy: Strategy,
         interleaver: str = "lp",
         obs: Observation | None = None,
+        recovery: RecoveryLog | None = None,
     ) -> None:
         self.workload = workload
         self.config = config
@@ -83,6 +115,11 @@ class QaaSService:
         # ``obs.enabled`` and nothing downstream branches on it, so an
         # obs-enabled run is behaviour-identical to a disabled one.
         self.obs = obs if obs is not None else NOOP_OBS
+        # The recovery log follows the same contract: every record call
+        # is gated on ``recovery.enabled``, the log draws no randomness
+        # and reads no clock, so a recovery-disabled run is byte-identical
+        # to one without recovery wired in at all.
+        self.recovery = recovery if recovery is not None else NOOP_RECOVERY
         # Fault injection and retry draw from their own seeded streams
         # (seed+3 / seed+4): a zero-rate profile leaves the workload,
         # service and simulator streams — and hence every metric —
@@ -323,6 +360,13 @@ class QaaSService:
                 for pid in pids:
                     if index.partitions[pid].built:
                         index.invalidate_partition(pid)
+                        if self.recovery.enabled:
+                            self.recovery.record(
+                                "index_partition_invalidated",
+                                update_time,
+                                index=index.name,
+                                partition=pid,
+                            )
                         # Stale cost terms die with the build version;
                         # the explicit call keeps the memo bounded and
                         # the invalidation observable.
@@ -377,6 +421,15 @@ class QaaSService:
             index.mark_built(done.partition_id, done.finished_at)
             self.tuner.gain_model.invalidate_index(done.index_name)
             built += 1
+            if self.recovery.enabled:
+                self.recovery.record(
+                    "index_build_completed",
+                    done.finished_at,
+                    index=done.index_name,
+                    partition=done.partition_id,
+                    size_mb=size_mb,
+                    resumed=resumed,
+                )
             if self.obs.enabled:
                 gain = (gains or {}).get(done.index_name)
                 self.obs.journal.emit(
@@ -401,6 +454,15 @@ class QaaSService:
             index.record_checkpoint(ckpt.partition_id, ckpt.seconds)
             metrics.checkpoints_recorded += 1
             recorded += 1
+            if self.recovery.enabled:
+                self.recovery.record(
+                    "index_build_checkpoint",
+                    result.finish_time,
+                    index=ckpt.index_name,
+                    partition=ckpt.partition_id,
+                    seconds=ckpt.seconds,
+                    total=index.checkpoint_seconds(ckpt.partition_id),
+                )
             logger.debug(
                 "checkpoint: %s partition %d +%.1fs (total %.1fs)",
                 ckpt.index_name, ckpt.partition_id, ckpt.seconds,
@@ -429,6 +491,13 @@ class QaaSService:
             index.drop_all()
             self.tuner.gain_model.invalidate_index(name)
             deleted += 1
+            if self.recovery.enabled:
+                self.recovery.record(
+                    "index_deleted",
+                    now,
+                    index=name,
+                    partitions_dropped=dropped_partitions,
+                )
             if self.obs.enabled:
                 gain = (gains or {}).get(name)
                 self.obs.journal.emit(
@@ -452,7 +521,18 @@ class QaaSService:
         evaluation's 100-container cap, Table 3); arrivals beyond that
         wait in the queue — and queued dataflows raise the gains of the
         indexes they would use (Section 4).
+
+        The loop is split into :meth:`begin_run` / :meth:`step` /
+        :meth:`finish_run` so crash recovery can restore a pickled
+        mid-run state and drive the remaining iterations itself.
         """
+        state = self.begin_run(events)
+        while self.step(state):
+            pass
+        return self.finish_run(state)
+
+    def begin_run(self, events: list[ArrivalEvent]) -> RunState:
+        """Initialise the loop state for an arrival stream."""
         # The knapsack memo is process-global: start every run cold so
         # the run's artifacts (including cache counters) are a pure
         # function of its config and seed.
@@ -469,119 +549,206 @@ class QaaSService:
             ),
         )
         ordered = sorted(events, key=lambda e: e.time)
-        generated: list[Dataflow | None] = [None] * len(ordered)
+        state = RunState(
+            metrics=metrics,
+            ordered=ordered,
+            generated=[None] * len(ordered),
+            slots=max(
+                1, self.config.max_containers // self.config.scheduler_containers
+            ),
+        )
+        self.recovery.on_run_begin(self, state)
+        return state
 
-        def dataflow_at(i: int) -> Dataflow:
-            dataflow = generated[i]
-            if dataflow is None:
-                dataflow = self.workload.next_dataflow(
-                    ordered[i].app, issued_at=ordered[i].time
-                )
-                generated[i] = dataflow
-            return dataflow
-
-        slots = max(1, self.config.max_containers // self.config.scheduler_containers)
-        running: list[float] = []  # min-heap of finish times
-        # Results whose effects (built partitions, history) have not been
-        # applied yet — applied once simulated time passes their finish.
-        pending: list[tuple[float, object, object, str]] = []
-
-        def settle(until: float) -> None:
-            """Apply effects of every execution finished by ``until``."""
-            remaining = []
-            for finish, result, decision, app in sorted(pending, key=lambda p: p[0]):
-                if finish > until:
-                    remaining.append((finish, result, decision, app))
-                    continue
-                before = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
-                self._apply_builds(result, metrics, gains=decision.gains)
-                self._apply_checkpoints(result, metrics)
-                after = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
-                metrics.indexes_created += len(after - before)
-                if self.strategy in (Strategy.GAIN, Strategy.GAIN_NO_DELETE):
-                    self.tuner.record_execution(
-                        result.dataflow_name,
-                        result.finish_time,
-                        decision.time_gains,
-                        decision.money_gains,
-                    )
-                metrics.snapshots.append(self._snapshot(result.finish_time))
-            pending[:] = remaining
-
-        def acquire_slot(arrival: float) -> float:
-            """Earliest start: the arrival itself if a slot is free, else
-            when the earliest running dataflow finishes."""
-            if len(running) < slots:
-                return arrival
-            return max(arrival, heapq.heappop(running))
-
-        for i, event in enumerate(ordered):
-            exec_start = acquire_slot(event.time)
-            if exec_start >= self.config.total_time_s:
-                break
-            settle(exec_start)
-            self._retry_orphan_deletes(exec_start, metrics)
-            self._apply_data_updates(exec_start, metrics)
-            dataflow = dataflow_at(i)
-            # Dataflows already issued but still waiting count toward the
-            # index gains at age 0 (Section 4: "currently running or
-            # queued").
-            queued = []
-            for j in range(i + 1, len(ordered)):
-                if ordered[j].time > exec_start or len(queued) >= self.config.max_queued_gain:
-                    break
-                queued.append(dataflow_at(j))
-            decision = self._decide(dataflow, now=exec_start, queued=queued)
-            deleted = self._apply_deletions(decision.to_delete, now=exec_start,
-                                            metrics=metrics, gains=decision.gains)
-            metrics.indexes_deleted += deleted
-
-            if self.pool is not None:
-                result = self.simulator.execute_pooled(
-                    decision.interleaved, start_time=exec_start, pool=self.pool
-                )
-            else:
-                result = self.simulator.execute(
-                    decision.interleaved, start_time=exec_start
-                )
-            heapq.heappush(running, result.finish_time)
-            pending.append((result.finish_time, result, decision, event.app))
-
-            metrics.operator_retries += result.operator_retries
-            metrics.operators_recovered += result.operators_recovered
-            metrics.retries_exhausted += result.retries_exhausted
-            metrics.containers_crashed += result.containers_crashed
-            metrics.stragglers += result.stragglers
-            metrics.builds_failed += result.builds_failed
-            metrics.degraded_builds += result.builds_failed
-            metrics.outcomes.append(
-                DataflowOutcome(
-                    name=dataflow.name,
-                    app=event.app,
-                    issued_at=event.time,
-                    started_at=exec_start,
-                    finished_at=result.finish_time,
-                    money_quanta=result.money_quanta,
-                    ops_executed=result.dataflow_ops,
-                    builds_completed=len(result.builds_completed),
-                    builds_killed=result.builds_killed,
-                    operator_retries=result.operator_retries,
-                )
+    def _dataflow_at(self, state: RunState, i: int) -> Dataflow:
+        dataflow = state.generated[i]
+        if dataflow is None:
+            dataflow = self.workload.next_dataflow(
+                state.ordered[i].app, issued_at=state.ordered[i].time
             )
-            if self.obs.enabled:
-                self.obs.journal.emit(
-                    "dataflow_executed",
-                    t=result.finish_time,
-                    dataflow=dataflow.name,
-                    app=event.app,
-                    issued_at=event.time,
-                    started_at=exec_start,
-                    money_quanta=result.money_quanta,
-                    builds_completed=len(result.builds_completed),
-                    builds_killed=result.builds_killed,
+            state.generated[i] = dataflow
+        return dataflow
+
+    def _settle(self, state: RunState, until: float) -> None:
+        """Apply effects of every execution finished by ``until``."""
+        metrics = state.metrics
+        remaining = []
+        for finish, result, decision, app in sorted(state.pending, key=lambda p: p[0]):
+            if finish > until:
+                remaining.append((finish, result, decision, app))
+                continue
+            before = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
+            self._apply_builds(result, metrics, gains=decision.gains)
+            self._apply_checkpoints(result, metrics)
+            after = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
+            metrics.indexes_created += len(after - before)
+            if self.strategy in (Strategy.GAIN, Strategy.GAIN_NO_DELETE):
+                head_before = self.tuner.history.head_position
+                self.tuner.record_execution(
+                    result.dataflow_name,
+                    result.finish_time,
+                    decision.time_gains,
+                    decision.money_gains,
                 )
-                self.obs.metrics.counter("service/dataflows_executed").inc()
-        settle(float("inf"))
+                if self.recovery.enabled:
+                    history = self.tuner.history
+                    self.recovery.record(
+                        "history_append",
+                        result.finish_time,
+                        dataflow=result.dataflow_name,
+                        end=history.end_position,
+                        head=history.head_position,
+                    )
+                    if history.head_position != head_before:
+                        # The bounded window evicted its oldest records:
+                        # the "history slide" the gain model feels.
+                        self.recovery.record(
+                            "history_slide",
+                            result.finish_time,
+                            head=history.head_position,
+                            evicted=history.head_position - head_before,
+                        )
+            metrics.snapshots.append(self._snapshot(result.finish_time))
+        state.pending[:] = remaining
+
+    def _acquire_slot(self, state: RunState, arrival: float) -> float:
+        """Earliest start: the arrival itself if a slot is free, else
+        when the earliest running dataflow finishes."""
+        if len(state.running) < state.slots:
+            return arrival
+        return max(arrival, heapq.heappop(state.running))
+
+    def step(self, state: RunState) -> bool:
+        """Admit and execute the next arrival; False when the run is done.
+
+        One step is the unit of crash consistency: the recovery log
+        journals every state mutation inside it and commits (maybe
+        snapshotting) at the end, so a crash anywhere in a step resumes
+        from the previous step boundary and re-executes deterministically.
+        """
+        if state.exhausted or state.i >= len(state.ordered):
+            return False
+        crash_point("service.step")
+        i = state.i
+        event = state.ordered[i]
+        metrics = state.metrics
+        exec_start = self._acquire_slot(state, event.time)
+        if exec_start >= self.config.total_time_s:
+            state.exhausted = True
+            return False
+        if self.recovery.enabled:
+            self.recovery.record(
+                "clock_advance", exec_start, iteration=i, issued_at=event.time
+            )
+        self._settle(state, exec_start)
+        self._retry_orphan_deletes(exec_start, metrics)
+        self._apply_data_updates(exec_start, metrics)
+        dataflow = self._dataflow_at(state, i)
+        if self.recovery.enabled:
+            self.recovery.record(
+                "dataflow_admitted",
+                exec_start,
+                iteration=i,
+                dataflow=dataflow.name,
+                app=event.app,
+            )
+        # Dataflows already issued but still waiting count toward the
+        # index gains at age 0 (Section 4: "currently running or
+        # queued").
+        queued = []
+        for j in range(i + 1, len(state.ordered)):
+            if (
+                state.ordered[j].time > exec_start
+                or len(queued) >= self.config.max_queued_gain
+            ):
+                break
+            queued.append(self._dataflow_at(state, j))
+        crash_point("service.pre_decide")
+        decision = self._decide(dataflow, now=exec_start, queued=queued)
+        crash_point("service.post_decide")
+        if self.recovery.enabled and (
+            decision.interleaved.scheduled_builds or decision.to_delete
+        ):
+            self.recovery.record(
+                "builds_scheduled",
+                exec_start,
+                iteration=i,
+                builds=[
+                    [c.index_name, c.partition_id]
+                    for c in decision.interleaved.scheduled_builds
+                ],
+                to_delete=list(decision.to_delete),
+            )
+        deleted = self._apply_deletions(decision.to_delete, now=exec_start,
+                                        metrics=metrics, gains=decision.gains)
+        metrics.indexes_deleted += deleted
+
+        if self.pool is not None:
+            result = self.simulator.execute_pooled(
+                decision.interleaved, start_time=exec_start, pool=self.pool
+            )
+        else:
+            result = self.simulator.execute(
+                decision.interleaved, start_time=exec_start
+            )
+        crash_point("service.post_execute")
+        heapq.heappush(state.running, result.finish_time)
+        state.pending.append((result.finish_time, result, decision, event.app))
+
+        metrics.operator_retries += result.operator_retries
+        metrics.operators_recovered += result.operators_recovered
+        metrics.retries_exhausted += result.retries_exhausted
+        metrics.containers_crashed += result.containers_crashed
+        metrics.stragglers += result.stragglers
+        metrics.builds_failed += result.builds_failed
+        metrics.degraded_builds += result.builds_failed
+        metrics.outcomes.append(
+            DataflowOutcome(
+                name=dataflow.name,
+                app=event.app,
+                issued_at=event.time,
+                started_at=exec_start,
+                finished_at=result.finish_time,
+                money_quanta=result.money_quanta,
+                ops_executed=result.dataflow_ops,
+                builds_completed=len(result.builds_completed),
+                builds_killed=result.builds_killed,
+                operator_retries=result.operator_retries,
+            )
+        )
+        if self.obs.enabled:
+            self.obs.journal.emit(
+                "dataflow_executed",
+                t=result.finish_time,
+                dataflow=dataflow.name,
+                app=event.app,
+                issued_at=event.time,
+                started_at=exec_start,
+                money_quanta=result.money_quanta,
+                builds_completed=len(result.builds_completed),
+                builds_killed=result.builds_killed,
+            )
+            self.obs.metrics.counter("service/dataflows_executed").inc()
+        if self.recovery.enabled:
+            self.recovery.record(
+                "execution",
+                result.finish_time,
+                iteration=i,
+                dataflow=dataflow.name,
+                money_quanta=result.money_quanta,
+                builds_completed=len(result.builds_completed),
+                builds_killed=result.builds_killed,
+            )
+        state.i = i + 1
+        self.recovery.commit(self, state, exec_start)
+        crash_point("service.post_commit")
+        return True
+
+    def finish_run(self, state: RunState) -> ServiceMetrics:
+        """Settle outstanding work and close out the metrics."""
+        crash_point("service.pre_finish")
+        metrics = state.metrics
+        self._settle(state, float("inf"))
         self._retry_orphan_deletes(self.config.total_time_s, metrics)
         metrics.faults_injected = dict(self.injector.stats.by_kind)
         if metrics.total_faults_injected:
@@ -597,6 +764,7 @@ class QaaSService:
         last = metrics.snapshots[-1].time if metrics.snapshots else 0.0
         if last < self.config.total_time_s:
             metrics.snapshots.append(self._snapshot(self.config.total_time_s))
+        self.recovery.on_run_finished(self, state, self.config.total_time_s)
         return metrics
 
     def _snapshot(self, time: float) -> IndexSnapshot:

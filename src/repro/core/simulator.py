@@ -25,6 +25,7 @@ from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import parse_build_op_name
 from repro.obs import NOOP_OBS, Observation
+from repro.recovery.hooks import crash_point
 
 if TYPE_CHECKING:
     from repro.core.pool import ContainerPool
@@ -208,6 +209,7 @@ class ExecutionSimulator:
 
     def execute(self, interleaved: InterleavedSchedule, start_time: float) -> ExecutionResult:
         """Execute the schedule starting at ``start_time`` (absolute s)."""
+        crash_point("simulator.pre_execute")
         schedule = interleaved.schedule
         dataflow = schedule.dataflow
         tq = self.pricing.quantum_seconds
@@ -351,6 +353,7 @@ class ExecutionSimulator:
         * money is the *marginal* quanta this execution added to the
           pool's leases.
         """
+        crash_point("simulator.pre_execute")
         schedule = interleaved.schedule
         dataflow = schedule.dataflow
         paid_before = pool.stats.quanta_paid

@@ -19,6 +19,7 @@ built).
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -322,6 +323,22 @@ class Index:
         """The ordered creation time points ``T`` of built partitions."""
         times = [st.built_at for st in self.partitions.values() if st.built]
         return sorted(t for t in times if t is not None)
+
+    def state_digest(self) -> str:
+        """A stable 8-hex digest of the full build state.
+
+        Recovery commit records carry one digest per index so resume can
+        verify the replayed catalog (built flags, build times, table
+        versions, checkpoint progress) matches the crashed process.
+        """
+        parts = [f"{self.name}:{self.build_version}"]
+        for pid in sorted(self.partitions):
+            st = self.partitions[pid]
+            parts.append(
+                f"{pid}:{int(st.built)}:{st.built_at!r}:"
+                f"{st.table_version}:{st.checkpoint_seconds!r}"
+            )
+        return f"{zlib.crc32('|'.join(parts).encode('utf-8')):08x}"
 
     def mark_built(self, partition_id: int, time: float) -> None:
         state = self.partitions[partition_id]

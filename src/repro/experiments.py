@@ -123,6 +123,11 @@ class ExperimentTask:
     interleaver: str = "lp"
     #: Record observability artifacts and return them as strings.
     record_obs: bool = False
+    #: Journal the run durably into this directory (WAL + snapshots) so
+    #: a killed run can be resumed; ``None`` runs without recovery.
+    recovery_dir: str | None = None
+    #: Commit interval between snapshots when ``recovery_dir`` is set.
+    snapshot_every: int = 8
 
 
 @dataclass(frozen=True)
@@ -147,6 +152,23 @@ def _run_task(task: ExperimentTask) -> TaskResult:
     from repro.obs import Observation, trace_json
 
     obs = Observation.recording() if task.record_obs else None
+    recovery = None
+    if task.recovery_dir is not None:
+        from dataclasses import replace
+
+        from repro.recovery.manager import RecoveryManager
+
+        # Persist the *effective* config (task seed applied) so a cold
+        # resume reconstructs exactly the run this task executes.
+        recovery = RecoveryManager.start(
+            task.recovery_dir,
+            replace(task.config, seed=task.seed),
+            strategy=task.strategy.value,
+            generator=task.generator,
+            interleaver=task.interleaver,
+            obs_enabled=task.record_obs,
+            snapshot_every=task.snapshot_every,
+        )
     metrics = run_experiment(
         task.strategy,
         generator=task.generator,
@@ -154,6 +176,7 @@ def _run_task(task: ExperimentTask) -> TaskResult:
         interleaver=task.interleaver,
         seed=task.seed,
         obs=obs,
+        recovery=recovery,
     )
     return TaskResult(
         task=task,

@@ -76,6 +76,10 @@ class FaultProfile:
     checkpoint_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
+        # Collect every bad field before raising: a profile built from a
+        # config file or CLI overrides should report all its mistakes in
+        # one round trip, not one per edit-and-retry.
+        problems: list[str] = []
         for name in (
             "operator_failure_rate",
             "container_crash_rate",
@@ -85,13 +89,22 @@ class FaultProfile:
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+                problems.append(f"{name} must be in [0, 1], got {rate}")
         if self.straggler_slowdown < 1.0:
-            raise ValueError("straggler_slowdown must be >= 1")
+            problems.append(
+                f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
+            )
         if self.respawn_delay_s < 0:
-            raise ValueError("respawn_delay_s must be non-negative")
+            problems.append(
+                f"respawn_delay_s must be non-negative, got {self.respawn_delay_s}"
+            )
         if self.checkpoint_interval_s < 0:
-            raise ValueError("checkpoint_interval_s must be non-negative")
+            problems.append(
+                "checkpoint_interval_s must be non-negative, got "
+                f"{self.checkpoint_interval_s}"
+            )
+        if problems:
+            raise ValueError("invalid FaultProfile: " + "; ".join(problems))
 
     @property
     def any_faults(self) -> bool:

@@ -41,16 +41,20 @@ class RetryPolicy:
         overrides: dict[FaultKind, RetryOverride] | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
+        # Aggregate every bad knob into one error (cf. FaultProfile).
+        problems: list[str] = []
         if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
+            problems.append(f"max_attempts must be at least 1, got {max_attempts}")
         if base_delay_s < 0:
-            raise ValueError("base_delay_s must be non-negative")
+            problems.append(f"base_delay_s must be non-negative, got {base_delay_s}")
         if multiplier < 1.0:
-            raise ValueError("multiplier must be >= 1")
+            problems.append(f"multiplier must be >= 1, got {multiplier}")
         if max_delay_s < 0:
-            raise ValueError("max_delay_s must be non-negative")
+            problems.append(f"max_delay_s must be non-negative, got {max_delay_s}")
         if not 0.0 <= jitter < 1.0:
-            raise ValueError("jitter must be in [0, 1)")
+            problems.append(f"jitter must be in [0, 1), got {jitter}")
+        if problems:
+            raise ValueError("invalid RetryPolicy: " + "; ".join(problems))
         self.max_attempts = max_attempts
         self.base_delay_s = base_delay_s
         self.multiplier = multiplier

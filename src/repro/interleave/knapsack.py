@@ -104,6 +104,29 @@ def reset_knapsack_cache() -> None:
     _MEMO_STATS.reset()
 
 
+def export_knapsack_cache() -> dict[str, object]:
+    """The memo's full state (entries + counters), for crash snapshots.
+
+    The memo is process-global and its counters are published into the
+    run's observability artifacts, so a byte-identical resume must carry
+    the cache across the crash exactly — entries (same hits downstream)
+    and stats (same exported ``cache/knapsack`` totals) both.
+    """
+    return {
+        "entries": _SOLVE_MEMO.export_entries(),
+        "stats": _MEMO_STATS.snapshot(),
+    }
+
+
+def restore_knapsack_cache(state: dict[str, object]) -> None:
+    """Reinstall a state captured by :func:`export_knapsack_cache`."""
+    entries = state["entries"]
+    stats = state["stats"]
+    assert isinstance(entries, list) and isinstance(stats, dict)
+    _SOLVE_MEMO.restore_entries(entries)
+    _MEMO_STATS.restore(stats)
+
+
 def solve_knapsack(
     items: list[KnapsackItem],
     capacity: float,

@@ -65,6 +65,17 @@ class CacheStats:
         self.misses = 0
         self.invalidations = 0
 
+    def restore(self, snapshot: dict[str, int]) -> None:
+        """Set the counters to a previously captured :meth:`snapshot`.
+
+        Used by crash recovery: process-global cache counters feed the
+        exported ``cache/*`` metrics, so a resumed run must restart them
+        exactly where the crashed process left off.
+        """
+        self.hits = int(snapshot["hits"])
+        self.misses = int(snapshot["misses"])
+        self.invalidations = int(snapshot["invalidations"])
+
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
@@ -153,3 +164,19 @@ class LRUMemo(Generic[V]):
         self._data.clear()
         if count:
             self.stats.invalidate(count)
+
+    def export_entries(self) -> list[tuple[Hashable, V]]:
+        """All entries in LRU order (oldest first), for snapshotting."""
+        return list(self._data.items())
+
+    def restore_entries(self, entries: list[tuple[Hashable, V]]) -> None:
+        """Replace the contents with ``entries`` (oldest first).
+
+        Counts as neither hits nor misses nor invalidations: restoring
+        a snapshot must leave the stats exactly as captured.
+        """
+        self._data.clear()
+        for key, value in entries:
+            self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)

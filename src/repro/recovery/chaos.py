@@ -1,0 +1,428 @@
+"""Deterministic crash-point chaos harness.
+
+Two verification modes, both seeded and fully deterministic:
+
+* :func:`run_crash_sweep` — the systematic mode. Runs a recovery-enabled
+  baseline in a subprocess, then re-runs it once per named crash barrier
+  and once per WAL record boundary (plus torn-record samples), each time
+  killing the process at exactly that point via the ``REPRO_CRASH_*``
+  environment contract, resuming with ``repro run --resume``, and
+  asserting the resumed stdout and obs artifacts are **byte-identical**
+  to the uninterrupted baseline. Enumerating every barrier is the
+  ``simsched`` lesson: hoping random kills cover the interesting
+  interleavings does not verify anything.
+* :func:`run_chaos_soak` — the compositional mode. Drives one in-process
+  run under an elevated fault-injection profile while a seeded schedule
+  of :class:`SimulatedCrash` kills fires at random barriers; after every
+  iteration (and across every crash/resume cycle) the
+  :class:`~repro.recovery.invariants.InvariantMonitor` conservation
+  checks must hold, and the final metrics must equal a crash-free
+  reference run of the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.recovery.hooks import (
+    CRASH_EXIT_CODE,
+    CRASH_POINTS,
+    CrashPlan,
+    SimulatedCrash,
+    install_crash_plan,
+)
+from repro.recovery.invariants import InvariantError, InvariantMonitor
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.wal import scan_wal
+
+#: Relative obs artifact names used by every sweep case (relative paths
+#: + per-case cwd keep stdout byte-comparable across cases).
+ARTIFACTS = ("trace.json", "events.jsonl", "metrics.json")
+
+RECOVER_DIR = "rec"
+
+_CASE_TIMEOUT_S = 600
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one sweep case (one planned kill + one resume)."""
+
+    label: str
+    #: Whether the planned kill actually fired (a barrier that never
+    #: executes under this workload completes with exit code 0).
+    crashed: bool
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class SweepReport:
+    """Everything the crash-at-every-point sweep verified."""
+
+    seed: int
+    wal_records: int
+    cases: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        """Cases whose resumed run was not byte-identical."""
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def crashes(self) -> int:
+        """Cases whose planned kill actually fired."""
+        return sum(1 for c in self.cases if c.crashed)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every case recovered byte-identically."""
+        return not self.failures
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one fault-storm soak run."""
+
+    seed: int
+    crashes_planned: int
+    crashes_hit: int = 0
+    resumes: int = 0
+    cold_resumes: int = 0
+    checks: int = 0
+    identical: bool = False
+
+
+def _src_root() -> str:
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+def _cli(args: list[str], cwd: Path, env_extra: dict[str, str] | None = None):
+    """Run ``repro <args>`` in a subprocess rooted at ``cwd``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        timeout=_CASE_TIMEOUT_S,
+    )
+
+
+def _run_args(
+    strategy: str,
+    generator: str,
+    seed: int,
+    horizon_quanta: int | None,
+    snapshot_every: int,
+) -> list[str]:
+    args = [
+        "run",
+        "--strategy", strategy,
+        "--generator", generator,
+        "--seed", str(seed),
+        "--recover-dir", RECOVER_DIR,
+        "--snapshot-every", str(snapshot_every),
+        "--trace-out", ARTIFACTS[0],
+        "--events-out", ARTIFACTS[1],
+        "--metrics-out", ARTIFACTS[2],
+    ]
+    if horizon_quanta is not None:
+        args += ["--horizon-quanta", str(horizon_quanta)]
+    return args
+
+
+def _resume_args() -> list[str]:
+    return [
+        "run",
+        "--resume", RECOVER_DIR,
+        "--trace-out", ARTIFACTS[0],
+        "--events-out", ARTIFACTS[1],
+        "--metrics-out", ARTIFACTS[2],
+    ]
+
+
+def _read_artifacts(directory: Path) -> dict[str, bytes]:
+    return {
+        name: (directory / name).read_bytes()
+        for name in ARTIFACTS
+        if (directory / name).exists()
+    }
+
+
+def run_crash_sweep(
+    workdir: str | Path,
+    *,
+    seed: int = 0,
+    strategy: str = "gain",
+    generator: str = "phase",
+    horizon_quanta: int | None = None,
+    snapshot_every: int = 4,
+    wal_stride: int = 1,
+    torn_samples: int = 3,
+) -> SweepReport:
+    """Kill a seeded run at every barrier and WAL boundary; verify resume.
+
+    ``wal_stride`` thins the per-record boundary cases (stride 1 =
+    every record); torn-record kills sample ``torn_samples`` ordinals
+    spread across the log. Returns a report whose :attr:`SweepReport.ok`
+    asserts byte-identical recovery for every case that crashed.
+    """
+    if wal_stride < 1:
+        raise ValueError("wal_stride must be >= 1")
+    root = Path(workdir)
+    base_dir = root / "baseline"
+    base_dir.mkdir(parents=True, exist_ok=True)
+    run_args = _run_args(strategy, generator, seed, horizon_quanta, snapshot_every)
+    baseline = _cli(run_args, base_dir)
+    if baseline.returncode != 0:
+        raise RuntimeError(
+            f"baseline run failed rc={baseline.returncode}: "
+            f"{baseline.stderr.decode(errors='replace')[-2000:]}"
+        )
+    base_stdout = baseline.stdout
+    base_artifacts = _read_artifacts(base_dir)
+    wal_records = len(scan_wal(base_dir / RECOVER_DIR / "wal.jsonl").records)
+    report = SweepReport(seed=seed, wal_records=wal_records)
+
+    cases: list[tuple[str, dict[str, str]]] = []
+    for point in CRASH_POINTS:
+        cases.append(
+            (f"point-{point.replace('.', '-')}", {"REPRO_CRASH_POINT": point})
+        )
+    # A mid-run occurrence of the per-iteration barriers, not just the first.
+    for point in ("service.step", "service.post_commit"):
+        cases.append(
+            (
+                f"point-{point.replace('.', '-')}-hit3",
+                {"REPRO_CRASH_POINT": point, "REPRO_CRASH_HIT": "3"},
+            )
+        )
+    for ordinal in range(1, wal_records + 1, wal_stride):
+        cases.append(
+            (f"wal-record-{ordinal:04d}", {"REPRO_CRASH_WAL_RECORD": str(ordinal)})
+        )
+    if wal_records and torn_samples:
+        count = min(torn_samples, wal_records)
+        picks = sorted(
+            {
+                1 + round(i * (wal_records - 1) / max(1, count - 1))
+                for i in range(count)
+            }
+        )
+        for ordinal in picks:
+            cases.append(
+                (f"wal-torn-{ordinal:04d}", {"REPRO_CRASH_WAL_TORN": str(ordinal)})
+            )
+
+    for label, env_extra in cases:
+        case_dir = root / "cases" / label
+        case_dir.mkdir(parents=True, exist_ok=True)
+        crashed_proc = _cli(run_args, case_dir, env_extra=env_extra)
+        if crashed_proc.returncode == 0:
+            # The barrier never fired under this workload; the untouched
+            # run must still match the baseline.
+            same = (
+                crashed_proc.stdout == base_stdout
+                and _read_artifacts(case_dir) == base_artifacts
+            )
+            report.cases.append(
+                CaseResult(
+                    label,
+                    crashed=False,
+                    ok=same,
+                    detail="" if same else "uncrashed run diverged from baseline",
+                )
+            )
+            continue
+        if crashed_proc.returncode != CRASH_EXIT_CODE:
+            report.cases.append(
+                CaseResult(
+                    label,
+                    crashed=True,
+                    ok=False,
+                    detail=(
+                        f"crashed with rc={crashed_proc.returncode}, expected "
+                        f"{CRASH_EXIT_CODE}: "
+                        f"{crashed_proc.stderr.decode(errors='replace')[-500:]}"
+                    ),
+                )
+            )
+            continue
+        resumed = _cli(_resume_args(), case_dir)
+        if resumed.returncode != 0:
+            report.cases.append(
+                CaseResult(
+                    label,
+                    crashed=True,
+                    ok=False,
+                    detail=(
+                        f"resume failed rc={resumed.returncode}: "
+                        f"{resumed.stderr.decode(errors='replace')[-500:]}"
+                    ),
+                )
+            )
+            continue
+        problems = []
+        if resumed.stdout != base_stdout:
+            problems.append("stdout differs from baseline")
+        case_artifacts = _read_artifacts(case_dir)
+        for name in ARTIFACTS:
+            if case_artifacts.get(name) != base_artifacts.get(name):
+                problems.append(f"{name} differs from baseline")
+        report.cases.append(
+            CaseResult(
+                label,
+                crashed=True,
+                ok=not problems,
+                detail="; ".join(problems),
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fault-storm soak
+# ----------------------------------------------------------------------
+def _metrics_fingerprint(metrics) -> tuple:
+    """Everything that must survive crash/resume, including the
+    registry-backed fault counters the dataclass ``==`` excludes."""
+    return (
+        metrics.outcomes,
+        metrics.snapshots,
+        metrics.faults_injected,
+        metrics.indexes_created,
+        metrics.indexes_deleted,
+        metrics.operator_retries,
+        metrics.operators_recovered,
+        metrics.retries_exhausted,
+        metrics.containers_crashed,
+        metrics.stragglers,
+        metrics.builds_failed,
+        metrics.degraded_builds,
+        metrics.checkpoints_recorded,
+        metrics.checkpoint_resumes,
+        metrics.storage_put_failures,
+        metrics.storage_delete_failures,
+    )
+
+
+def run_chaos_soak(
+    workdir: str | Path,
+    *,
+    seed: int = 0,
+    strategy: str = "gain",
+    generator: str = "phase",
+    config=None,
+    horizon_quanta: int | None = None,
+    crashes: int = 5,
+    snapshot_every: int = 4,
+) -> SoakReport:
+    """Crash/resume a faulty run ``crashes`` times under invariant checks.
+
+    The run uses an elevated fault profile (unless ``config`` overrides
+    it), a seeded schedule of soft crash plans, and in-process resume.
+    Raises :class:`InvariantError` on any conservation violation and
+    ``AssertionError`` if the final metrics differ from the crash-free
+    reference run.
+    """
+    from repro import Strategy, prepare_run, run_experiment
+    from repro.core.config import default_config
+
+    root = Path(workdir)
+    root.mkdir(parents=True, exist_ok=True)
+    rec_dir = root / RECOVER_DIR
+    if config is None:
+        config = replace(
+            default_config(),
+            operator_failure_rate=0.05,
+            container_crash_rate=0.01,
+            storage_put_failure_rate=0.05,
+            storage_delete_failure_rate=0.05,
+            straggler_rate=0.05,
+        )
+        if horizon_quanta is not None:
+            config = replace(config, total_time_s=horizon_quanta * 60.0)
+    config = replace(config, seed=seed)
+    strat = Strategy(strategy)
+
+    reference = run_experiment(strat, generator=generator, config=config)
+    ref_print = _metrics_fingerprint(reference)
+
+    manager = RecoveryManager.start(
+        rec_dir,
+        config,
+        strategy=strat.value,
+        generator=generator,
+        interleaver="lp",
+        obs_enabled=False,
+        snapshot_every=snapshot_every,
+    )
+    service, events = prepare_run(
+        strat, generator=generator, config=config, recovery=manager
+    )
+    state = service.begin_run(events)
+    monitor = InvariantMonitor(service)
+    rng = np.random.default_rng(seed + 99)
+    report = SoakReport(seed=seed, crashes_planned=crashes)
+
+    def plant_crash() -> None:
+        if report.crashes_hit < crashes:
+            point = CRASH_POINTS[int(rng.integers(0, len(CRASH_POINTS)))]
+            hit = int(rng.integers(1, 5))
+            install_crash_plan(CrashPlan(point=point, hit=hit, hard=False))
+        else:
+            install_crash_plan(None)
+
+    plant_crash()
+    metrics = None
+    try:
+        while metrics is None:
+            try:
+                while True:
+                    more = service.step(state)
+                    violations = monitor.check(state, service.storage.accounted_until)
+                    report.checks += 1
+                    if violations:
+                        raise InvariantError(violations)
+                    if not more:
+                        break
+                metrics = service.finish_run(state)
+            except SimulatedCrash:
+                report.crashes_hit += 1
+                install_crash_plan(None)
+                service.recovery.close()
+                resumed = RecoveryManager.resume(rec_dir)
+                report.resumes += 1
+                if resumed.service is not None:
+                    service, state = resumed.service, resumed.state
+                else:
+                    report.cold_resumes += 1
+                    service, events = prepare_run(
+                        strat,
+                        generator=generator,
+                        config=resumed.config,
+                        recovery=resumed.manager,
+                    )
+                    state = service.begin_run(events)
+                monitor.rebind(service)
+                plant_crash()
+    finally:
+        install_crash_plan(None)
+    report.identical = _metrics_fingerprint(metrics) == ref_print
+    if not report.identical:
+        raise AssertionError(
+            "soak run metrics diverged from the crash-free reference"
+        )
+    return report

@@ -1,0 +1,86 @@
+"""Checksummed snapshots with atomic rename.
+
+A snapshot is the pickled full tuning state of a run at one iteration
+boundary (service + loop state + the process-global knapsack memo),
+prefixed with a magic marker and a CRC32 of the payload. Writes go to a
+``.tmp`` sibling first and are published with ``os.replace``: a crash
+mid-write leaves at worst a stale temp file, never a half-written
+snapshot under the real name. Readers validate magic + checksum and
+report corruption as "snapshot unusable" rather than an exception, so
+the resume path can fall back to an older snapshot (or a cold replay).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from pathlib import Path
+
+from repro.recovery.hooks import crash_point
+
+_MAGIC = b"RPSN1\n"
+_NAME_RE = re.compile(r"^snapshot-(\d{8})\.ckpt$")
+
+
+def snapshot_path(directory: str | Path, iteration: int) -> Path:
+    """Canonical file name of the snapshot taken at ``iteration``."""
+    return Path(directory) / f"snapshot-{iteration:08d}.ckpt"
+
+
+def write_snapshot(directory: str | Path, iteration: int, payload: bytes) -> Path:
+    """Atomically publish ``payload`` as the snapshot of ``iteration``."""
+    final = snapshot_path(directory, iteration)
+    tmp = final.with_suffix(".tmp")
+    crash_point("recovery.pre_snapshot")
+    blob = _MAGIC + struct.pack(">I", zlib.crc32(payload)) + payload
+    with open(tmp, "wb") as file:
+        file.write(blob)
+        file.flush()
+        os.fsync(file.fileno())
+    os.replace(tmp, final)
+    crash_point("recovery.post_snapshot")
+    return final
+
+
+def read_snapshot(path: str | Path) -> bytes | None:
+    """The validated payload, or ``None`` if the file is unusable."""
+    file = Path(path)
+    try:
+        blob = file.read_bytes()
+    except OSError:
+        return None
+    header = len(_MAGIC) + 4
+    if len(blob) < header or not blob.startswith(_MAGIC):
+        return None
+    (crc,) = struct.unpack(">I", blob[len(_MAGIC):header])
+    payload = blob[header:]
+    if zlib.crc32(payload) != crc:
+        return None
+    return payload
+
+
+def list_snapshots(directory: str | Path) -> list[tuple[int, Path]]:
+    """(iteration, path) of every snapshot file, newest first."""
+    found: list[tuple[int, Path]] = []
+    root = Path(directory)
+    if not root.is_dir():
+        return found
+    for entry in root.iterdir():
+        match = _NAME_RE.match(entry.name)
+        if match is not None:
+            found.append((int(match.group(1)), entry))
+    found.sort(key=lambda pair: pair[0], reverse=True)
+    return found
+
+
+def prune_snapshots(directory: str | Path, keep: int) -> int:
+    """Remove all but the ``keep`` newest snapshots; returns removals."""
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    removed = 0
+    for _, path in list_snapshots(directory)[keep:]:
+        path.unlink(missing_ok=True)
+        removed += 1
+    return removed

@@ -16,6 +16,7 @@ expensive than an unbounded one.
 
 from __future__ import annotations
 
+import zlib
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -108,6 +109,20 @@ class DataflowHistory:
                 self.mutation_version += 1
                 return
         raise KeyError(f"no running dataflow {name!r} in history")
+
+    def window_digest(self) -> str:
+        """A stable 8-hex digest of the retained window.
+
+        Recovery commit records carry it so resume can verify the
+        replayed history converged on the same window as the crashed
+        process (names, execution times and running flags included).
+        """
+        parts = [f"{self._head}:{self.mutation_version}"]
+        for record in self._records:
+            parts.append(
+                f"{record.name}@{record.executed_at!r}:{int(record.running)}"
+            )
+        return f"{zlib.crc32('|'.join(parts).encode('utf-8')):08x}"
 
     def _positions(self, index_name: str) -> list[int]:
         """Live global positions mentioning ``index_name`` (ascending)."""

@@ -100,6 +100,16 @@ class IncrementalGainEvaluator:
     Cache behaviour is observable: ``stats.hits`` counts O(δ) advances,
     ``stats.misses`` counts full rebuilds, and ``stats.invalidations``
     counts rebuilds forced by history mutation or fade changes.
+
+    Crash-recovery contract (``repro.recovery``): because the rescaled
+    sums are only *tolerance-equal* to a from-scratch refold, a restored
+    snapshot must keep the pickled per-index states authoritative —
+    calling :meth:`reset` after a restore would re-derive bit-different
+    sums and break the byte-identical-resume guarantee. A *cold* resume
+    (no usable snapshot) instead rebuilds from the restored history the
+    exact way the original run did: it replays every advance from t=0,
+    so each ``_rebuild``/``_advance`` happens at the same ``now`` with
+    the same window contents and reproduces the original bits.
     """
 
     def __init__(self, model: GainModel, history: DataflowHistory) -> None:

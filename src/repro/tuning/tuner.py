@@ -21,6 +21,7 @@ from repro.interleave.lp import InterleavedSchedule, lp_interleave, select_faste
 from repro.interleave.online import online_interleave
 from repro.interleave.slots import BuildCandidate, slot_fill_payloads
 from repro.obs import NOOP_OBS, Observation
+from repro.recovery.hooks import crash_point
 from repro.scheduling.skyline import SkylineScheduler
 from repro.tuning.gain import (
     DataflowGainSample,
@@ -290,6 +291,7 @@ class OnlineIndexTuner:
         ``queued`` are dataflows already issued but not yet executed;
         they contribute to the gains at age 0 (Section 4).
         """
+        crash_point("tuner.pre_rank")
         if self.fading_controller is not None:
             self.fading_controller.record_dataflow(dataflow.candidate_indexes, now)
         current_gains = self.dataflow_gains(dataflow)
@@ -315,6 +317,7 @@ class OnlineIndexTuner:
             obs=self.obs,
         )
         chosen = select_fastest(skyline)
+        crash_point("tuner.post_interleave")
 
         to_delete = [
             g.index_name

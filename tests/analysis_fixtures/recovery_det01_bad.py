@@ -1,0 +1,17 @@
+# lint-module: repro.recovery.fixture_wal_stamper
+# expect: DET01,DET01
+"""Known-bad fixture: wall-clock timestamps leaking into WAL records.
+
+A WAL record stamped with the host clock can never replay byte-identically,
+so DET01 must reject wall-clock reads in the recovery package exactly as it
+does in the simulator core.
+"""
+
+import time
+from datetime import datetime
+
+
+def frame_record(payload):
+    payload["wall_time"] = time.time()
+    payload["written_at"] = datetime.now().isoformat()
+    return payload

@@ -1,0 +1,10 @@
+# lint-module: repro.recovery.hooks.fixture_barrier
+# expect: LAY01
+"""Known-bad fixture: the recovery hooks leaf importing the core layer.
+
+``repro.recovery.hooks`` is on the LAY01 ``ALLOWED_LEAVES`` list so that
+storage/tuner/simulator may call ``crash_point``; that carve-out is only
+sound while hooks itself imports nothing above it.
+"""
+
+import repro.core.service

@@ -1,0 +1,6 @@
+# lint-module: repro.recovery.fixture_resume_driver
+# expect:
+"""Known-good fixture: recovery importing downward (core config + hooks)."""
+
+from repro.core.config import ExperimentConfig
+from repro.recovery.hooks import crash_point

@@ -1,0 +1,11 @@
+# lint-module: repro.cloud.fixture_storage_recovery
+# expect: LAY01
+"""Known-bad fixture: a substrate layer importing the recovery machinery.
+
+The hooks leaf is fine from anywhere (that is how storage gets its crash
+points), but the heavyweight WAL/snapshot/resume machinery sits at the
+top of the DAG — ``repro.cloud`` importing it is an upward edge.
+"""
+
+from repro.recovery.hooks import crash_point
+from repro.recovery.manager import RecoveryManager

@@ -50,6 +50,35 @@ class TestFaultProfile:
         with pytest.raises(ValueError):
             FaultProfile(straggler_slowdown=0.5)
 
+    def test_one_error_names_every_bad_field(self):
+        """Validation aggregates: a profile with five mistakes reports all
+        five in a single ValueError, not one per edit-and-retry."""
+        with pytest.raises(ValueError) as exc:
+            FaultProfile(
+                operator_failure_rate=1.5,
+                container_crash_rate=-0.1,
+                straggler_slowdown=0.5,
+                respawn_delay_s=-1.0,
+                checkpoint_interval_s=-2.0,
+            )
+        message = str(exc.value)
+        assert message.startswith("invalid FaultProfile: ")
+        for name in (
+            "operator_failure_rate must be in [0, 1], got 1.5",
+            "container_crash_rate must be in [0, 1], got -0.1",
+            "straggler_slowdown must be >= 1, got 0.5",
+            "respawn_delay_s must be non-negative, got -1.0",
+            "checkpoint_interval_s must be non-negative, got -2.0",
+        ):
+            assert name in message
+        assert message.count(";") == 4
+
+    def test_single_bad_field_reported_alone(self):
+        with pytest.raises(ValueError) as exc:
+            FaultProfile(straggler_rate=2.0)
+        assert ";" not in str(exc.value)
+        assert "straggler_rate" in str(exc.value)
+
 
 class TestFaultInjector:
     def test_zero_rates_never_fire_and_never_draw(self):
@@ -145,6 +174,21 @@ class TestRetryPolicy:
             RetryPolicy(multiplier=0.5)
         with pytest.raises(ValueError):
             RetryPolicy(jitter=1.0)
+
+    def test_one_error_names_every_bad_field(self):
+        """All five bad knobs surface in a single aggregated ValueError."""
+        with pytest.raises(ValueError) as exc:
+            RetryPolicy(max_attempts=0, base_delay_s=-1.0, multiplier=0.5,
+                        max_delay_s=-2.0, jitter=1.5)
+        message = str(exc.value)
+        assert message.startswith("invalid RetryPolicy: ")
+        for name in ("max_attempts must be at least 1, got 0",
+                     "base_delay_s must be non-negative, got -1.0",
+                     "multiplier must be >= 1, got 0.5",
+                     "max_delay_s must be non-negative, got -2.0",
+                     "jitter must be in [0, 1), got 1.5"):
+            assert name in message
+        assert message.count(";") == 4
 
 
 class TestConfigValidation:

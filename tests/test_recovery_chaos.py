@@ -1,0 +1,54 @@
+"""End-to-end chaos harness tests: subprocess kill sweeps + fault soak.
+
+The sweep is the acceptance gate of the recovery subsystem: for seeded
+workloads, kill the CLI process at every named crash point (plus sampled
+WAL record boundaries and torn-record writes), resume with
+``repro run --resume``, and require stdout and every obs artifact to be
+byte-identical to the uninterrupted baseline. The soak composes random
+in-process crashes with PR 1's fault injector under conservation
+invariant monitors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.recovery.chaos import run_chaos_soak, run_crash_sweep
+from repro.recovery.hooks import install_crash_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_crash_plan():
+    previous = install_crash_plan(None)
+    yield
+    install_crash_plan(previous)
+
+
+@pytest.mark.parametrize("seed", [7, 23])
+def test_crash_sweep_recovers_byte_identically(tmp_path, seed):
+    report = run_crash_sweep(
+        tmp_path,
+        seed=seed,
+        horizon_quanta=3,
+        snapshot_every=3,
+        wal_stride=83,
+        torn_samples=2,
+    )
+    detail = "; ".join(f"{c.label}: {c.detail}" for c in report.failures)
+    assert report.ok, detail
+    # The sweep must have actually killed processes, including at least
+    # one WAL-boundary and one torn-record case.
+    assert report.crashes >= 10
+    assert any(c.crashed for c in report.cases if c.label.startswith("wal-record"))
+    assert any(c.crashed for c in report.cases if c.label.startswith("wal-torn"))
+    assert report.wal_records > 10
+
+
+def test_chaos_soak_holds_invariants_and_metrics(tmp_path):
+    report = run_chaos_soak(
+        tmp_path, seed=3, horizon_quanta=4, crashes=4, snapshot_every=2
+    )
+    assert report.identical
+    assert report.crashes_hit >= 1
+    assert report.resumes == report.crashes_hit
+    assert report.checks > 0
