@@ -203,10 +203,103 @@ def _cmd_resume(args) -> int:
     return 0
 
 
-def cmd_chaos(args) -> int:
-    """Run the crash-recovery chaos harness (sweep or soak)."""
-    from repro.recovery.chaos import run_chaos_soak, run_crash_sweep
+def _print_invariant_failure(exc) -> None:
+    """The chaos failure report: violations plus the machine-readable
+    reproduction context carried by the InvariantError."""
+    import json
 
+    print(f"FAIL: {len(exc.violations)} invariant violation(s)")
+    for violation in exc.violations:
+        print(f"  {violation}")
+    if exc.context:
+        print(f"  context: {json.dumps(exc.context, sort_keys=True)}")
+
+
+def _cmd_explore(args) -> int:
+    """The ``chaos explore`` mode: schedule-space exploration / replay."""
+    from repro.explore import (
+        build_scenario,
+        explore,
+        invariant_error,
+        load_replay,
+        run_replay,
+        save_replay,
+    )
+
+    if args.replay:
+        replay = load_replay(args.replay)
+        result = run_replay(replay)
+        print(
+            f"replay: scenario={replay.scenario.name} seed="
+            f"{replay.scenario.seed} trace={len(replay.schedule)} entries, "
+            f"{len(result.steps)} micro-steps"
+        )
+        for violation in result.violations:
+            print(f"  {violation}")
+        if result.reproduced:
+            print("reproduced: expected violations fired byte-identically")
+            return 0
+        print("FAIL: replay diverged from the recorded violations")
+        for violation in result.expected:
+            print(f"  expected {violation}")
+        return 1
+
+    scenario = build_scenario(
+        args.scenario, seed=args.seed, horizon_quanta=args.horizon_quanta
+    )
+    report = explore(
+        scenario,
+        args.explore_strategy,
+        budget=args.budget,
+        depth=args.depth,
+    )
+    names = sorted(report.violation_names())
+    print(
+        f"explore: scenario={report.scenario} mode={report.mode} "
+        f"schedules={report.schedules} distinct={report.distinct_orderings} "
+        f"choices={report.choices} pruned={report.pruned} "
+        f"checks={report.checks} failing={len(report.violations)}"
+        + (" (truncated)" if report.truncated else "")
+    )
+    found = report.minimized or (
+        report.violations[0] if report.violations else None
+    )
+    if found is not None:
+        label = "minimized" if report.minimized else "first failing"
+        print(f"{label} trace ({len(found.trace)} choices):")
+        for site, picked in found.trace:
+            print(f"  {site} -> {picked}")
+        if args.save_replay:
+            save_replay(
+                args.save_replay, scenario, list(found.trace),
+                list(found.violations),
+            )
+            print(f"replay file written to {args.save_replay}")
+    if args.expect_violation:
+        if args.expect_violation in names:
+            print(f"found expected violation {args.expect_violation!r}")
+            return 0
+        print(
+            f"FAIL: expected violation {args.expect_violation!r} not found "
+            f"(found: {', '.join(names) or 'none'})"
+        )
+        return 1
+    if report.violations:
+        _print_invariant_failure(invariant_error(report))
+        return 1
+    print("no invariant violations found")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the crash-recovery chaos harness (sweep, soak or explore)."""
+    from repro.recovery.chaos import run_chaos_soak, run_crash_sweep
+    from repro.recovery.invariants import InvariantError
+
+    if args.mode == "explore":
+        return _cmd_explore(args)
+    if not args.workdir:
+        raise ValueError(f"--workdir is required for chaos {args.mode}")
     if args.mode == "sweep":
         report = run_crash_sweep(
             args.workdir,
@@ -226,15 +319,19 @@ def cmd_chaos(args) -> int:
         for case in report.failures:
             print(f"  FAIL {case.label}: {case.detail}")
         return 0 if report.ok else 1
-    report = run_chaos_soak(
-        args.workdir,
-        seed=args.seed,
-        strategy=args.strategy,
-        generator=args.generator,
-        horizon_quanta=args.horizon_quanta,
-        crashes=args.crashes,
-        snapshot_every=args.snapshot_every,
-    )
+    try:
+        report = run_chaos_soak(
+            args.workdir,
+            seed=args.seed,
+            strategy=args.strategy,
+            generator=args.generator,
+            horizon_quanta=args.horizon_quanta,
+            crashes=args.crashes,
+            snapshot_every=args.snapshot_every,
+        )
+    except InvariantError as exc:
+        _print_invariant_failure(exc)
+        return 1
     print(
         f"soak: {report.crashes_hit}/{report.crashes_planned} crashes, "
         f"{report.resumes} resumes ({report.cold_resumes} cold), "
@@ -398,15 +495,18 @@ def build_parser() -> argparse.ArgumentParser:
     t6_p.set_defaults(func=cmd_table6)
 
     chaos_p = sub.add_parser(
-        "chaos", help="crash-recovery chaos harness (sweep or soak)"
+        "chaos", help="crash-recovery chaos harness (sweep, soak or explore)"
     )
-    chaos_p.add_argument("mode", choices=["sweep", "soak"],
+    chaos_p.add_argument("mode", choices=["sweep", "soak", "explore"],
                          help="sweep: subprocess kill at every crash point "
                               "and WAL boundary; soak: in-process crashes "
                               "composed with fault injection under "
-                              "invariant monitors")
-    chaos_p.add_argument("--workdir", required=True,
-                         help="scratch directory for baseline + case runs")
+                              "invariant monitors; explore: deterministic "
+                              "schedule-space exploration of the service "
+                              "loop's interleavable actions")
+    chaos_p.add_argument("--workdir", default=None,
+                         help="scratch directory for baseline + case runs "
+                              "(required for sweep/soak)")
     chaos_p.add_argument("--seed", type=int, default=0)
     chaos_p.add_argument("--strategy", choices=[s.value for s in Strategy],
                          default="gain")
@@ -420,6 +520,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="torn-record kills sampled across the log (sweep)")
     chaos_p.add_argument("--crashes", type=int, default=5,
                          help="planned in-process crashes (soak)")
+    chaos_p.add_argument("--scenario", default="toy",
+                         choices=["toy", "planted", "service"],
+                         help="exploration scenario (explore)")
+    chaos_p.add_argument("--explore-strategy", default="exhaustive",
+                         choices=["exhaustive", "por", "random"],
+                         help="schedule enumeration strategy: bounded "
+                              "exhaustive DFS, DFS with partial-order "
+                              "reduction, or seeded random walks (explore)")
+    chaos_p.add_argument("--budget", type=int, default=64,
+                         help="random-walk schedules to run (explore)")
+    chaos_p.add_argument("--depth", type=int, default=12,
+                         help="branching choice sites per schedule in the "
+                              "DFS modes; deeper sites run canonically "
+                              "(explore)")
+    chaos_p.add_argument("--save-replay", default=None, metavar="PATH",
+                         help="write the minimized failing trace as a "
+                              "replay file (explore)")
+    chaos_p.add_argument("--replay", default=None, metavar="PATH",
+                         help="re-execute a saved replay file and check the "
+                              "recorded violations fire byte-identically "
+                              "(explore)")
+    chaos_p.add_argument("--expect-violation", default=None, metavar="NAME",
+                         help="invert the exit code: succeed iff the named "
+                              "invariant violation is found (regression "
+                              "fixtures for planted bugs)")
     chaos_p.set_defaults(func=cmd_chaos)
 
     return parser
@@ -436,8 +561,10 @@ def main(argv: list[str] | None = None) -> int:
     # subprocess environments; a plain run installs no plan (free path).
     from repro.recovery.hooks import CrashPlan, install_crash_plan
 
-    install_crash_plan(CrashPlan.from_env())
     try:
+        # Inside the handler so a bad REPRO_CRASH_POINT fails fast with
+        # the valid names listed instead of a traceback.
+        install_crash_plan(CrashPlan.from_env())
         return args.func(args)
     except ValueError as exc:  # bad knob values (ExperimentConfig.validate)
         print(f"error: {exc}", file=sys.stderr)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.cloud.cache import LRUCache
 from repro.cloud.container import ContainerSpec, PAPER_CONTAINER
 from repro.cloud.pricing import PricingModel
+from repro.explore.hooks import note
 from repro.obs import NOOP_OBS, Observation
 
 logger = logging.getLogger(__name__)
@@ -124,6 +125,7 @@ class ContainerPool:
         """
         if count <= 0:
             raise ValueError("count must be positive")
+        note("pool.acquire")
         self.expire_idle(time)
         reusable = sorted(
             (c for c in self._containers.values() if c.idle_at(time) and c.alive_at(time)),

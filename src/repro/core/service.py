@@ -18,6 +18,7 @@ import heapq
 import logging
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Iterator
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.core.metrics import DataflowOutcome, IndexSnapshot, ServiceMetrics
 from repro.core.simulator import ExecutionSimulator
 from repro.dataflow.client import ArrivalEvent, Workload
 from repro.dataflow.graph import Dataflow
+from repro.explore.hooks import ALL_RESOURCES, Action, Epoch
 from repro.faults.injector import FaultInjector, TransientStorageError
 from repro.faults.retry import RetryPolicy
 from repro.interleave.knapsack import reset_knapsack_cache
@@ -381,79 +383,84 @@ class QaaSService:
                         invalidated += 1
         return invalidated
 
-    def _apply_builds(
+    def _iter_apply_build(
         self,
-        result,
+        done,
         metrics: ServiceMetrics,
         gains: dict[str, IndexGain] | None = None,
-    ) -> int:
-        """Mark completed index partitions built; store them. Returns count.
+    ) -> Iterator[str]:
+        """One completed build as an interleavable action.
 
-        A transiently failed storage put degrades gracefully: the
-        partition stays unbuilt and unbilled, and re-enters the tuner's
-        candidate pool at the next decision.
+        Micro-step 1 charges storage (the put); micro-step 2 inserts the
+        partition into the catalog. The yield between them is the torn
+        window a racing delete can land in — the canonical
+        (controller-free) order runs both back to back, exactly the old
+        inline sequence. A transiently failed storage put degrades
+        gracefully: the partition stays unbuilt and unbilled, and
+        re-enters the tuner's candidate pool at the next decision.
         """
-        built = 0
-        for done in sorted(result.builds_completed, key=lambda b: b.finished_at):
-            index = self.catalog.indexes.get(done.index_name)
-            if index is None or index.partitions[done.partition_id].built:
-                continue
-            size_mb = self.catalog.cost_model.partition_size_mb(
-                index.table, index.spec, index.table.partition(done.partition_id)
+        index = self.catalog.indexes.get(done.index_name)
+        if index is None or index.partitions[done.partition_id].built:
+            return
+        size_mb = self.catalog.cost_model.partition_size_mb(
+            index.table, index.spec, index.table.partition(done.partition_id)
+        )
+        # Builds on different containers complete concurrently with
+        # (and occasionally just past) the dataflow; never rewind the
+        # storage billing clock.
+        at = max(done.finished_at, self.storage.accounted_until)
+        try:
+            self.storage.put(index.spec.path(done.partition_id), size_mb, at)
+        except TransientStorageError:
+            metrics.storage_put_failures += 1
+            metrics.degraded_builds += 1
+            logger.info(
+                "put of %s partition %d lost; partition stays unbuilt",
+                done.index_name, done.partition_id,
             )
-            # Builds on different containers complete concurrently with
-            # (and occasionally just past) the dataflow; never rewind the
-            # storage billing clock.
-            at = max(done.finished_at, self.storage.accounted_until)
-            try:
-                self.storage.put(index.spec.path(done.partition_id), size_mb, at)
-            except TransientStorageError:
-                metrics.storage_put_failures += 1
-                metrics.degraded_builds += 1
-                logger.info(
-                    "put of %s partition %d lost; partition stays unbuilt",
-                    done.index_name, done.partition_id,
-                )
-                continue
-            resumed = index.partitions[done.partition_id].checkpoint_seconds > 0
-            if resumed:
-                metrics.checkpoint_resumes += 1
-            index.mark_built(done.partition_id, done.finished_at)
-            self.tuner.gain_model.invalidate_index(done.index_name)
-            built += 1
-            if self.recovery.enabled:
-                self.recovery.record(
-                    "index_build_completed",
-                    done.finished_at,
-                    index=done.index_name,
-                    partition=done.partition_id,
-                    size_mb=size_mb,
-                    resumed=resumed,
-                )
-            if self.obs.enabled:
-                gain = (gains or {}).get(done.index_name)
-                self.obs.journal.emit(
-                    "index_build",
-                    t=done.finished_at,
-                    index=done.index_name,
-                    partition=done.partition_id,
-                    size_mb=size_mb,
-                    resumed=resumed,
-                    breakdown=gain.breakdown() if gain is not None else None,
-                )
-                self.obs.metrics.counter("service/partitions_built").inc()
-        return built
+            return
+        yield "build.catalog_mark"
+        resumed = index.partitions[done.partition_id].checkpoint_seconds > 0
+        if resumed:
+            metrics.checkpoint_resumes += 1
+        was_built = index.any_built
+        index.mark_built(done.partition_id, done.finished_at)
+        self.tuner.gain_model.invalidate_index(done.index_name)
+        if not was_built:
+            metrics.indexes_created += 1
+        if self.recovery.enabled:
+            self.recovery.record(
+                "index_build_completed",
+                done.finished_at,
+                index=done.index_name,
+                partition=done.partition_id,
+                size_mb=size_mb,
+                resumed=resumed,
+            )
+        if self.obs.enabled:
+            gain = (gains or {}).get(done.index_name)
+            self.obs.journal.emit(
+                "index_build",
+                t=done.finished_at,
+                index=done.index_name,
+                partition=done.partition_id,
+                size_mb=size_mb,
+                resumed=resumed,
+                breakdown=gain.breakdown() if gain is not None else None,
+            )
+            self.obs.metrics.counter("service/partitions_built").inc()
 
-    def _apply_checkpoints(self, result, metrics: ServiceMetrics) -> int:
-        """Persist partial-build progress of interrupted builds."""
-        recorded = 0
-        for ckpt in result.checkpoints:
+    def _iter_apply_checkpoints(self, result, metrics: ServiceMetrics) -> Iterator[str]:
+        """Persist partial-build progress of preemption-killed builds,
+        one checkpoint per micro-step."""
+        for k, ckpt in enumerate(result.checkpoints):
+            if k:
+                yield "kill.checkpoint"
             index = self.catalog.indexes.get(ckpt.index_name)
             if index is None or index.partitions[ckpt.partition_id].built:
                 continue
             index.record_checkpoint(ckpt.partition_id, ckpt.seconds)
             metrics.checkpoints_recorded += 1
-            recorded += 1
             if self.recovery.enabled:
                 self.recovery.record(
                     "index_build_checkpoint",
@@ -468,47 +475,151 @@ class QaaSService:
                 ckpt.index_name, ckpt.partition_id, ckpt.seconds,
                 index.checkpoint_seconds(ckpt.partition_id),
             )
-        return recorded
 
-    def _apply_deletions(
+    def _iter_record_history(self, result, decision, metrics: ServiceMetrics) -> Iterator[str]:
+        """History append + metrics snapshot for one settled execution
+        (a single atomic micro-step)."""
+        if self.strategy in (Strategy.GAIN, Strategy.GAIN_NO_DELETE):
+            head_before = self.tuner.history.head_position
+            self.tuner.record_execution(
+                result.dataflow_name,
+                result.finish_time,
+                decision.time_gains,
+                decision.money_gains,
+            )
+            if self.recovery.enabled:
+                history = self.tuner.history
+                self.recovery.record(
+                    "history_append",
+                    result.finish_time,
+                    dataflow=result.dataflow_name,
+                    end=history.end_position,
+                    head=history.head_position,
+                )
+                if history.head_position != head_before:
+                    # The bounded window evicted its oldest records:
+                    # the "history slide" the gain model feels.
+                    self.recovery.record(
+                        "history_slide",
+                        result.finish_time,
+                        head=history.head_position,
+                        evicted=history.head_position - head_before,
+                    )
+        metrics.snapshots.append(self._snapshot(result.finish_time))
+        return
+        yield "history.append"  # pragma: no cover - marks this a generator
+
+    def _iter_apply_delete(
         self,
-        names: list[str],
+        name: str,
         now: float,
         metrics: ServiceMetrics,
         gains: dict[str, IndexGain] | None = None,
-    ) -> int:
-        deleted = 0
+    ) -> Iterator[str]:
+        """Delete one flagged index as an interleavable action: drop its
+        partition objects one micro-step at a time, then (last step)
+        remove the partitions from the catalog."""
+        index = self.catalog.indexes.get(name)
+        if index is None or not index.any_built:
+            return
         now = max(now, self.storage.accounted_until)
-        for name in names:
-            index = self.catalog.indexes.get(name)
-            if index is None or not index.any_built:
-                continue
-            dropped_partitions = len(index.built_partition_ids())
-            for pid in index.built_partition_ids():
-                path = index.spec.path(pid)
-                if self.storage.exists(path):
-                    self._safe_delete(path, now, metrics)
-            index.drop_all()
-            self.tuner.gain_model.invalidate_index(name)
-            deleted += 1
-            if self.recovery.enabled:
-                self.recovery.record(
-                    "index_deleted",
-                    now,
-                    index=name,
-                    partitions_dropped=dropped_partitions,
+        pids = index.built_partition_ids()
+        dropped_partitions = len(pids)
+        for k, pid in enumerate(pids):
+            path = index.spec.path(pid)
+            if self.storage.exists(path):
+                self._safe_delete(path, now, metrics)
+            yield "delete.storage_object" if k + 1 < len(pids) else "delete.catalog_drop"
+        index.drop_all()
+        self.tuner.gain_model.invalidate_index(name)
+        metrics.indexes_deleted += 1
+        if self.recovery.enabled:
+            self.recovery.record(
+                "index_deleted",
+                now,
+                index=name,
+                partitions_dropped=dropped_partitions,
+            )
+        if self.obs.enabled:
+            gain = (gains or {}).get(name)
+            self.obs.journal.emit(
+                "index_delete",
+                t=now,
+                index=name,
+                partitions_dropped=dropped_partitions,
+                breakdown=gain.breakdown() if gain is not None else None,
+            )
+            self.obs.metrics.counter("service/indexes_deleted").inc()
+
+    def _iter_execute(self, decision, exec_start: float, out: list) -> Iterator[str]:
+        """Slot-fill and execute the decision (one atomic micro-step);
+        the result lands in ``out`` for the caller's bookkeeping."""
+        if self.pool is not None:
+            out.append(
+                self.simulator.execute_pooled(
+                    decision.interleaved, start_time=exec_start, pool=self.pool
                 )
-            if self.obs.enabled:
-                gain = (gains or {}).get(name)
-                self.obs.journal.emit(
-                    "index_delete",
-                    t=now,
-                    index=name,
-                    partitions_dropped=dropped_partitions,
-                    breakdown=gain.breakdown() if gain is not None else None,
-                )
-                self.obs.metrics.counter("service/indexes_deleted").inc()
-        return deleted
+            )
+        else:
+            out.append(
+                self.simulator.execute(decision.interleaved, start_time=exec_start)
+            )
+        return
+        yield "slotfill.execute"  # pragma: no cover - marks this a generator
+
+    # ------------------------------------------------------------------
+    # Action factories (offered through an Epoch by step/finish_run)
+    # ------------------------------------------------------------------
+    def _build_action(self, done, metrics: ServiceMetrics, gains) -> Action:
+        return Action(
+            key=f"build:{done.index_name}:{done.partition_id}",
+            kind="build",
+            gen=self._iter_apply_build(done, metrics, gains=gains),
+            resources=frozenset((f"idx:{done.index_name}",)),
+            entry="build.storage_put",
+            stamp=done.finished_at,
+        )
+
+    def _kill_action(self, result, metrics: ServiceMetrics) -> Action:
+        return Action(
+            key=f"kill:{result.dataflow_name}",
+            kind="kill",
+            gen=self._iter_apply_checkpoints(result, metrics),
+            resources=frozenset(f"idx:{c.index_name}" for c in result.checkpoints),
+            entry="kill.checkpoint",
+        )
+
+    def _history_action(self, result, decision, metrics: ServiceMetrics) -> Action:
+        # The snapshot inside reads catalog + storage, so a history
+        # action commutes with nothing (ALL_RESOURCES).
+        return Action(
+            key=f"history:{result.dataflow_name}",
+            kind="history",
+            gen=self._iter_record_history(result, decision, metrics),
+            resources=frozenset((ALL_RESOURCES,)),
+            entry="history.append",
+        )
+
+    def _delete_action(
+        self, name: str, now: float, metrics: ServiceMetrics, gains
+    ) -> Action:
+        return Action(
+            key=f"delete:{name}",
+            kind="delete",
+            gen=self._iter_apply_delete(name, now, metrics, gains=gains),
+            resources=frozenset((f"idx:{name}",)),
+            entry="delete.storage_object",
+            stamp=now,
+        )
+
+    def _execute_action(self, decision, exec_start: float, out: list, name: str) -> Action:
+        return Action(
+            key=f"slotfill:{name}",
+            kind="slotfill",
+            gen=self._iter_execute(decision, exec_start, out),
+            resources=frozenset((ALL_RESOURCES,)),
+            entry="slotfill.execute",
+        )
 
     # ------------------------------------------------------------------
     # Main loop
@@ -569,46 +680,29 @@ class QaaSService:
             state.generated[i] = dataflow
         return dataflow
 
-    def _settle(self, state: RunState, until: float) -> None:
-        """Apply effects of every execution finished by ``until``."""
+    def _settle(self, state: RunState, until: float, epoch: Epoch) -> None:
+        """Offer the effects of every execution finished by ``until``.
+
+        Each effect — a completed build's storage-charge + catalog
+        insert, a preemption kill's checkpoints, the history append — is
+        an interleavable :class:`Action`. With no controller installed
+        every action runs to completion at its offer site, preserving
+        the historical inline order statement for statement.
+        """
         metrics = state.metrics
         remaining = []
         for finish, result, decision, app in sorted(state.pending, key=lambda p: p[0]):
             if finish > until:
                 remaining.append((finish, result, decision, app))
                 continue
-            before = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
-            self._apply_builds(result, metrics, gains=decision.gains)
-            self._apply_checkpoints(result, metrics)
-            after = {n for n, ix in self.catalog.indexes.items() if ix.any_built}
-            metrics.indexes_created += len(after - before)
-            if self.strategy in (Strategy.GAIN, Strategy.GAIN_NO_DELETE):
-                head_before = self.tuner.history.head_position
-                self.tuner.record_execution(
-                    result.dataflow_name,
-                    result.finish_time,
-                    decision.time_gains,
-                    decision.money_gains,
-                )
-                if self.recovery.enabled:
-                    history = self.tuner.history
-                    self.recovery.record(
-                        "history_append",
-                        result.finish_time,
-                        dataflow=result.dataflow_name,
-                        end=history.end_position,
-                        head=history.head_position,
-                    )
-                    if history.head_position != head_before:
-                        # The bounded window evicted its oldest records:
-                        # the "history slide" the gain model feels.
-                        self.recovery.record(
-                            "history_slide",
-                            result.finish_time,
-                            head=history.head_position,
-                            evicted=history.head_position - head_before,
-                        )
-            metrics.snapshots.append(self._snapshot(result.finish_time))
+            for done in sorted(result.builds_completed, key=lambda b: b.finished_at):
+                index = self.catalog.indexes.get(done.index_name)
+                if index is None or index.partitions[done.partition_id].built:
+                    continue
+                epoch.offer(self._build_action(done, metrics, decision.gains))
+            if result.checkpoints:
+                epoch.offer(self._kill_action(result, metrics))
+            epoch.offer(self._history_action(result, decision, metrics))
         state.pending[:] = remaining
 
     def _acquire_slot(self, state: RunState, arrival: float) -> float:
@@ -640,7 +734,8 @@ class QaaSService:
             self.recovery.record(
                 "clock_advance", exec_start, iteration=i, issued_at=event.time
             )
-        self._settle(state, exec_start)
+        epoch = Epoch(f"step:{i}")
+        self._settle(state, exec_start, epoch)
         self._retry_orphan_deletes(exec_start, metrics)
         self._apply_data_updates(exec_start, metrics)
         dataflow = self._dataflow_at(state, i)
@@ -663,6 +758,7 @@ class QaaSService:
             ):
                 break
             queued.append(self._dataflow_at(state, j))
+        epoch.pause("service.pre_decide")
         crash_point("service.pre_decide")
         decision = self._decide(dataflow, now=exec_start, queued=queued)
         crash_point("service.post_decide")
@@ -679,18 +775,19 @@ class QaaSService:
                 ],
                 to_delete=list(decision.to_delete),
             )
-        deleted = self._apply_deletions(decision.to_delete, now=exec_start,
-                                        metrics=metrics, gains=decision.gains)
-        metrics.indexes_deleted += deleted
+        for name in decision.to_delete:
+            index = self.catalog.indexes.get(name)
+            if index is None or not index.any_built:
+                continue
+            epoch.offer(
+                self._delete_action(name, exec_start, metrics, decision.gains)
+            )
 
-        if self.pool is not None:
-            result = self.simulator.execute_pooled(
-                decision.interleaved, start_time=exec_start, pool=self.pool
-            )
-        else:
-            result = self.simulator.execute(
-                decision.interleaved, start_time=exec_start
-            )
+        exec_out: list = []
+        execute = self._execute_action(decision, exec_start, exec_out, dataflow.name)
+        epoch.offer(execute)
+        epoch.require(execute)
+        result = exec_out[0]
         crash_point("service.post_execute")
         heapq.heappush(state.running, result.finish_time)
         state.pending.append((result.finish_time, result, decision, event.app))
@@ -739,6 +836,7 @@ class QaaSService:
                 builds_completed=len(result.builds_completed),
                 builds_killed=result.builds_killed,
             )
+        epoch.drain("service.step_end")
         state.i = i + 1
         self.recovery.commit(self, state, exec_start)
         crash_point("service.post_commit")
@@ -748,7 +846,9 @@ class QaaSService:
         """Settle outstanding work and close out the metrics."""
         crash_point("service.pre_finish")
         metrics = state.metrics
-        self._settle(state, float("inf"))
+        epoch = Epoch("finish")
+        self._settle(state, float("inf"), epoch)
+        epoch.drain("service.finish")
         self._retry_orphan_deletes(self.config.total_time_s, metrics)
         metrics.faults_injected = dict(self.injector.stats.by_kind)
         if metrics.total_faults_injected:

@@ -24,6 +24,7 @@ from repro.faults.injector import FaultInjector, FaultKind
 from repro.faults.retry import RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import parse_build_op_name
+from repro.explore.hooks import note
 from repro.obs import NOOP_OBS, Observation
 from repro.recovery.hooks import crash_point
 
@@ -210,6 +211,7 @@ class ExecutionSimulator:
     def execute(self, interleaved: InterleavedSchedule, start_time: float) -> ExecutionResult:
         """Execute the schedule starting at ``start_time`` (absolute s)."""
         crash_point("simulator.pre_execute")
+        note("sim.slot_fill")
         schedule = interleaved.schedule
         dataflow = schedule.dataflow
         tq = self.pricing.quantum_seconds
@@ -354,6 +356,7 @@ class ExecutionSimulator:
           pool's leases.
         """
         crash_point("simulator.pre_execute")
+        note("sim.slot_fill")
         schedule = interleaved.schedule
         dataflow = schedule.dataflow
         paid_before = pool.stats.quanta_paid
@@ -604,6 +607,7 @@ class ExecutionSimulator:
                 else:
                     # Started but cut off by the next dataflow operator
                     # or the quantum expiry.
+                    note("sim.preempt_kill")
                     killed += 1
                     if obs.enabled:
                         obs.tracer.span(

@@ -1,0 +1,105 @@
+"""Deterministic schedule-space exploration (``repro chaos explore``).
+
+The service loop's atomic actions (build applies, deletes, kill
+checkpoints, history appends, slot-fills) are generator-backed
+:class:`~repro.explore.hooks.Action` objects with named yield points;
+a :class:`~repro.explore.controller.ScheduleController` owns their
+interleaving order and an exploration strategy — seeded random walks,
+bounded exhaustive DFS, or DFS with partial-order reduction — picks the
+schedule. Every quiescent point is invariant-checked; violations are
+greedily minimized to a shortest failing trace and saved as replay
+files that re-execute byte-deterministically.
+
+Only :mod:`repro.explore.hooks` (the pure-stdlib leaf the service loop
+imports) loads eagerly here; everything else resolves lazily via PEP
+562 so that ``repro.core.service`` can import the hooks leaf without
+dragging the whole exploration stack (which imports the service back)
+into its own import cycle.
+
+See ``docs/CONCURRENCY.md`` for the yield-point catalog, the strategy
+descriptions, the replay-file format and how to add an invariant.
+"""
+
+from typing import Any
+
+from repro.explore.hooks import (
+    ALL_RESOURCES,
+    NOTE_POINTS,
+    SYNC_POINTS,
+    YIELD_POINTS,
+    Action,
+    Epoch,
+    InterleaveController,
+    active_controller,
+    all_point_names,
+    drive,
+    install_controller,
+    note,
+)
+
+#: Lazily resolved name -> defining submodule.
+_LAZY: dict[str, str] = {
+    "Choice": "controller",
+    "ExplorationHalt": "controller",
+    "ExplorationStrategy": "controller",
+    "ScheduleController": "controller",
+    "ScheduleObserver": "controller",
+    "EXPLORE_MODES": "engine",
+    "ExploreReport": "engine",
+    "FoundViolation": "engine",
+    "explore": "engine",
+    "invariant_error": "engine",
+    "run_schedule": "engine",
+    "minimize_trace": "minimize",
+    "replay_trace": "minimize",
+    "InterleavingOracle": "oracle",
+    "ReplayFile": "replay",
+    "ReplayResult": "replay",
+    "load_replay": "replay",
+    "run_replay": "replay",
+    "save_replay": "replay",
+    "SCENARIOS": "scenarios",
+    "Scenario": "scenarios",
+    "build_scenario": "scenarios",
+    "DfsStrategy": "strategies",
+    "DfsTree": "strategies",
+    "IdentityStrategy": "strategies",
+    "RandomWalkStrategy": "strategies",
+    "ReplayStrategy": "strategies",
+}
+
+__all__ = sorted(
+    [
+        "ALL_RESOURCES",
+        "NOTE_POINTS",
+        "SYNC_POINTS",
+        "YIELD_POINTS",
+        "Action",
+        "Epoch",
+        "InterleaveController",
+        "active_controller",
+        "all_point_names",
+        "drive",
+        "install_controller",
+        "note",
+        *_LAZY,
+    ]
+)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return __all__

@@ -1,0 +1,222 @@
+"""The schedule controller: owns the interleaving order of actions.
+
+The service offers its atomic actions through :class:`~repro.explore.
+hooks.Epoch`; with a :class:`ScheduleController` installed each
+synchronisation site becomes a *choice site* where an exploration
+strategy picks the next move:
+
+* ``offer:<key>``   — binary choice: run the just-offered action to
+  completion now (``run``, the canonical move) or leave it pending
+  (``defer``);
+* ``pause:<site>``  — loop: return control to the service (``proceed``,
+  canonical) or advance one pending action by one micro-step;
+* ``require:<key>`` — loop until the required action completes;
+  advancing it is the canonical move, advancing another pending action
+  first interleaves;
+* ``drain:<site>``  — loop until every pending action completes;
+  canonical order is offer order.
+
+The *identity schedule* — option 0 at every choice site — therefore
+reproduces the controller-free canonical execution exactly, which is
+the anchor the byte-identity tests pin.
+
+Forced moves (a single option, possibly after partial-order pruning)
+consume no choice and are not recorded, so traces stay minimal and a
+replayed prefix re-derives them deterministically.
+
+Partial-order reduction ("sleep-set lite"): when enabled, a candidate
+action ``a`` is pruned at a choice site if the immediately preceding
+micro-step belonged to an action ``b`` with ``a.seq < b.seq`` and
+``a.independent(b)`` — the schedule that runs ``a`` first is explored
+on another branch, and independence means the two orders reach the same
+state. Options that return control to the service (``run``/``defer``/
+``proceed``) are main-thread moves and are never pruned; whenever
+control returns to the service the "last step" resets, so pruning only
+ever fires between genuinely adjacent action micro-steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.explore.hooks import Action, InterleaveController
+from repro.recovery.invariants import InvariantViolation
+
+#: Option labels for the main-thread moves.
+PROCEED = "proceed"
+RUN_NOW = "run"
+DEFER = "defer"
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One recorded branch decision: at ``site``, ``picked`` was chosen
+    among ``options`` (the post-pruning option labels)."""
+
+    site: str
+    options: tuple[str, ...]
+    picked: str
+
+
+class ExplorationHalt(BaseException):
+    """Raised by a schedule observer to cut a schedule short.
+
+    A ``BaseException`` (like :class:`~repro.recovery.hooks.
+    SimulatedCrash`) so it sails through any ``except Exception``
+    handler between the observer callback and the engine.
+    """
+
+    def __init__(self, violations: list[InvariantViolation]) -> None:
+        super().__init__("; ".join(str(v) for v in violations))
+        self.violations = violations
+
+
+class ScheduleObserver:
+    """Callbacks the exploration engine hooks into the controller."""
+
+    def on_step(self, action: Action, controller: "ScheduleController") -> None:
+        """One micro-step of ``action`` just ran."""
+
+    def on_quiescent(self, site: str, controller: "ScheduleController") -> None:
+        """No action is mid-flight: a consistent point to check invariants."""
+
+    def on_epoch_end(self, site: str, controller: "ScheduleController") -> None:
+        """A drain completed: every offered action has run to completion."""
+
+
+class ExplorationStrategy:
+    """Picks one option index at every (post-pruning) choice site."""
+
+    def choose(
+        self,
+        site: str,
+        options: Sequence[str],
+        actions: Sequence[Action | None],
+        last: Action | None,
+    ) -> int:
+        raise NotImplementedError
+
+
+class ScheduleController(InterleaveController):
+    """Drives offered actions according to an exploration strategy.
+
+    Records the branch decisions (:attr:`trace`), the flat micro-step
+    order (:attr:`steps`, one action key per micro-step — the schedule's
+    equivalence signature) and passive notes, and reports quiescent
+    points to the observer for invariant checking.
+    """
+
+    def __init__(
+        self,
+        strategy: ExplorationStrategy,
+        observer: ScheduleObserver | None = None,
+        por: bool = False,
+    ) -> None:
+        self.strategy = strategy
+        self.observer = observer
+        self.por = por
+        self.pending: list[Action] = []
+        self.trace: list[Choice] = []
+        self.steps: list[str] = []
+        self.notes: list[str] = []
+        self.choices_made = 0
+        self.pruned = 0
+        self._seq = 0
+        self._last: Action | None = None
+
+    # -- choice plumbing ------------------------------------------------
+    def _choose(
+        self,
+        site: str,
+        options: Sequence[str],
+        actions: Sequence[Action | None],
+    ) -> int:
+        allowed = list(range(len(options)))
+        last = self._last
+        if self.por and last is not None:
+            kept = [
+                i
+                for i in allowed
+                if actions[i] is None
+                or actions[i] is last
+                or actions[i].seq > last.seq
+                or not actions[i].independent(last)
+            ]
+            if kept:  # never prune the site empty (forced-move escape)
+                self.pruned += len(allowed) - len(kept)
+                allowed = kept
+        if len(allowed) == 1:
+            return allowed[0]
+        shown = tuple(options[i] for i in allowed)
+        pick = self.strategy.choose(
+            site, shown, tuple(actions[i] for i in allowed), last
+        )
+        idx = allowed[pick]
+        self.trace.append(Choice(site=site, options=shown, picked=options[idx]))
+        self.choices_made += 1
+        return idx
+
+    def _advance(self, action: Action, site: str) -> None:
+        action.advance()
+        self.steps.append(action.key)
+        self._last = action
+        if action.done:
+            self.pending.remove(action)
+        if self.observer is not None:
+            self.observer.on_step(action, self)
+            if not any(a.started and not a.done for a in self.pending):
+                self.observer.on_quiescent(site, self)
+
+    # -- Epoch protocol -------------------------------------------------
+    def on_offer(self, action: Action) -> None:
+        action.seq = self._seq
+        self._seq += 1
+        self.pending.append(action)
+        site = f"offer:{action.key}"
+        idx = self._choose(site, (RUN_NOW, DEFER), (None, None))
+        if idx == 0:
+            while not action.done:
+                self._advance(action, site)
+        self._last = None
+
+    def on_pause(self, site: str) -> None:
+        label = f"pause:{site}"
+        while True:
+            runnable = [a for a in self.pending if not a.done]
+            options = [PROCEED] + [f"step:{a.key}" for a in runnable]
+            actions: list[Action | None] = [None] + list(runnable)
+            idx = self._choose(label, options, actions)
+            if idx == 0:
+                break
+            chosen = actions[idx]
+            assert chosen is not None
+            self._advance(chosen, label)
+        self._last = None
+
+    def on_require(self, action: Action) -> None:
+        label = f"require:{action.key}"
+        while not action.done:
+            ordered = [action] + [
+                a for a in self.pending if not a.done and a is not action
+            ]
+            options = [f"step:{a.key}" for a in ordered]
+            idx = self._choose(label, options, ordered)
+            self._advance(ordered[idx], label)
+        self._last = None
+
+    def on_drain(self, site: str) -> None:
+        label = f"drain:{site}"
+        while True:
+            runnable = [a for a in self.pending if not a.done]
+            if not runnable:
+                break
+            options = [f"step:{a.key}" for a in runnable]
+            idx = self._choose(label, options, runnable)
+            self._advance(runnable[idx], label)
+        self._last = None
+        if self.observer is not None:
+            self.observer.on_epoch_end(site, self)
+
+    def on_note(self, point: str) -> None:
+        self.notes.append(point)

@@ -1,0 +1,280 @@
+"""The exploration engine: run a scenario under many schedules.
+
+Every schedule runs on a *fresh* scenario instance (the scenario
+builder is a pure function of its seed) under a
+:class:`~repro.explore.controller.ScheduleController`; after every
+micro-step that leaves no action mid-flight the run is checked by
+PR 5's :class:`~repro.recovery.invariants.InvariantMonitor`, and at
+every epoch end additionally by the order-sensitive
+:class:`~repro.explore.oracle.InterleavingOracle`. A violation halts
+the schedule (the rest of the run is unreachable anyway — the bug
+already happened) and is recorded with its full branch trace; the
+first one is then greedily minimized to a shortest failing trace
+suitable for a replay file.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.explore.controller import (
+    ExplorationHalt,
+    ExplorationStrategy,
+    ScheduleController,
+    ScheduleObserver,
+)
+from repro.explore.hooks import Action, install_controller
+from repro.explore.oracle import InterleavingOracle
+from repro.explore.scenarios import Scenario, ScenarioRun
+from repro.obs import NOOP_OBS, Observation
+from repro.recovery.invariants import (
+    InvariantError,
+    InvariantMonitor,
+    InvariantViolation,
+)
+from repro.explore.strategies import DfsStrategy, DfsTree, RandomWalkStrategy
+
+logger = logging.getLogger(__name__)
+
+#: Valid --explore-strategy values.
+EXPLORE_MODES = ("exhaustive", "por", "random")
+
+#: Hard cap on schedules per exploration (runaway-DFS backstop).
+DEFAULT_MAX_SCHEDULES = 20_000
+
+
+@dataclass(frozen=True)
+class FoundViolation:
+    """One failing schedule: its branch trace and what it broke."""
+
+    schedule_index: int
+    trace: tuple[tuple[str, str], ...]
+    steps: tuple[str, ...]
+    violations: tuple[InvariantViolation, ...]
+
+
+@dataclass
+class ExploreReport:
+    """The outcome of one exploration."""
+
+    scenario: str
+    mode: str
+    seed: int
+    schedules: int = 0
+    choices: int = 0
+    pruned: int = 0
+    checks: int = 0
+    distinct_orderings: int = 0
+    truncated: bool = False
+    violations: list[FoundViolation] = field(default_factory=list)
+    minimized: FoundViolation | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violation_names(self) -> set[str]:
+        """The distinct invariant names violated across all schedules."""
+        return {v.name for found in self.violations for v in found.violations}
+
+    def context(self) -> dict[str, Any]:
+        """The reproduction recipe attached to raised InvariantErrors."""
+        first = self.violations[0] if self.violations else None
+        return {
+            "harness": "explore",
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "seed": self.seed,
+            "schedule_index": first.schedule_index if first else None,
+            "schedule_prefix": [list(c) for c in first.trace] if first else [],
+        }
+
+
+class RunObserver(ScheduleObserver):
+    """Checks invariants at quiescent points and epoch ends."""
+
+    def __init__(self, run: ScenarioRun) -> None:
+        self.run = run
+        self.monitor = InvariantMonitor(run.service)
+        self.oracle = InterleavingOracle(run.service)
+        self.checks = 0
+
+    def on_step(self, action: Action, controller: ScheduleController) -> None:
+        self.oracle.on_step(action)
+
+    def on_quiescent(self, site: str, controller: ScheduleController) -> None:
+        self._check(epoch_end=False)
+
+    def on_epoch_end(self, site: str, controller: ScheduleController) -> None:
+        self._check(epoch_end=True)
+
+    def _check(self, epoch_end: bool) -> None:
+        self.checks += 1
+        t = self.run.service.storage.accounted_until
+        violations = self.monitor.check(self.run.state, t)
+        if epoch_end:
+            violations.extend(self.oracle.check_epoch_end(t))
+        if violations:
+            raise ExplorationHalt(violations)
+
+
+def run_schedule(
+    scenario: Scenario, strategy: ExplorationStrategy, por: bool = False
+) -> tuple[ScheduleController, tuple[InvariantViolation, ...], int]:
+    """Run one schedule of ``scenario``; returns (controller, violations,
+    invariant checks performed)."""
+    run = scenario.build()
+    observer = RunObserver(run)
+    controller = ScheduleController(strategy, observer=observer, por=por)
+    previous = install_controller(controller)
+    violations: tuple[InvariantViolation, ...] = ()
+    try:
+        run.drive()
+    except ExplorationHalt as halt:
+        violations = tuple(halt.violations)
+    finally:
+        install_controller(previous)
+    return controller, violations, observer.checks
+
+
+def explore(
+    scenario: Scenario,
+    mode: str = "exhaustive",
+    *,
+    budget: int = 64,
+    depth: int | None = 12,
+    minimize: bool = True,
+    max_schedules: int = DEFAULT_MAX_SCHEDULES,
+    obs: Observation = NOOP_OBS,
+) -> ExploreReport:
+    """Explore the scenario's schedule space; returns the report.
+
+    ``mode`` is one of :data:`EXPLORE_MODES`: ``exhaustive`` (bounded
+    DFS over every branch), ``por`` (the same DFS with partial-order
+    pruning of commutative reorderings) or ``random`` (``budget``
+    seeded walks). ``depth`` bounds the branching sites per schedule in
+    the DFS modes; sites beyond it take the canonical option.
+    """
+    if mode not in EXPLORE_MODES:
+        raise ValueError(
+            f"unknown exploration mode {mode!r}; valid names: "
+            f"{', '.join(EXPLORE_MODES)}"
+        )
+    report = ExploreReport(scenario=scenario.name, mode=mode, seed=scenario.seed)
+    orderings: set[tuple[str, ...]] = set()
+
+    def record(
+        controller: ScheduleController,
+        violations: tuple[InvariantViolation, ...],
+        checks: int,
+        index: int,
+    ) -> None:
+        report.schedules += 1
+        report.choices += controller.choices_made
+        report.pruned += controller.pruned
+        report.checks += checks
+        orderings.add(tuple(controller.steps))
+        if obs.enabled:
+            obs.metrics.counter("explore/schedules").inc()
+            obs.metrics.counter("explore/choices").inc(controller.choices_made)
+            obs.metrics.counter("explore/pruned").inc(controller.pruned)
+        if violations:
+            found = FoundViolation(
+                schedule_index=index,
+                trace=tuple((c.site, c.picked) for c in controller.trace),
+                steps=tuple(controller.steps),
+                violations=violations,
+            )
+            report.violations.append(found)
+            if obs.enabled:
+                obs.metrics.counter("explore/violations").inc(len(violations))
+                obs.journal.emit(
+                    "explore_violation",
+                    t=float(len(controller.steps)),
+                    scenario=scenario.name,
+                    mode=mode,
+                    schedule_index=index,
+                    names=sorted({v.name for v in violations}),
+                    trace=[list(entry) for entry in found.trace],
+                )
+
+    if mode in ("exhaustive", "por"):
+        tree = DfsTree(depth)
+        index = 0
+        while True:
+            controller, violations, checks = run_schedule(
+                scenario, DfsStrategy(tree), por=(mode == "por")
+            )
+            record(controller, violations, checks, index)
+            index += 1
+            if index >= max_schedules:
+                report.truncated = True
+                logger.warning(
+                    "exploration truncated at %d schedules (raise "
+                    "--max-schedules or lower --depth to finish the tree)",
+                    max_schedules,
+                )
+                break
+            if not tree.advance():
+                break
+    else:
+        rng = np.random.default_rng(scenario.seed)
+        for index in range(budget):
+            controller, violations, checks = run_schedule(
+                scenario, RandomWalkStrategy(rng)
+            )
+            record(controller, violations, checks, index)
+
+    report.distinct_orderings = len(orderings)
+    if minimize and report.violations:
+        report.minimized = minimize_violation(scenario, report.violations[0])
+        if obs.enabled and report.minimized is not None:
+            obs.journal.emit(
+                "explore_minimized",
+                t=0.0,
+                scenario=scenario.name,
+                names=sorted({v.name for v in report.minimized.violations}),
+                trace=[list(entry) for entry in report.minimized.trace],
+            )
+    if obs.enabled:
+        obs.journal.emit(
+            "explore_done",
+            t=0.0,
+            scenario=scenario.name,
+            mode=mode,
+            schedules=report.schedules,
+            distinct_orderings=report.distinct_orderings,
+            pruned=report.pruned,
+            violations=sorted(report.violation_names()),
+        )
+    return report
+
+
+def minimize_violation(
+    scenario: Scenario, found: FoundViolation
+) -> FoundViolation | None:
+    """Greedily minimize a failing trace; returns the re-verified result."""
+    from repro.explore.minimize import minimize_trace, replay_trace
+
+    target = found.violations[0].name
+    trace = minimize_trace(scenario, list(found.trace), target)
+    if trace is None:  # pragma: no cover - the full trace must reproduce
+        logger.warning("minimization failed to reproduce %s", target)
+        return None
+    controller, violations, _checks = replay_trace(scenario, trace)
+    return FoundViolation(
+        schedule_index=-1,
+        trace=tuple(trace),
+        steps=tuple(controller.steps),
+        violations=violations,
+    )
+
+
+def invariant_error(report: ExploreReport) -> InvariantError:
+    """Package a failing report as an InvariantError with repro context."""
+    found = report.minimized or report.violations[0]
+    return InvariantError(list(found.violations), context=report.context())

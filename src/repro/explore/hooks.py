@@ -1,0 +1,293 @@
+"""Interleaving hooks: the pure-stdlib leaf of :mod:`repro.explore`.
+
+Exactly like :mod:`repro.recovery.hooks` (crash points) and
+:mod:`repro.obs` (observability sinks), this module is an LAY01
+``ALLOWED_LEAVES`` carve-out: the service loop imports it to mark its
+atomic actions, and it imports nothing from the rest of ``repro`` so it
+can never close a package cycle. The exploration machinery that *uses*
+these hooks (controller, strategies, minimizer, replay) lives in the
+sibling modules above ``repro.core`` and is never imported from below —
+LAY01 additionally bans every other leaf from importing this one, so a
+yield point can never leak into the substrate layers.
+
+Three facilities:
+
+* **Named yield points** — the registry of micro-step boundaries inside
+  interleavable actions (:data:`YIELD_POINTS`), the synchronisation
+  sites of the service loop (:data:`SYNC_POINTS`) and the passive
+  annotation points (:data:`NOTE_POINTS`). Unknown names fail fast with
+  an error that lists every valid name, mirroring the crash-point
+  registry contract.
+* :class:`Action` — one interleavable atomic action (a build apply, a
+  delete, a kill-checkpoint apply, a slot-fill) wrapped around a
+  generator whose ``yield`` statements are the named micro-step
+  boundaries.
+* :class:`Epoch` — the service-side protocol (``offer`` / ``pause`` /
+  ``require`` / ``drain``). With no :class:`InterleaveController`
+  installed every offered action runs to completion *immediately at the
+  offer site*, which executes exactly the canonical statement order: a
+  default run is byte-identical to a build without exploration wired in
+  at all. The explore engine installs a controller that owns the
+  interleaving order instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Micro-step boundary names inside interleavable actions, in rough
+#: execution order. A generator-backed :class:`Action` yields these
+#: between its micro-steps; :meth:`Action.advance` rejects unknown
+#: names so the registry can never rot.
+YIELD_POINTS: tuple[str, ...] = (
+    "build.storage_put",      # a completed build charges storage (put)
+    "build.catalog_mark",     # ... then inserts the partition into the catalog
+    "kill.checkpoint",        # a preemption kill persists partial progress
+    "history.append",         # the executed dataflow enters the gain window
+    "delete.storage_object",  # a flagged index drops one partition object
+    "delete.catalog_drop",    # ... then removes its partitions from the catalog
+    "slotfill.execute",       # the decision's builds are slot-filled + executed
+)
+
+#: Synchronisation sites of the service loop / scenario drivers where a
+#: controller may advance pending actions (``pause`` and ``drain``).
+SYNC_POINTS: tuple[str, ...] = (
+    "service.pre_decide",
+    "service.step_end",
+    "service.finish",
+    "scenario.epoch_end",
+)
+
+#: Passive annotation points (:func:`note`): one-way notifications from
+#: the tuner / pool / simulator that land in exploration traces for
+#: context but are never scheduling choices.
+NOTE_POINTS: tuple[str, ...] = (
+    "tuner.decide",
+    "pool.acquire",
+    "sim.slot_fill",
+    "sim.preempt_kill",
+)
+
+_YIELD_POINT_SET = frozenset(YIELD_POINTS)
+_SYNC_POINT_SET = frozenset(SYNC_POINTS)
+_NOTE_POINT_SET = frozenset(NOTE_POINTS)
+
+
+def all_point_names() -> tuple[str, ...]:
+    """Every registered point name (yield + sync + note), in order."""
+    return YIELD_POINTS + SYNC_POINTS + NOTE_POINTS
+
+
+def unknown_point_error(kind: str, name: str, valid: tuple[str, ...]) -> ValueError:
+    """A fail-fast error listing every valid name (registry contract)."""
+    return ValueError(
+        f"unknown {kind} {name!r}; valid names: {', '.join(valid)}"
+    )
+
+
+#: The universal resource: an action holding it commutes with nothing.
+ALL_RESOURCES = "*"
+
+
+class Action:
+    """One interleavable atomic action, decomposed into micro-steps.
+
+    Wraps a generator: every ``yield "<point>"`` inside it is a named
+    boundary where an installed controller may interleave other
+    actions' micro-steps. With no controller the generator is driven to
+    exhaustion at the offer site (canonical order).
+
+    Attributes:
+        key: Stable identity within its epoch (``build:ix_a:0``).
+        kind: Action family (``build`` / ``delete`` / ``kill`` /
+            ``history`` / ``slotfill``), used by oracles.
+        entry: Name of the first micro-step (the boundary the action
+            is parked at before its first :meth:`advance`).
+        resources: Footprint used by the partial-order independence
+            oracle: two actions commute iff their footprints are
+            disjoint and neither holds :data:`ALL_RESOURCES`.
+        stamp: Simulated time of the action's storage mutations, if
+            any. The cloud billing clock is a shared monotone resource:
+            two storage ops commute in the MB·s integral only when they
+            charge at the same instant, so differing stamps make two
+            actions dependent even with disjoint footprints.
+        seq: Offer order within the run, stamped by the controller.
+    """
+
+    __slots__ = (
+        "key", "kind", "entry", "resources", "stamp", "seq",
+        "_gen", "started", "done", "steps_run", "last_point",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        kind: str,
+        gen: Iterator[str],
+        resources: frozenset[str],
+        entry: str,
+        stamp: float | None = None,
+    ) -> None:
+        if entry not in _YIELD_POINT_SET:
+            raise unknown_point_error("yield point", entry, YIELD_POINTS)
+        self.key = key
+        self.kind = kind
+        self.entry = entry
+        self.resources = resources
+        self.stamp = stamp
+        self.seq = -1
+        self._gen = gen
+        self.started = False
+        self.done = False
+        self.steps_run = 0
+        self.last_point: str | None = entry
+
+    def advance(self) -> str | None:
+        """Run one micro-step; returns the next boundary (None = done)."""
+        if self.done:
+            raise RuntimeError(f"action {self.key!r} already completed")
+        self.started = True
+        self.steps_run += 1
+        try:
+            point = next(self._gen)
+        except StopIteration:
+            self.done = True
+            self.last_point = None
+            return None
+        if point not in _YIELD_POINT_SET:
+            raise unknown_point_error("yield point", point, YIELD_POINTS)
+        self.last_point = point
+        return point
+
+    def independent(self, other: "Action") -> bool:
+        """Whether the two actions commute (disjoint footprints, and no
+        billing-clock conflict: see :attr:`stamp`)."""
+        if ALL_RESOURCES in self.resources or ALL_RESOURCES in other.resources:
+            return False
+        if not self.resources.isdisjoint(other.resources):
+            return False
+        if (
+            self.stamp is not None
+            and other.stamp is not None
+            and self.stamp != other.stamp
+        ):
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("running" if self.started else "pending")
+        return f"Action({self.key!r}, {state}, steps={self.steps_run})"
+
+
+def drive(action: Action) -> None:
+    """Run an action to completion (the canonical, controller-free path)."""
+    while action.advance() is not None:
+        pass
+
+
+class InterleaveController:
+    """The interface a schedule controller implements.
+
+    The concrete implementation lives in :mod:`repro.explore.controller`
+    (above ``repro.core``); only the call surface is defined here so the
+    service can invoke it without an upward import.
+    """
+
+    def on_offer(self, action: Action) -> None:
+        raise NotImplementedError
+
+    def on_pause(self, site: str) -> None:
+        raise NotImplementedError
+
+    def on_require(self, action: Action) -> None:
+        raise NotImplementedError
+
+    def on_drain(self, site: str) -> None:
+        raise NotImplementedError
+
+    def on_note(self, point: str) -> None:
+        raise NotImplementedError
+
+
+_ACTIVE_CONTROLLER: InterleaveController | None = None
+
+
+def install_controller(
+    controller: InterleaveController | None,
+) -> InterleaveController | None:
+    """Install (or clear, with ``None``) the process schedule controller.
+
+    Returns the previously installed controller so tests can restore it.
+    """
+    global _ACTIVE_CONTROLLER
+    previous = _ACTIVE_CONTROLLER
+    _ACTIVE_CONTROLLER = controller
+    return previous
+
+
+def active_controller() -> InterleaveController | None:
+    """The currently installed schedule controller, or ``None``."""
+    return _ACTIVE_CONTROLLER
+
+
+def note(point: str) -> None:
+    """A passive annotation point: free when no controller is installed.
+
+    Like :func:`repro.recovery.hooks.crash_point`, the name check runs
+    only on the (cold) controlled path, so the hot path costs one global
+    load and one ``is None`` test.
+    """
+    controller = _ACTIVE_CONTROLLER
+    if controller is None:
+        return
+    if point not in _NOTE_POINT_SET:
+        raise unknown_point_error("note point", point, NOTE_POINTS)
+    controller.on_note(point)
+
+
+class Epoch:
+    """One interleaving window of offered actions (one service step).
+
+    The service offers every atomic action of the step through an epoch;
+    ``pause``/``drain`` mark the synchronisation sites where a controller
+    may run pending micro-steps. The controller-free path is the
+    canonical order: every offered action completes at the offer site.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def offer(self, action: Action) -> None:
+        """Hand one action to the scheduler (canonical: run it now)."""
+        controller = _ACTIVE_CONTROLLER
+        if controller is None:
+            drive(action)
+            return
+        controller.on_offer(action)
+
+    def pause(self, site: str) -> None:
+        """A named site where pending actions may (or may not) advance."""
+        controller = _ACTIVE_CONTROLLER
+        if controller is None:
+            return
+        if site not in _SYNC_POINT_SET:
+            raise unknown_point_error("sync point", site, SYNC_POINTS)
+        controller.on_pause(site)
+
+    def require(self, action: Action) -> None:
+        """Block until ``action`` has completed (canonical: it has)."""
+        controller = _ACTIVE_CONTROLLER
+        if controller is None:
+            return
+        controller.on_require(action)
+
+    def drain(self, site: str) -> None:
+        """End of the epoch: every offered action must complete here."""
+        controller = _ACTIVE_CONTROLLER
+        if controller is None:
+            return
+        if site not in _SYNC_POINT_SET:
+            raise unknown_point_error("sync point", site, SYNC_POINTS)
+        controller.on_drain(site)

@@ -1,0 +1,68 @@
+"""Interleaving-specific invariants.
+
+:class:`~repro.recovery.invariants.InvariantMonitor` checks *state*
+consistency at quiescent points, but some ordering bugs leave the state
+looking perfectly consistent — the canonical example is a delete racing
+a build apply: the delete drops the index's partitions, a late build
+apply then re-inserts one, and at the end of the epoch the catalog and
+storage agree with each other while the tuner believes the index is
+gone (and its storage bills forever). Catching those needs the *order*
+of completed actions, which only the schedule controller sees; this
+oracle records it and is consulted at every epoch end.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.explore.hooks import Action
+from repro.recovery.invariants import InvariantViolation
+
+
+class InterleavingOracle:
+    """Order-sensitive invariant checks over one schedule run."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self._step_no = 0
+        #: index name -> micro-step at which its delete action completed
+        #: (within the current epoch).
+        self._deleted_at: dict[str, int] = {}
+        #: (index name, partition id, completion micro-step) of build
+        #: actions completed within the current epoch.
+        self._builds_done: list[tuple[str, int, int]] = []
+
+    def on_step(self, action: Action) -> None:
+        """Record one executed micro-step (called for every advance)."""
+        self._step_no += 1
+        if not action.done:
+            return
+        if action.kind == "delete":
+            name = action.key.split(":", 1)[1]
+            self._deleted_at[name] = self._step_no
+        elif action.kind == "build":
+            _, name, pid = action.key.split(":")
+            self._builds_done.append((name, int(pid), self._step_no))
+
+    def check_epoch_end(self, t: float) -> list[InvariantViolation]:
+        """Run the ordering checks; resets the per-epoch state."""
+        out: list[InvariantViolation] = []
+        for name, pid, step in self._builds_done:
+            deleted_step = self._deleted_at.get(name)
+            if deleted_step is None or step < deleted_step:
+                continue
+            index = self.service.catalog.indexes.get(name)
+            if index is not None and index.partitions[pid].built:
+                out.append(
+                    InvariantViolation(
+                        "delete-racing-build",
+                        t,
+                        f"index {name}[{pid}] resurrected: its delete "
+                        f"completed at micro-step {deleted_step} but a racing "
+                        f"build apply completed at micro-step {step}, leaving "
+                        f"a built partition the tuner believes deleted",
+                    )
+                )
+        self._deleted_at.clear()
+        self._builds_done.clear()
+        return out

@@ -1,0 +1,161 @@
+"""Replay files: byte-deterministic reproduction of a found violation.
+
+When exploration finds (and minimizes) a failing schedule, the engine
+can save it as a small JSON file; ``repro chaos explore --replay
+<file>`` later re-executes exactly that schedule — same scenario, same
+seed, same branch choices — and checks that the *same* violations (name,
+timestamp, detail, byte for byte) fire again. Replay is a pure function
+of the file's contents, so a saved trace keeps reproducing across
+machines and sessions.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "kind": "repro-explore-replay",
+      "scenario": {"name": "planted", "seed": 0,
+                   "params": {"horizon_quanta": 3}},
+      "schedule": [["offer:build:idx:1", "defer"], ...],
+      "expected": [["delete-racing-build", 60.0, "index ..."], ...]
+    }
+
+``schedule`` entries are ``(choice site, picked option)`` pairs as
+recorded by the controller; ``expected`` holds the violations the trace
+must reproduce (empty = just re-run the schedule).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.explore.scenarios import SCENARIOS, Scenario, build_scenario
+from repro.recovery.invariants import InvariantViolation
+
+REPLAY_KIND = "repro-explore-replay"
+REPLAY_VERSION = 1
+
+#: Choice-site prefixes a stored schedule entry may carry.
+_SITE_PREFIXES = ("offer:", "pause:", "require:", "drain:")
+
+
+@dataclass(frozen=True)
+class ReplayFile:
+    """A parsed, validated replay file."""
+
+    scenario: Scenario
+    schedule: tuple[tuple[str, str], ...]
+    expected: tuple[InvariantViolation, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": REPLAY_VERSION,
+            "kind": REPLAY_KIND,
+            "scenario": {
+                "name": self.scenario.name,
+                "seed": self.scenario.seed,
+                "params": self.scenario.params(),
+            },
+            "schedule": [list(entry) for entry in self.schedule],
+            "expected": [
+                [v.name, v.t, v.detail] for v in self.expected
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """The outcome of re-executing a replay file."""
+
+    violations: tuple[InvariantViolation, ...]
+    expected: tuple[InvariantViolation, ...]
+    steps: tuple[str, ...]
+
+    @property
+    def reproduced(self) -> bool:
+        """True when the replay fired byte-identical violations."""
+        return self.violations == self.expected
+
+
+def save_replay(
+    path: str | Path,
+    scenario: Scenario,
+    schedule: list[tuple[str, str]] | tuple[tuple[str, str], ...],
+    expected: list[InvariantViolation] | tuple[InvariantViolation, ...],
+) -> ReplayFile:
+    """Write a replay file; returns the parsed form."""
+    replay = ReplayFile(
+        scenario=scenario,
+        schedule=tuple(tuple(e) for e in schedule),
+        expected=tuple(expected),
+    )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(replay.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+    return replay
+
+
+def load_replay(path: str | Path) -> ReplayFile:
+    """Parse and validate a replay file (names checked against the
+    registries so typos fail fast with the valid options listed)."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable replay file {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("kind") != REPLAY_KIND:
+        raise ValueError(
+            f"{path} is not a replay file (kind must be {REPLAY_KIND!r})"
+        )
+    if raw.get("version") != REPLAY_VERSION:
+        raise ValueError(
+            f"unsupported replay version {raw.get('version')!r}; "
+            f"this build reads version {REPLAY_VERSION}"
+        )
+    info = raw.get("scenario")
+    if not isinstance(info, dict) or "name" not in info:
+        raise ValueError(f"{path}: missing scenario block")
+    name = info["name"]
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; valid names: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        )
+    scenario = build_scenario(
+        name, seed=int(info.get("seed", 0)), **dict(info.get("params", {}))
+    )
+    schedule: list[tuple[str, str]] = []
+    for entry in raw.get("schedule", []):
+        if not (isinstance(entry, list) and len(entry) == 2):
+            raise ValueError(f"{path}: malformed schedule entry {entry!r}")
+        site, picked = str(entry[0]), str(entry[1])
+        if not site.startswith(_SITE_PREFIXES):
+            raise ValueError(
+                f"{path}: unknown choice site {site!r}; sites must start "
+                f"with one of: {', '.join(_SITE_PREFIXES)}"
+            )
+        schedule.append((site, picked))
+    expected = tuple(
+        InvariantViolation(name=str(e[0]), t=float(e[1]), detail=str(e[2]))
+        for e in raw.get("expected", [])
+    )
+    return ReplayFile(
+        scenario=scenario, schedule=tuple(schedule), expected=expected
+    )
+
+
+def run_replay(replay: ReplayFile) -> ReplayResult:
+    """Re-execute a replay file's schedule and compare its violations."""
+    from repro.explore.minimize import replay_trace
+
+    controller, violations, _checks = replay_trace(
+        replay.scenario, list(replay.schedule)
+    )
+    return ReplayResult(
+        violations=violations,
+        expected=replay.expected,
+        steps=tuple(controller.steps),
+    )

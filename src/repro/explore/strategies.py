@@ -1,0 +1,150 @@
+"""Exploration strategies: identity, seeded random walks, bounded DFS,
+and trace replay.
+
+All strategies are pure functions of their construction arguments plus
+the deterministic choice-site stream, so any schedule they produce can
+be reproduced exactly from ``(scenario, seed, trace)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.explore.controller import ExplorationStrategy
+from repro.explore.hooks import Action
+
+
+class IdentityStrategy(ExplorationStrategy):
+    """Option 0 everywhere: the canonical (controller-free) schedule."""
+
+    def choose(
+        self,
+        site: str,
+        options: Sequence[str],
+        actions: Sequence[Action | None],
+        last: Action | None,
+    ) -> int:
+        return 0
+
+
+class RandomWalkStrategy(ExplorationStrategy):
+    """Uniform choice at every site from a seeded generator.
+
+    One generator is shared across a whole walk budget, so walk ``k`` is
+    a deterministic function of ``(seed, k)``.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def choose(
+        self,
+        site: str,
+        options: Sequence[str],
+        actions: Sequence[Action | None],
+        last: Action | None,
+    ) -> int:
+        return int(self.rng.integers(0, len(options)))
+
+
+class DfsTree:
+    """Cross-run cursor for bounded exhaustive enumeration.
+
+    Stateless-model-checking DFS: each schedule run replays the choice
+    prefix recorded on the stack, then takes option 0 at every new site
+    (recording its branching factor). Between runs :meth:`advance` bumps
+    the deepest site with untried options and pops exhausted ones.
+    ``depth`` bounds the number of *branching* sites per schedule;
+    deeper sites silently take the canonical option.
+    """
+
+    def __init__(self, depth: int | None = None) -> None:
+        if depth is not None and depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        #: Stack of [picked_index, option_count] per branch site.
+        self.stack: list[list[int]] = []
+
+    def advance(self) -> bool:
+        """Move to the next unexplored path; False when the tree is done."""
+        while self.stack:
+            top = self.stack[-1]
+            if top[0] + 1 < top[1]:
+                top[0] += 1
+                return True
+            self.stack.pop()
+        return False
+
+
+class DfsStrategy(ExplorationStrategy):
+    """One schedule's view of a :class:`DfsTree` (fresh per run)."""
+
+    def __init__(self, tree: DfsTree) -> None:
+        self.tree = tree
+        self._pos = 0
+
+    def choose(
+        self,
+        site: str,
+        options: Sequence[str],
+        actions: Sequence[Action | None],
+        last: Action | None,
+    ) -> int:
+        stack = self.tree.stack
+        if self._pos < len(stack):
+            pick, count = stack[self._pos]
+            if count != len(options):  # pragma: no cover - determinism guard
+                raise RuntimeError(
+                    f"non-deterministic scenario: site {site!r} offered "
+                    f"{len(options)} options, previously {count}"
+                )
+            self._pos += 1
+            return pick
+        if self.tree.depth is not None and len(stack) >= self.tree.depth:
+            return 0  # beyond the branch budget: canonical completion
+        stack.append([0, len(options)])
+        self._pos += 1
+        return 0
+
+
+class ReplayStrategy(ExplorationStrategy):
+    """Re-apply a recorded (or minimized) trace, canonical elsewhere.
+
+    Entries are ``(site, picked)`` pairs consumed in order: the head
+    entry applies when its site label matches the current choice site
+    and its picked option is available; a non-matching site leaves the
+    entry queued (minimization deletes entries, so later sites of a
+    shortened trace still line up). Divergences are counted rather than
+    fatal — a replayed *prefix* plus canonical completion is exactly how
+    the minimizer probes candidate traces.
+    """
+
+    def __init__(self, schedule: Sequence[tuple[str, str]]) -> None:
+        self.schedule = list(schedule)
+        self._cursor = 0
+        self.divergences = 0
+
+    @property
+    def consumed(self) -> int:
+        """How many trace entries have been applied."""
+        return self._cursor
+
+    def choose(
+        self,
+        site: str,
+        options: Sequence[str],
+        actions: Sequence[Action | None],
+        last: Action | None,
+    ) -> int:
+        if self._cursor >= len(self.schedule):
+            return 0
+        rec_site, picked = self.schedule[self._cursor]
+        if rec_site != site:
+            return 0
+        self._cursor += 1
+        if picked in options:
+            return list(options).index(picked)
+        self.divergences += 1
+        return 0

@@ -395,7 +395,19 @@ def run_chaos_soak(
                     violations = monitor.check(state, service.storage.accounted_until)
                     report.checks += 1
                     if violations:
-                        raise InvariantError(violations)
+                        raise InvariantError(
+                            violations,
+                            context={
+                                "harness": "soak",
+                                "seed": seed,
+                                "strategy": strat.value,
+                                "generator": generator,
+                                "step_index": state.i,
+                                "crashes_hit": report.crashes_hit,
+                                "crashes_planned": crashes,
+                                "snapshot_every": snapshot_every,
+                            },
+                        )
                     if not more:
                         break
                 metrics = service.finish_run(state)

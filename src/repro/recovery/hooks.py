@@ -96,7 +96,10 @@ class CrashPlan:
         hard: bool = True,
     ) -> None:
         if point is not None and point not in _CRASH_POINT_SET:
-            raise ValueError(f"unknown crash point {point!r}")
+            raise ValueError(
+                f"unknown crash point {point!r}; valid names: "
+                f"{', '.join(CRASH_POINTS)}"
+            )
         if hit < 1:
             raise ValueError("hit must be >= 1")
         for name, value in (
@@ -190,7 +193,10 @@ def crash_point(name: str) -> None:
     if plan is None:
         return
     if name not in _CRASH_POINT_SET:
-        raise ValueError(f"crash_point({name!r}) is not in CRASH_POINTS")
+        raise ValueError(
+            f"crash_point({name!r}) is not in CRASH_POINTS; valid names: "
+            f"{', '.join(CRASH_POINTS)}"
+        )
     plan.on_crash_point(name)
 
 

@@ -45,13 +45,24 @@ class InvariantViolation:
 
 
 class InvariantError(RuntimeError):
-    """Raised by the soak when any monitor reports a violation."""
+    """Raised by the soak/explore harnesses on any monitor violation.
 
-    def __init__(self, violations: list[InvariantViolation]) -> None:
+    ``context`` is a machine-readable reproduction recipe (seed, step
+    index, strategy, schedule prefix, ...): enough to re-run the exact
+    failing configuration from the error alone. The chaos failure
+    report prints it as JSON next to the violations.
+    """
+
+    def __init__(
+        self,
+        violations: list[InvariantViolation],
+        context: dict[str, Any] | None = None,
+    ) -> None:
         super().__init__(
             "; ".join(str(v) for v in violations) or "invariant violation"
         )
         self.violations = violations
+        self.context: dict[str, Any] = dict(context or {})
 
 
 def _close(a: float, b: float) -> bool:

@@ -20,6 +20,7 @@ from repro.dataflow.graph import Dataflow
 from repro.interleave.lp import InterleavedSchedule, lp_interleave, select_fastest
 from repro.interleave.online import online_interleave
 from repro.interleave.slots import BuildCandidate, slot_fill_payloads
+from repro.explore.hooks import note
 from repro.obs import NOOP_OBS, Observation
 from repro.recovery.hooks import crash_point
 from repro.scheduling.skyline import SkylineScheduler
@@ -292,6 +293,7 @@ class OnlineIndexTuner:
         they contribute to the gains at age 0 (Section 4).
         """
         crash_point("tuner.pre_rank")
+        note("tuner.decide")
         if self.fading_controller is not None:
             self.fading_controller.record_dataflow(dataflow.candidate_indexes, now)
         current_gains = self.dataflow_gains(dataflow)

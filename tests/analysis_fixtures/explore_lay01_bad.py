@@ -1,0 +1,12 @@
+# lint-module: repro.explore.hooks.fixture_points
+# expect: LAY01,LAY01
+"""Known-bad fixture: the explore hooks leaf importing upward.
+
+``repro.explore.hooks`` is on the LAY01 ``ALLOWED_LEAVES`` list
+precisely because it imports nothing above it (pure stdlib); an import
+of ``core`` or ``tuning`` from inside the leaf would close the cycle
+the carve-out promises away.
+"""
+
+import repro.core.service
+from repro.tuning.gain import IndexGain

@@ -1,0 +1,12 @@
+# lint-module: repro.explore.fixture_engine
+# expect:
+"""Known-good fixture: exploration machinery importing downward.
+
+``repro.explore`` (minus its hooks leaf) sits at the top of the DAG
+next to ``repro.recovery``: importing the service, the invariant
+monitors and its own hooks leaf is exactly its job.
+"""
+
+from repro.core.service import QaaSService
+from repro.explore.hooks import Action, Epoch
+from repro.recovery.invariants import InvariantMonitor

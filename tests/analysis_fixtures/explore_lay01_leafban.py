@@ -1,0 +1,14 @@
+# lint-module: repro.obs.fixture_yieldpoints
+# expect: LAY01,LAY01
+"""Known-bad fixture: a pure leaf acquiring yield points.
+
+Yield points mark micro-step boundaries inside *instrumented*
+upper-layer code; a leaf like ``repro.obs`` that imported them (or any
+other leaf) would re-enter the scheduler from below the layers it
+synchronises. The leaf-ban pass bypasses the ``ALLOWED_LEAVES``
+exemption, so even the hooks leaf — importable from every instrumented
+layer — is banned here.
+"""
+
+from repro.explore.hooks import note
+from repro.recovery.hooks import crash_point

@@ -49,3 +49,64 @@ class TestCommands:
                      "--horizon-quanta", "8", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "finished=" in out
+
+
+class TestChaosExplore:
+    def test_expect_violation_succeeds_on_planted_bug(self, capsys, tmp_path):
+        replay = tmp_path / "replay.json"
+        assert main([
+            "chaos", "explore", "--scenario", "planted",
+            "--explore-strategy", "exhaustive", "--depth", "8",
+            "--expect-violation", "delete-racing-build",
+            "--save-replay", str(replay),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "minimized trace (1 choices)" in out
+        assert "found expected violation" in out
+        assert replay.exists()
+
+    def test_replay_reproduces_byte_identically(self, capsys, tmp_path):
+        replay = tmp_path / "replay.json"
+        assert main([
+            "chaos", "explore", "--scenario", "planted",
+            "--explore-strategy", "exhaustive", "--depth", "8",
+            "--expect-violation", "delete-racing-build",
+            "--save-replay", str(replay),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["chaos", "explore", "--replay", str(replay)]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identically" in out
+
+    def test_violations_fail_with_context_report(self, capsys):
+        assert main([
+            "chaos", "explore", "--scenario", "planted",
+            "--explore-strategy", "random", "--budget", "16",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL:" in out
+        assert "context:" in out
+        assert '"scenario": "planted"' in out
+
+    def test_expect_violation_fails_when_absent(self, capsys):
+        # The identity-only budget of 0 walks finds nothing.
+        assert main([
+            "chaos", "explore", "--scenario", "toy",
+            "--explore-strategy", "random", "--budget", "0",
+            "--expect-violation", "delete-racing-build",
+        ]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_workdir_still_required_for_sweep_and_soak(self, capsys):
+        assert main(["chaos", "sweep"]) == 2
+        assert "--workdir is required" in capsys.readouterr().err
+
+    def test_bad_crash_point_env_lists_valid_names(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CRASH_POINT", "bogus.point")
+        assert main([
+            "chaos", "explore", "--scenario", "toy", "--budget", "0",
+            "--explore-strategy", "random",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "bogus.point" in err
+        assert "service.pre_decide" in err

@@ -1,0 +1,294 @@
+"""End-to-end tests for the exploration engine.
+
+Covers the ISSUE 6 acceptance criteria:
+
+* the planted delete-racing-build ordering bug is found by both the
+  exhaustive and the random strategy, minimized to a one-entry trace,
+  and reproduced byte-deterministically from a replay file;
+* partial-order reduction provably visits fewer schedules than plain
+  exhaustive enumeration on the toy workload while finding the same
+  set of violations;
+* strategies, minimization and replay-file validation behave as
+  documented.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.explore import (
+    DfsStrategy,
+    DfsTree,
+    IdentityStrategy,
+    RandomWalkStrategy,
+    ReplayStrategy,
+    Scenario,
+    build_scenario,
+    explore,
+    load_replay,
+    run_replay,
+    run_schedule,
+    save_replay,
+)
+from repro.explore.minimize import minimize_trace
+from repro.obs import Observation
+
+PLANTED_BUG = "delete-racing-build"
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def test_unknown_scenario_lists_valid_names():
+    with pytest.raises(ValueError) as err:
+        build_scenario("nope")
+    assert "nope" in str(err.value)
+    assert "planted" in str(err.value) and "toy" in str(err.value)
+
+
+def test_identity_schedule_is_clean():
+    for name in ("toy", "planted", "service"):
+        controller, violations, checks = run_schedule(
+            Scenario(name), IdentityStrategy()
+        )
+        assert violations == (), name
+        assert checks > 0, name
+        assert controller.pending == [], name
+
+
+# ----------------------------------------------------------------------
+# the planted bug
+# ----------------------------------------------------------------------
+def test_planted_bug_found_by_exhaustive_and_minimized():
+    report = explore(Scenario("planted"), "exhaustive", depth=8)
+    assert PLANTED_BUG in report.violation_names()
+    assert not report.truncated
+    assert report.minimized is not None
+    assert len(report.minimized.trace) == 1
+    site, picked = report.minimized.trace[0]
+    assert site.startswith("offer:build:")
+    assert picked == "defer"
+    assert {v.name for v in report.minimized.violations} == {PLANTED_BUG}
+
+
+def test_planted_bug_found_by_random_walks():
+    report = explore(Scenario("planted"), "random", budget=32)
+    assert PLANTED_BUG in report.violation_names()
+    assert report.schedules == 32
+
+
+def test_random_walks_are_seeded_and_reproducible():
+    a = explore(Scenario("planted", seed=3), "random", budget=12, minimize=False)
+    b = explore(Scenario("planted", seed=3), "random", budget=12, minimize=False)
+    assert [f.trace for f in a.violations] == [f.trace for f in b.violations]
+    assert a.schedules == b.schedules
+    assert a.distinct_orderings == b.distinct_orderings
+
+
+# ----------------------------------------------------------------------
+# exhaustive vs partial-order reduction
+# ----------------------------------------------------------------------
+def test_por_visits_fewer_schedules_same_violations():
+    full = explore(Scenario("toy"), "exhaustive", depth=8, minimize=False)
+    por = explore(Scenario("toy"), "por", depth=8, minimize=False)
+    assert not full.truncated and not por.truncated
+    assert por.schedules < full.schedules
+    assert por.distinct_orderings < full.distinct_orderings
+    assert por.pruned > 0
+    assert full.pruned == 0
+    assert por.violation_names() == full.violation_names()
+    assert PLANTED_BUG in full.violation_names()
+
+
+def test_exhaustive_covers_both_orders_of_independent_builds():
+    # Epoch 1 of the toy scenario offers two independent builds; the
+    # exhaustive tree must include schedules starting with each.
+    report = explore(Scenario("toy"), "exhaustive", depth=8, minimize=False)
+    assert report.schedules > 1
+    assert report.distinct_orderings > 1
+
+
+def test_explore_rejects_unknown_mode():
+    with pytest.raises(ValueError) as err:
+        explore(Scenario("toy"), "breadth-first")
+    assert "exhaustive" in str(err.value) and "por" in str(err.value)
+
+
+def test_explore_truncates_at_max_schedules():
+    report = explore(
+        Scenario("toy"), "exhaustive", depth=8, minimize=False, max_schedules=3
+    )
+    assert report.truncated
+    assert report.schedules == 3
+
+
+def test_explore_emits_obs_metrics_and_journal():
+    obs = Observation.recording()
+    report = explore(Scenario("planted"), "exhaustive", depth=8, obs=obs)
+    assert not report.ok
+    snapshot = json.loads(obs.metrics.to_json())
+    assert snapshot["counters"]["explore/schedules"] == report.schedules
+    assert snapshot["counters"]["explore/violations"] > 0
+    events = [json.loads(line)["event"] for line in obs.journal.to_jsonl().splitlines()]
+    assert "explore_violation" in events
+    assert "explore_minimized" in events
+    assert events[-1] == "explore_done"
+
+
+def test_report_context_is_machine_readable():
+    report = explore(Scenario("planted"), "exhaustive", depth=8)
+    context = report.context()
+    assert context["scenario"] == "planted"
+    assert context["seed"] == 0
+    assert isinstance(context["schedule_index"], int)
+    assert context["schedule_prefix"]  # the failing trace, JSON-shaped
+    json.dumps(context)  # must serialise
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def test_dfs_tree_enumerates_a_fixed_fanout():
+    # A synthetic 2-site x 2-option tree: 4 leaves.
+    tree = DfsTree()
+    seen = []
+    while True:
+        strategy = DfsStrategy(tree)
+        picks = [strategy.choose(f"s{i}", ("a", "b"), (None, None), None)
+                 for i in range(2)]
+        seen.append(tuple(picks))
+        if not tree.advance():
+            break
+    assert seen == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_dfs_depth_bound_caps_branching():
+    tree = DfsTree(depth=1)
+    strategy = DfsStrategy(tree)
+    assert strategy.choose("s0", ("a", "b"), (None, None), None) == 0
+    # Beyond the depth budget: canonical, not recorded on the stack.
+    assert strategy.choose("s1", ("a", "b"), (None, None), None) == 0
+    assert len(tree.stack) == 1
+
+
+def test_dfs_tree_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        DfsTree(depth=0)
+
+
+def test_random_walk_strategy_stays_in_range():
+    rng = np.random.default_rng(0)
+    strategy = RandomWalkStrategy(rng)
+    for _ in range(50):
+        assert 0 <= strategy.choose("s", ("a", "b", "c"), (None,) * 3, None) < 3
+
+
+def test_replay_strategy_skips_nonmatching_sites():
+    strategy = ReplayStrategy([("offer:x", "defer")])
+    # A different site leaves the entry queued...
+    assert strategy.choose("offer:y", ("run", "defer"), (None, None), None) == 0
+    assert strategy.consumed == 0
+    # ...until its own site arrives.
+    assert strategy.choose("offer:x", ("run", "defer"), (None, None), None) == 1
+    assert strategy.consumed == 1
+    # Past the end: canonical.
+    assert strategy.choose("offer:z", ("run", "defer"), (None, None), None) == 0
+    assert strategy.divergences == 0
+
+
+def test_replay_strategy_counts_divergences():
+    strategy = ReplayStrategy([("offer:x", "not-an-option")])
+    assert strategy.choose("offer:x", ("run", "defer"), (None, None), None) == 0
+    assert strategy.divergences == 1
+
+
+# ----------------------------------------------------------------------
+# minimization
+# ----------------------------------------------------------------------
+def test_minimize_drops_irrelevant_choices():
+    report = explore(Scenario("planted"), "random", budget=32, minimize=False)
+    assert report.violations
+    failing = next(
+        f for f in report.violations
+        if any(v.name == PLANTED_BUG for v in f.violations)
+    )
+    minimized = minimize_trace(
+        Scenario("planted"), list(failing.trace), PLANTED_BUG
+    )
+    assert minimized is not None
+    assert len(minimized) <= len(failing.trace)
+    assert len(minimized) == 1
+
+
+def test_minimize_returns_none_when_not_reproducible():
+    # The empty trace is the canonical schedule, which is clean.
+    assert minimize_trace(Scenario("planted"), [], PLANTED_BUG) is None
+
+
+# ----------------------------------------------------------------------
+# replay files
+# ----------------------------------------------------------------------
+def test_replay_file_round_trip_is_byte_deterministic(tmp_path):
+    report = explore(Scenario("planted"), "exhaustive", depth=8)
+    minimized = report.minimized
+    assert minimized is not None
+    path = tmp_path / "replay.json"
+    save_replay(path, Scenario("planted"), list(minimized.trace),
+                list(minimized.violations))
+
+    results = [run_replay(load_replay(path)) for _ in range(2)]
+    for result in results:
+        assert result.reproduced
+        assert result.violations == tuple(minimized.violations)
+    assert results[0].violations == results[1].violations
+    assert results[0].steps == results[1].steps
+
+
+def test_replay_file_is_stable_json(tmp_path):
+    path = tmp_path / "replay.json"
+    save_replay(path, Scenario("planted"), [("offer:x", "defer")], [])
+    raw = json.loads(path.read_text())
+    assert raw["kind"] == "repro-explore-replay"
+    assert raw["version"] == 1
+    assert raw["scenario"] == {
+        "name": "planted", "seed": 0, "params": {"horizon_quanta": 3},
+    }
+    assert raw["schedule"] == [["offer:x", "defer"]]
+
+
+def test_load_replay_rejects_bad_files(tmp_path):
+    path = tmp_path / "bad.json"
+
+    path.write_text("not json")
+    with pytest.raises(ValueError, match="unreadable"):
+        load_replay(path)
+
+    path.write_text(json.dumps({"kind": "other"}))
+    with pytest.raises(ValueError, match="repro-explore-replay"):
+        load_replay(path)
+
+    path.write_text(json.dumps(
+        {"kind": "repro-explore-replay", "version": 99}
+    ))
+    with pytest.raises(ValueError, match="version"):
+        load_replay(path)
+
+    path.write_text(json.dumps({
+        "kind": "repro-explore-replay", "version": 1,
+        "scenario": {"name": "nope"},
+    }))
+    with pytest.raises(ValueError) as err:
+        load_replay(path)
+    assert "planted" in str(err.value)  # valid names listed
+
+    path.write_text(json.dumps({
+        "kind": "repro-explore-replay", "version": 1,
+        "scenario": {"name": "toy"},
+        "schedule": [["bogus-site", "run"]],
+    }))
+    with pytest.raises(ValueError) as err:
+        load_replay(path)
+    assert "offer:" in str(err.value)  # valid site prefixes listed

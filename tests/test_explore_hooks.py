@@ -1,0 +1,174 @@
+"""Unit tests for the explore hooks leaf: registries, Action, Epoch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.hooks import (
+    ALL_RESOURCES,
+    NOTE_POINTS,
+    SYNC_POINTS,
+    YIELD_POINTS,
+    Action,
+    Epoch,
+    InterleaveController,
+    active_controller,
+    all_point_names,
+    drive,
+    install_controller,
+    note,
+)
+
+
+def _action(key="build:a:0", kind="build", points=("build.catalog_mark",),
+            resources=frozenset({"idx:a"}), entry="build.storage_put",
+            stamp=None, log=None):
+    def gen():
+        for point in points:
+            if log is not None:
+                log.append(point)
+            yield point
+        if log is not None:
+            log.append("done")
+
+    return Action(key, kind, gen(), resources, entry, stamp=stamp)
+
+
+# ----------------------------------------------------------------------
+# registries
+# ----------------------------------------------------------------------
+def test_registries_are_disjoint_and_complete():
+    assert len(all_point_names()) == (
+        len(YIELD_POINTS) + len(SYNC_POINTS) + len(NOTE_POINTS)
+    )
+    assert len(set(all_point_names())) == len(all_point_names())
+
+
+def test_unknown_entry_point_lists_valid_names():
+    with pytest.raises(ValueError) as err:
+        _action(entry="not.a.point")
+    assert "not.a.point" in str(err.value)
+    for name in YIELD_POINTS:
+        assert name in str(err.value)
+
+
+def test_unknown_yielded_point_lists_valid_names():
+    action = _action(points=("bogus.point",))
+    with pytest.raises(ValueError) as err:
+        action.advance()
+    assert "bogus.point" in str(err.value)
+    assert YIELD_POINTS[0] in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# Action lifecycle
+# ----------------------------------------------------------------------
+def test_action_advance_walks_the_yield_points():
+    log = []
+    action = _action(points=("build.catalog_mark",), log=log)
+    assert not action.started and not action.done
+    assert action.last_point == "build.storage_put"
+    assert action.advance() == "build.catalog_mark"
+    assert action.started and not action.done
+    assert action.advance() is None
+    assert action.done and action.last_point is None
+    assert log == ["build.catalog_mark", "done"]
+    with pytest.raises(RuntimeError):
+        action.advance()
+
+
+def test_drive_runs_to_completion():
+    log = []
+    action = _action(points=("build.catalog_mark",), log=log)
+    drive(action)
+    assert action.done
+    assert action.steps_run == 2
+
+
+def test_independence_requires_disjoint_footprints():
+    a = _action(key="build:a:0", resources=frozenset({"idx:a"}))
+    b = _action(key="build:b:0", resources=frozenset({"idx:b"}))
+    conflicting = _action(key="delete:a", resources=frozenset({"idx:a"}))
+    assert a.independent(b) and b.independent(a)
+    assert not a.independent(conflicting)
+
+
+def test_all_resources_conflicts_with_everything():
+    a = _action(key="slotfill:x", resources=frozenset({ALL_RESOURCES}))
+    b = _action(key="build:b:0", resources=frozenset({"idx:b"}))
+    assert not a.independent(b)
+    assert not b.independent(a)
+
+
+def test_billing_stamps_make_storage_ops_dependent():
+    # Disjoint indexes, but puts at different instants do not commute in
+    # the MB*s integral.
+    a = _action(key="build:a:0", resources=frozenset({"idx:a"}), stamp=60.0)
+    b = _action(key="build:b:0", resources=frozenset({"idx:b"}), stamp=120.0)
+    same = _action(key="build:c:0", resources=frozenset({"idx:c"}), stamp=60.0)
+    assert not a.independent(b)
+    assert a.independent(same)
+
+
+# ----------------------------------------------------------------------
+# Epoch protocol
+# ----------------------------------------------------------------------
+def test_epoch_without_controller_runs_offers_immediately():
+    log = []
+    epoch = Epoch("test")
+    epoch.offer(_action(log=log))
+    assert log == ["build.catalog_mark", "done"]
+    # pause/drain/require are no-ops on the canonical path.
+    epoch.pause("service.pre_decide")
+    epoch.drain("service.step_end")
+
+
+def test_epoch_validates_sync_sites_under_controller():
+    class Recorder(InterleaveController):
+        def __init__(self):
+            self.calls = []
+
+        def on_offer(self, action):
+            self.calls.append(("offer", action.key))
+
+        def on_pause(self, site):
+            self.calls.append(("pause", site))
+
+        def on_drain(self, site):
+            self.calls.append(("drain", site))
+
+        def on_note(self, point):
+            self.calls.append(("note", point))
+
+    recorder = Recorder()
+    previous = install_controller(recorder)
+    try:
+        assert active_controller() is recorder
+        epoch = Epoch("test")
+        epoch.offer(_action())
+        epoch.pause("service.pre_decide")
+        epoch.drain("scenario.epoch_end")
+        note("tuner.decide")
+        with pytest.raises(ValueError) as err:
+            epoch.pause("not.a.site")
+        assert "not.a.site" in str(err.value)
+        assert SYNC_POINTS[0] in str(err.value)
+        with pytest.raises(ValueError):
+            epoch.drain("also.not.a.site")
+        with pytest.raises(ValueError) as err:
+            note("not.a.note")
+        assert NOTE_POINTS[0] in str(err.value)
+    finally:
+        install_controller(previous)
+    assert recorder.calls == [
+        ("offer", "build:a:0"),
+        ("pause", "service.pre_decide"),
+        ("drain", "scenario.epoch_end"),
+        ("note", "tuner.decide"),
+    ]
+
+
+def test_note_is_free_without_controller():
+    # No validation on the hot path: unknown names only fail when a
+    # controller is installed (mirrors crash_point).
+    note("definitely.not.registered")

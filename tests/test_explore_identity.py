@@ -1,0 +1,66 @@
+"""The identity-schedule anchor: exploration must not perturb defaults.
+
+Two byte-identity properties pin the refactor of the service loop into
+interleavable actions:
+
+* a run with **no controller installed** (the production default) and a
+  run under a :class:`ScheduleController` with the
+  :class:`IdentityStrategy` (option 0 at every choice site) produce
+  byte-identical observability artifacts — the identity schedule *is*
+  the canonical schedule;
+* repeated identity runs are byte-identical to each other (the
+  controller holds no hidden state that leaks across runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import Strategy, prepare_run
+from repro.core.config import default_config
+from repro.explore.controller import ScheduleController
+from repro.explore.hooks import install_controller
+from repro.explore.strategies import IdentityStrategy
+from repro.obs import Observation, trace_json
+
+
+def _run_artifacts(controller: ScheduleController | None) -> tuple[str, str, str]:
+    """One full (small) service run; returns the three artifact strings."""
+    config = replace(default_config(), seed=7, total_time_s=6 * 60.0)
+    obs = Observation.recording()
+    service, events = prepare_run(
+        Strategy.GAIN, "phase", config=config, obs=obs
+    )
+    previous = install_controller(controller)
+    try:
+        state = service.begin_run(events)
+        while service.step(state):
+            pass
+        service.finish_run(state)
+    finally:
+        install_controller(previous)
+    return (
+        trace_json(obs.tracer),
+        obs.journal.to_jsonl(),
+        obs.metrics.to_json(),
+    )
+
+
+def test_identity_schedule_matches_controller_free_run():
+    plain = _run_artifacts(None)
+    identity = _run_artifacts(ScheduleController(IdentityStrategy()))
+    assert identity[0] == plain[0], "trace diverged"
+    assert identity[1] == plain[1], "journal diverged"
+    assert identity[2] == plain[2], "metrics diverged"
+
+
+def test_identity_schedule_matches_under_por():
+    # POR only prunes *non-canonical* options; option 0 must survive at
+    # every site, so the identity schedule is unchanged.
+    plain = _run_artifacts(None)
+    por = _run_artifacts(ScheduleController(IdentityStrategy(), por=True))
+    assert por == plain
+
+
+def test_controller_free_runs_are_reproducible():
+    assert _run_artifacts(None) == _run_artifacts(None)
