@@ -1,0 +1,107 @@
+"""Whole-program effect inference over the repro source tree.
+
+The flow layer proves two properties the per-module lint rules cannot
+see: that every explore ``Action``'s *declared* footprint is a sound
+superset of the effects its generator transitively performs (EFF01),
+and that no unseeded nondeterminism reaches the deterministic core
+(PUR01) — plus a commutativity audit of the interleaving oracle's
+independence assumption (EFF02).
+
+Pipeline::
+
+    contexts --Project--> call graph --fixpoint--> summaries
+                    \\--> ActionIndex (sites + declared footprints)
+                                  \\--> project rules -> findings
+
+Everything downstream of ``analyze`` is pure and deterministically
+ordered, so the JSON report and the baseline file are byte-stable
+across runs and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.flow.actions import ActionIndex, extract_actions
+from repro.analysis.flow.callgraph import FunctionFacts, build_call_graph
+from repro.analysis.flow.project import Project
+from repro.analysis.flow.summaries import Summary, solve
+from repro.analysis.registry import all_project_rules
+
+
+@dataclass
+class FlowAnalysis:
+    """The complete whole-program analysis state."""
+
+    project: Project
+    facts: dict[str, FunctionFacts]
+    summaries: dict[str, Summary]
+    actions: ActionIndex
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One project-rule finding with its ratchet fingerprint."""
+
+    diagnostic: Diagnostic
+    fingerprint: str
+
+
+def analyze(contexts: list[ModuleContext]) -> FlowAnalysis:
+    """Run the full pipeline over already-parsed module contexts."""
+    project = Project(contexts)
+    facts = build_call_graph(project)
+    summaries = solve(facts)
+    actions = extract_actions(project)
+    return FlowAnalysis(
+        project=project, facts=facts, summaries=summaries, actions=actions
+    )
+
+
+def run_project_rules(
+    analysis: FlowAnalysis, select: frozenset[str] | None = None
+) -> list[FlowFinding]:
+    """Run every (selected) registered project rule, sorted output."""
+    import repro.analysis.flow.checkers  # noqa: F401  (registers the rules)
+
+    findings: list[FlowFinding] = []
+    for rule in all_project_rules():
+        if select is not None and rule.code not in select:
+            continue
+        for diagnostic, fp in rule.checker(analysis):
+            findings.append(FlowFinding(diagnostic=diagnostic, fingerprint=fp))
+    findings.sort(
+        key=lambda f: (
+            f.diagnostic.path,
+            f.diagnostic.line,
+            f.diagnostic.col,
+            f.diagnostic.code,
+            f.fingerprint,
+        )
+    )
+    return findings
+
+
+def action_report(analysis: FlowAnalysis) -> list[dict[str, object]]:
+    """Per-action inferred vs declared effects (the report artifact)."""
+    rows: list[dict[str, object]] = []
+    for site in analysis.actions.sites:
+        summary = (
+            analysis.summaries.get(site.gen_fn) if site.gen_fn is not None else None
+        )
+        declared = analysis.actions.declared_for(site)
+        rows.append(
+            {
+                "kind": site.kind,
+                "module": site.module,
+                "generator": site.gen_fn,
+                "resources": site.resources_kind,
+                "stamped": site.has_stamp,
+                "declared": sorted(declared) if declared is not None else None,
+                "inferred": sorted(summary.effects) if summary is not None else None,
+                "taints": sorted(summary.taints) if summary is not None else None,
+            }
+        )
+    return rows

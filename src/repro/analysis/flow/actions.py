@@ -1,0 +1,248 @@
+"""Extraction of explore-``Action`` registrations and declared footprints.
+
+Two statically recognised shapes tie the flow analysis to the runtime
+exploration layer:
+
+* **Action sites** — every call to
+  :class:`repro.explore.hooks.Action` (resolved through the import
+  alias map, so renamed imports still count). The site records the
+  action ``kind``, the generator function the ``gen=`` argument calls,
+  and the *shape* of the runtime ``resources`` footprint:
+
+  - ``all``            — contains :data:`ALL_RESOURCES` (``"*"``):
+                         commutes with nothing, exempt from EFF02;
+  - ``parameterized``  — f-string entries (``f"idx:{name}"``): two
+                         instances *can* have disjoint footprints;
+  - ``fixed``          — constant strings only;
+  - ``opaque``         — anything else (conservatively treated as
+                         parameterized, i.e. auditable).
+
+* **Declared footprints** — a module-level ``ACTION_EFFECTS`` mapping
+  of action kind to effect strings (``"catalog:w"``). Values may be
+  literal sets/tuples or a validating call such as
+  :func:`repro.explore.hooks.declared_effects` — any constant strings
+  inside the value expression are collected. EFF01 checks each kind's
+  declaration against the inferred transitive effects of its
+  generator.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.flow.callgraph import CallGraphBuilder
+from repro.analysis.flow.effects import parse_effect
+from repro.analysis.flow.project import FunctionInfo, Project, walk_own_body
+
+ACTION_CLASS = "repro.explore.hooks.Action"
+ALL_RESOURCES_NAME = "repro.explore.hooks.ALL_RESOURCES"
+
+#: The magic module-level declaration name EFF01 looks for.
+DECLARATION_NAME = "ACTION_EFFECTS"
+
+
+@dataclass(frozen=True)
+class ActionSite:
+    """One ``Action(...)`` construction site."""
+
+    module: str
+    path: str
+    line: int
+    col: int
+    kind: str
+    gen_fn: str | None  #: resolved generator function id, if any
+    resources_kind: str  #: all | parameterized | fixed | opaque
+    has_stamp: bool
+    enclosing: str  #: qualified id of the function containing the site
+
+
+@dataclass
+class DeclarationError:
+    """A malformed entry inside an ``ACTION_EFFECTS`` declaration."""
+
+    module: str
+    path: str
+    line: int
+    message: str
+
+
+@dataclass
+class ModuleDeclarations:
+    """Declared footprints of one module (kind -> effect set)."""
+
+    module: str
+    path: str
+    line: int
+    by_kind: dict[str, frozenset[str]] = field(default_factory=dict)
+
+
+@dataclass
+class ActionIndex:
+    """All action sites and declarations in a project."""
+
+    sites: list[ActionSite] = field(default_factory=list)
+    declarations: dict[str, ModuleDeclarations] = field(default_factory=dict)
+    errors: list[DeclarationError] = field(default_factory=list)
+
+    def declared_for(self, site: ActionSite) -> frozenset[str] | None:
+        """The declared footprint covering a site (same-module lookup)."""
+        decl = self.declarations.get(site.module)
+        if decl is None:
+            return None
+        return decl.by_kind.get(site.kind)
+
+
+def extract_actions(project: Project) -> ActionIndex:
+    """Find every Action site and ACTION_EFFECTS declaration."""
+    index = ActionIndex()
+    builder = CallGraphBuilder(project)
+    for module in sorted(project.modules):
+        ctx = project.modules[module]
+        _extract_declarations(ctx, index)
+    for fn_id in sorted(project.functions):
+        fn = project.functions[fn_id]
+        for node in walk_own_body(fn.node):
+            if isinstance(node, ast.Call) and _is_action_call(fn.ctx, node):
+                index.sites.append(_site_from_call(builder, fn, node))
+    index.sites.sort(key=lambda s: (s.module, s.line, s.col))
+    return index
+
+
+def _is_action_call(ctx: ModuleContext, node: ast.Call) -> bool:
+    return ctx.call_target(node) == ACTION_CLASS
+
+
+_POSITIONAL = ("key", "kind", "gen", "resources", "entry", "stamp")
+
+
+def _arg(node: ast.Call, name: str) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    position = _POSITIONAL.index(name)
+    if position < len(node.args):
+        return node.args[position]
+    return None
+
+
+def _site_from_call(
+    builder: CallGraphBuilder, fn: FunctionInfo, node: ast.Call
+) -> ActionSite:
+    kind_expr = _arg(node, "kind")
+    kind = (
+        kind_expr.value
+        if isinstance(kind_expr, ast.Constant) and isinstance(kind_expr.value, str)
+        else "<unknown>"
+    )
+    gen_fn: str | None = None
+    gen_expr = _arg(node, "gen")
+    if isinstance(gen_expr, ast.Call):
+        local_types = builder.project.parameter_types(fn)
+        gen_fn = builder._resolve_callee(fn, gen_expr, local_types)
+    stamp_expr = _arg(node, "stamp")
+    has_stamp = stamp_expr is not None and not (
+        isinstance(stamp_expr, ast.Constant) and stamp_expr.value is None
+    )
+    return ActionSite(
+        module=fn.module,
+        path=str(fn.ctx.path),
+        line=node.lineno,
+        col=node.col_offset + 1,
+        kind=kind,
+        gen_fn=gen_fn,
+        resources_kind=_classify_resources(fn.ctx, _arg(node, "resources")),
+        has_stamp=has_stamp,
+        enclosing=fn.fn_id,
+    )
+
+
+def _classify_resources(ctx: ModuleContext, expr: ast.expr | None) -> str:
+    if expr is None:
+        return "opaque"
+    all_constants = True
+    saw_joined = False
+    for sub in ast.walk(expr):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            if ctx.canonical_name(sub) == ALL_RESOURCES_NAME:
+                return "all"
+        if isinstance(sub, ast.JoinedStr):
+            saw_joined = True
+        if isinstance(
+            sub, (ast.Name, ast.Attribute, ast.comprehension, ast.GeneratorExp)
+        ):
+            all_constants = False
+    if saw_joined:
+        return "parameterized"
+    if all_constants:
+        return "fixed"
+    return "opaque"
+
+
+def _extract_declarations(ctx: ModuleContext, index: ActionIndex) -> None:
+    assert ctx.module is not None
+    for node in ctx.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            not isinstance(target, ast.Name)
+            or target.id != DECLARATION_NAME
+            or value is None
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            index.errors.append(
+                DeclarationError(
+                    module=ctx.module,
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    message=f"{DECLARATION_NAME} must be a literal dict",
+                )
+            )
+            continue
+        decl = ModuleDeclarations(
+            module=ctx.module, path=str(ctx.path), line=node.lineno
+        )
+        for key_expr, value_expr in zip(value.keys, value.values):
+            if not isinstance(key_expr, ast.Constant) or not isinstance(
+                key_expr.value, str
+            ):
+                index.errors.append(
+                    DeclarationError(
+                        module=ctx.module,
+                        path=str(ctx.path),
+                        line=getattr(key_expr, "lineno", node.lineno),
+                        message=f"{DECLARATION_NAME} keys must be string literals",
+                    )
+                )
+                continue
+            kind = key_expr.value
+            effects: set[str] = set()
+            bad: list[str] = []
+            for sub in ast.walk(value_expr):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    try:
+                        parse_effect(sub.value)
+                    except ValueError:
+                        bad.append(sub.value)
+                    else:
+                        effects.add(sub.value)
+            for item in sorted(bad):
+                index.errors.append(
+                    DeclarationError(
+                        module=ctx.module,
+                        path=str(ctx.path),
+                        line=getattr(value_expr, "lineno", node.lineno),
+                        message=(
+                            f"{DECLARATION_NAME}[{kind!r}] contains invalid "
+                            f"effect {item!r} (expected <resource>:<r|w>)"
+                        ),
+                    )
+                )
+            decl.by_kind[kind] = frozenset(effects)
+        index.declarations[ctx.module] = decl

@@ -1,0 +1,112 @@
+"""Baseline ratchet for whole-program findings.
+
+Interprocedural rules land on a codebase with pre-existing, *audited*
+findings (e.g. EFF02 flags the build action's multi-resource write set,
+which is justified by its per-index resource keys). Those are enumerated
+in a checked-in baseline file; the gate then **ratchets**:
+
+* a finding whose fingerprint is in the baseline is reported as
+  ``baselined`` (informational) and does not fail the run;
+* a finding *not* in the baseline is new — it fails the run;
+* a baseline entry that no longer matches any finding is **stale** — it
+  also fails the run, so the enumerated debt can only shrink.
+
+Fingerprints are line-independent (``CODE|module|anchor|key``): moving
+code around does not churn the baseline, while genuinely new leaks
+always miss it. ``repro-lint --flow --update-baseline`` rewrites the
+file from the current findings, preserving justifications for entries
+that survive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BASELINE_VERSION = 1
+
+#: Default justification for entries written by ``--update-baseline``
+#: that had none before. Meant to be replaced by a human in review.
+UNREVIEWED = "UNREVIEWED: justify or fix, then update this entry"
+
+
+def fingerprint(code: str, module: str, anchor: str, key: str) -> str:
+    """The stable identity of one finding (no line numbers)."""
+    return f"{code}|{module}|{anchor}|{key}"
+
+
+def load_baseline(path: str | Path) -> dict[str, str]:
+    """Load ``fingerprint -> justification`` from a baseline file.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (the gate must not silently pass on a bad ratchet).
+    """
+    file = Path(path)
+    if not file.exists():
+        return {}
+    try:
+        data = json.loads(file.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{file}: baseline is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise ValueError(f"{file}: baseline must be an object with an 'entries' list")
+    entries: dict[str, str] = {}
+    for item in data["entries"]:
+        if (
+            not isinstance(item, dict)
+            or not isinstance(item.get("fingerprint"), str)
+            or not isinstance(item.get("justification"), str)
+        ):
+            raise ValueError(
+                f"{file}: each baseline entry needs string 'fingerprint' "
+                "and 'justification' fields"
+            )
+        if item["fingerprint"] in entries:
+            raise ValueError(
+                f"{file}: duplicate baseline fingerprint {item['fingerprint']!r}"
+            )
+        entries[item["fingerprint"]] = item["justification"]
+    return entries
+
+
+def split_findings(
+    fingerprints: list[str], baseline: dict[str, str]
+) -> tuple[list[int], list[str], list[str]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new_indices, baselined, stale)``: positions of findings
+    not covered by the baseline, the sorted covered fingerprints, and
+    the sorted baseline entries that matched nothing.
+    """
+    present = set(fingerprints)
+    new_indices = [
+        index for index, item in enumerate(fingerprints) if item not in baseline
+    ]
+    baselined = sorted(present & baseline.keys())
+    stale = sorted(set(baseline) - present)
+    return new_indices, baselined, stale
+
+
+def render_baseline(
+    fingerprints: list[str], previous: dict[str, str]
+) -> str:
+    """The baseline file content covering exactly ``fingerprints``.
+
+    Justifications from ``previous`` are preserved; new entries get the
+    :data:`UNREVIEWED` placeholder. Output is byte-deterministic.
+    """
+    entries = [
+        {"fingerprint": item, "justification": previous.get(item, UNREVIEWED)}
+        for item in sorted(set(fingerprints))
+    ]
+    data = {
+        "version": BASELINE_VERSION,
+        "description": (
+            "Enumerated pre-existing flow-analysis findings. The CI gate "
+            "ratchets against this file: new findings and stale entries "
+            "both fail. Regenerate with: repro-lint src/repro --flow "
+            "--update-baseline"
+        ),
+        "entries": entries,
+    }
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"

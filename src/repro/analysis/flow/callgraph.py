@@ -1,0 +1,383 @@
+"""Call-graph construction and per-function base effects.
+
+For every indexed function this pass produces
+
+* **call edges** — resolved through four mechanisms: module-qualified
+  names (the per-module import alias map), ``self`` method dispatch
+  (including project base classes), attribute-chain dispatch through
+  *annotated receiver types* (``self.tuner.record_execution`` walks
+  ``QaaSService.tuner: OnlineIndexTuner`` then looks the method up on
+  the class), and lexical scope for closures/nested functions;
+* **base effects** — the function's own primitive effects on the
+  resource lattice, from the object-name/type tables in
+  :mod:`repro.analysis.flow.effects` plus the canonical external calls
+  (wall clock, unseeded rng, host fs);
+* **base taints** — the determinism-taint subset, with per-site detail.
+
+Each base item carries its source line and a human-readable detail
+string so the fixpoint solver can reconstruct the exact leaking call
+chain for EFF01/PUR01 messages.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.effects import (
+    CLASS_RESOURCES,
+    OBJECT_RESOURCES,
+    close_effects,
+    is_write_verb,
+    primitive_call_items,
+)
+from repro.analysis.flow.project import FunctionInfo, Project, walk_own_body
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where a base effect/taint enters a function."""
+
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site."""
+
+    callee: str
+    line: int
+
+
+@dataclass
+class FunctionFacts:
+    """Base effects, taints and call edges of one function."""
+
+    fn_id: str
+    effects: dict[str, Origin] = field(default_factory=dict)
+    taints: dict[str, Origin] = field(default_factory=dict)
+    calls: list[CallEdge] = field(default_factory=list)
+
+    def add_effect(self, item: str, line: int, detail: str) -> None:
+        if item not in self.effects:
+            self.effects[item] = Origin(line, detail)
+
+    def add_taint(self, tag: str, line: int, detail: str) -> None:
+        if tag not in self.taints:
+            self.taints[tag] = Origin(line, detail)
+
+
+class CallGraphBuilder:
+    """Builds :class:`FunctionFacts` for every function in a project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+
+    def build(self) -> dict[str, FunctionFacts]:
+        facts: dict[str, FunctionFacts] = {}
+        for fn_id in sorted(self.project.functions):
+            facts[fn_id] = self._analyze_function(self.project.functions[fn_id])
+        return facts
+
+    # ------------------------------------------------------------------
+    # Per-function analysis
+    # ------------------------------------------------------------------
+    def _analyze_function(self, fn: FunctionInfo) -> FunctionFacts:
+        facts = FunctionFacts(fn_id=fn.fn_id)
+        local_types = dict(self.project.parameter_types(fn))
+        local_type_names = dict(self.project.parameter_type_names(fn))
+        #: local name -> resources it carries (from assignment chains)
+        local_resources: dict[str, frozenset[str]] = {}
+        for arg in [
+            *fn.node.args.posonlyargs, *fn.node.args.args, *fn.node.args.kwonlyargs,
+        ]:
+            resources = set()
+            if arg.arg in OBJECT_RESOURCES:
+                resources.add(OBJECT_RESOURCES[arg.arg])
+            type_name = local_type_names.get(arg.arg)
+            if type_name in CLASS_RESOURCES:
+                resources.add(CLASS_RESOURCES[type_name])
+            if resources:
+                local_resources[arg.arg] = frozenset(resources)
+
+        # Single forward pass in source order: assignments first extend
+        # the local tables, then every node contributes effects/edges.
+        for node in sorted(
+            walk_own_body(fn.node),
+            key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+        ):
+            self._note_local_binding(fn, node, local_types, local_resources)
+            self._collect_from_node(fn, node, facts, local_types, local_resources)
+        facts.calls.sort(key=lambda e: (e.line, e.callee))
+        return facts
+
+    # -- local binding inference ---------------------------------------
+    def _note_local_binding(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        local_types: dict[str, str],
+        local_resources: dict[str, frozenset[str]],
+    ) -> None:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+            if isinstance(target, ast.Name):
+                resolved = self.project._resolve_class_expr(fn.ctx, node.annotation)
+                if resolved is not None:
+                    local_types[target.id] = resolved
+                tail = self.project._annotation_tail(fn.ctx, node.annotation)
+                if tail in CLASS_RESOURCES:
+                    local_resources[target.id] = local_resources.get(
+                        target.id, frozenset()
+                    ) | {CLASS_RESOURCES[tail]}
+        elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            # ``for index in self.catalog.indexes.values():`` — the loop
+            # variable carries the iterated resource.
+            resources = self._expr_resources(
+                fn, node.iter, local_types, local_resources
+            )
+            if resources:
+                local_resources[node.target.id] = resources
+            return
+        if not isinstance(target, ast.Name) or value is None:
+            return
+        if isinstance(value, ast.Call):
+            resolved = self.project._resolve_class_expr(fn.ctx, value.func)
+            if resolved is not None:
+                local_types[target.id] = resolved
+        resources = self._expr_resources(fn, value, local_types, local_resources)
+        if resources:
+            local_resources[target.id] = resources
+
+    def _expr_resources(
+        self,
+        fn: FunctionInfo,
+        node: ast.expr,
+        local_types: dict[str, str],
+        local_resources: dict[str, frozenset[str]],
+    ) -> frozenset[str]:
+        """Every resource an expression's attribute chains touch."""
+        out: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Attribute, ast.Name)):
+                out |= self._chain_resources(fn, sub, local_types, local_resources)
+        return frozenset(out)
+
+    def _chain_parts(self, node: ast.expr) -> tuple[str, list[str]] | None:
+        """``self.tuner.history.add`` -> ``("self", ["tuner","history","add"])``."""
+        chain: list[str] = []
+        cursor: ast.expr = node
+        while isinstance(cursor, ast.Attribute):
+            chain.append(cursor.attr)
+            cursor = cursor.value
+        while isinstance(cursor, ast.Subscript):
+            # ``self.catalog.indexes[name].partitions`` — the subscript
+            # is transparent for resource attribution.
+            cursor = cursor.value
+            while isinstance(cursor, ast.Attribute):
+                chain.append(cursor.attr)
+                cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        return cursor.id, list(reversed(chain))
+
+    def _chain_resources(
+        self,
+        fn: FunctionInfo,
+        node: ast.expr,
+        local_types: dict[str, str],
+        local_resources: dict[str, frozenset[str]],
+    ) -> frozenset[str]:
+        parts = self._chain_parts(node)
+        if parts is None:
+            return frozenset()
+        root, chain = parts
+        out: set[str] = set()
+        out |= local_resources.get(root, frozenset())
+        if root in OBJECT_RESOURCES and root not in ("self",):
+            out.add(OBJECT_RESOURCES[root])
+        # Segment names: self.<tuner>.<history>... — each mapped name
+        # counts, and annotated attribute *types* count too.
+        class_id = fn.class_id if root == "self" else local_types.get(root)
+        for segment in chain:
+            if segment in OBJECT_RESOURCES:
+                out.add(OBJECT_RESOURCES[segment])
+            if class_id is not None:
+                type_name = self.project.attr_type_name(class_id, segment)
+                if type_name in CLASS_RESOURCES:
+                    out.add(CLASS_RESOURCES[type_name])
+                class_id = self.project.attr_type(class_id, segment)
+        return frozenset(out)
+
+    # -- effect + edge collection --------------------------------------
+    def _collect_from_node(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        facts: FunctionFacts,
+        local_types: dict[str, str],
+        local_resources: dict[str, frozenset[str]],
+    ) -> None:
+        if isinstance(node, ast.Call):
+            self._collect_call(fn, node, facts, local_types, local_resources)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                resources = self._store_target_resources(
+                    fn, target, local_types, local_resources
+                )
+                for resource in sorted(resources):
+                    facts.add_effect(
+                        f"{resource}:w",
+                        node.lineno,
+                        f"store to {resource}-bearing attribute",
+                    )
+                    self._add_implied(facts, f"{resource}:w", node.lineno)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                resources = self._store_target_resources(
+                    fn, target, local_types, local_resources
+                )
+                for resource in sorted(resources):
+                    facts.add_effect(
+                        f"{resource}:w", node.lineno, f"del on {resource} state"
+                    )
+
+    def _store_target_resources(
+        self,
+        fn: FunctionInfo,
+        target: ast.expr,
+        local_types: dict[str, str],
+        local_resources: dict[str, frozenset[str]],
+    ) -> frozenset[str]:
+        """Resources mutated by an assignment target.
+
+        A plain local name is never a mutation; an attribute store or a
+        subscript store on a resource-bearing chain is.
+        """
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            inner = target.value if isinstance(target, ast.Subscript) else target
+            return self._chain_resources(fn, inner, local_types, local_resources)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: set[str] = set()
+            for element in target.elts:
+                out |= self._store_target_resources(
+                    fn, element, local_types, local_resources
+                )
+            return frozenset(out)
+        return frozenset()
+
+    def _add_implied(self, facts: FunctionFacts, item: str, line: int) -> None:
+        for implied in sorted(close_effects({item}) - {item}):
+            facts.add_effect(implied, line, f"implied by {item}")
+
+    def _collect_call(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        facts: FunctionFacts,
+        local_types: dict[str, str],
+        local_resources: dict[str, frozenset[str]],
+    ) -> None:
+        # 1. Canonical external primitives (clock / rng / fs).
+        target = fn.ctx.call_target(node)
+        if target is None and isinstance(node.func, ast.Name):
+            target = node.func.id if node.func.id == "open" else None
+        if target is not None:
+            hit = primitive_call_items(target, node)
+            if hit is not None:
+                effects, taints, detail = hit
+                for item in sorted(effects):
+                    facts.add_effect(item, node.lineno, f"{detail} `{target}`")
+                for tag in sorted(taints):
+                    facts.add_taint(tag, node.lineno, f"{detail} `{target}`")
+
+        # 2. Resource method calls (heuristic polarity by verb).
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            resources = self._chain_resources(
+                fn, node.func.value, local_types, local_resources
+            )
+            for resource in sorted(resources):
+                if resource == "rng":
+                    polarity = "w"  # every draw advances the stream
+                else:
+                    polarity = "w" if is_write_verb(method) else "r"
+                item = f"{resource}:{polarity}"
+                facts.add_effect(
+                    item, node.lineno, f"`.{method}()` on {resource}"
+                )
+                self._add_implied(facts, item, node.lineno)
+
+        # 3. Call edges.
+        callee = self._resolve_callee(fn, node, local_types)
+        if callee is not None:
+            facts.calls.append(CallEdge(callee=callee, line=node.lineno))
+
+    # -- callee resolution ---------------------------------------------
+    def _resolve_callee(
+        self, fn: FunctionInfo, node: ast.Call, local_types: dict[str, str]
+    ) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            # Lexical scope (nested defs + module siblings) first.
+            if func.id in fn.local_scope:
+                return fn.local_scope[func.id]
+            canonical = fn.ctx.aliases.get(func.id)
+            if canonical is None and fn.module is not None:
+                canonical = f"{fn.module}.{func.id}"
+            return self._function_or_init(canonical)
+        if isinstance(func, ast.Attribute):
+            parts = self._chain_parts(func)
+            if parts is None:
+                return None
+            root, chain = parts
+            if not chain:
+                return None
+            *attrs, method = chain
+            # ``self.x.y.meth()`` / ``param.meth()`` via annotated types.
+            class_id = fn.class_id if root == "self" else local_types.get(root)
+            if class_id is not None:
+                for attr in attrs:
+                    next_id = self.project.attr_type(class_id, attr)
+                    if next_id is None:
+                        class_id = None
+                        break
+                    class_id = next_id
+                if class_id is not None:
+                    resolved = self.project.lookup_method(class_id, method)
+                    if resolved is not None:
+                        return resolved
+            # ``module.func()`` via the canonical name.
+            canonical = fn.ctx.canonical_name(func)
+            return self._function_or_init(canonical)
+        return None
+
+    def _function_or_init(self, canonical: str | None) -> str | None:
+        if canonical is None:
+            return None
+        if canonical in self.project.functions:
+            return canonical
+        if canonical in self.project.classes:
+            init = self.project.lookup_method(canonical, "__init__")
+            if init is not None:
+                return init
+        # ``from x import Class`` then ``Class.method`` as an unbound
+        # attribute — try a method lookup on the prefix.
+        if "." in canonical:
+            prefix, method = canonical.rsplit(".", 1)
+            if prefix in self.project.classes:
+                return self.project.lookup_method(prefix, method)
+        return None
+
+
+def build_call_graph(project: Project) -> dict[str, FunctionFacts]:
+    """Facts (base effects, taints, edges) for every project function."""
+    return CallGraphBuilder(project).build()

@@ -1,0 +1,199 @@
+"""The whole-program rules: EFF01, PUR01, EFF02.
+
+Each rule yields ``(Diagnostic, fingerprint)`` pairs; fingerprints are
+line-independent identities consumed by the baseline ratchet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.flow import FlowAnalysis
+from repro.analysis.flow.actions import ActionSite
+from repro.analysis.flow.baseline import fingerprint
+from repro.analysis.flow.effects import writes_of
+from repro.analysis.flow.summaries import explain_chain
+from repro.analysis.registry import register_project
+
+Finding = tuple[Diagnostic, str]
+
+
+# ----------------------------------------------------------------------
+# EFF01 — declared Action footprints must cover inferred effects
+# ----------------------------------------------------------------------
+@register_project(
+    "EFF01",
+    "explore Action footprints must be sound supersets of the generator's "
+    "inferred transitive effects",
+)
+def check_footprint_soundness(analysis: FlowAnalysis) -> Iterator[Finding]:
+    """EFF01: every Action's declared footprint covers its inferred effects."""
+    for error in analysis.actions.errors:
+        yield (
+            Diagnostic(
+                path=error.path,
+                line=error.line,
+                col=1,
+                code="EFF01",
+                message=error.message,
+            ),
+            fingerprint("EFF01", error.module, "ACTION_EFFECTS", error.message),
+        )
+    for site in analysis.actions.sites:
+        yield from _check_site_footprint(analysis, site)
+
+
+def _check_site_footprint(
+    analysis: FlowAnalysis, site: ActionSite
+) -> Iterator[Finding]:
+    if site.gen_fn is None:
+        yield (
+            _site_diag(
+                site,
+                f"Action kind {site.kind!r}: the gen= generator cannot be "
+                "resolved statically, so its footprint cannot be proved sound; "
+                "construct it via a direct method/function call",
+            ),
+            fingerprint("EFF01", site.module, site.kind, "unresolved-generator"),
+        )
+        return
+    declared = analysis.actions.declared_for(site)
+    if declared is None:
+        yield (
+            _site_diag(
+                site,
+                f"Action kind {site.kind!r} has no declared footprint: add an "
+                f"ACTION_EFFECTS[{site.kind!r}] entry in module {site.module} "
+                "covering the generator's effects",
+            ),
+            fingerprint("EFF01", site.module, site.kind, "undeclared"),
+        )
+        return
+    summary = analysis.summaries.get(site.gen_fn)
+    inferred = summary.effects if summary is not None else frozenset()
+    for item in sorted(inferred - declared):
+        chain = explain_chain(analysis.summaries, site.gen_fn, item)
+        yield (
+            _site_diag(
+                site,
+                f"Action kind {site.kind!r} under-declares its footprint: "
+                f"inferred effect '{item}' is missing from "
+                f"ACTION_EFFECTS[{site.kind!r}]; leaking call chain: {chain}",
+            ),
+            fingerprint("EFF01", site.module, site.kind, item),
+        )
+
+
+def _site_diag(site: ActionSite, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=site.path, line=site.line, col=site.col, code="EFF01", message=message
+    )
+
+
+# ----------------------------------------------------------------------
+# PUR01 — no nondeterminism may reach the deterministic core
+# ----------------------------------------------------------------------
+#: Module prefixes whose behaviour must replay byte-identically: the
+#: simulator (cost model), the tuner's gain machinery, the schedulers,
+#: and WAL-record construction. An unseeded rng draw, wall-clock read
+#: or host-fs enumeration anywhere in their call graphs breaks replay.
+SINK_PREFIXES: tuple[str, ...] = (
+    "repro.core.simulator",
+    "repro.recovery.wal",
+    "repro.scheduling",
+    "repro.tuning.gain",
+    "repro.tuning.incremental",
+)
+
+
+def _in_sinks(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in SINK_PREFIXES
+    )
+
+
+@register_project(
+    "PUR01",
+    "unseeded rng / wall-clock / host-fs nondeterminism must not reach the "
+    "simulator, gain model, schedulers or WAL construction",
+)
+def check_determinism_taint(analysis: FlowAnalysis) -> Iterator[Finding]:
+    """PUR01: no nondeterminism taint may enter a replay-critical sink."""
+    for fn_id in sorted(analysis.summaries):
+        fn = analysis.project.functions.get(fn_id)
+        if fn is None or not _in_sinks(fn.module):
+            continue
+        summary = analysis.summaries[fn_id]
+        for tag in sorted(summary.taints):
+            record = summary.provenance.get(f"taint:{tag}")
+            if record is not None and record[0] == "call":
+                callee = analysis.project.functions.get(str(record[1]))
+                if callee is not None and _in_sinks(callee.module):
+                    # The taint entered the sink region at the callee;
+                    # one finding per entry point, not per caller.
+                    continue
+            chain = explain_chain(analysis.summaries, fn_id, tag, kind="taint")
+            yield (
+                Diagnostic(
+                    path=str(fn.ctx.path),
+                    line=fn.node.lineno,
+                    col=fn.node.col_offset + 1,
+                    code="PUR01",
+                    message=(
+                        f"determinism taint '{tag}' reaches {fn_id}, which must "
+                        f"replay byte-identically; taint chain: {chain}"
+                    ),
+                ),
+                fingerprint("PUR01", fn.module, fn.qualname, tag),
+            )
+
+
+# ----------------------------------------------------------------------
+# EFF02 — commutativity audit of the oracle's independence relation
+# ----------------------------------------------------------------------
+#: Resources whose shared structure makes "disjoint keys => commutes" a
+#: claim worth auditing. metrics is append-only commutative by design;
+#: billing advances with the stamped storage clock; fs writes are the
+#: WAL's own ordered appends.
+AUDITED_RESOURCES: tuple[str, ...] = ("catalog", "history", "pool", "storage")
+
+
+@register_project(
+    "EFF02",
+    "actions whose generators write multiple shared resources while claiming "
+    "a keyed (non-global) footprint need a commutativity justification",
+)
+def check_commutativity(analysis: FlowAnalysis) -> Iterator[Finding]:
+    """EFF02: keyed-footprint actions writing several shared resources."""
+    for site in analysis.actions.sites:
+        if site.resources_kind == "all" or site.gen_fn is None:
+            continue
+        summary = analysis.summaries.get(site.gen_fn)
+        if summary is None:
+            continue
+        shared = sorted(writes_of(summary.effects) & set(AUDITED_RESOURCES))
+        if len(shared) < 2:
+            continue
+        yield (
+            _eff02_diag(site, shared),
+            fingerprint("EFF02", site.module, site.kind, "+".join(shared)),
+        )
+
+
+def _eff02_diag(site: ActionSite, shared: Iterable[str]) -> Diagnostic:
+    resources = ", ".join(shared)
+    return Diagnostic(
+        path=site.path,
+        line=site.line,
+        col=site.col,
+        code="EFF02",
+        message=(
+            f"Action kind {site.kind!r} claims a {site.resources_kind} resource "
+            f"footprint but its generator writes {{{resources}}}: the "
+            "InterleavingOracle treats two instances with disjoint keys as "
+            "independent, so these writes must commute (justify in the "
+            "baseline or widen the footprint to ALL_RESOURCES)"
+        ),
+    )

@@ -1,0 +1,311 @@
+"""The effect lattice and the primitive effect model.
+
+The flow analysis abstracts every function's behaviour to a set of
+*effects* on a small, closed vocabulary of shared resources — the state
+the paper's online build/delete/kill protocol (Sec. 4) races over, plus
+the determinism-relevant host facilities:
+
+====================  ==================================================
+resource              what it stands for
+====================  ==================================================
+``billing``           the money integrals (pricing, quantum bills,
+                      MB*s storage cost)
+``catalog``           the index catalog: partitions, built flags,
+                      checkpoints, cost model
+``storage``           the cloud object store (puts/deletes/billing clock)
+``history``           the sliding gain window of executed dataflows
+``pool``              the shared container pool
+``metrics``           counters/journal/trace sinks (commutative appends)
+``rng``               the seeded random streams (draws mutate them)
+``clock``             the host wall clock (reads are nondeterministic)
+``fs``                the host filesystem (WAL, snapshots, replay files)
+====================  ==================================================
+
+An effect is a string ``"<resource>:<polarity>"`` with polarity ``r``
+(read) or ``w`` (write/mutate); sets of them are plain ``frozenset``
+instances so the whole analysis stays hashable and byte-deterministic.
+
+Alongside the footprint effects the model tracks **determinism taints**
+— the three ways nondeterminism enters a call chain: an unseeded
+``rng`` construction or global-state draw, a wall-``clock`` read, and
+host-``fs`` state enumeration (directory listings, globs — the classic
+unsorted-``listdir`` bug). Seeded, threaded generators are rng *effects*
+but never rng *taints*.
+
+The primitive model below is heuristic by construction (Python has no
+effect system); it is deliberately *conservative in names*: any method
+call, attribute store or iteration touching an object whose name or
+annotated type maps to a resource counts. The mapping tables are the
+single place to extend when a new resource-bearing object appears.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+#: The closed resource vocabulary, sorted (report order).
+RESOURCES: tuple[str, ...] = (
+    "billing",
+    "catalog",
+    "clock",
+    "fs",
+    "history",
+    "metrics",
+    "pool",
+    "rng",
+    "storage",
+)
+
+#: Determinism-taint tags tracked alongside the footprint effects.
+TAINTS: tuple[str, ...] = ("clock", "fs", "rng")
+
+_RESOURCE_SET = frozenset(RESOURCES)
+_POLARITIES = ("r", "w")
+
+
+def effect(resource: str, polarity: str) -> str:
+    """The canonical encoding of one effect (``"storage:w"``)."""
+    if resource not in _RESOURCE_SET:
+        raise ValueError(f"unknown resource {resource!r}; valid: {', '.join(RESOURCES)}")
+    if polarity not in _POLARITIES:
+        raise ValueError(f"polarity must be 'r' or 'w', got {polarity!r}")
+    return f"{resource}:{polarity}"
+
+
+def parse_effect(item: str) -> tuple[str, str]:
+    """Validate and split one ``resource:polarity`` string."""
+    resource, sep, polarity = item.partition(":")
+    if not sep or resource not in _RESOURCE_SET or polarity not in _POLARITIES:
+        raise ValueError(
+            f"invalid effect {item!r}; expected <resource>:<r|w> with resource "
+            f"in {{{', '.join(RESOURCES)}}}"
+        )
+    return resource, polarity
+
+
+def validate_effects(items: Iterable[str]) -> frozenset[str]:
+    """Validate a collection of effect strings; returns them as a frozenset."""
+    out = set()
+    for item in items:
+        parse_effect(item)
+        out.add(item)
+    return frozenset(out)
+
+
+def writes_of(effects: frozenset[str]) -> frozenset[str]:
+    """The resources written by an effect set."""
+    return frozenset(e.split(":", 1)[0] for e in effects if e.endswith(":w"))
+
+
+def reads_of(effects: frozenset[str]) -> frozenset[str]:
+    """The resources read by an effect set."""
+    return frozenset(e.split(":", 1)[0] for e in effects if e.endswith(":r"))
+
+
+# ----------------------------------------------------------------------
+# Object-name and type based resource attribution
+# ----------------------------------------------------------------------
+#: Identifier -> resource. Applied to every segment of an attribute
+#: chain (``self.tuner.history.add`` hits ``history``) and to bare
+#: parameter/local names (``metrics.snapshots.append`` hits ``metrics``).
+OBJECT_RESOURCES: dict[str, str] = {
+    "billing": "billing",
+    "pricing": "billing",
+    "catalog": "catalog",
+    "storage": "storage",
+    "history": "history",
+    "pool": "pool",
+    "metrics": "metrics",
+    "obs": "metrics",
+    "journal": "metrics",
+    "tracer": "metrics",
+    "rng": "rng",
+    "injector": "rng",
+    "retry_policy": "rng",
+    "recovery": "fs",
+    "wal": "fs",
+}
+
+#: Annotated class name (unqualified) -> resource, for receivers whose
+#: *type* rather than name identifies the resource.
+CLASS_RESOURCES: dict[str, str] = {
+    "PricingModel": "billing",
+    "Catalog": "catalog",
+    "CloudStorage": "storage",
+    "DataflowHistory": "history",
+    "ContainerPool": "pool",
+    "ServiceMetrics": "metrics",
+    "MetricsRegistry": "metrics",
+    "Observation": "metrics",
+    "RecordingJournal": "metrics",
+    "Generator": "rng",
+    "FaultInjector": "rng",
+    "RetryPolicy": "rng",
+    "RecoveryLog": "fs",
+    "WriteAheadLog": "fs",
+}
+
+#: Method-name prefixes that mutate their receiver. Anything else on a
+#: resource object counts as a read — except rng, where *every* method
+#: call advances the stream and is therefore a write.
+WRITE_VERBS: tuple[str, ...] = (
+    "acquire",
+    "add",
+    "advance",
+    "append",
+    "charge",
+    "clear",
+    "commit",
+    "dec",
+    "delete",
+    "drop",
+    "emit",
+    "extend",
+    "fill",
+    "inc",
+    "insert",
+    "invalidate",
+    "kill",
+    "mark",
+    "observe",
+    "pop",
+    "push",
+    "put",
+    "record",
+    "release",
+    "remove",
+    "reset",
+    "set",
+    "update",
+    "write",
+)
+
+#: Storage mutations also move money: the MB*s integral (Eq. 6) advances
+#: with every put/delete, so a storage write implies a billing write.
+IMPLIED_EFFECTS: dict[str, frozenset[str]] = {
+    "storage:w": frozenset({"billing:w"}),
+}
+
+
+def is_write_verb(method: str) -> bool:
+    """Whether a method name reads as a mutation."""
+    return method.startswith(WRITE_VERBS)
+
+
+# ----------------------------------------------------------------------
+# Primitive external calls (canonical dotted names, post alias
+# resolution — the same canonicalisation DET01 uses)
+# ----------------------------------------------------------------------
+#: call target -> (effects, taints, human detail)
+PRIMITIVE_CALLS: dict[str, tuple[frozenset[str], frozenset[str], str]] = {
+    # wall clock
+    "time.time": (frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read"),
+    "time.time_ns": (frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read"),
+    "time.monotonic": (frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read"),
+    "time.monotonic_ns": (frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read"),
+    "time.perf_counter": (frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read"),
+    "time.perf_counter_ns": (
+        frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read",
+    ),
+    "datetime.datetime.now": (
+        frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read",
+    ),
+    "datetime.datetime.utcnow": (
+        frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read",
+    ),
+    "datetime.datetime.today": (
+        frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read",
+    ),
+    "datetime.date.today": (
+        frozenset({"clock:r"}), frozenset({"clock"}), "wall-clock read",
+    ),
+    # host-fs state enumeration (unsorted, ambient)
+    "os.listdir": (frozenset({"fs:r"}), frozenset({"fs"}), "directory listing"),
+    "os.scandir": (frozenset({"fs:r"}), frozenset({"fs"}), "directory listing"),
+    "os.walk": (frozenset({"fs:r"}), frozenset({"fs"}), "directory walk"),
+    "glob.glob": (frozenset({"fs:r"}), frozenset({"fs"}), "filesystem glob"),
+    "glob.iglob": (frozenset({"fs:r"}), frozenset({"fs"}), "filesystem glob"),
+    "os.urandom": (frozenset({"rng:w"}), frozenset({"rng"}), "OS entropy"),
+    # os-entropy randomness
+    "random.SystemRandom": (
+        frozenset({"rng:w"}), frozenset({"rng"}), "OS-entropy randomness",
+    ),
+}
+
+#: Deterministic fs primitives: effects without taint (reading or
+#: writing an explicitly named path replays byte-identically).
+FS_CALLS: dict[str, frozenset[str]] = {
+    "open": frozenset({"fs:r", "fs:w"}),
+    "os.replace": frozenset({"fs:w"}),
+    "os.remove": frozenset({"fs:w"}),
+    "os.unlink": frozenset({"fs:w"}),
+    "os.fsync": frozenset({"fs:w"}),
+    "os.makedirs": frozenset({"fs:w"}),
+    "os.mkdir": frozenset({"fs:w"}),
+    "shutil.copy": frozenset({"fs:r", "fs:w"}),
+    "shutil.copyfile": frozenset({"fs:r", "fs:w"}),
+    "shutil.rmtree": frozenset({"fs:w"}),
+}
+
+
+def _call_has_arguments(node: ast.Call) -> bool:
+    return bool(node.args or node.keywords)
+
+
+def primitive_call_items(
+    target: str, node: ast.Call
+) -> tuple[frozenset[str], frozenset[str], str] | None:
+    """Effects/taints of a canonical external call target, if any.
+
+    Mirrors DET01's classification: seeded numpy constructors are
+    effect-free (constructing a generator is not a draw); the unseeded
+    forms and every global-state draw are rng taints.
+    """
+    hit = PRIMITIVE_CALLS.get(target)
+    if hit is not None:
+        return hit
+    fs = FS_CALLS.get(target)
+    if fs is not None:
+        return fs, frozenset(), "filesystem access"
+    if target.startswith("random."):
+        # random.Random(seed) is fine; everything else on the module is
+        # the global stream (a draw: rng write + taint).
+        if target == "random.Random":
+            if _call_has_arguments(node):
+                return None
+            return frozenset({"rng:w"}), frozenset({"rng"}), "unseeded random.Random()"
+        return (
+            frozenset({"rng:w"}),
+            frozenset({"rng"}),
+            "global random-state draw",
+        )
+    if target.startswith("numpy.random."):
+        tail = target.removeprefix("numpy.random.")
+        if tail in ("default_rng", "RandomState"):
+            if _call_has_arguments(node):
+                return None
+            return (
+                frozenset({"rng:w"}),
+                frozenset({"rng"}),
+                f"unseeded numpy.random.{tail}()",
+            )
+        if tail in (
+            "Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM",
+            "MT19937", "Philox", "SFC64",
+        ):
+            return None
+        return (
+            frozenset({"rng:w"}),
+            frozenset({"rng"}),
+            "numpy global random-state draw",
+        )
+    return None
+
+
+def close_effects(effects: set[str]) -> frozenset[str]:
+    """Apply the implied-effect closure (storage:w => billing:w)."""
+    out = set(effects)
+    for item in list(out):
+        out |= IMPLIED_EFFECTS.get(item, frozenset())
+    return frozenset(out)

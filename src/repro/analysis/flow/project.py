@@ -1,0 +1,400 @@
+"""Whole-program index: every module, class, function and their types.
+
+The per-module :class:`~repro.analysis.context.ModuleContext` already
+resolves import aliases to canonical dotted names; this module lifts
+that to project scope. It indexes
+
+* every function/method/nested function under a stable id
+  ``<module>.<qualname>`` (``repro.core.service.QaaSService.step``,
+  ``repro.explore.scenarios._build_toy.<locals>.driver``),
+* every class with its resolved base classes, its methods, and the
+  types of its attributes — gathered from class-body annotations
+  (dataclass fields), ``self.x: T = ...`` / ``self.x = T(...)``
+  assignments, and ``self.x = param`` aliasing of annotated
+  ``__init__`` parameters,
+
+which is exactly what the call-graph builder needs for method dispatch
+via annotated receiver types. Everything is collected in deterministic
+(sorted) order so downstream reports are byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ModuleContext
+
+
+def walk_own_body(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterable[ast.AST]:
+    """Walk a function's own statements without entering nested defs.
+
+    Nested functions and lambdas are separate analysis units (they only
+    contribute effects when *called*), so every per-function pass uses
+    this instead of :func:`ast.walk`.
+    """
+    queue: list[ast.AST] = list(fn.body)
+    while queue:
+        node = queue.pop(0)
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            queue.append(child)
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method/nested function in the project."""
+
+    fn_id: str  #: ``<module>.<qualname>``
+    module: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: ModuleContext
+    class_id: str | None  #: enclosing class id, for ``self`` dispatch
+    #: ids of functions lexically visible as plain names from this body
+    #: (siblings + enclosing scopes), for closure/nested-call resolution.
+    local_scope: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_generator(self) -> bool:
+        return any(
+            isinstance(sub, (ast.Yield, ast.YieldFrom))
+            for sub in walk_own_body(self.node)
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, methods, attribute types."""
+
+    class_id: str  #: ``<module>.<ClassName>``
+    module: str
+    name: str
+    base_ids: list[str] = field(default_factory=list)
+    #: method name -> function id
+    methods: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> class id (resolved annotation / constructor)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> raw annotated class name (for CLASS_RESOURCES)
+    attr_type_names: dict[str, str] = field(default_factory=dict)
+
+
+class Project:
+    """The parsed project: module contexts plus cross-module indexes."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]) -> None:
+        #: module name -> context (modules without a resolvable name are
+        #: skipped: nothing can call into them by qualified name).
+        self.modules: dict[str, ModuleContext] = {}
+        for ctx in contexts:
+            if ctx.module is not None:
+                self.modules[ctx.module] = ctx
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        for module in sorted(self.modules):
+            self._index_module(self.modules[module])
+        for class_id in sorted(self.classes):
+            self._resolve_class(self.classes[class_id])
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index_module(self, ctx: ModuleContext) -> None:
+        assert ctx.module is not None
+        module_scope: dict[str, str] = {}
+        # Two passes so forward references between siblings resolve.
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module_scope[node.name] = f"{ctx.module}.{node.name}"
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(
+                    ctx, node, qualname=node.name, class_id=None,
+                    scope=dict(module_scope),
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(ctx, node, module_scope)
+
+    def _index_class(
+        self, ctx: ModuleContext, node: ast.ClassDef, module_scope: dict[str, str]
+    ) -> None:
+        assert ctx.module is not None
+        class_id = f"{ctx.module}.{node.name}"
+        info = ClassInfo(class_id=class_id, module=ctx.module, name=node.name)
+        for base in node.bases:
+            resolved = self._resolve_class_expr(ctx, base)
+            if resolved is not None:
+                info.base_ids.append(resolved)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{node.name}.{item.name}"
+                info.methods[item.name] = f"{ctx.module}.{qualname}"
+                self._index_function(
+                    ctx, item, qualname=qualname, class_id=class_id,
+                    scope=dict(module_scope),
+                )
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                self._note_attr_type(ctx, info, item.target.id, item.annotation)
+        self.classes[class_id] = info
+
+    def _index_function(
+        self,
+        ctx: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        class_id: str | None,
+        scope: dict[str, str],
+    ) -> None:
+        assert ctx.module is not None
+        fn_id = f"{ctx.module}.{qualname}"
+        # Nested defs are visible to this body (and to each other).
+        nested = [
+            item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for item in nested:
+            scope[item.name] = f"{fn_id}.<locals>.{item.name}"
+        self.functions[fn_id] = FunctionInfo(
+            fn_id=fn_id,
+            module=ctx.module,
+            qualname=qualname,
+            node=node,
+            ctx=ctx,
+            class_id=class_id,
+            local_scope=dict(scope),
+        )
+        for item in nested:
+            self._index_function(
+                ctx, item,
+                qualname=f"{qualname}.<locals>.{item.name}",
+                class_id=class_id,
+                scope=dict(scope),
+            )
+
+    # ------------------------------------------------------------------
+    # Type resolution
+    # ------------------------------------------------------------------
+    def _resolve_class_expr(self, ctx: ModuleContext, node: ast.expr) -> str | None:
+        """The project class id an annotation/base expression names."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            # ``T | None`` — try both arms, prefer the one that resolves.
+            return self._resolve_class_expr(ctx, node.left) or self._resolve_class_expr(
+                ctx, node.right
+            )
+        if isinstance(node, ast.Subscript):
+            # ``Optional[T]`` resolves to T; containers stay opaque.
+            base = self._annotation_name(ctx, node.value)
+            if base is not None and base.rsplit(".", 1)[-1] == "Optional":
+                return self._resolve_class_expr(ctx, node.slice)
+            return None
+        name = self._annotation_name(ctx, node)
+        if name is None:
+            return None
+        if name in self.classes:
+            return name
+        if ctx.module is not None:
+            local = f"{ctx.module}.{name}"
+            if local in self.classes:
+                return local
+        return None
+
+    @staticmethod
+    def _annotation_name(ctx: ModuleContext, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return ctx.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            return ctx.canonical_name(node)
+        return None
+
+    def _note_attr_type(
+        self, ctx: ModuleContext, info: ClassInfo, attr: str, annotation: ast.expr
+    ) -> None:
+        resolved = self._resolve_class_expr(ctx, annotation)
+        if resolved is not None:
+            info.attr_types[attr] = resolved
+        name = self._annotation_tail(ctx, annotation)
+        if name is not None:
+            info.attr_type_names.setdefault(attr, name)
+
+    def _annotation_tail(self, ctx: ModuleContext, node: ast.expr) -> str | None:
+        """The unqualified class name an annotation ends in, if any."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._annotation_tail(ctx, node.left) or self._annotation_tail(
+                ctx, node.right
+            )
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def _resolve_class(self, info: ClassInfo) -> None:
+        """Second pass: attribute types from every method body."""
+        ctx = self.modules[info.module]
+        for method_name in sorted(info.methods):
+            fn = self.functions[info.methods[method_name]]
+            param_types = self.parameter_types(fn)
+            param_type_names = self.parameter_type_names(fn)
+            for node in ast.walk(fn.node):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                annotation: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value, annotation = node.target, node.value, node.annotation
+                if (
+                    not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                attr = target.attr
+                if annotation is not None:
+                    self._note_attr_type(ctx, info, attr, annotation)
+                if attr in info.attr_types or value is None:
+                    continue
+                resolved, type_name = self._infer_value_type(
+                    ctx, value, param_types, param_type_names
+                )
+                if resolved is not None:
+                    info.attr_types[attr] = resolved
+                if type_name is not None:
+                    info.attr_type_names.setdefault(attr, type_name)
+
+    def _infer_value_type(
+        self,
+        ctx: ModuleContext,
+        value: ast.expr,
+        param_types: dict[str, str],
+        param_type_names: dict[str, str],
+    ) -> tuple[str | None, str | None]:
+        """Type of ``self.x = <value>``: constructor call, annotated
+        parameter, or either arm of a ``a if cond else b``."""
+        if isinstance(value, ast.IfExp):
+            for arm in (value.body, value.orelse):
+                resolved, name = self._infer_value_type(
+                    ctx, arm, param_types, param_type_names
+                )
+                if resolved is not None or name is not None:
+                    return resolved, name
+            return None, None
+        if isinstance(value, ast.Call):
+            resolved = self._resolve_class_expr(ctx, value.func)
+            name = self._annotation_tail(ctx, value.func)
+            return resolved, name
+        if isinstance(value, ast.Name):
+            return param_types.get(value.id), param_type_names.get(value.id)
+        return None, None
+
+    # ------------------------------------------------------------------
+    # Lookup helpers used by the call-graph builder
+    # ------------------------------------------------------------------
+    def parameter_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Annotated parameter name -> resolved project class id."""
+        out: dict[str, str] = {}
+        for arg in [*fn.node.args.posonlyargs, *fn.node.args.args, *fn.node.args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            resolved = self._resolve_class_expr(fn.ctx, arg.annotation)
+            if resolved is not None:
+                out[arg.arg] = resolved
+        return out
+
+    def parameter_type_names(self, fn: FunctionInfo) -> dict[str, str]:
+        """Annotated parameter name -> unqualified type name."""
+        out: dict[str, str] = {}
+        for arg in [*fn.node.args.posonlyargs, *fn.node.args.args, *fn.node.args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            name = self._annotation_tail(fn.ctx, arg.annotation)
+            if name is not None:
+                out[arg.arg] = name
+        return out
+
+    def lookup_method(self, class_id: str, method: str) -> str | None:
+        """Resolve a method through the class and its (project) bases."""
+        seen: set[str] = set()
+        stack = [class_id]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack.extend(info.base_ids)
+        return None
+
+    def attr_type(self, class_id: str, attr: str) -> str | None:
+        """Resolve an attribute's class through the class and its bases."""
+        seen: set[str] = set()
+        stack = [class_id]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            stack.extend(info.base_ids)
+        return None
+
+    def attr_type_name(self, class_id: str, attr: str) -> str | None:
+        """Unqualified annotated type name of an attribute, if known."""
+        seen: set[str] = set()
+        stack = [class_id]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if attr in info.attr_type_names:
+                return info.attr_type_names[attr]
+            stack.extend(info.base_ids)
+        return None
+
+
+def load_project(contexts: Iterable[ModuleContext]) -> Project:
+    """Build the project index from parsed module contexts."""
+    return Project(list(contexts))
+
+
+def parse_paths(files: Sequence[Path]) -> tuple[list[ModuleContext], list[Path]]:
+    """Parse files into contexts; unparsable files are returned separately."""
+    contexts: list[ModuleContext] = []
+    broken: list[Path] = []
+    for path in sorted(files):
+        try:
+            contexts.append(ModuleContext.parse(path.read_text(), path))
+        except SyntaxError:
+            broken.append(path)
+    return contexts, broken

@@ -1,0 +1,121 @@
+"""Fixpoint effect summaries over the project call graph.
+
+A function's *transitive* summary is its own base effects/taints plus
+the union of its callees' summaries. Both domains are finite powersets
+(9 resources x 2 polarities; 3 taint tags) and the transfer function is
+a monotone union, so the worklist iteration reaches a fixpoint in at
+most ``|items| * |functions|`` steps — recursion and cycles included.
+
+Provenance is tracked alongside: for every (function, item) the solver
+remembers *how the item first arrived* — a local primitive site or the
+call edge that imported it — which :func:`explain_chain` unwinds into
+the ``f -> g -> h (file:line: detail)`` chains quoted by EFF01/PUR01
+diagnostics. First-arrival is resolved in deterministic (sorted)
+order, so the quoted chain is byte-stable across runs and hash seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.callgraph import FunctionFacts, Origin
+
+
+@dataclass
+class Summary:
+    """Transitive effects/taints of one function."""
+
+    fn_id: str
+    effects: frozenset[str] = frozenset()
+    taints: frozenset[str] = frozenset()
+    #: item -> ("local", Origin) or ("call", callee_id, line)
+    provenance: dict[str, tuple[object, ...]] = field(default_factory=dict)
+
+
+def solve(facts: dict[str, FunctionFacts]) -> dict[str, Summary]:
+    """Solve all function summaries to a fixpoint."""
+    summaries: dict[str, Summary] = {}
+    callers: dict[str, list[str]] = {fn_id: [] for fn_id in facts}
+    for fn_id in sorted(facts):
+        fact = facts[fn_id]
+        summary = Summary(fn_id=fn_id)
+        items: set[str] = set()
+        for item in sorted(fact.effects):
+            items.add(f"eff:{item}")
+            summary.provenance[f"eff:{item}"] = ("local", fact.effects[item])
+        for tag in sorted(fact.taints):
+            items.add(f"taint:{tag}")
+            summary.provenance[f"taint:{tag}"] = ("local", fact.taints[tag])
+        summary.effects = frozenset(sorted(fact.effects))
+        summary.taints = frozenset(sorted(fact.taints))
+        summaries[fn_id] = summary
+        for edge in fact.calls:
+            if edge.callee in callers:
+                callers[edge.callee].append(fn_id)
+
+    worklist = sorted(facts)
+    queued = set(worklist)
+    while worklist:
+        fn_id = worklist.pop(0)
+        queued.discard(fn_id)
+        summary = summaries[fn_id]
+        changed = False
+        for edge in facts[fn_id].calls:
+            callee = summaries.get(edge.callee)
+            if callee is None:
+                continue
+            new_effects = callee.effects - summary.effects
+            new_taints = callee.taints - summary.taints
+            if new_effects:
+                summary.effects = summary.effects | new_effects
+                for item in sorted(new_effects):
+                    summary.provenance[f"eff:{item}"] = (
+                        "call", edge.callee, edge.line,
+                    )
+                changed = True
+            if new_taints:
+                summary.taints = summary.taints | new_taints
+                for tag in sorted(new_taints):
+                    summary.provenance[f"taint:{tag}"] = (
+                        "call", edge.callee, edge.line,
+                    )
+                changed = True
+        if changed:
+            for caller in sorted(set(callers.get(fn_id, []))):
+                if caller not in queued:
+                    worklist.append(caller)
+                    queued.add(caller)
+    return summaries
+
+
+def explain_chain(
+    summaries: dict[str, Summary], fn_id: str, item: str, kind: str = "eff"
+) -> str:
+    """The call chain through which ``item`` reaches ``fn_id``.
+
+    Renders ``a -> b -> c (line N: detail)`` with fully qualified
+    function ids; cycles terminate at the first repeat.
+    """
+    key = f"{kind}:{item}"
+    chain: list[str] = []
+    seen: set[str] = set()
+    current = fn_id
+    while True:
+        if current in seen:
+            chain.append(f"{current} (recursive)")
+            break
+        seen.add(current)
+        summary = summaries.get(current)
+        if summary is None or key not in summary.provenance:
+            chain.append(current)
+            break
+        record = summary.provenance[key]
+        if record[0] == "local":
+            origin = record[1]
+            assert isinstance(origin, Origin)
+            chain.append(f"{current} (line {origin.line}: {origin.detail})")
+            break
+        _, callee, line = record
+        chain.append(f"{current} (line {line})")
+        current = str(callee)
+    return " -> ".join(chain)

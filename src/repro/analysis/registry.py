@@ -1,25 +1,41 @@
 """Pluggable checker registry.
 
-A checker is a function ``(ModuleContext) -> Iterable[Diagnostic]``
+A *module* checker is a function ``(ModuleContext) -> Iterable[Diagnostic]``
 registered under a stable rule code via the :func:`register` decorator.
 New rules drop in by adding a module under ``repro.analysis.checkers``
 and decorating one function — the runner discovers them through this
 registry, never through hard-coded lists.
+
+A *project* checker sees the whole program at once: it is a function
+``(FlowAnalysis) -> Iterable[tuple[Diagnostic, fingerprint]]``
+registered via :func:`register_project`. Project rules run only under
+``repro-lint --flow`` (they need the interprocedural summaries), and
+each finding carries a line-independent *fingerprint* used by the
+baseline ratchet (see :mod:`repro.analysis.flow.baseline`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.diagnostics import Diagnostic
 
 CheckerFn = Callable[[ModuleContext], Iterable[Diagnostic]]
+#: ``(FlowAnalysis) -> iterable of (diagnostic, fingerprint)``. Typed as
+#: ``Any`` to keep the registry import-light; the concrete argument type
+#: lives in :mod:`repro.analysis.flow`.
+ProjectCheckerFn = Callable[[Any], Iterable[tuple[Diagnostic, str]]]
 
 #: Reserved code for lint infrastructure errors (malformed suppressions,
 #: unparsable files). Not a registrable checker.
 LINT_META_CODE = "LINT00"
+
+#: Reserved code for stale-suppression findings. Emitted by the runner
+#: itself (staleness is only knowable after every selected rule ran),
+#: not by a registrable checker.
+SUPPRESSION_CODE = "SUP01"
 
 
 @dataclass(frozen=True)
@@ -31,16 +47,27 @@ class Rule:
     checker: CheckerFn
 
 
+@dataclass(frozen=True)
+class ProjectRule:
+    """One registered whole-program rule."""
+
+    code: str
+    summary: str
+    checker: ProjectCheckerFn
+
+
 _RULES: dict[str, Rule] = {}
+_PROJECT_RULES: dict[str, ProjectRule] = {}
+_RESERVED = frozenset({LINT_META_CODE, SUPPRESSION_CODE})
 
 
 def register(code: str, summary: str) -> Callable[[CheckerFn], CheckerFn]:
     """Class/function decorator registering a checker under ``code``."""
 
     def decorate(fn: CheckerFn) -> CheckerFn:
-        if code == LINT_META_CODE:
-            raise ValueError(f"{LINT_META_CODE} is reserved for the lint runner")
-        if code in _RULES:
+        if code in _RESERVED:
+            raise ValueError(f"{code} is reserved for the lint runner")
+        if code in _RULES or code in _PROJECT_RULES:
             raise ValueError(f"duplicate rule code {code}")
         _RULES[code] = Rule(code=code, summary=summary, checker=fn)
         return fn
@@ -48,11 +75,42 @@ def register(code: str, summary: str) -> Callable[[CheckerFn], CheckerFn]:
     return decorate
 
 
+def register_project(
+    code: str, summary: str
+) -> Callable[[ProjectCheckerFn], ProjectCheckerFn]:
+    """Decorator registering a whole-program (``--flow``) rule."""
+
+    def decorate(fn: ProjectCheckerFn) -> ProjectCheckerFn:
+        if code in _RESERVED:
+            raise ValueError(f"{code} is reserved for the lint runner")
+        if code in _RULES or code in _PROJECT_RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        _PROJECT_RULES[code] = ProjectRule(code=code, summary=summary, checker=fn)
+        return fn
+
+    return decorate
+
+
 def all_rules() -> list[Rule]:
-    """Registered rules, sorted by code (stable report order)."""
+    """Registered module rules, sorted by code (stable report order)."""
     return [_RULES[code] for code in sorted(_RULES)]
 
 
+def all_project_rules() -> list[ProjectRule]:
+    """Registered whole-program rules, sorted by code."""
+    return [_PROJECT_RULES[code] for code in sorted(_PROJECT_RULES)]
+
+
+def module_codes() -> frozenset[str]:
+    """Codes of the per-module rules only."""
+    return frozenset(_RULES)
+
+
+def project_codes() -> frozenset[str]:
+    """Codes of the whole-program (``--flow``) rules only."""
+    return frozenset(_PROJECT_RULES)
+
+
 def known_codes() -> frozenset[str]:
-    """All valid rule codes, including the reserved meta code."""
-    return frozenset(_RULES) | {LINT_META_CODE}
+    """All valid rule codes, including the reserved runner codes."""
+    return frozenset(_RULES) | frozenset(_PROJECT_RULES) | _RESERVED

@@ -4,12 +4,25 @@ Usage::
 
     python -m repro.analysis src/repro            # full gate (lint + mypy)
     repro-lint src/repro --json report.json       # machine-readable report
+    repro-lint src/repro --flow                   # + whole-program rules
     repro-lint --list-rules                       # what is enforced, and why
     repro-lint tests/analysis_fixtures --no-typecheck --select DET01
 
-Exit status is 0 only when every lint rule passes and the mypy leg did
-not fail (a *skipped* mypy — not installed — does not fail the gate;
-the JSON report records the skip so CI can insist on the real thing).
+Every file is parsed **once**: the same :class:`ModuleContext` feeds the
+per-module rules and (under ``--flow``) the whole-program effect
+analysis, so the flow leg adds no re-parse cost on top of the lint leg.
+
+Whole-program findings ratchet against a checked-in baseline
+(``flow-baseline.json``): new findings fail, enumerated pre-existing
+ones are reported informationally, and entries that no longer match
+anything are stale and also fail — the debt can only shrink. See
+:mod:`repro.analysis.flow.baseline`.
+
+Exit status is 0 only when no error-severity diagnostic fired and the
+mypy leg did not fail (a *skipped* mypy — not installed — does not fail
+the gate; the JSON report records the skip so CI can insist on the real
+thing). Stale-suppression findings (``SUP01``) are warnings by default
+and errors under ``--strict-suppressions``.
 """
 
 from __future__ import annotations
@@ -17,17 +30,35 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
 import repro.analysis.checkers  # noqa: F401  (registers the built-in rules)
+import repro.analysis.flow.checkers  # noqa: F401  (registers the project rules)
 from repro.analysis.context import ModuleContext
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.registry import LINT_META_CODE, all_rules, known_codes
+from repro.analysis.flow import FlowAnalysis, action_report, analyze, run_project_rules
+from repro.analysis.flow.baseline import (
+    load_baseline,
+    render_baseline,
+    split_findings,
+)
+from repro.analysis.registry import (
+    LINT_META_CODE,
+    SUPPRESSION_CODE,
+    all_project_rules,
+    all_rules,
+    known_codes,
+    module_codes,
+    project_codes,
+)
 from repro.analysis.suppressions import SuppressionTable
 from repro.analysis.typecheck import STRICT_PACKAGES, TypecheckResult, run_mypy
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
+
+DEFAULT_BASELINE = "flow-baseline.json"
 
 
 def discover_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -44,53 +75,220 @@ def discover_files(paths: Sequence[str | Path]) -> list[Path]:
     return sorted(files)
 
 
+@dataclass
+class FileEntry:
+    """One parsed source file: the shared AST + its suppression table."""
+
+    path: Path
+    ctx: ModuleContext | None  #: None when the file does not parse
+    table: SuppressionTable
+    parse_problem: Diagnostic | None
+
+
+def load_file(source: str, path: Path, module: str | None = None) -> FileEntry:
+    """Parse one source text into the shared per-file analysis state."""
+    table = SuppressionTable(source, path, known_codes())
+    try:
+        ctx = ModuleContext.parse(source, path, module=module)
+    except SyntaxError as exc:
+        return FileEntry(
+            path=path,
+            ctx=None,
+            table=table,
+            parse_problem=Diagnostic(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=LINT_META_CODE,
+                message=f"file does not parse: {exc.msg}",
+            ),
+        )
+    return FileEntry(path=path, ctx=ctx, table=table, parse_problem=None)
+
+
+def _module_diagnostics(
+    entry: FileEntry, select: frozenset[str] | None
+) -> list[Diagnostic]:
+    if entry.parse_problem is not None:
+        return [entry.parse_problem]
+    diagnostics: list[Diagnostic] = list(entry.table.problems)
+    assert entry.ctx is not None
+    for rule in all_rules():
+        if select is not None and rule.code not in select:
+            continue
+        for diag in rule.checker(entry.ctx):
+            if not entry.table.is_suppressed(diag.code, diag.line):
+                diagnostics.append(diag)
+    return diagnostics
+
+
 def lint_source(
     source: str,
     path: Path,
     module: str | None = None,
     select: frozenset[str] | None = None,
 ) -> list[Diagnostic]:
-    """Run every (selected) registered rule over one source text."""
-    try:
-        ctx = ModuleContext.parse(source, path, module=module)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code=LINT_META_CODE,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    table = SuppressionTable(source, path, known_codes())
-    diagnostics: list[Diagnostic] = list(table.problems)
-    for rule in all_rules():
-        if select is not None and rule.code not in select:
-            continue
-        for diag in rule.checker(ctx):
-            if not table.is_suppressed(diag.code, diag.line):
-                diagnostics.append(diag)
+    """Run every (selected) per-module rule over one source text."""
+    diagnostics = _module_diagnostics(load_file(source, path, module), select)
     return sorted(diagnostics, key=lambda d: (d.path, d.line, d.col, d.code))
 
 
 def lint_paths(
     paths: Sequence[str | Path], select: frozenset[str] | None = None
 ) -> list[Diagnostic]:
-    """Lint every Python file under ``paths``."""
+    """Lint every Python file under ``paths`` (per-module rules only)."""
     diagnostics: list[Diagnostic] = []
     for path in discover_files(paths):
         diagnostics.extend(lint_source(path.read_text(), path, select=select))
     return diagnostics
 
 
+@dataclass
+class GateResult:
+    """Everything one gate run produced."""
+
+    diagnostics: list[Diagnostic]
+    flow: dict[str, object] | None
+    ran_codes: frozenset[str]
+    baseline_written: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+
+def run_gate(
+    paths: Sequence[str | Path],
+    select: frozenset[str] | None = None,
+    flow: bool = False,
+    baseline_path: str | Path = DEFAULT_BASELINE,
+    update_baseline: bool = False,
+    strict_suppressions: bool = False,
+) -> GateResult:
+    """Run the full gate: module rules, optional flow leg, SUP01."""
+    entries = [load_file(p.read_text(), p) for p in discover_files(paths)]
+    diagnostics: list[Diagnostic] = []
+    for entry in entries:
+        diagnostics.extend(_module_diagnostics(entry, select))
+
+    flow_section: dict[str, object] | None = None
+    baseline_written: str | None = None
+    ran = module_codes() if select is None else module_codes() & select
+    if flow:
+        ran = ran | (project_codes() if select is None else project_codes() & select)
+        tables = {str(entry.path): entry.table for entry in entries}
+        contexts = [entry.ctx for entry in entries if entry.ctx is not None]
+        analysis = analyze(contexts)
+        flow_diags, flow_section, baseline_written = _run_flow_leg(
+            analysis, tables, select, baseline_path, update_baseline
+        )
+        diagnostics.extend(flow_diags)
+
+    # Staleness is knowable only after every selected rule (including the
+    # flow leg) has had its chance to hit each suppression.
+    severity = "error" if strict_suppressions else "warning"
+    if select is None or SUPPRESSION_CODE in select:
+        for entry in entries:
+            diagnostics.extend(entry.table.stale(ran, severity=severity))
+
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code, d.message))
+    return GateResult(
+        diagnostics=diagnostics,
+        flow=flow_section,
+        ran_codes=frozenset(ran),
+        baseline_written=baseline_written,
+    )
+
+
+def _run_flow_leg(
+    analysis: FlowAnalysis,
+    tables: dict[str, SuppressionTable],
+    select: frozenset[str] | None,
+    baseline_path: str | Path,
+    update_baseline: bool,
+) -> tuple[list[Diagnostic], dict[str, object], str | None]:
+    findings = run_project_rules(analysis, select=select)
+    kept = []
+    for finding in findings:
+        table = tables.get(finding.diagnostic.path)
+        if table is not None and table.is_suppressed(
+            finding.diagnostic.code, finding.diagnostic.line
+        ):
+            continue
+        kept.append(finding)
+
+    baseline = load_baseline(baseline_path)
+    fingerprints = [finding.fingerprint for finding in kept]
+    new_indices, baselined, stale = split_findings(fingerprints, baseline)
+
+    # A baseline entry is stale only if its rule actually ran: under
+    # --select a skipped rule produces no findings, which must not read
+    # as "the debt was paid".
+    ran_flow = {
+        rule.code
+        for rule in all_project_rules()
+        if select is None or rule.code in select
+    }
+    preserved = [
+        entry for entry in stale if entry.split("|", 1)[0] not in ran_flow
+    ]
+    stale = [entry for entry in stale if entry.split("|", 1)[0] in ran_flow]
+
+    diagnostics = [kept[index].diagnostic for index in new_indices]
+    baseline_written: str | None = None
+    if update_baseline:
+        Path(baseline_path).write_text(
+            render_baseline(fingerprints + preserved, baseline)
+        )
+        baseline_written = str(baseline_path)
+        diagnostics = []  # the refreshed baseline covers everything current
+        stale = []
+    else:
+        for fingerprint in stale:
+            diagnostics.append(
+                Diagnostic(
+                    path=str(baseline_path),
+                    line=1,
+                    col=1,
+                    code=LINT_META_CODE,
+                    message=(
+                        f"stale baseline entry {fingerprint!r}: the finding no "
+                        "longer exists; remove the entry (or run "
+                        "--flow --update-baseline) so the ratchet can tighten"
+                    ),
+                )
+            )
+
+    new_set = {kept[index].fingerprint for index in new_indices}
+    section: dict[str, object] = {
+        "baseline": str(baseline_path),
+        "rules": [
+            {"code": rule.code, "summary": rule.summary}
+            for rule in all_project_rules()
+            if select is None or rule.code in select
+        ],
+        "actions": action_report(analysis),
+        "findings": [
+            {
+                **finding.diagnostic.to_json(),
+                "fingerprint": finding.fingerprint,
+                "baselined": finding.fingerprint not in new_set,
+            }
+            for finding in kept
+        ],
+        "baselined": baselined,
+        "stale_baseline": stale,
+    }
+    return diagnostics, section, baseline_written
+
+
 def _build_report(
     paths: Sequence[str],
-    diagnostics: list[Diagnostic],
+    result: GateResult,
     typecheck: TypecheckResult | None,
 ) -> dict[str, object]:
     counts: dict[str, int] = {}
-    for diag in diagnostics:
+    for diag in result.diagnostics:
         counts[diag.code] = counts.get(diag.code, 0) + 1
     return {
         "tool": "repro-lint",
@@ -99,10 +297,24 @@ def _build_report(
         "rules": [
             {"code": rule.code, "summary": rule.summary} for rule in all_rules()
         ],
-        "diagnostics": [diag.to_json() for diag in diagnostics],
+        "diagnostics": [diag.to_json() for diag in result.diagnostics],
         "counts": dict(sorted(counts.items())),
         "typecheck": typecheck.to_json() if typecheck is not None else None,
+        "flow": result.flow,
     }
+
+
+def _github_escape(text: str) -> str:
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def github_annotation(diag: Diagnostic) -> str:
+    """One GitHub Actions workflow command annotating the finding."""
+    level = "error" if diag.severity == "error" else "warning"
+    return (
+        f"::{level} file={diag.path},line={diag.line},col={diag.col},"
+        f"title={diag.code}::{_github_escape(diag.message)}"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -111,7 +323,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="repro-lint",
         description=(
             "AST lint + typecheck gate for simulator determinism, "
-            "billing-math safety and package layering."
+            "billing-math safety, package layering and (with --flow) "
+            "whole-program effect/footprint soundness."
         ),
     )
     parser.add_argument(
@@ -127,6 +340,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--flow", action="store_true",
+        help="run the whole-program effect rules (EFF01/PUR01/EFF02)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+        help=f"flow-findings ratchet baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from current flow findings and exit clean",
+    )
+    parser.add_argument(
+        "--strict-suppressions", action="store_true",
+        help="stale suppressions (SUP01) fail the gate instead of warning",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="diagnostic output format (github = Actions annotations)",
+    )
+    parser.add_argument(
         "--no-typecheck", action="store_true",
         help="skip the mypy --strict leg of the gate",
     )
@@ -138,8 +371,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.code}  {rule.summary}")
+        for rule in all_project_rules():
+            print(f"{rule.code}  (--flow) {rule.summary}")
+        print(f"{SUPPRESSION_CODE}  (reserved) stale suppression comments")
         print(
-            f"{LINT_META_CODE}  (reserved) malformed suppressions / unparsable files"
+            f"{LINT_META_CODE}  (reserved) malformed suppressions / unparsable "
+            "files / stale baseline entries"
         )
         return 0
 
@@ -149,10 +386,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         unknown = select - known_codes()
         if unknown:
             parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        if select & project_codes():
+            args.flow = True  # selecting a flow rule implies the flow leg
 
     try:
-        diagnostics = lint_paths(args.paths, select=select)
-    except FileNotFoundError as exc:
+        result = run_gate(
+            args.paths,
+            select=select,
+            flow=args.flow or args.update_baseline,
+            baseline_path=args.baseline,
+            update_baseline=args.update_baseline,
+            strict_suppressions=args.strict_suppressions,
+        )
+    except (FileNotFoundError, ValueError) as exc:
         parser.error(str(exc))
 
     typecheck: TypecheckResult | None = None
@@ -162,12 +408,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     # With `--json -` the report owns stdout; human diagnostics move to
     # stderr so the stream stays machine-parsable.
     out = sys.stderr if args.json == "-" else sys.stdout
-    for diag in diagnostics:
-        print(diag.format(), file=out)
-    if diagnostics:
-        print(f"repro-lint: {len(diagnostics)} problem(s) found", file=out)
+    for diag in result.diagnostics:
+        if args.format == "github":
+            print(github_annotation(diag), file=out)
+        else:
+            print(diag.format(), file=out)
+    errors = sum(1 for d in result.diagnostics if d.severity == "error")
+    warnings = len(result.diagnostics) - errors
+    if result.diagnostics:
+        tail = f", {warnings} warning(s)" if warnings else ""
+        print(f"repro-lint: {errors} problem(s){tail} found", file=out)
     else:
         print("repro-lint: clean", file=out)
+    if result.flow is not None:
+        baselined = len(result.flow["baselined"])  # type: ignore[arg-type]
+        print(
+            f"flow: {len(result.flow['actions'])} action(s) analysed, "  # type: ignore[arg-type]
+            f"{baselined} baselined finding(s)",
+            file=out,
+        )
+    if result.baseline_written is not None:
+        print(f"flow: baseline rewritten at {result.baseline_written}", file=out)
     if typecheck is not None:
         label = f"mypy --strict ({', '.join(STRICT_PACKAGES)}): {typecheck.status}"
         print(label, file=out)
@@ -176,14 +437,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.json:
         report = json.dumps(
-            _build_report(args.paths, diagnostics, typecheck), indent=2
+            _build_report(args.paths, result, typecheck), indent=2
         )
         if args.json == "-":
             print(report)
         else:
             Path(args.json).write_text(report + "\n")
 
-    failed = bool(diagnostics) or (typecheck is not None and typecheck.failed)
+    failed = result.failed or (typecheck is not None and typecheck.failed)
     return 1 if failed else 0
 
 

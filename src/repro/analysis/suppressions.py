@@ -9,16 +9,30 @@ one, or naming an unknown rule code, is itself reported (as the reserved
 ``LINT00`` meta code). This keeps every escape hatch auditable — the
 reviewer sees *why* the invariant does not apply, not just that someone
 turned the rule off.
+
+Suppressions are found by **tokenizing**, not by line-scanning: only
+real ``#`` comment tokens count. A ``repro-lint: disable=`` example
+inside a docstring (this module's own docstring used to trip the old
+regex) is documentation, not an escape hatch.
+
+The table also tracks *usage*: a suppression that silenced nothing this
+run is **stale** and is reported under the reserved ``SUP01`` code —
+dead escape hatches hide real regressions when the silenced code path
+later returns. Staleness is only assessed for rule codes that actually
+ran (see the runner's ``--select`` / ``--flow`` handling), so a partial
+run never flags suppressions for rules it skipped.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.registry import LINT_META_CODE
+from repro.analysis.registry import LINT_META_CODE, SUPPRESSION_CODE
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]*?)"
@@ -35,10 +49,26 @@ class Suppression:
     justification: str | None
 
 
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """``(line, text)`` of every comment token; [] on tokenize failure.
+
+    A file that does not tokenize does not parse either, so the runner
+    already reports it (LINT00) — suppressions are moot there.
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+
+
 def parse_suppressions(source: str) -> list[Suppression]:
-    """All ``repro-lint: disable=`` comments in ``source``, by line."""
+    """All ``repro-lint: disable=`` *comments* in ``source``, by line."""
     found: list[Suppression] = []
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for lineno, text in _comment_tokens(source):
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
@@ -59,8 +89,11 @@ class SuppressionTable:
     def __init__(
         self, source: str, path: Path, valid_codes: frozenset[str]
     ) -> None:
+        self.path = path
         self.problems: list[Diagnostic] = []
         self._by_line: dict[int, frozenset[str]] = {}
+        #: (line, code) pairs that actually silenced a diagnostic.
+        self._used: set[tuple[int, str]] = set()
         for sup in parse_suppressions(source):
             ok = True
             if not sup.codes:
@@ -94,4 +127,33 @@ class SuppressionTable:
 
     def is_suppressed(self, code: str, line: int) -> bool:
         """Whether a valid suppression on ``line`` covers ``code``."""
-        return code in self._by_line.get(line, frozenset())
+        if code in self._by_line.get(line, frozenset()):
+            self._used.add((line, code))
+            return True
+        return False
+
+    def stale(
+        self, ran_codes: frozenset[str], severity: str = "warning"
+    ) -> list[Diagnostic]:
+        """SUP01 diagnostics for suppressions that silenced nothing.
+
+        Only codes in ``ran_codes`` (the rules this run executed) are
+        assessed; a suppression for a skipped rule is never stale.
+        """
+        out: list[Diagnostic] = []
+        for line in sorted(self._by_line):
+            for code in sorted(self._by_line[line]):
+                if code not in ran_codes or (line, code) in self._used:
+                    continue
+                out.append(
+                    Diagnostic(
+                        path=str(self.path), line=line, col=1,
+                        code=SUPPRESSION_CODE,
+                        message=(
+                            f"stale suppression: {code} reported nothing on "
+                            "this line; remove the escape hatch"
+                        ),
+                        severity=severity,
+                    )
+                )
+        return out

@@ -28,7 +28,7 @@ from repro.core.metrics import DataflowOutcome, IndexSnapshot, ServiceMetrics
 from repro.core.simulator import ExecutionSimulator
 from repro.dataflow.client import ArrivalEvent, Workload
 from repro.dataflow.graph import Dataflow
-from repro.explore.hooks import ALL_RESOURCES, Action, Epoch
+from repro.explore.hooks import ALL_RESOURCES, Action, Epoch, declared_effects
 from repro.faults.injector import FaultInjector, TransientStorageError
 from repro.faults.retry import RetryPolicy
 from repro.interleave.knapsack import reset_knapsack_cache
@@ -43,6 +43,37 @@ from repro.tuning.history import DataflowHistory
 from repro.tuning.tuner import OnlineIndexTuner
 
 logger = logging.getLogger(__name__)
+
+#: Declared effect footprints of the interleavable actions this module
+#: registers, on the ``<resource>:<r|w>`` lattice shared with the EFF01
+#: static checker (``repro-lint --flow``), which proves each entry a
+#: sound superset of the generator's inferred transitive effects. Keys
+#: are the ``kind=`` strings of the Action factories below; values must
+#: stay literal so the checker can read them without importing us.
+ACTION_EFFECTS: dict[str, frozenset[str]] = {
+    # storage put + catalog mark; gain-model invalidation, WAL record,
+    # journal emit; the fault injector's rng draw on the put.
+    "build": declared_effects(
+        "billing:w", "catalog:r", "catalog:w", "fs:w",
+        "metrics:r", "metrics:w", "rng:w", "storage:w",
+    ),
+    # checkpoint persistence into the catalog + WAL record.
+    "kill": declared_effects("catalog:r", "catalog:w", "fs:w", "metrics:w"),
+    # gain-window append + the catalog/storage snapshot it reads.
+    "history": declared_effects(
+        "catalog:r", "fs:w", "history:w", "metrics:w", "storage:r",
+    ),
+    # storage delete (billed) + catalog drop; injector rng on the delete.
+    "delete": declared_effects(
+        "billing:w", "catalog:r", "catalog:w", "fs:w",
+        "metrics:r", "metrics:w", "rng:w", "storage:r", "storage:w",
+    ),
+    # pooled execution: container pool churn, billing quanta reads,
+    # simulator noise rng, metrics emission.
+    "slotfill": declared_effects(
+        "billing:r", "metrics:r", "metrics:w", "pool:r", "pool:w", "rng:w",
+    ),
+}
 
 
 class Strategy(Enum):
@@ -577,6 +608,7 @@ class QaaSService:
             gen=self._iter_apply_build(done, metrics, gains=gains),
             resources=frozenset((f"idx:{done.index_name}",)),
             entry="build.storage_put",
+            effects=ACTION_EFFECTS["build"],
             stamp=done.finished_at,
         )
 
@@ -587,6 +619,7 @@ class QaaSService:
             gen=self._iter_apply_checkpoints(result, metrics),
             resources=frozenset(f"idx:{c.index_name}" for c in result.checkpoints),
             entry="kill.checkpoint",
+            effects=ACTION_EFFECTS["kill"],
         )
 
     def _history_action(self, result, decision, metrics: ServiceMetrics) -> Action:
@@ -598,6 +631,7 @@ class QaaSService:
             gen=self._iter_record_history(result, decision, metrics),
             resources=frozenset((ALL_RESOURCES,)),
             entry="history.append",
+            effects=ACTION_EFFECTS["history"],
         )
 
     def _delete_action(
@@ -609,6 +643,7 @@ class QaaSService:
             gen=self._iter_apply_delete(name, now, metrics, gains=gains),
             resources=frozenset((f"idx:{name}",)),
             entry="delete.storage_object",
+            effects=ACTION_EFFECTS["delete"],
             stamp=now,
         )
 
@@ -619,6 +654,7 @@ class QaaSService:
             gen=self._iter_execute(decision, exec_start, out),
             resources=frozenset((ALL_RESOURCES,)),
             entry="slotfill.execute",
+            effects=ACTION_EFFECTS["slotfill"],
         )
 
     # ------------------------------------------------------------------

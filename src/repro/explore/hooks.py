@@ -78,15 +78,61 @@ def all_point_names() -> tuple[str, ...]:
     return YIELD_POINTS + SYNC_POINTS + NOTE_POINTS
 
 
-def unknown_point_error(kind: str, name: str, valid: tuple[str, ...]) -> ValueError:
-    """A fail-fast error listing every valid name (registry contract)."""
+def unknown_point_error(
+    kind: str, name: str, valid: tuple[str, ...], context: str | None = None
+) -> ValueError:
+    """A fail-fast error listing every valid name (registry contract).
+
+    ``context`` names the offending site (e.g. which action's generator
+    yielded the bad point) so the error is actionable without a
+    debugger.
+    """
+    where = f" (in {context})" if context else ""
     return ValueError(
-        f"unknown {kind} {name!r}; valid names: {', '.join(valid)}"
+        f"unknown {kind} {name!r}{where}; valid names: {', '.join(valid)}"
     )
 
 
 #: The universal resource: an action holding it commutes with nothing.
 ALL_RESOURCES = "*"
+
+#: The closed effect-lattice vocabulary, mirrored from the static flow
+#: analysis (``repro.analysis.flow.effects.RESOURCES``). Kept literal
+#: here because this module is an LAY01 leaf and must not import the
+#: analysis package; a test asserts the two stay identical.
+EFFECT_RESOURCES: tuple[str, ...] = (
+    "billing",
+    "catalog",
+    "clock",
+    "fs",
+    "history",
+    "metrics",
+    "pool",
+    "rng",
+    "storage",
+)
+
+_EFFECT_RESOURCE_SET = frozenset(EFFECT_RESOURCES)
+
+
+def declared_effects(*items: str) -> frozenset[str]:
+    """Validate and freeze a declared effect footprint.
+
+    Each item is ``"<resource>:<r|w>"`` over :data:`EFFECT_RESOURCES`.
+    The EFF01 static checker reads these declarations (module-level
+    ``ACTION_EFFECTS`` dicts built from constant strings) and proves
+    them to be sound supersets of the generator's inferred effects;
+    this runtime validation keeps typos from silently widening or
+    narrowing a declaration.
+    """
+    for item in items:
+        resource, sep, polarity = item.partition(":")
+        if not sep or resource not in _EFFECT_RESOURCE_SET or polarity not in ("r", "w"):
+            raise ValueError(
+                f"invalid declared effect {item!r}; expected <resource>:<r|w> "
+                f"with resource in {{{', '.join(EFFECT_RESOURCES)}}}"
+            )
+    return frozenset(items)
 
 
 class Action:
@@ -111,11 +157,16 @@ class Action:
             two storage ops commute in the MB·s integral only when they
             charge at the same instant, so differing stamps make two
             actions dependent even with disjoint footprints.
+        effects: The declared effect-lattice footprint of the wrapped
+            generator (see :func:`declared_effects`), or ``None`` when
+            the registering module carries no declaration. The EFF01
+            static checker proves declarations sound; this attribute
+            exposes them to runtime introspection (oracles, traces).
         seq: Offer order within the run, stamped by the controller.
     """
 
     __slots__ = (
-        "key", "kind", "entry", "resources", "stamp", "seq",
+        "key", "kind", "entry", "resources", "stamp", "effects", "seq",
         "_gen", "started", "done", "steps_run", "last_point",
     )
 
@@ -127,25 +178,42 @@ class Action:
         resources: frozenset[str],
         entry: str,
         stamp: float | None = None,
+        effects: frozenset[str] | None = None,
     ) -> None:
-        if entry not in _YIELD_POINT_SET:
-            raise unknown_point_error("yield point", entry, YIELD_POINTS)
         self.key = key
         self.kind = kind
         self.entry = entry
         self.resources = resources
         self.stamp = stamp
+        self.effects = None if effects is None else declared_effects(*effects)
         self.seq = -1
         self._gen = gen
         self.started = False
         self.done = False
         self.steps_run = 0
         self.last_point: str | None = entry
+        if entry not in _YIELD_POINT_SET:
+            raise unknown_point_error(
+                "yield point", entry, YIELD_POINTS, context=self.label
+            )
+
+    @property
+    def origin(self) -> str:
+        """The qualified name of the generator function backing this action."""
+        code = getattr(self._gen, "gi_code", None)
+        if code is None:
+            return "<unknown generator>"
+        return getattr(code, "co_qualname", code.co_name)
+
+    @property
+    def label(self) -> str:
+        """``action 'build:ix_a:0' (kind 'build', gen QaaSService._iter_apply_build)``."""
+        return f"action {self.key!r} (kind {self.kind!r}, gen {self.origin})"
 
     def advance(self) -> str | None:
         """Run one micro-step; returns the next boundary (None = done)."""
         if self.done:
-            raise RuntimeError(f"action {self.key!r} already completed")
+            raise RuntimeError(f"{self.label} already completed")
         self.started = True
         self.steps_run += 1
         try:
@@ -155,7 +223,9 @@ class Action:
             self.last_point = None
             return None
         if point not in _YIELD_POINT_SET:
-            raise unknown_point_error("yield point", point, YIELD_POINTS)
+            raise unknown_point_error(
+                "yield point", point, YIELD_POINTS, context=self.label
+            )
         self.last_point = point
         return point
 

@@ -1,0 +1,7 @@
+# lint-module: fix.helpers
+"""Helper module of the eff01_bad fixture project: the catalog write
+that the service's declaration forgot lives here, one call away."""
+
+
+def mark_built(catalog, name):
+    catalog.mark_built(name)

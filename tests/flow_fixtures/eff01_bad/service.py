@@ -1,0 +1,52 @@
+# lint-module: fix.service
+"""Known-bad EFF01 fixture.
+
+Two violations:
+
+* the ``build`` declaration misses ``catalog:w`` — the write leaks in
+  two calls deep, through ``fix.helpers.mark_built``, and the
+  diagnostic must name that chain;
+* the ``delete`` action has no ``ACTION_EFFECTS`` entry at all.
+"""
+
+from fix.helpers import mark_built
+
+from repro.explore.hooks import Action, declared_effects
+
+ACTION_EFFECTS = {
+    "build": declared_effects("billing:w", "storage:w"),
+}
+
+
+class Service:
+    def __init__(self, storage, catalog):
+        self.storage = storage
+        self.catalog = catalog
+
+    def _iter_build(self, name):
+        self.storage.put(name, b"")
+        yield "build.catalog_mark"
+        mark_built(self.catalog, name)
+
+    def _iter_delete(self, name):
+        self.storage.delete(name)
+        yield "delete.catalog_drop"
+
+    def build_action(self, name):
+        return Action(
+            key=f"build:{name}",
+            kind="build",
+            gen=self._iter_build(name),
+            resources=frozenset((f"idx:{name}",)),
+            entry="build.storage_put",
+            effects=ACTION_EFFECTS["build"],
+        )
+
+    def delete_action(self, name):
+        return Action(
+            key=f"delete:{name}",
+            kind="delete",
+            gen=self._iter_delete(name),
+            resources=frozenset((f"idx:{name}",)),
+            entry="delete.storage_object",
+        )

@@ -1,0 +1,6 @@
+# lint-module: fix.helpers
+"""Helper module of the eff01_good fixture project."""
+
+
+def mark_built(catalog, name):
+    catalog.mark_built(name)

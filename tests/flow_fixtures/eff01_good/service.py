@@ -1,0 +1,33 @@
+# lint-module: fix.service
+"""Known-good EFF01 fixture: the declared footprint covers every
+inferred transitive effect (including the helper call in fix.helpers
+and the implied billing write of the storage put)."""
+
+from fix.helpers import mark_built
+
+from repro.explore.hooks import Action, declared_effects
+
+ACTION_EFFECTS = {
+    "build": declared_effects("billing:w", "catalog:w", "storage:w"),
+}
+
+
+class Service:
+    def __init__(self, storage, catalog):
+        self.storage = storage
+        self.catalog = catalog
+
+    def _iter_build(self, name):
+        self.storage.put(name, b"")
+        yield "build.catalog_mark"
+        mark_built(self.catalog, name)
+
+    def build_action(self, name):
+        return Action(
+            key=f"build:{name}",
+            kind="build",
+            gen=self._iter_build(name),
+            resources=frozenset((f"idx:{name}",)),
+            entry="build.storage_put",
+            effects=ACTION_EFFECTS["build"],
+        )

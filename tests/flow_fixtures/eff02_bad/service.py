@@ -1,0 +1,32 @@
+# lint-module: fix.badsvc
+"""Known-bad EFF02 fixture: the action claims a parameterized
+(per-index) resource footprint while its generator writes two audited
+shared resources (catalog + storage), so the oracle's independence
+claim needs a justification."""
+
+from repro.explore.hooks import Action, declared_effects
+
+ACTION_EFFECTS = {
+    "build": declared_effects("billing:w", "catalog:w", "storage:w"),
+}
+
+
+class Service:
+    def __init__(self, storage, catalog):
+        self.storage = storage
+        self.catalog = catalog
+
+    def _iter_build(self, name):
+        self.storage.put(name, b"")
+        yield "build.catalog_mark"
+        self.catalog.mark_built(name)
+
+    def build_action(self, name):
+        return Action(
+            key=f"build:{name}",
+            kind="build",
+            gen=self._iter_build(name),
+            resources=frozenset((f"idx:{name}",)),
+            entry="build.storage_put",
+            effects=ACTION_EFFECTS["build"],
+        )

@@ -1,0 +1,31 @@
+# lint-module: fix.goodsvc
+"""Known-good EFF02 fixture: the same multi-resource generator as
+eff02_bad, but the action holds ALL_RESOURCES — it claims independence
+from nothing, so there is no commutativity claim to audit."""
+
+from repro.explore.hooks import ALL_RESOURCES, Action, declared_effects
+
+ACTION_EFFECTS = {
+    "build": declared_effects("billing:w", "catalog:w", "storage:w"),
+}
+
+
+class Service:
+    def __init__(self, storage, catalog):
+        self.storage = storage
+        self.catalog = catalog
+
+    def _iter_build(self, name):
+        self.storage.put(name, b"")
+        yield "build.catalog_mark"
+        self.catalog.mark_built(name)
+
+    def build_action(self, name):
+        return Action(
+            key=f"build:{name}",
+            kind="build",
+            gen=self._iter_build(name),
+            resources=frozenset((ALL_RESOURCES,)),
+            entry="build.storage_put",
+            effects=ACTION_EFFECTS["build"],
+        )

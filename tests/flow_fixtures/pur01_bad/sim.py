@@ -1,0 +1,10 @@
+# lint-module: repro.core.simulator
+"""Known-bad PUR01 fixture: the simulator-sink function picks up an
+unseeded global rng draw **two calls deep** (estimate -> sample ->
+draw -> random.random), which no local rule can see."""
+
+from repro.core.simutil import sample
+
+
+def estimate(cost):
+    return cost + sample()

@@ -1,0 +1,13 @@
+# lint-module: repro.core.simutil
+"""Helper module of the pur01_bad fixture: the taint source lives at
+the bottom of a two-level helper chain, outside any sink module."""
+
+import random
+
+
+def draw():
+    return random.random()
+
+
+def sample():
+    return draw() * 2.0

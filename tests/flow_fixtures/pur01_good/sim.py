@@ -1,0 +1,10 @@
+# lint-module: repro.core.simulator
+"""Known-good PUR01 fixture: the same call shape as pur01_bad, but the
+randomness is an explicitly seeded stream threaded in by the caller —
+an rng *effect*, never an rng *taint*."""
+
+from repro.core.simutil import sample
+
+
+def estimate(cost, rng):
+    return cost + sample(rng)

@@ -1,0 +1,17 @@
+# lint-module: repro.core.simutil
+"""Helper module of the pur01_good fixture: seeded construction and
+threaded draws only."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def draw(rng):
+    return rng.random()
+
+
+def sample(rng):
+    return draw(rng) * 2.0

@@ -1,0 +1,4 @@
+"""Known-bad SUP01 fixture: the suppression silences nothing — the
+line it sits on has no DET01 violation, so the escape hatch is stale."""
+
+TIMEOUT_S = 30.0  # repro-lint: disable=DET01 -- supposedly a clock read (it is not)

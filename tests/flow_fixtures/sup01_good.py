@@ -1,0 +1,8 @@
+"""Known-good SUP01 fixture: the suppression is live — it silences a
+real DET01 hit on its line, so it must not be reported as stale."""
+
+import time
+
+
+def stamp_label():
+    return time.time()  # repro-lint: disable=DET01 -- fixture: display-only label

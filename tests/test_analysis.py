@@ -23,6 +23,7 @@ from repro.analysis import (
     module_name_for_path,
     register,
 )
+from repro.analysis.registry import SUPPRESSION_CODE, project_codes
 from repro.analysis.runner import main
 from repro.analysis.suppressions import parse_suppressions
 
@@ -70,7 +71,11 @@ def test_fixture_suite_exercises_every_known_code() -> None:
     covered: set[str] = set()
     for fixture in all_fixtures():
         covered.update(expected_codes(fixture.read_text()))
-    assert covered >= set(known_codes()), "some rule has no failing fixture"
+    # Whole-program (--flow) rules and the runner-level SUP01 code are
+    # exercised by their own fixture corpus in test_flow_analysis.py —
+    # they need multi-module projects / a full gate run, not lint_source.
+    module_level = set(known_codes()) - set(project_codes()) - {SUPPRESSION_CODE}
+    assert covered >= module_level, "some rule has no failing fixture"
 
 
 def test_registered_rules_match_documented_codes() -> None:

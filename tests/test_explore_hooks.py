@@ -6,6 +6,7 @@ import pytest
 
 from repro.explore.hooks import (
     ALL_RESOURCES,
+    EFFECT_RESOURCES,
     NOTE_POINTS,
     SYNC_POINTS,
     YIELD_POINTS,
@@ -14,6 +15,7 @@ from repro.explore.hooks import (
     InterleaveController,
     active_controller,
     all_point_names,
+    declared_effects,
     drive,
     install_controller,
     note,
@@ -58,6 +60,62 @@ def test_unknown_yielded_point_lists_valid_names():
         action.advance()
     assert "bogus.point" in str(err.value)
     assert YIELD_POINTS[0] in str(err.value)
+
+
+def test_unknown_yielded_point_names_the_action_and_its_generator():
+    # The error must identify *which* action misbehaved and the origin
+    # function of its generator — key alone is useless in a trace with
+    # dozens of interleaved actions.
+    action = _action(points=("bogus.point",))
+    with pytest.raises(ValueError) as err:
+        action.advance()
+    message = str(err.value)
+    assert "action 'build:a:0'" in message
+    assert "kind 'build'" in message
+    assert "_action.<locals>.gen" in message
+
+
+def test_action_origin_and_label():
+    action = _action()
+    assert action.origin.endswith("gen")
+    assert action.label.startswith("action 'build:a:0' (kind 'build', gen ")
+
+
+def test_completed_action_error_names_the_action():
+    action = _action(points=())
+    assert action.advance() is None
+    with pytest.raises(RuntimeError) as err:
+        action.advance()
+    assert "action 'build:a:0'" in str(err.value)
+    assert "already completed" in str(err.value)
+
+
+def test_declared_effects_attach_to_actions():
+    footprint = declared_effects("catalog:w", "storage:w", "billing:w")
+    action = Action(
+        "build:a:0", "build", iter(()), frozenset({"idx:a"}),
+        "build.storage_put", effects=footprint,
+    )
+    assert action.effects == footprint
+    assert _action().effects is None  # declaration is optional
+    with pytest.raises(ValueError) as err:
+        Action(
+            "build:a:0", "build", iter(()), frozenset({"idx:a"}),
+            "build.storage_put", effects=frozenset({"catalog:sideways"}),
+        )
+    assert "catalog:sideways" in str(err.value)
+    for resource in EFFECT_RESOURCES:
+        assert resource in str(err.value)
+
+
+def test_service_action_effects_are_wired_through():
+    # The service's declared footprints (which EFF01 proves sound
+    # statically) must reach the runtime Action objects.
+    from repro.core.service import ACTION_EFFECTS
+
+    assert set(ACTION_EFFECTS) == {"build", "kill", "history", "delete", "slotfill"}
+    for kind, effects in ACTION_EFFECTS.items():
+        assert effects == declared_effects(*effects), kind
 
 
 # ----------------------------------------------------------------------
