@@ -47,6 +47,14 @@ def _config(args) -> "ExperimentConfig":  # noqa: F821
         else:
             overrides["storage_put_failure_rate"] = value
             overrides["storage_delete_failure_rate"] = value
+    if getattr(args, "roi_ledger", False):
+        overrides["roi_ledger"] = True
+    if getattr(args, "watchdog_rollback", False):
+        overrides["watchdog_rollback"] = True
+    if getattr(args, "watchdog_window_quanta", None) is not None:
+        overrides["watchdog_window_quanta"] = args.watchdog_window_quanta
+    if getattr(args, "watchdog_hysteresis", None) is not None:
+        overrides["watchdog_hysteresis"] = args.watchdog_hysteresis
     return replace(config, **overrides) if overrides else config
 
 
@@ -340,6 +348,132 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+#: The artifact files a run directory may contain, in report order.
+_OBS_ARTIFACTS = ("trace.json", "events.jsonl", "metrics.json")
+
+
+def _cmd_obs_roi(args) -> int:
+    """Reconstruct the per-index ROI ledger from a decision journal."""
+    import json
+    from pathlib import Path
+
+    from repro.report import roi_table
+
+    text = Path(args.events).read_text()
+    statements: dict[str, dict] = {}
+    probes: dict[str, dict] = {}
+    ledger_events = False
+    for line in text.splitlines():
+        record = json.loads(line)
+        event = record.get("event")
+        if event == "index_roi":
+            ledger_events = True
+            statements[str(record["index"])] = record
+        elif event == "index_probe":
+            name = str(record["index"])
+            agg = probes.setdefault(
+                name,
+                {"index": name, "live": True, "probes": 0,
+                 "realized_seconds": 0.0, "realized_dollars": 0.0,
+                 "net_dollars": 0.0},
+            )
+            agg["probes"] += 1
+            agg["realized_seconds"] += float(record.get("saved_seconds", 0.0))
+            agg["realized_dollars"] += float(record.get("saved_dollars", 0.0))
+            agg["net_dollars"] = agg["realized_dollars"]
+    rows = [statements[name] for name in sorted(statements)]
+    if not rows:
+        # No ledger ran: fall back to what the probe events alone prove
+        # (realized benefit only — costs need index_roi statements).
+        rows = [probes[name] for name in sorted(probes)]
+    if args.json:
+        payload = {"ledger_events": ledger_events, "indexes": rows}
+        print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        return 0
+    if not ledger_events and rows:
+        print("note: no index_roi events; showing probe-derived realized "
+              "benefit only (run with --roi-ledger for full accounting)")
+    print(roi_table(rows))
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    """Structurally diff two runs' observability artifacts."""
+    from pathlib import Path
+
+    from repro.obs import artifact_divergence
+
+    a, b = Path(args.a), Path(args.b)
+    if a.is_dir() != b.is_dir():
+        raise ValueError("obs diff compares two files or two directories")
+    pairs: list[tuple[str, Path, Path]]
+    if a.is_dir():
+        names = [n for n in _OBS_ARTIFACTS if (a / n).exists() or (b / n).exists()]
+        if not names:
+            raise ValueError(f"no known artifacts in {a} or {b}")
+        pairs = [(n, a / n, b / n) for n in names]
+    else:
+        pairs = [(a.name, a, b)]
+    diverged = 0
+    for name, pa, pb in pairs:
+        if not pa.exists() or not pb.exists():
+            missing = pa if not pa.exists() else pb
+            print(f"{name}: only present on one side (missing {missing})")
+            diverged += 1
+            continue
+        detail = artifact_divergence(name, pa.read_bytes(), pb.read_bytes())
+        if detail is None:
+            print(f"{name}: identical")
+        else:
+            print(detail)
+            diverged += 1
+    return 1 if diverged else 0
+
+
+def _cmd_obs_top(args) -> int:
+    """Top-k spans (by total duration) and counters (by value)."""
+    import json
+    from pathlib import Path
+
+    if not args.metrics and not args.trace:
+        raise ValueError("obs top needs --metrics and/or --trace")
+    k = max(1, args.k)
+    if args.trace:
+        trace = json.loads(Path(args.trace).read_text())
+        totals: dict[str, list[float]] = {}
+        for event in trace.get("traceEvents", []):
+            if event.get("ph") != "X":
+                continue
+            entry = totals.setdefault(str(event["name"]), [0.0, 0.0])
+            entry[0] += float(event.get("dur", 0.0)) / 1e6
+            entry[1] += 1
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1][0], kv[0]))[:k]
+        print(f"top {k} spans by total duration:")
+        for name, (total, count) in ranked:
+            print(f"  {name:<40} {total:>12.1f}s  n={int(count)}")
+    if args.metrics:
+        snapshot = json.loads(Path(args.metrics).read_text())
+        counters = snapshot.get("counters", {})
+        ranked2 = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        print(f"top {k} counters by value:")
+        for name, value in ranked2:
+            print(f"  {name:<40} {value:>12.0f}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Offline analysis of recorded observability artifacts."""
+    if args.mode == "roi":
+        if not args.events:
+            raise ValueError("obs roi needs --events PATH")
+        return _cmd_obs_roi(args)
+    if args.mode == "diff":
+        if not args.a or not args.b:
+            raise ValueError("obs diff needs two run directories or files")
+        return _cmd_obs_diff(args)
+    return _cmd_obs_top(args)
+
+
 def cmd_compare(args) -> int:
     """Run all four strategies and print the Figure 12-style table."""
     from repro import run_experiment
@@ -468,6 +602,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--workers", type=int, default=1,
                        help="worker processes to fan repetitions over "
                             "(results are byte-identical to --workers 1)")
+    run_p.add_argument("--roi-ledger", action="store_true",
+                       help="account per-index ROI (build + storage cost vs "
+                            "realized benefit) and emit index_roi events")
+    run_p.add_argument("--watchdog-rollback", action="store_true",
+                       help="drop indexes the regression watchdog flags as "
+                            "costing more than they return (implies the "
+                            "ledger)")
+    run_p.add_argument("--watchdog-window-quanta", type=float, default=None,
+                       help="regression confirmation-window length in quanta")
+    run_p.add_argument("--watchdog-hysteresis", type=int, default=None,
+                       help="consecutive breached windows before a flag")
     add_fault_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -493,6 +638,31 @@ def build_parser() -> argparse.ArgumentParser:
     t6_p = sub.add_parser("table6", help="reproduce Table 6 (index speedups)")
     t6_p.add_argument("--rows", type=int, default=150_000)
     t6_p.set_defaults(func=cmd_table6)
+
+    obs_p = sub.add_parser(
+        "obs", help="offline analysis of recorded observability artifacts"
+    )
+    obs_p.add_argument("mode", choices=["roi", "diff", "top"],
+                       help="roi: per-index ROI ledger from a decision "
+                            "journal; diff: first-divergence localization "
+                            "between two runs' artifacts; top: top-k spans "
+                            "and counters")
+    obs_p.add_argument("a", nargs="?", default=None,
+                       help="left run directory or artifact file (diff)")
+    obs_p.add_argument("b", nargs="?", default=None,
+                       help="right run directory or artifact file (diff)")
+    obs_p.add_argument("--events", default=None, metavar="PATH",
+                       help="decision journal JSONL, e.g. from --events-out "
+                            "(roi)")
+    obs_p.add_argument("--json", action="store_true",
+                       help="machine-readable single-line JSON output (roi)")
+    obs_p.add_argument("--metrics", default=None, metavar="PATH",
+                       help="metrics snapshot JSON, from --metrics-out (top)")
+    obs_p.add_argument("--trace", default=None, metavar="PATH",
+                       help="Chrome-trace JSON, from --trace-out (top)")
+    obs_p.add_argument("--k", type=int, default=10,
+                       help="entries per ranking (top)")
+    obs_p.set_defaults(func=cmd_obs)
 
     chaos_p = sub.add_parser(
         "chaos", help="crash-recovery chaos harness (sweep, soak or explore)"

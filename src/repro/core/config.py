@@ -84,6 +84,23 @@ class ExperimentConfig:
     retry_multiplier: float = 2.0
     retry_max_delay_s: float = 60.0
     retry_jitter: float = 0.1
+    # Index ROI accounting (repro.obs.ledger): reconcile predicted gains
+    # against realized per-dataflow benefit and emit index_probe /
+    # index_roi journal events plus ledger/* metrics. Off by default so
+    # zero-flag runs stay byte-identical to builds without the ledger.
+    roi_ledger: bool = False
+    # Regression watchdog rollback: drop an index whose realized benefit
+    # stays below its accrued storage cost for ``watchdog_hysteresis``
+    # consecutive confirmation windows. Implies the ledger. Off by
+    # default — with it off the watchdog (if the ledger is on) only
+    # observes and emits index_regression events.
+    watchdog_rollback: bool = False
+    # Confirmation window of the watchdog, in billing quanta: realized
+    # benefit and storage spend are compared over windows of this length.
+    watchdog_window_quanta: float = 10.0
+    # Consecutive breached windows before an index is flagged (hysteresis
+    # so one quiet window does not kill a good index).
+    watchdog_hysteresis: int = 2
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -131,6 +148,16 @@ class ExperimentConfig:
         if self.retry_max_attempts < 1:
             raise ValueError(
                 f"retry_max_attempts must be at least 1, got {self.retry_max_attempts}"
+            )
+        if self.watchdog_window_quanta <= 0:
+            raise ValueError(
+                f"watchdog_window_quanta must be positive, "
+                f"got {self.watchdog_window_quanta}"
+            )
+        if self.watchdog_hysteresis < 1:
+            raise ValueError(
+                f"watchdog_hysteresis must be at least 1, "
+                f"got {self.watchdog_hysteresis}"
             )
 
     def fault_profile(self) -> FaultProfile:

@@ -34,7 +34,13 @@ from repro.faults.retry import RetryPolicy
 from repro.interleave.knapsack import reset_knapsack_cache
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import BuildCandidate
-from repro.obs import MetricsRegistry, NOOP_OBS, Observation
+from repro.obs import (
+    IndexLedger,
+    MetricsRegistry,
+    NOOP_OBS,
+    Observation,
+    RegressionWatchdog,
+)
 from repro.recovery.hooks import NOOP_RECOVERY, RecoveryLog, crash_point
 from repro.scheduling.schedule import Assignment, Schedule
 from repro.scheduling.skyline import SkylineScheduler
@@ -65,6 +71,13 @@ ACTION_EFFECTS: dict[str, frozenset[str]] = {
     ),
     # storage delete (billed) + catalog drop; injector rng on the delete.
     "delete": declared_effects(
+        "billing:w", "catalog:r", "catalog:w", "fs:w",
+        "metrics:r", "metrics:w", "rng:w", "storage:r", "storage:w",
+    ),
+    # the watchdog's rollback of a regressed index: the ordinary delete
+    # sequence plus the ledger close-out and watchdog bookkeeping (both
+    # metrics/journal writes, already in the delete footprint).
+    "watchdog_delete": declared_effects(
         "billing:w", "catalog:r", "catalog:w", "fs:w",
         "metrics:r", "metrics:w", "rng:w", "storage:r", "storage:w",
     ),
@@ -208,6 +221,29 @@ class QaaSService:
             incremental_gain=config.incremental_gain,
             obs=self.obs,
         )
+        # ROI accounting and the regression watchdog are opt-in: with
+        # both flags off neither object exists and no feed site runs, so
+        # default runs stay byte-identical. The ledger writes through the
+        # observation's journal/metrics (no-ops when obs is disabled —
+        # rollback still works, it just leaves no events behind).
+        self._ledger: IndexLedger | None = None
+        self._watchdog: RegressionWatchdog | None = None
+        if config.roi_ledger or config.watchdog_rollback:
+            self._ledger = IndexLedger(
+                journal=self.obs.journal,
+                metrics=self.obs.metrics,
+                quantum_seconds=self.pricing.quantum_seconds,
+                quantum_price=self.pricing.quantum_price,
+                storage_price_mb_quantum=self.pricing.storage_price_mb_quantum,
+            )
+            self._watchdog = RegressionWatchdog(
+                ledger=self._ledger,
+                journal=self.obs.journal,
+                metrics=self.obs.metrics,
+                quantum_seconds=self.pricing.quantum_seconds,
+                window_quanta=config.watchdog_window_quanta,
+                hysteresis=config.watchdog_hysteresis,
+            )
 
     # ------------------------------------------------------------------
     # Strategy dispatch
@@ -480,6 +516,15 @@ class QaaSService:
                 breakdown=gain.breakdown() if gain is not None else None,
             )
             self.obs.metrics.counter("service/partitions_built").inc()
+        if self._ledger is not None:
+            build_s = self.catalog.cost_model.partition_model(
+                index.table, index.spec, index.table.partition(done.partition_id)
+            ).total_build_seconds
+            self._ledger.on_build(
+                done.index_name, done.partition_id, at, size_mb, build_s
+            )
+            if self._watchdog is not None:
+                self._watchdog.on_build(done.index_name, at)
 
     def _iter_apply_checkpoints(self, result, metrics: ServiceMetrics) -> Iterator[str]:
         """Persist partial-build progress of preemption-killed builds,
@@ -581,6 +626,23 @@ class QaaSService:
                 breakdown=gain.breakdown() if gain is not None else None,
             )
             self.obs.metrics.counter("service/indexes_deleted").inc()
+        if self._ledger is not None:
+            self._ledger.on_delete(name, now)
+            if self._watchdog is not None:
+                self._watchdog.on_delete(name, now)
+
+    def _iter_watchdog_delete(
+        self, name: str, now: float, metrics: ServiceMetrics
+    ) -> Iterator[str]:
+        """Roll back one regression-flagged index.
+
+        Reuses the ordinary delete sequence (so recovery records,
+        journal events and metrics stay uniform), then books the
+        rollback with the watchdog.
+        """
+        yield from self._iter_apply_delete(name, now, metrics, gains=None)
+        if self._watchdog is not None:
+            self._watchdog.on_rolled_back(name)
 
     def _iter_execute(self, decision, exec_start: float, out: list) -> Iterator[str]:
         """Slot-fill and execute the decision (one atomic micro-step);
@@ -644,6 +706,22 @@ class QaaSService:
             resources=frozenset((f"idx:{name}",)),
             entry="delete.storage_object",
             effects=ACTION_EFFECTS["delete"],
+            stamp=now,
+        )
+
+    def _watchdog_delete_action(
+        self, name: str, now: float, metrics: ServiceMetrics
+    ) -> Action:
+        # The rollback consults ledger balances that the settle-time
+        # probe feeds update, so it commutes with nothing (ALL_RESOURCES)
+        # — which also keeps it out of the EFF02 pairwise obligations.
+        return Action(
+            key=f"watchdog_delete:{name}",
+            kind="watchdog_delete",
+            gen=self._iter_watchdog_delete(name, now, metrics),
+            resources=frozenset((ALL_RESOURCES,)),
+            entry="delete.storage_object",
+            effects=ACTION_EFFECTS["watchdog_delete"],
             stamp=now,
         )
 
@@ -739,6 +817,17 @@ class QaaSService:
             if result.checkpoints:
                 epoch.offer(self._kill_action(result, metrics))
             epoch.offer(self._history_action(result, decision, metrics))
+            if self._ledger is not None:
+                # Realized-benefit attribution: credit each available
+                # index with the runtime this dataflow actually saved by
+                # probing it (the interleaver's fold-in savings).
+                savings = decision.interleaved.index_savings
+                for name in sorted(savings):
+                    self._ledger.on_probe(
+                        name, result.finish_time, result.dataflow_name, savings[name]
+                    )
+                if savings:
+                    self._ledger.emit_roi(sorted(savings), result.finish_time)
         state.pending[:] = remaining
 
     def _acquire_slot(self, state: RunState, arrival: float) -> float:
@@ -774,6 +863,14 @@ class QaaSService:
         self._settle(state, exec_start, epoch)
         self._retry_orphan_deletes(exec_start, metrics)
         self._apply_data_updates(exec_start, metrics)
+        if self._watchdog is not None:
+            for name in self._watchdog.check(exec_start):
+                index = self.catalog.indexes.get(name)
+                if not self.config.watchdog_rollback:
+                    continue  # observe-only: flagged, never dropped
+                if index is None or not index.any_built:
+                    continue
+                epoch.offer(self._watchdog_delete_action(name, exec_start, metrics))
         dataflow = self._dataflow_at(state, i)
         if self.recovery.enabled:
             self.recovery.record(
@@ -798,6 +895,15 @@ class QaaSService:
         crash_point("service.pre_decide")
         decision = self._decide(dataflow, now=exec_start, queued=queued)
         crash_point("service.post_decide")
+        if self._ledger is not None:
+            # Capture the tuner's decision-time prediction for every
+            # index this decision schedules a build for, so the ledger
+            # can reconcile it against realized benefit later.
+            scheduled = {c.index_name for c in decision.interleaved.scheduled_builds}
+            for name in sorted(scheduled):
+                gain = decision.gains.get(name)
+                if gain is not None:
+                    self._ledger.on_predicted(name, exec_start, gain.combined_dollars)
         if self.recovery.enabled and (
             decision.interleaved.scheduled_builds or decision.to_delete
         ):
@@ -886,6 +992,8 @@ class QaaSService:
         self._settle(state, float("inf"), epoch)
         epoch.drain("service.finish")
         self._retry_orphan_deletes(self.config.total_time_s, metrics)
+        if self._ledger is not None:
+            self._ledger.finish(self.config.total_time_s)
         metrics.faults_injected = dict(self.injector.stats.by_kind)
         if metrics.total_faults_injected:
             logger.info(

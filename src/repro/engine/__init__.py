@@ -21,6 +21,7 @@ from repro.engine.executor import (
     order_by_sort,
     range_select_btree,
     range_select_scan,
+    realized_path_cost,
     sort_merge_join,
     sort_merge_join_unindexed,
 )
@@ -30,6 +31,7 @@ from repro.engine.optimizer import (
     PathChoice,
     PathKind,
     Predicate,
+    ProbeOutcome,
 )
 from repro.engine.heap import HeapFile
 from repro.engine.partitioned import GlobalRowId, PartitionedHeap, PartitionedIndex
@@ -46,6 +48,7 @@ __all__ = [
     "PathChoice",
     "PathKind",
     "Predicate",
+    "ProbeOutcome",
     "HeapFile",
     "GlobalRowId",
     "PartitionedHeap",
@@ -66,6 +69,7 @@ __all__ = [
     "order_by_sort",
     "range_select_btree",
     "range_select_scan",
+    "realized_path_cost",
     "sort_merge_join",
     "sort_merge_join_unindexed",
 ]

@@ -11,6 +11,7 @@ real engine rather than assumed.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Iterator
 
 from repro.engine.btree import BPlusTree
@@ -199,3 +200,34 @@ def sort_merge_join_unindexed(
     left_sorted = ((left_vals[i], i) for i in order_by_sort(left, left_col))
     right_sorted = ((right_vals[j], j) for j in order_by_sort(right, right_col))
     return sort_merge_join(left_sorted, right_sorted)
+
+
+# ----------------------------------------------------------------------
+# Realized cost
+# ----------------------------------------------------------------------
+def realized_path_cost(
+    path: str,
+    table_rows: int,
+    matches: int,
+    fanout: int = 2,
+    order_by: bool = False,
+) -> float:
+    """Row touches a finished access actually cost, from observed matches.
+
+    The optimizer's :meth:`~repro.engine.optimizer.AccessPathOptimizer.estimate`
+    prices paths with *estimated* cardinalities; after execution the true
+    match count is known, so the same formulas re-priced with it give the
+    realized cost — the basis for the ROI ledger's realized-benefit
+    accounting. ``path`` is a :class:`~repro.engine.optimizer.PathKind`
+    value (``"full_scan"``, ``"btree"``, ``"hash"``).
+    """
+    n = max(table_rows, 1)
+    if path == "hash":
+        return 1.0 + matches
+    if path == "btree":
+        if order_by:
+            return float(n)  # leaf chain walk
+        return math.log(max(n, 2), max(fanout, 2)) + matches
+    if order_by:
+        return max(1.0, n * math.log2(max(n, 2)))  # sort
+    return float(n)

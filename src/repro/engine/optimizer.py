@@ -30,6 +30,7 @@ from repro.engine.executor import (
     order_by_sort,
     range_select_btree,
     range_select_scan,
+    realized_path_cost,
 )
 from repro.engine.hashindex import HashIndex
 from repro.engine.heap import HeapFile
@@ -90,6 +91,24 @@ class PathChoice:
         return self.scan_cost / self.estimated_cost
 
 
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """One executed access with its estimate-vs-realized cost record.
+
+    ``realized_cost`` re-prices the chosen path with the *observed* match
+    count, so ``scan_cost - realized_cost`` is the row touches the index
+    actually saved this probe (zero when the scan path won anyway).
+    """
+
+    choice: PathChoice
+    matches: int
+    realized_cost: float
+
+    @property
+    def realized_saving(self) -> float:
+        return max(0.0, self.choice.scan_cost - self.realized_cost)
+
+
 class AccessPathOptimizer:
     """Chooses scan vs index for predicates over one heap file."""
 
@@ -102,6 +121,8 @@ class AccessPathOptimizer:
         self.heap = heap
         self.btrees = btrees or {}
         self.hashes = hashes or {}
+        #: Every executed access, in order, with realized costs.
+        self.outcomes: list[ProbeOutcome] = []
 
     # ------------------------------------------------------------------
     # Statistics
@@ -215,4 +236,24 @@ class AccessPathOptimizer:
                 rows = range_select_btree(self.btrees[column], low, high)
             else:
                 rows = range_select_scan(self.heap, column, low, high)
+        fanout = self.btrees[column].order if column in self.btrees else 2
+        realized = realized_path_cost(
+            choice.kind.value,
+            self.table_rows(),
+            len(rows),
+            fanout=fanout,
+            order_by=predicate.order_by,
+        )
+        self.outcomes.append(
+            ProbeOutcome(choice=choice, matches=len(rows), realized_cost=realized)
+        )
         return choice, rows
+
+    def realized_benefit(self) -> float:
+        """Total row touches the chosen index paths actually saved.
+
+        Sums ``scan_cost - realized_cost`` over every executed access —
+        the engine-tier ground truth the ROI ledger's simulated
+        attribution models at the dataflow tier.
+        """
+        return sum(o.realized_saving for o in self.outcomes)

@@ -37,7 +37,7 @@ class InterleavingOracle:
         self._step_no += 1
         if not action.done:
             return
-        if action.kind == "delete":
+        if action.kind in ("delete", "watchdog_delete"):
             name = action.key.split(":", 1)[1]
             self._deleted_at[name] = self._step_no
         elif action.kind == "build":

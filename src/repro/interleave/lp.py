@@ -31,6 +31,10 @@ class InterleavedSchedule:
     schedule: Schedule
     build_assignments: list[Assignment] = field(default_factory=list)
     scheduled_builds: list[BuildCandidate] = field(default_factory=list)
+    #: Runtime seconds each *available* index saved this dataflow when
+    #: its speedup was folded into the operator estimates — the realized
+    #: per-index benefit the ROI ledger attributes per execution.
+    index_savings: dict[str, float] = field(default_factory=dict)
 
     @property
     def num_builds(self) -> int:
@@ -46,7 +50,7 @@ def update_runtimes_for_indexes(
     available: set[str],
     fractions: dict[str, float] | None = None,
     index_sizes_mb: dict[str, float] | None = None,
-) -> None:
+) -> dict[str, float]:
     """Fold available indexes into operator estimates (in place).
 
     Implements lines 1-5 of Algorithm 2: operators that can use an
@@ -54,26 +58,37 @@ def update_runtimes_for_indexes(
     scanning the whole input — instead they read the index from the
     storage service plus only the touched slice of the data, so the
     operator's input transfer shrinks to ``size/factor + index size``.
+
+    Returns the runtime seconds each index saved, attributed per index
+    over the operators/files it accelerated (the realized-benefit feed
+    of the ROI ledger). The attribution is derived from the exact same
+    per-file factors the runtime update applies, so it sums to the total
+    compute-time reduction.
     """
     from repro.dataflow.operator import DataFile
 
+    savings: dict[str, float] = {}
     for op in dataflow.operators.values():
         if not op.index_speedup or not op.inputs:
             continue
         new_runtime = op.runtime_with_indexes(available, fractions)
         if new_runtime >= op.runtime:
             continue
+        weights = op.input_weights()
         new_inputs = []
         for data_file in op.inputs:
             index_name, factor = op.best_index_for(data_file.name, available, fractions)
             if index_name is None or factor <= 1.0:
                 new_inputs.append(data_file)
                 continue
+            saved_s = op.runtime * weights.get(data_file.name, 0.0) * (1.0 - 1.0 / factor)
+            savings[index_name] = savings.get(index_name, 0.0) + saved_s
             index_mb = (index_sizes_mb or {}).get(index_name, 0.0)
             new_size = min(data_file.size_mb, data_file.size_mb / factor + index_mb)
             new_inputs.append(DataFile(name=data_file.name, size_mb=new_size))
         op.inputs = tuple(new_inputs)
         op.runtime = new_runtime
+    return savings
 
 
 def pack_builds_into_schedule(
@@ -141,15 +156,19 @@ def lp_interleave(
     operators into each schedule's idle slots. Returns one interleaved
     schedule per skyline point.
     """
+    savings: dict[str, float] = {}
     if available_indexes:
-        update_runtimes_for_indexes(
+        savings = update_runtimes_for_indexes(
             dataflow, available_indexes, index_fractions, index_sizes_mb
         )
     skyline = scheduler.schedule(dataflow)
-    return [
+    interleaved = [
         pack_builds_into_schedule(s, candidates, max_nodes=max_nodes, obs=obs)
         for s in skyline
     ]
+    for sched in interleaved:
+        sched.index_savings = dict(savings)
+    return interleaved
 
 
 def select_fastest(interleaved: list[InterleavedSchedule]) -> InterleavedSchedule:

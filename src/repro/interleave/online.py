@@ -36,8 +36,9 @@ def online_interleave(
     Returns one interleaved schedule per skyline point.
     """
     obs = obs if obs is not None else NOOP_OBS
+    savings: dict[str, float] = {}
     if available_indexes:
-        update_runtimes_for_indexes(
+        savings = update_runtimes_for_indexes(
             dataflow, available_indexes, index_fractions, index_sizes_mb
         )
     by_name = {c.op_name: c for c in candidates}
@@ -70,6 +71,7 @@ def online_interleave(
                 schedule=base,
                 build_assignments=build_assignments,
                 scheduled_builds=scheduled,
+                index_savings=dict(savings),
             )
         )
     return out

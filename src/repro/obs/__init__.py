@@ -25,7 +25,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.diff import (
+    Divergence,
+    artifact_divergence,
+    diff_journals,
+    diff_metrics,
+    diff_traces,
+)
 from repro.obs.journal import Journal, RecordingJournal
+from repro.obs.ledger import IndexAccount, IndexLedger
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -35,11 +43,15 @@ from repro.obs.metrics import (
 )
 from repro.obs.perfetto import chrome_trace, trace_json, write_chrome_trace
 from repro.obs.tracer import Instant, RecordingTracer, Span, Tracer
+from repro.obs.watchdog import RegressionWatchdog
 
 __all__ = [
     "Counter",
+    "Divergence",
     "Gauge",
     "Histogram",
+    "IndexAccount",
+    "IndexLedger",
     "Instant",
     "Journal",
     "MetricsRegistry",
@@ -48,9 +60,14 @@ __all__ = [
     "Observation",
     "RecordingJournal",
     "RecordingTracer",
+    "RegressionWatchdog",
     "Span",
     "Tracer",
+    "artifact_divergence",
     "chrome_trace",
+    "diff_journals",
+    "diff_metrics",
+    "diff_traces",
     "trace_json",
     "write_chrome_trace",
 ]

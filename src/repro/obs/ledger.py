@@ -1,0 +1,228 @@
+"""Index lifecycle ledger: per-index ROI accounting in simulated time.
+
+The decision journal (PR 3) records *why* the tuner built or dropped an
+index — the predicted Eq. 3–5 gain breakdown — but nothing reconciles
+those predictions against what the index actually delivered. The ledger
+closes that loop: for every index it accumulates
+
+* **build cost paid** — the idle-slot seconds spent building partitions,
+  priced in quanta of VM time (the money those slots would otherwise
+  have idled away);
+* **storage dollars accrued** — MB · quanta held, charged continuously
+  from each partition's build instant until deletion;
+* **predicted gain** — the combined Eq. 3 dollars captured at the
+  decision that scheduled the build;
+* **realized benefit** — the runtime each executed dataflow actually
+  saved by probing the index instead of scanning (the per-index savings
+  the interleaver computes when it folds available indexes into
+  operator estimates), priced in VM quanta.
+
+The running *net ROI* is ``realized − (build + storage)``, in dollars of
+sim-time money. Everything is derived from values callers pass in —
+plain floats stamped with simulated seconds — so the ledger obeys the
+`repro.obs` leaf contract: no imports from the rest of ``repro``, no
+wall clock, no randomness, byte-deterministic output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.journal import Journal
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class IndexAccount:
+    """The running ledger entry of one index.
+
+    All monetary fields are dollars of simulated money; times are
+    simulated seconds. ``partitions`` maps partition id to the
+    ``(size_mb, since_s)`` pair its storage accrual runs from.
+    """
+
+    index_name: str
+    first_built_at: float
+    build_cost_dollars: float = 0.0
+    predicted_combined_dollars: float = 0.0
+    predicted_at: float = -1.0
+    realized_seconds: float = 0.0
+    realized_dollars: float = 0.0
+    probes: int = 0
+    deleted_at: float = -1.0
+    #: Storage dollars frozen at deletion (live accounts accrue lazily).
+    frozen_storage_dollars: float = 0.0
+    partitions: dict[int, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def live(self) -> bool:
+        return self.deleted_at < 0.0
+
+
+class IndexLedger:
+    """Deterministic per-index ROI accounting fed by the service loop.
+
+    Args:
+        journal: Decision-journal sink for ``index_probe`` /
+            ``index_roi`` events (a no-op :class:`Journal` is fine).
+        metrics: Registry for the ``ledger/*`` instruments.
+        quantum_seconds: Billing quantum length Q, in seconds.
+        quantum_price: VM price Mc per quantum, in dollars.
+        storage_price_mb_quantum: Storage price Mst per MB per quantum.
+    """
+
+    def __init__(
+        self,
+        journal: Journal,
+        metrics: MetricsRegistry,
+        quantum_seconds: float,
+        quantum_price: float,
+        storage_price_mb_quantum: float,
+    ) -> None:
+        if quantum_seconds <= 0:
+            raise ValueError("quantum_seconds must be positive")
+        self.journal = journal
+        self.metrics = metrics
+        self.quantum_seconds = quantum_seconds
+        self.quantum_price = quantum_price
+        self.storage_price_mb_quantum = storage_price_mb_quantum
+        self.accounts: dict[str, IndexAccount] = {}
+
+    # ------------------------------------------------------------------
+    # Accrual arithmetic
+    # ------------------------------------------------------------------
+    def quanta(self, seconds: float) -> float:
+        return seconds / self.quantum_seconds
+
+    def storage_accrued_dollars(self, name: str, t: float) -> float:
+        """Storage dollars the index has accrued up to sim time ``t``."""
+        account = self.accounts.get(name)
+        if account is None:
+            return 0.0
+        if not account.live:
+            return account.frozen_storage_dollars
+        total = account.frozen_storage_dollars
+        for size_mb, since in account.partitions.values():
+            held = max(0.0, t - since)
+            total += size_mb * self.quanta(held) * self.storage_price_mb_quantum
+        return total
+
+    def spent_dollars(self, name: str, t: float) -> float:
+        """Build cost plus storage accrued up to ``t``."""
+        account = self.accounts.get(name)
+        if account is None:
+            return 0.0
+        return account.build_cost_dollars + self.storage_accrued_dollars(name, t)
+
+    def realized_dollars(self, name: str) -> float:
+        account = self.accounts.get(name)
+        return account.realized_dollars if account is not None else 0.0
+
+    def net_dollars(self, name: str, t: float) -> float:
+        return self.realized_dollars(name) - self.spent_dollars(name, t)
+
+    # ------------------------------------------------------------------
+    # Feeds from the service loop
+    # ------------------------------------------------------------------
+    def _account(self, name: str, t: float) -> IndexAccount:
+        account = self.accounts.get(name)
+        if account is None:
+            account = self.accounts[name] = IndexAccount(
+                index_name=name, first_built_at=t
+            )
+        return account
+
+    def on_build(
+        self,
+        name: str,
+        partition_id: int,
+        t: float,
+        size_mb: float,
+        build_seconds: float,
+    ) -> None:
+        """One partition finished building at ``t``.
+
+        A rebuilt account (an index deleted and later built again)
+        reopens: the closed period's storage stays frozen and new
+        accrual starts from this build.
+        """
+        account = self.accounts.get(name)
+        if account is not None and not account.live:
+            account.deleted_at = -1.0
+            account.partitions = {}
+        account = self._account(name, t)
+        account.build_cost_dollars += self.quanta(build_seconds) * self.quantum_price
+        account.partitions[partition_id] = (size_mb, t)
+
+    def on_predicted(self, name: str, t: float, combined_dollars: float) -> None:
+        """Capture the Eq. 3 prediction behind a scheduled build."""
+        account = self._account(name, t)
+        account.predicted_combined_dollars = combined_dollars
+        account.predicted_at = t
+
+    def on_probe(self, name: str, t: float, dataflow: str, saved_seconds: float) -> None:
+        """One executed dataflow saved ``saved_seconds`` via this index."""
+        account = self._account(name, t)
+        saved_dollars = self.quanta(saved_seconds) * self.quantum_price
+        account.realized_seconds += saved_seconds
+        account.realized_dollars += saved_dollars
+        account.probes += 1
+        self.journal.emit(
+            "index_probe",
+            t=t,
+            index=name,
+            dataflow=dataflow,
+            saved_seconds=saved_seconds,
+            saved_dollars=saved_dollars,
+        )
+        self.metrics.counter("ledger/probes").inc()
+
+    def on_delete(self, name: str, t: float) -> None:
+        """The index was dropped: freeze its storage accrual and close
+        the account with a final ``index_roi`` event."""
+        account = self.accounts.get(name)
+        if account is None or not account.live:
+            return
+        account.frozen_storage_dollars = self.storage_accrued_dollars(name, t)
+        account.partitions = {}
+        account.deleted_at = t
+        self.emit_roi([name], t)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def roi_payload(self, name: str, t: float) -> dict[str, object]:
+        """The JSON-ready ROI statement of one index at sim time ``t``."""
+        account = self.accounts[name]
+        storage = self.storage_accrued_dollars(name, t)
+        spent = account.build_cost_dollars + storage
+        return {
+            "index": name,
+            "live": account.live,
+            "first_built_at": account.first_built_at,
+            "build_cost_dollars": account.build_cost_dollars,
+            "storage_cost_dollars": storage,
+            "predicted_combined_dollars": account.predicted_combined_dollars,
+            "probes": account.probes,
+            "realized_seconds": account.realized_seconds,
+            "realized_dollars": account.realized_dollars,
+            "net_dollars": account.realized_dollars - spent,
+        }
+
+    def emit_roi(self, names: list[str], t: float) -> None:
+        """Emit one ``index_roi`` event per named account and refresh
+        the aggregate ``ledger/*`` gauges."""
+        for name in names:
+            if name not in self.accounts:
+                continue
+            self.journal.emit("index_roi", t=t, **self.roi_payload(name, t))
+        realized = sum(a.realized_dollars for a in self.accounts.values())
+        spent = sum(self.spent_dollars(n, t) for n in self.accounts)
+        self.metrics.gauge("ledger/realized_dollars").set(realized)
+        self.metrics.gauge("ledger/spent_dollars").set(spent)
+        self.metrics.gauge("ledger/net_dollars").set(realized - spent)
+
+    def finish(self, t: float) -> None:
+        """Close out the run: a final ``index_roi`` statement for every
+        account, in sorted name order."""
+        self.emit_roi(sorted(self.accounts), t)

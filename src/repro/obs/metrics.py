@@ -149,14 +149,23 @@ class MetricsRegistry:
         """Registered counters whose name starts with ``prefix``."""
         return {n: c for n, c in self._counters.items() if n.startswith(prefix)}
 
+    def gauges_with_prefix(self, prefix: str) -> dict[str, Gauge]:
+        """Registered gauges whose name starts with ``prefix``."""
+        return {n: g for n, g in self._gauges.items() if n.startswith(prefix)}
+
+    def histograms_with_prefix(self, prefix: str) -> dict[str, Histogram]:
+        """Registered histograms whose name starts with ``prefix``."""
+        return {n: h for n, h in self._histograms.items() if n.startswith(prefix)}
+
     def snapshot(self) -> dict[str, object]:
         """All instruments as one JSON-ready dict, names sorted."""
+        counters = self.counters_with_prefix("")
+        gauges = self.gauges_with_prefix("")
+        histograms = self.histograms_with_prefix("")
         return {
-            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
-            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
-            "histograms": {
-                n: self._histograms[n].snapshot() for n in sorted(self._histograms)
-            },
+            "counters": {n: counters[n].value for n in sorted(counters)},
+            "gauges": {n: gauges[n].value for n in sorted(gauges)},
+            "histograms": {n: histograms[n].snapshot() for n in sorted(histograms)},
         }
 
     def to_json(self) -> str:

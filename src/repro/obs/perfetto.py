@@ -33,14 +33,22 @@ _US_PER_S = 1e6
 def chrome_trace(tracer: RecordingTracer) -> dict[str, object]:
     """The trace as a JSON-ready dict (``{"traceEvents": [...]}``)."""
     events: list[dict[str, object]] = []
-    for pid in sorted(tracer.process_names):
+    # Unnamed pids (a span or instant whose process was never named) get
+    # a deterministic fallback track label so every row in the viewer is
+    # identifiable; the simulator always names its processes, so real
+    # traces never take this path.
+    seen_pids = {s.pid for s in tracer.spans} | {m.pid for m in tracer.instants}
+    names = dict(tracer.process_names)
+    for pid in sorted(seen_pids - set(names)):
+        names[pid] = f"process {pid}"
+    for pid in sorted(names):
         events.append(
             {
                 "ph": "M",
                 "name": "process_name",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": tracer.process_names[pid]},
+                "args": {"name": names[pid]},
             }
         )
     for pid, tid in sorted(tracer.thread_names):

@@ -1,0 +1,138 @@
+"""Regression watchdog: flag indexes whose realized benefit lags cost.
+
+The gain model's faded-history rule (Eq. 3–5) can keep a harmful index
+alive for a long time after a workload shift: faded benefit decays
+slowly and the deletion check only runs at tuner decisions. The
+watchdog instead audits the :class:`~repro.obs.ledger.IndexLedger`
+economics directly: over each confirmation window it compares the
+benefit the index *realized* (dataflow runtime actually saved) against
+the storage dollars it *accrued* in that same window. An index that
+holds storage without paying for it breaches the window; after
+``hysteresis`` consecutive breaches the index is flagged with an
+``index_regression`` journal event.
+
+Build cost is deliberately excluded from the breach test — it is sunk
+(builds run in idle slots that were billed anyway) — but it does appear
+in the ledger's cumulative net ROI. The trigger therefore asks the
+operational question: *is this index worth its rent going forward?*
+
+The watchdog itself only observes; the service decides (behind the
+``watchdog_rollback`` config flag) whether a flagged index is dropped
+through the ordinary delete path. Like every ``repro.obs`` component it
+reads no clock, draws no randomness, and emits deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.journal import Journal
+from repro.obs.ledger import IndexLedger
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class _WatchState:
+    """Per-index evaluation checkpoint."""
+
+    since: float
+    last_eval_at: float
+    realized_at_eval: float
+    storage_at_eval: float
+    breaches: int = 0
+    flagged: bool = False
+
+
+class RegressionWatchdog:
+    """Windowed realized-vs-accrued regression detector over a ledger.
+
+    Args:
+        ledger: The index ledger supplying realized/accrued balances.
+        journal: Sink for ``index_regression`` events.
+        metrics: Registry for the ``watchdog/*`` counters.
+        quantum_seconds: Billing quantum length, in seconds.
+        window_quanta: Confirmation-window length, in quanta.
+        hysteresis: Consecutive breached windows before flagging.
+    """
+
+    def __init__(
+        self,
+        ledger: IndexLedger,
+        journal: Journal,
+        metrics: MetricsRegistry,
+        quantum_seconds: float,
+        window_quanta: float,
+        hysteresis: int,
+    ) -> None:
+        if window_quanta <= 0:
+            raise ValueError("window_quanta must be positive")
+        if hysteresis < 1:
+            raise ValueError("hysteresis must be at least 1")
+        self.ledger = ledger
+        self.journal = journal
+        self.metrics = metrics
+        self.window_seconds = window_quanta * quantum_seconds
+        self.window_quanta = window_quanta
+        self.hysteresis = hysteresis
+        self._watched: dict[str, _WatchState] = {}
+
+    def on_build(self, name: str, t: float) -> None:
+        """Start (or restart) watching an index from its first build.
+
+        The first window begins at the build instant, so a fresh index
+        always gets one full window of warm-up before any evaluation.
+        """
+        if name in self._watched and not self._watched[name].flagged:
+            return
+        self._watched[name] = _WatchState(
+            since=t,
+            last_eval_at=t,
+            realized_at_eval=self.ledger.realized_dollars(name),
+            storage_at_eval=self.ledger.storage_accrued_dollars(name, t),
+        )
+
+    def on_delete(self, name: str, t: float) -> None:
+        """Stop watching a dropped index."""
+        self._watched.pop(name, None)
+
+    def check(self, t: float) -> list[str]:
+        """Evaluate every watched index at sim time ``t``.
+
+        Returns the names (sorted) flagged as regressed by *this* call;
+        already-flagged indexes are not re-reported.
+        """
+        newly: list[str] = []
+        for name in sorted(self._watched):
+            state = self._watched[name]
+            if state.flagged:
+                continue
+            if t < state.last_eval_at + self.window_seconds:
+                continue
+            realized = self.ledger.realized_dollars(name)
+            storage = self.ledger.storage_accrued_dollars(name, t)
+            realized_window = realized - state.realized_at_eval
+            storage_window = storage - state.storage_at_eval
+            breached = realized_window < storage_window
+            state.breaches = state.breaches + 1 if breached else 0
+            state.last_eval_at = t
+            state.realized_at_eval = realized
+            state.storage_at_eval = storage
+            if state.breaches >= self.hysteresis:
+                state.flagged = True
+                newly.append(name)
+                self.journal.emit(
+                    "index_regression",
+                    t=t,
+                    index=name,
+                    window_quanta=self.window_quanta,
+                    breaches=state.breaches,
+                    realized_window_dollars=realized_window,
+                    storage_window_dollars=storage_window,
+                    net_dollars=self.ledger.net_dollars(name, t),
+                )
+                self.metrics.counter("watchdog/regressions_flagged").inc()
+        return newly
+
+    def on_rolled_back(self, name: str) -> None:
+        """Record that the service dropped a flagged index."""
+        self.metrics.counter("watchdog/rollbacks").inc()

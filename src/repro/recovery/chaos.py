@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import artifact_divergence
 from repro.recovery.hooks import (
     CRASH_EXIT_CODE,
     CRASH_POINTS,
@@ -280,7 +281,15 @@ def run_crash_sweep(
         case_artifacts = _read_artifacts(case_dir)
         for name in ARTIFACTS:
             if case_artifacts.get(name) != base_artifacts.get(name):
-                problems.append(f"{name} differs from baseline")
+                # Localize instead of a bare "differs": the first
+                # divergent journal event / metrics key / trace event
+                # usually names the faulty resume path directly.
+                detail = artifact_divergence(
+                    name,
+                    base_artifacts.get(name) or b"",
+                    case_artifacts.get(name) or b"",
+                )
+                problems.append(detail or f"{name} differs from baseline")
         report.cases.append(
             CaseResult(
                 label,
@@ -295,6 +304,28 @@ def run_crash_sweep(
 # ----------------------------------------------------------------------
 # Fault-storm soak
 # ----------------------------------------------------------------------
+#: Field names of the ``_metrics_fingerprint`` tuple, in order, so a
+#: soak divergence can name the first differing field.
+_FINGERPRINT_FIELDS = (
+    "outcomes",
+    "snapshots",
+    "faults_injected",
+    "indexes_created",
+    "indexes_deleted",
+    "operator_retries",
+    "operators_recovered",
+    "retries_exhausted",
+    "containers_crashed",
+    "stragglers",
+    "builds_failed",
+    "degraded_builds",
+    "checkpoints_recorded",
+    "checkpoint_resumes",
+    "storage_put_failures",
+    "storage_delete_failures",
+)
+
+
 def _metrics_fingerprint(metrics) -> tuple:
     """Everything that must survive crash/resume, including the
     registry-backed fault counters the dataclass ``==`` excludes."""
@@ -432,9 +463,17 @@ def run_chaos_soak(
                 plant_crash()
     finally:
         install_crash_plan(None)
-    report.identical = _metrics_fingerprint(metrics) == ref_print
+    soak_print = _metrics_fingerprint(metrics)
+    report.identical = soak_print == ref_print
     if not report.identical:
+        fields = [
+            name
+            for name, a, b in zip(_FINGERPRINT_FIELDS, soak_print, ref_print)
+            if a != b
+        ]
         raise AssertionError(
-            "soak run metrics diverged from the crash-free reference"
+            "soak run metrics diverged from the crash-free reference "
+            f"(first differing field: {fields[0] if fields else '?'}; "
+            f"all: {', '.join(fields) or '?'})"
         )
     return report

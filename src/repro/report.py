@@ -109,6 +109,11 @@ def obs_summary(
         name_w = max(len(n) for n in counters)
         for name in sorted(counters):
             lines.append(f"  {name:<{name_w}}  {counters[name]:>12.0f}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        name_w = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{name_w}}  {gauges[name]:>12.4f}")
     for name in sorted(snapshot.get("histograms", {})):
         hist = snapshot["histograms"][name]
         lines.append(f"  {name}: n={hist['count']} sum={hist['sum']:.1f}s")
@@ -120,6 +125,37 @@ def obs_summary(
     if len(lines) == 1:
         lines.append("  (no instruments recorded)")
     return "\n".join(lines)
+
+
+def roi_table(rows: Sequence[dict]) -> str:
+    """Per-index ROI statements as an aligned text table.
+
+    ``rows`` are ``index_roi`` payload dicts (see
+    :meth:`repro.obs.IndexLedger.roi_payload`), rendered in the given
+    order with fixed-precision dollars so the table is byte-stable
+    across same-seed runs.
+    """
+    if not rows:
+        return "(no index accounts)"
+    headers = ["index", "live", "build $", "storage $", "predicted $",
+               "probes", "realized $", "net $"]
+    label_w = max(10, max(len(str(r["index"])) for r in rows) + 2)
+    widths = [label_w, 6, 10, 11, 13, 8, 12, 12]
+    out = ["".join(f"{h:<{w}}" for h, w in zip(headers, widths))]
+    out.append("-" * sum(widths))
+    for r in rows:
+        cells = [
+            str(r["index"]),
+            "yes" if r.get("live") else "no",
+            f"{r.get('build_cost_dollars', 0.0):.4f}",
+            f"{r.get('storage_cost_dollars', 0.0):.4f}",
+            f"{r.get('predicted_combined_dollars', 0.0):.4f}",
+            str(r.get("probes", 0)),
+            f"{r.get('realized_dollars', 0.0):.4f}",
+            f"{r.get('net_dollars', 0.0):.4f}",
+        ]
+        out.append("".join(f"{c:<{w}}" for c, w in zip(cells, widths)))
+    return "\n".join(out)
 
 
 def metrics_row(label: str, metrics) -> MetricsRow:

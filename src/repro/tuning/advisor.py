@@ -154,6 +154,19 @@ class IndexAdvisor:
             out.append(rec)
         return out
 
+    def predicted_gains(self, dataflow: Dataflow, max_per_table: int = 2) -> dict[str, float]:
+        """What-if saved seconds per advised index name (pure query).
+
+        The advisor-tier counterpart of the tuner's decision-time
+        prediction: what the what-if pass believed each index was worth
+        before any build was paid for. Does not mutate the catalog or
+        the dataflow.
+        """
+        return {
+            rec.index_name: rec.saved_seconds
+            for rec in self.recommend(dataflow, max_per_table=max_per_table)
+        }
+
     def apply(self, dataflow: Dataflow, max_per_table: int = 2) -> list[Recommendation]:
         """Recommend and wire the advice into the dataflow in place.
 

@@ -61,6 +61,20 @@ class TunerDecision:
     dataflow_time_gains: dict[str, float] = field(default_factory=dict)
     dataflow_money_gains: dict[str, float] = field(default_factory=dict)
 
+    def predicted_build_gains(self) -> dict[str, float]:
+        """Combined-dollar gain predicted for each index this decision builds.
+
+        The ROI ledger records these at decision time so a later
+        regression (workload shift) can be measured against what the
+        tuner believed the index was worth when it paid for it.
+        """
+        scheduled = {c.index_name for c in self.chosen.scheduled_builds}
+        return {
+            name: self.gains[name].combined_dollars
+            for name in sorted(scheduled)
+            if name in self.gains
+        }
+
 
 class OnlineIndexTuner:
     """Algorithm 1 over a catalog, a gain model and a dataflow history.

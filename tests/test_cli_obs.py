@@ -1,0 +1,153 @@
+"""CLI tests for the ``repro obs`` analysis family and run flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """One seeded ledgered run's artifacts, shared across the module."""
+    out = tmp_path_factory.mktemp("runA")
+    rc = main([
+        "run", "--strategy", "gain", "--horizon-quanta", "20", "--seed", "7",
+        "--roi-ledger",
+        "--trace-out", str(out / "trace.json"),
+        "--events-out", str(out / "events.jsonl"),
+        "--metrics-out", str(out / "metrics.json"),
+    ])
+    assert rc == 0
+    return out
+
+
+def test_run_accepts_watchdog_flags(tmp_path, capsys) -> None:
+    rc = main([
+        "run", "--strategy", "gain", "--horizon-quanta", "6", "--seed", "7",
+        "--watchdog-rollback", "--watchdog-window-quanta", "5",
+        "--watchdog-hysteresis", "1",
+    ])
+    assert rc == 0
+    assert "finished=" in capsys.readouterr().out
+
+
+def test_run_rejects_bad_watchdog_knobs(capsys) -> None:
+    rc = main([
+        "run", "--horizon-quanta", "2", "--watchdog-window-quanta", "0",
+    ])
+    assert rc == 2
+    assert "watchdog_window_quanta" in capsys.readouterr().err
+
+
+def test_obs_roi_prints_ledger_table(run_dir, capsys) -> None:
+    rc = main(["obs", "roi", "--events", str(run_dir / "events.jsonl")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "index" in out and "net $" in out
+    # Header, separator, and at least one real account row.
+    assert len(out.strip().splitlines()) >= 3
+
+
+def test_obs_roi_json_is_deterministic(run_dir, capsys) -> None:
+    rc = main(["obs", "roi", "--events", str(run_dir / "events.jsonl"), "--json"])
+    assert rc == 0
+    first = capsys.readouterr().out
+    payload = json.loads(first)
+    assert payload["ledger_events"] is True
+    assert payload["indexes"], "ledgered run must yield accounts"
+    for row in payload["indexes"]:
+        assert {"index", "net_dollars", "realized_dollars"} <= set(row)
+    rc = main(["obs", "roi", "--events", str(run_dir / "events.jsonl"), "--json"])
+    assert rc == 0
+    assert capsys.readouterr().out == first
+
+
+def test_obs_roi_without_ledger_events_falls_back_to_probes(
+    tmp_path, capsys
+) -> None:
+    events = tmp_path / "events.jsonl"
+    events.write_text(
+        json.dumps({"event": "index_probe", "t": 1.0, "index": "i",
+                    "dataflow": "d", "saved_seconds": 60.0,
+                    "saved_dollars": 0.1}) + "\n"
+    )
+    rc = main(["obs", "roi", "--events", str(events), "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ledger_events"] is False
+    assert payload["indexes"][0]["realized_dollars"] == 0.1
+
+
+def test_obs_roi_requires_events(capsys) -> None:
+    assert main(["obs", "roi"]) == 2
+    assert "--events" in capsys.readouterr().err
+
+
+def test_obs_diff_identical_dirs_exit_zero(run_dir, tmp_path, capsys) -> None:
+    other = tmp_path / "runB"
+    other.mkdir()
+    for name in ("trace.json", "events.jsonl", "metrics.json"):
+        (other / name).write_bytes((run_dir / name).read_bytes())
+    rc = main(["obs", "diff", str(run_dir), str(other)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("identical") == 3
+
+
+def test_obs_diff_localizes_first_divergent_event(
+    run_dir, tmp_path, capsys
+) -> None:
+    other = tmp_path / "runC"
+    other.mkdir()
+    for name in ("trace.json", "events.jsonl", "metrics.json"):
+        (other / name).write_bytes((run_dir / name).read_bytes())
+    # Perturb one payload value of the third journal event.
+    lines = (other / "events.jsonl").read_text().splitlines()
+    record = json.loads(lines[2])
+    record["t"] = float(record["t"]) + 1.0
+    lines[2] = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    (other / "events.jsonl").write_text("\n".join(lines) + "\n")
+    rc = main(["obs", "diff", str(run_dir), str(other)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "journal: first divergence at event 2" in out
+    assert "trace.json: identical" in out
+
+
+def test_obs_diff_two_files(run_dir, tmp_path, capsys) -> None:
+    a = run_dir / "metrics.json"
+    b = tmp_path / "metrics.json"
+    snapshot = json.loads(a.read_text())
+    counter = sorted(snapshot["counters"])[0]
+    snapshot["counters"][counter] += 1
+    b.write_text(json.dumps(snapshot, sort_keys=True, indent=2) + "\n")
+    rc = main(["obs", "diff", str(a), str(b)])
+    assert rc == 1
+    assert f"key counters.{counter}" in capsys.readouterr().out
+
+
+def test_obs_top_ranks_spans_and_counters(run_dir, capsys) -> None:
+    rc = main([
+        "obs", "top", "--k", "3",
+        "--trace", str(run_dir / "trace.json"),
+        "--metrics", str(run_dir / "metrics.json"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "top 3 spans by total duration:" in out
+    assert "top 3 counters by value:" in out
+    # Deterministic: a second invocation prints the same bytes.
+    main([
+        "obs", "top", "--k", "3",
+        "--trace", str(run_dir / "trace.json"),
+        "--metrics", str(run_dir / "metrics.json"),
+    ])
+    assert capsys.readouterr().out == out
+
+
+def test_obs_top_requires_an_input(capsys) -> None:
+    assert main(["obs", "top"]) == 2
+    assert "needs --metrics" in capsys.readouterr().err

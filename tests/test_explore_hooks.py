@@ -113,7 +113,9 @@ def test_service_action_effects_are_wired_through():
     # statically) must reach the runtime Action objects.
     from repro.core.service import ACTION_EFFECTS
 
-    assert set(ACTION_EFFECTS) == {"build", "kill", "history", "delete", "slotfill"}
+    assert set(ACTION_EFFECTS) == {
+        "build", "kill", "history", "delete", "slotfill", "watchdog_delete",
+    }
     for kind, effects in ACTION_EFFECTS.items():
         assert effects == declared_effects(*effects), kind
 

@@ -141,7 +141,9 @@ def test_live_tree_passes_flow_gate_with_baseline() -> None:
     assert errors == [], "\n".join(d.format() for d in errors)
     assert result.flow is not None
     kinds = sorted(row["kind"] for row in result.flow["actions"])
-    assert kinds == ["build", "delete", "history", "kill", "slotfill"]
+    assert kinds == [
+        "build", "delete", "history", "kill", "slotfill", "watchdog_delete",
+    ]
     # Every service action resolved its generator and has a declaration
     # the checker proved sound (inferred subset of declared).
     for row in result.flow["actions"]:
@@ -332,7 +334,7 @@ def test_flow_report_is_identical_across_runs(tmp_path: Path) -> None:
     assert first.read_bytes() == second.read_bytes()
     report = json.loads(first.read_text())
     assert report["flow"] is not None
-    assert len(report["flow"]["actions"]) == 5
+    assert len(report["flow"]["actions"]) == 6
 
 
 def _hashseed_run(seed: str, report: Path) -> bytes:

@@ -1,0 +1,215 @@
+"""Unit tests for the index ROI ledger and the regression watchdog.
+
+The ledger/watchdog pair is the analysis tier of ``repro.obs``: pure
+arithmetic over values the service feeds in, no simulation state. These
+tests drive them directly with hand-picked numbers so every accrual
+formula and the breach/hysteresis state machine is pinned down exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    IndexLedger,
+    MetricsRegistry,
+    RecordingJournal,
+    RegressionWatchdog,
+)
+
+#: Paper pricing: 60 s quanta, $0.1 per quantum, $1e-4 per MB-quantum.
+Q = 60.0
+MC = 0.1
+MST = 1e-4
+
+
+def make_ledger() -> tuple[IndexLedger, RecordingJournal, MetricsRegistry]:
+    journal = RecordingJournal()
+    metrics = MetricsRegistry()
+    ledger = IndexLedger(
+        journal=journal,
+        metrics=metrics,
+        quantum_seconds=Q,
+        quantum_price=MC,
+        storage_price_mb_quantum=MST,
+    )
+    return ledger, journal, metrics
+
+
+# ----------------------------------------------------------------------
+# Ledger accrual arithmetic
+# ----------------------------------------------------------------------
+def test_build_cost_priced_in_vm_quanta() -> None:
+    ledger, _, _ = make_ledger()
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=120.0)
+    account = ledger.accounts["idx"]
+    # 120 s = 2 quanta at $0.1.
+    assert account.build_cost_dollars == pytest.approx(0.2)
+    assert account.first_built_at == 0.0
+    assert account.live
+
+
+def test_storage_accrues_per_partition_from_build_instant() -> None:
+    ledger, _, _ = make_ledger()
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=0.0)
+    ledger.on_build("idx", 1, t=600.0, size_mb=50.0, build_seconds=0.0)
+    # At t=1200 s: partition 0 held 20 quanta, partition 1 held 10.
+    expect = 100.0 * 20 * MST + 50.0 * 10 * MST
+    assert ledger.storage_accrued_dollars("idx", 1200.0) == pytest.approx(expect)
+    assert ledger.spent_dollars("idx", 1200.0) == pytest.approx(expect)
+
+
+def test_probe_converts_saved_seconds_to_dollars_and_emits() -> None:
+    ledger, journal, metrics = make_ledger()
+    ledger.on_build("idx", 0, t=0.0, size_mb=10.0, build_seconds=60.0)
+    ledger.on_probe("idx", t=300.0, dataflow="montage-1", saved_seconds=180.0)
+    account = ledger.accounts["idx"]
+    assert account.realized_seconds == 180.0
+    assert account.realized_dollars == pytest.approx(3 * MC)
+    assert account.probes == 1
+    [event] = journal.events
+    assert event["event"] == "index_probe"
+    assert event["dataflow"] == "montage-1"
+    assert event["saved_dollars"] == pytest.approx(0.3)
+    assert metrics.counter("ledger/probes").value == 1
+
+
+def test_net_roi_is_realized_minus_build_and_storage() -> None:
+    ledger, _, _ = make_ledger()
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=60.0)
+    ledger.on_probe("idx", t=600.0, dataflow="d", saved_seconds=600.0)
+    # realized $1.0, build $0.1, storage 100 MB * 10 q * 1e-4 = $0.1.
+    assert ledger.net_dollars("idx", 600.0) == pytest.approx(1.0 - 0.1 - 0.1)
+
+
+def test_delete_freezes_storage_and_closes_with_roi_event() -> None:
+    ledger, journal, _ = make_ledger()
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=0.0)
+    ledger.on_delete("idx", t=600.0)
+    frozen = ledger.storage_accrued_dollars("idx", 600.0)
+    # No further accrual after deletion.
+    assert ledger.storage_accrued_dollars("idx", 6000.0) == pytest.approx(frozen)
+    assert not ledger.accounts["idx"].live
+    assert journal.events[-1]["event"] == "index_roi"
+    assert journal.events[-1]["live"] is False
+    # Deleting twice is a no-op.
+    ledger.on_delete("idx", t=700.0)
+    assert len(journal.events) == 1
+
+
+def test_rebuild_after_delete_reopens_account_keeping_frozen_rent() -> None:
+    ledger, _, _ = make_ledger()
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=0.0)
+    ledger.on_delete("idx", t=600.0)
+    frozen = ledger.storage_accrued_dollars("idx", 600.0)
+    ledger.on_build("idx", 0, t=1200.0, size_mb=100.0, build_seconds=0.0)
+    assert ledger.accounts["idx"].live
+    # 10 more quanta of rent on top of the frozen closed period.
+    expect = frozen + 100.0 * 10 * MST
+    assert ledger.storage_accrued_dollars("idx", 1800.0) == pytest.approx(expect)
+
+
+def test_roi_payload_and_finish_emit_sorted_statements() -> None:
+    ledger, journal, metrics = make_ledger()
+    ledger.on_build("b_idx", 0, t=0.0, size_mb=10.0, build_seconds=60.0)
+    ledger.on_build("a_idx", 0, t=0.0, size_mb=10.0, build_seconds=60.0)
+    ledger.on_predicted("a_idx", t=0.0, combined_dollars=2.5)
+    ledger.finish(t=600.0)
+    rois = [e for e in journal.events if e["event"] == "index_roi"]
+    assert [e["index"] for e in rois] == ["a_idx", "b_idx"]
+    payload = ledger.roi_payload("a_idx", 600.0)
+    assert payload["predicted_combined_dollars"] == 2.5
+    assert payload["net_dollars"] == pytest.approx(
+        payload["realized_dollars"]
+        - payload["build_cost_dollars"]
+        - payload["storage_cost_dollars"]
+    )
+    assert metrics.gauge("ledger/spent_dollars").value > 0
+
+
+def test_ledger_rejects_nonpositive_quantum() -> None:
+    with pytest.raises(ValueError):
+        IndexLedger(RecordingJournal(), MetricsRegistry(), 0.0, MC, MST)
+
+
+# ----------------------------------------------------------------------
+# Watchdog state machine
+# ----------------------------------------------------------------------
+def make_watchdog(
+    window_quanta: float = 10.0, hysteresis: int = 2
+) -> tuple[RegressionWatchdog, IndexLedger, RecordingJournal, MetricsRegistry]:
+    ledger, journal, metrics = make_ledger()
+    watchdog = RegressionWatchdog(
+        ledger=ledger,
+        journal=journal,
+        metrics=metrics,
+        quantum_seconds=Q,
+        window_quanta=window_quanta,
+        hysteresis=hysteresis,
+    )
+    return watchdog, ledger, journal, metrics
+
+
+def test_watchdog_warmup_gives_one_full_window() -> None:
+    watchdog, ledger, _, _ = make_watchdog(window_quanta=10.0, hysteresis=1)
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=0.0)
+    watchdog.on_build("idx", t=0.0)
+    # Inside the first window nothing is evaluated, rent notwithstanding.
+    assert watchdog.check(599.0) == []
+    # One full window later the idle index breaches and (hysteresis 1)
+    # is flagged immediately.
+    assert watchdog.check(600.0) == ["idx"]
+
+
+def test_hysteresis_requires_consecutive_breaches() -> None:
+    watchdog, ledger, journal, metrics = make_watchdog(
+        window_quanta=10.0, hysteresis=2
+    )
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=0.0)
+    watchdog.on_build("idx", t=0.0)
+    assert watchdog.check(600.0) == []  # breach 1 of 2
+    # A productive window in between resets the count.
+    ledger.on_probe("idx", t=900.0, dataflow="d", saved_seconds=600.0)
+    assert watchdog.check(1200.0) == []  # reset
+    assert watchdog.check(1800.0) == []  # breach 1 of 2 again
+    assert watchdog.check(2400.0) == ["idx"]  # breach 2 -> flagged
+    [event] = [e for e in journal.events if e["event"] == "index_regression"]
+    assert event["breaches"] == 2
+    assert event["realized_window_dollars"] == pytest.approx(0.0)
+    assert event["storage_window_dollars"] > 0
+    assert metrics.counter("watchdog/regressions_flagged").value == 1
+    # Flagged once: later checks stay quiet.
+    assert watchdog.check(3000.0) == []
+
+
+def test_build_cost_is_sunk_not_part_of_the_trigger() -> None:
+    # Huge build cost, but realized benefit covers the windowed rent:
+    # the watchdog must not flag (the trigger asks about rent forward).
+    watchdog, ledger, _, _ = make_watchdog(window_quanta=10.0, hysteresis=1)
+    ledger.on_build("idx", 0, t=0.0, size_mb=10.0, build_seconds=36000.0)
+    watchdog.on_build("idx", t=0.0)
+    ledger.on_probe("idx", t=300.0, dataflow="d", saved_seconds=60.0)
+    assert ledger.net_dollars("idx", 600.0) < 0  # cumulative ROI is deep red
+    assert watchdog.check(600.0) == []  # but the rent is being paid
+
+
+def test_delete_stops_watching() -> None:
+    watchdog, ledger, _, _ = make_watchdog(window_quanta=10.0, hysteresis=1)
+    ledger.on_build("idx", 0, t=0.0, size_mb=100.0, build_seconds=0.0)
+    watchdog.on_build("idx", t=0.0)
+    watchdog.on_delete("idx", t=300.0)
+    assert watchdog.check(600.0) == []
+
+
+def test_rolled_back_counter() -> None:
+    watchdog, _, _, metrics = make_watchdog()
+    watchdog.on_rolled_back("idx")
+    assert metrics.counter("watchdog/rollbacks").value == 1
+
+
+def test_watchdog_rejects_bad_knobs() -> None:
+    ledger, journal, metrics = make_ledger()
+    with pytest.raises(ValueError):
+        RegressionWatchdog(ledger, journal, metrics, Q, 0.0, 1)
+    with pytest.raises(ValueError):
+        RegressionWatchdog(ledger, journal, metrics, Q, 10.0, 0)

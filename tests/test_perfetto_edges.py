@@ -1,0 +1,59 @@
+"""Edge-case tests for the Chrome-trace/Perfetto exporter.
+
+The simulator always produces named processes with spans, so these
+paths — empty traces, instant-only traces, spans whose pid was never
+named — only arise for hand-rolled tracers; the exporter must still
+emit a valid, deterministic file for them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import RecordingTracer, chrome_trace, trace_json
+
+
+def test_empty_trace_exports_empty_event_array() -> None:
+    trace = chrome_trace(RecordingTracer())
+    assert trace["traceEvents"] == []
+    assert trace["displayTimeUnit"] == "ms"
+    # And serialises deterministically.
+    assert trace_json(RecordingTracer()) == trace_json(RecordingTracer())
+
+
+def test_instants_only_trace_round_trips() -> None:
+    tracer = RecordingTracer()
+    tracer.name_process(1, "montage-1")
+    tracer.instant("idle_slot", "slot", pid=1, tid=3, ts_s=5.0, args={"dur_s": 2.0})
+    tracer.instant("idle_slot", "slot", pid=1, tid=2, ts_s=5.0)
+    trace = chrome_trace(tracer)
+    phases = [e["ph"] for e in trace["traceEvents"]]
+    assert phases == ["M", "i", "i"]  # metadata first, then timed events
+    # Ties on ts break by (pid, tid): tid 2 sorts before tid 3.
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert [e["tid"] for e in instants] == [2, 3]
+    assert all(e["ts"] == 5.0 * 1e6 for e in instants)
+    # Valid JSON end to end.
+    assert json.loads(trace_json(tracer))["traceEvents"]
+
+
+def test_unnamed_pid_gets_deterministic_fallback_track_name() -> None:
+    tracer = RecordingTracer()
+    tracer.name_process(1, "named-flow")
+    tracer.span("op", "operator", pid=2, tid=0, start_s=0.0, end_s=1.0)
+    tracer.instant("mark", "slot", pid=7, tid=0, ts_s=0.5)
+    trace = chrome_trace(tracer)
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names == {1: "named-flow", 2: "process 2", 7: "process 7"}
+    # Metadata rows come out in pid order, so the bytes are stable.
+    meta_pids = [
+        e["pid"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    ]
+    assert meta_pids == sorted(meta_pids)
+    assert trace_json(tracer) == trace_json(tracer)
