@@ -1,0 +1,246 @@
+"""Scale benchmark: the vectorized kernels vs the scalar paths they batch.
+
+Three components at cluster scale, then their end-to-end composite:
+
+* **simulator phase** — one giant interleaved schedule executed by
+  ``ExecutionSimulator`` with ``vectorized`` off vs on (identical
+  results, proven by ``tests/differential/test_simulator_oracle.py``);
+* **gain scoring** — the naive Eq. 4/5 refold vs the columnar
+  ``VectorizedGainEvaluator`` over a long ``DataflowHistory``;
+* **build packing** — per-slot ``KnapsackItem`` churn vs the batched
+  candidate matrix (modest by design: the solver core is shared).
+
+The default leg sizes for CI (1.5k containers / 20k records); set
+``REPRO_SCALE_FULL=1`` for the paper-scale 10k-container cluster and
+100k-dataflow history. Headline numbers land in ``BENCH_scale.json``
+via ``figure_metrics`` when ``REPRO_BENCH_METRICS_DIR`` is set.
+
+Floors are deliberately far below the measured margins (reduced leg:
+~8x sim, ~50x gain, ~4.8x composite; full leg: ~55x sim, ~90x gain,
+~12x composite) so they trip only on a genuine regression, not on a
+noisy CI machine.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+
+import numpy as np
+from conftest import print_header, print_rows
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.simulator import ExecutionSimulator
+from repro.data.index_model import IndexCostModel
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.interleave.knapsack import reset_knapsack_cache
+from repro.interleave.lp import InterleavedSchedule, pack_builds_into_schedule
+from repro.interleave.slots import BuildCandidate
+from repro.scheduling.schedule import Assignment, Schedule
+from repro.tuning.gain import GainModel, GainParameters
+from repro.tuning.history import DataflowHistory, DataflowRecord
+from repro.tuning.vectorized import VectorizedGainEvaluator
+
+from tests.differential.oracle import oracle_faded_sums
+
+INDEX = "lineitem__l_orderkey"
+FULL = os.environ.get("REPRO_SCALE_FULL") == "1"
+
+# (operators, containers, history records, build candidates, floors)
+if FULL:
+    N_OPS, N_CONTAINERS, N_RECORDS, N_CANDIDATES = 30_000, 10_000, 100_000, 2_000
+    FLOORS = {"sim": 5.0, "gain": 5.0, "pack": 0.85, "e2e": 5.0}
+else:
+    N_OPS, N_CONTAINERS, N_RECORDS, N_CANDIDATES = 4_500, 1_500, 20_000, 600
+    FLOORS = {"sim": 3.0, "gain": 10.0, "pack": 0.85, "e2e": 2.5}
+
+GAIN_CHECKPOINTS = 20
+
+
+# ----------------------------------------------------------------------
+# Fixtures (built outside every timer)
+# ----------------------------------------------------------------------
+def _cluster_schedule(n_ops: int, n_containers: int, seed: int = 0) -> InterleavedSchedule:
+    """A sparse forward DAG spread over a large container fleet."""
+    rng = np.random.default_rng(seed)
+    df = Dataflow(name="scale")
+    names = [f"op{i}" for i in range(n_ops)]
+    runtimes = rng.uniform(5.0, 120.0, size=n_ops)
+    for name, runtime in zip(names, runtimes):
+        df.add_operator(Operator(name=name, runtime=float(runtime)))
+    for src in rng.integers(0, n_ops - 1, size=int(n_ops * 1.5)):
+        dst = int(src) + int(rng.integers(1, min(20, n_ops - int(src))))
+        df.add_edge(names[int(src)], names[dst], data_mb=float(rng.uniform(0.0, 500.0)))
+    cids = rng.integers(0, n_containers, size=n_ops)
+    starts = rng.uniform(0.0, 5000.0, size=n_ops)
+    assignments = [
+        Assignment(name, int(cid), float(start), float(start) + float(runtime))
+        for name, cid, start, runtime in zip(names, cids, starts, runtimes)
+    ]
+    schedule = Schedule(dataflow=df, pricing=PAPER_PRICING, assignments=assignments)
+    return InterleavedSchedule(schedule=schedule)
+
+
+def _long_history(n_records: int) -> tuple[GainModel, DataflowHistory]:
+    params = GainParameters(fade_quanta=5.0, window_quanta=float(n_records))
+    model = GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), params)
+    history = DataflowHistory(PAPER_PRICING)
+    for i in range(n_records):
+        history.add(
+            DataflowRecord(
+                name=f"df{i}",
+                executed_at=30.0 * i,
+                time_gains={INDEX: 2.0 + (i % 7)},
+                money_gains={INDEX: 1.0 + (i % 5)},
+            )
+        )
+    return model, history
+
+
+def _pack_fixture(n_candidates: int) -> tuple[Schedule, list[BuildCandidate]]:
+    rng = np.random.default_rng(3)
+    n_ops = max(3, n_candidates * 3 // 2)
+    df = Dataflow(name="slots")
+    assignments = []
+    for i in range(n_ops):
+        name = f"op{i}"
+        runtime = float(rng.uniform(10.0, 60.0))
+        df.add_operator(Operator(name=name, runtime=runtime))
+        start = float(rng.uniform(0.0, 2000.0))
+        assignments.append(
+            Assignment(name, int(rng.integers(0, max(1, n_ops // 3))), start, start + runtime)
+        )
+    schedule = Schedule(dataflow=df, pricing=PAPER_PRICING, assignments=assignments)
+    candidates = [
+        BuildCandidate("tbl__col", k, float(rng.uniform(1.0, 50.0)), float(rng.uniform(0.0, 10.0)))
+        for k in range(n_candidates)
+    ]
+    return schedule, candidates
+
+
+# ----------------------------------------------------------------------
+# Components
+# ----------------------------------------------------------------------
+def _bench_simulator() -> dict:
+    interleaved = _cluster_schedule(N_OPS, N_CONTAINERS)
+    wall: dict[bool, float] = {}
+    results = {}
+    for vectorized in (False, True):
+        work = copy.deepcopy(interleaved)
+        sim = ExecutionSimulator(
+            PAPER_PRICING, runtime_error=0.1,
+            rng=np.random.default_rng(1), vectorized=vectorized,
+        )
+        t0 = time.perf_counter()
+        results[vectorized] = sim.execute(work, 0.0)
+        wall[vectorized] = time.perf_counter() - t0
+    # The differential tier proves bit-identity; re-assert the headline
+    # outcomes here so a scale-only divergence cannot slip through.
+    assert results[False].makespan_seconds == results[True].makespan_seconds
+    assert results[False].money_quanta == results[True].money_quanta
+    return {
+        "operators": N_OPS,
+        "containers": N_CONTAINERS,
+        "scalar_wall_s": wall[False],
+        "vectorized_wall_s": wall[True],
+        "speedup": wall[False] / wall[True],
+    }
+
+
+def _bench_gain() -> dict:
+    model, history = _long_history(N_RECORDS)
+    nows = [30.0 * N_RECORDS + 45.0 * k for k in range(GAIN_CHECKPOINTS)]
+
+    t0 = time.perf_counter()
+    naive_last = [oracle_faded_sums(model, history, INDEX, now) for now in nows][-1]
+    naive_s = time.perf_counter() - t0
+
+    evaluator = VectorizedGainEvaluator(model, history)
+    evaluator.faded_sums(INDEX, nows[0])  # cold column build outside the timer
+    t0 = time.perf_counter()
+    vec_last = [evaluator.faded_sums(INDEX, now) for now in nows][-1]
+    vectorized_s = time.perf_counter() - t0
+
+    assert vec_last[2] == naive_last[2]  # in-window count is bit-identical
+    return {
+        "history_records": N_RECORDS,
+        "checkpoints": GAIN_CHECKPOINTS,
+        "naive_wall_s": naive_s,
+        "vectorized_wall_s": vectorized_s,
+        "speedup": naive_s / vectorized_s,
+    }
+
+
+def _bench_pack() -> dict:
+    schedule, candidates = _pack_fixture(N_CANDIDATES)
+    wall: dict[bool, float] = {}
+    packed = {}
+    for vectorized in (False, True):
+        reset_knapsack_cache()
+        t0 = time.perf_counter()
+        packed[vectorized] = pack_builds_into_schedule(
+            schedule, list(candidates), vectorized=vectorized
+        )
+        wall[vectorized] = time.perf_counter() - t0
+    assert packed[False].build_assignments == packed[True].build_assignments
+    return {
+        "candidates": N_CANDIDATES,
+        "scalar_wall_s": wall[False],
+        "vectorized_wall_s": wall[True],
+        "speedup": wall[False] / wall[True],
+    }
+
+
+def test_scale(benchmark, figure_metrics):
+    sim = benchmark.pedantic(_bench_simulator, rounds=1, iterations=1)
+    gain = _bench_gain()
+    pack = _bench_pack()
+
+    scalar_total = sim["scalar_wall_s"] + gain["naive_wall_s"] + pack["scalar_wall_s"]
+    vectorized_total = (
+        sim["vectorized_wall_s"] + gain["vectorized_wall_s"] + pack["vectorized_wall_s"]
+    )
+    e2e = scalar_total / vectorized_total
+
+    leg = "full (REPRO_SCALE_FULL=1)" if FULL else "reduced (CI default)"
+    print_header(f"Vectorized kernels at scale — {leg}")
+    print_rows(
+        ["component", "scalar wall", "vectorized wall", "speedup"],
+        [
+            [f"simulator ({N_OPS} ops / {N_CONTAINERS} ctr)",
+             f"{sim['scalar_wall_s']:.3f}s", f"{sim['vectorized_wall_s']:.3f}s",
+             f"{sim['speedup']:.1f}x"],
+            [f"gain scoring ({N_RECORDS} records)",
+             f"{gain['naive_wall_s']:.3f}s", f"{gain['vectorized_wall_s']:.3f}s",
+             f"{gain['speedup']:.1f}x"],
+            [f"build packing ({N_CANDIDATES} cands)",
+             f"{pack['scalar_wall_s']:.3f}s", f"{pack['vectorized_wall_s']:.3f}s",
+             f"{pack['speedup']:.1f}x"],
+            ["end to end", f"{scalar_total:.3f}s", f"{vectorized_total:.3f}s",
+             f"{e2e:.1f}x"],
+        ],
+        widths=[34, 14, 17, 10],
+    )
+
+    figure_metrics["artifact_stem"] = "scale"  # -> BENCH_scale.json
+    figure_metrics["leg"] = "full" if FULL else "reduced"
+    figure_metrics["simulator_phase"] = sim
+    figure_metrics["gain_scoring"] = gain
+    figure_metrics["build_packing"] = pack
+    figure_metrics["end_to_end"] = {
+        "scalar_wall_s": scalar_total,
+        "vectorized_wall_s": vectorized_total,
+        "speedup": e2e,
+        "floor": FLOORS["e2e"],
+    }
+    benchmark.extra_info.update(
+        sim_speedup=sim["speedup"], gain_speedup=gain["speedup"],
+        pack_speedup=pack["speedup"], e2e_speedup=e2e,
+    )
+
+    assert sim["speedup"] >= FLOORS["sim"]
+    assert gain["speedup"] >= FLOORS["gain"]
+    assert pack["speedup"] >= FLOORS["pack"]
+    assert e2e >= FLOORS["e2e"]

@@ -16,8 +16,14 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-#: Packages held to ``mypy --strict`` (the billing-critical layers).
-STRICT_PACKAGES: tuple[str, ...] = ("repro.core", "repro.cloud", "repro.tuning")
+#: Packages held to ``mypy --strict`` (the billing-critical layers,
+#: plus the batch-kernel leaf they call into).
+STRICT_PACKAGES: tuple[str, ...] = (
+    "repro.core",
+    "repro.cloud",
+    "repro.tuning",
+    "repro.perf",
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,245 @@
+"""Struct-of-arrays kernels for the simulator step and gain scoring.
+
+The scalar hot loops walk per-object Python structures: one
+``rng.uniform`` call, a handful of dict probes and a few ``max``
+comparisons per operator in the simulator; one ``math.exp`` per
+(index, sample) pair in the gain fold; one ``KnapsackItem`` allocation
+per candidate per idle slot in the packer. At the 10k-container /
+100k-dataflow scales the companion elasticity work targets, the Python
+interpreter overhead dominates the arithmetic.
+
+This module holds the batch replacements: numpy struct-of-arrays
+representations of operator clocks (``simulate_dataflow_phase``),
+container lease quanta (``lease_bounds``) and faded gain sums
+(``faded_sums_kernel``). Every kernel is proven against the frozen
+naive oracles in ``tests/differential/``:
+
+* ``simulate_dataflow_phase`` + ``lease_bounds`` are **bit-identical**
+  to the scalar simulator loop — ``max`` is an exact selection and the
+  elementwise IEEE-754 adds/multiplies happen over the same values in
+  the same per-element order, so vectorising changes nothing.
+* ``faded_sums_kernel`` is tolerance-equal (1e-7 relative): ``np.exp``
+  and the blocked dot-product summation are not bit-identical to
+  ``math.exp`` plus left-to-right accumulation. The same contract the
+  incremental evaluator already holds (see repro.tuning.incremental).
+
+Layering: ``repro.perf`` is a dependency-free leaf of the package graph
+(LAY01, docs/ANALYSIS.md) — leaves must not import each other, so the
+time epsilon is redefined here instead of importing
+``repro.core.numeric``; the value is pinned to the canonical one by a
+test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Absolute slack for quantum-boundary comparisons. Mirrors
+#: ``repro.core.numeric.DEFAULT_TOL`` (1e-9); repro.perf is a leaf and
+#: must not import repro.core, so the constant is duplicated and pinned
+#: by ``tests/differential/test_simulator_oracle.py``.
+TIME_EPS = 1e-9
+
+_F8 = np.float64
+_I8 = np.int64
+
+
+def simulate_dataflow_phase(
+    durations: np.ndarray,
+    prev_same: np.ndarray,
+    pred_ptr: np.ndarray,
+    pred_src: np.ndarray,
+    pred_lag: np.ndarray,
+    base: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Level-scheduled replay of the simulator's dataflow phase.
+
+    Inputs describe the sorted dataflow assignments of one schedule as
+    parallel arrays (struct-of-arrays):
+
+    * ``durations[i]`` — noise-adjusted runtime of assignment ``i``.
+    * ``prev_same[i]`` — index of the previous assignment on the same
+      container (-1 if none): the ``avail`` chain of the scalar loop.
+    * ``pred_ptr``/``pred_src``/``pred_lag`` — CSR of the DAG
+      predecessor edges: assignment ``i`` depends on assignments
+      ``pred_src[pred_ptr[i]:pred_ptr[i+1]]``, each arriving
+      ``pred_lag`` seconds after its source ends (the cross-container
+      transfer; 0 for same-container edges).
+
+    Only edges whose source precedes the destination in the sorted
+    order may be included — exactly the edges the scalar loop sees via
+    its ``op_end`` probe — so the combined graph (DAG edges + same-
+    container chain) is acyclic by construction.
+
+    Returns ``(starts, ends)``. Bit-identity with the scalar loop:
+    each assignment's start is ``max(base, max_over_preds(end + lag),
+    end[prev_same])`` — ``max`` selects one of its operands exactly, and
+    ``end = start + duration`` is the same single IEEE add — so every
+    float equals the scalar loop's, independent of evaluation order.
+    """
+    n = int(durations.shape[0])
+    starts = np.zeros(n, dtype=_F8)
+    ends = np.zeros(n, dtype=_F8)
+    if n == 0:
+        return starts, ends
+    # ready[i] accumulates max(base, arrivals of finished DAG preds).
+    ready = np.full(n, base, dtype=_F8)
+    indeg = np.diff(pred_ptr).astype(_I8)
+    has_chain = prev_same >= 0
+    indeg[has_chain] += 1
+    # Successor CSR (reverse of the predecessor CSR) for relaxation.
+    n_edges = int(pred_src.shape[0])
+    succ_ptr = np.zeros(n + 1, dtype=_I8)
+    if n_edges:
+        dst_of_edge = np.repeat(
+            np.arange(n, dtype=_I8), np.diff(pred_ptr).astype(_I8)
+        )
+        by_src = np.argsort(pred_src, kind="stable")
+        succ_dst = dst_of_edge[by_src]
+        succ_lag = pred_lag[by_src]
+        succ_ptr[1:] = np.cumsum(np.bincount(pred_src, minlength=n))
+    else:
+        succ_dst = np.empty(0, dtype=_I8)
+        succ_lag = np.empty(0, dtype=_F8)
+    # chain successor: next assignment on the same container, if any.
+    next_same = np.full(n, -1, dtype=_I8)
+    chain_idx = np.flatnonzero(has_chain)
+    next_same[prev_same[chain_idx]] = chain_idx
+
+    frontier = np.flatnonzero(indeg == 0)
+    while frontier.size:
+        f_prev = prev_same[frontier]
+        chain_avail = np.where(f_prev >= 0, ends[f_prev], base)
+        start = np.maximum(ready[frontier], chain_avail)
+        starts[frontier] = start
+        ends[frontier] = start + durations[frontier]
+        # Relax DAG out-edges of the finished frontier.
+        counts = (succ_ptr[frontier + 1] - succ_ptr[frontier]).astype(_I8)
+        touched_parts = []
+        total = int(counts.sum())
+        if total:
+            flat = np.repeat(succ_ptr[frontier], counts) + (
+                np.arange(total, dtype=_I8)
+                - np.repeat(np.cumsum(counts) - counts, counts)
+            )
+            dst = succ_dst[flat]
+            arrival = np.repeat(ends[frontier], counts) + succ_lag[flat]
+            np.maximum.at(ready, dst, arrival)
+            np.subtract.at(indeg, dst, 1)
+            touched_parts.append(dst)
+        # Relax the same-container chain edge (at most one per node; no
+        # duplicate targets within a frontier, plain indexing suffices).
+        nxt = next_same[frontier]
+        nxt = nxt[nxt >= 0]
+        if nxt.size:
+            indeg[nxt] -= 1
+            touched_parts.append(nxt)
+        if touched_parts:
+            touched = np.unique(np.concatenate(touched_parts))
+            frontier = touched[indeg[touched] == 0]
+        else:
+            frontier = np.empty(0, dtype=_I8)
+    return starts, ends
+
+
+def lease_bounds(
+    first: np.ndarray,
+    last: np.ndarray,
+    quantum_seconds: float,
+    tol: float = TIME_EPS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-container lease windows and billed quanta (batched).
+
+    Mirrors the scalar lease loop exactly: ``lease_start =
+    floor_tol(first/tq)*tq``, ``lease_end = max(lease_start + tq,
+    ceil_tol(last/tq)*tq)``, quanta billed = ``round((end-start)/tq)``.
+    ``np.floor``/``np.ceil`` on float64 equal ``math.floor``/``math.ceil``
+    for any representable quotient, and ``np.rint`` rounds half-to-even
+    like builtin ``round`` — every output is bit-identical.
+    """
+    tq = quantum_seconds
+    lease_start = np.floor(first / tq + tol) * tq
+    lease_end = np.maximum(lease_start + tq, np.ceil(last / tq - tol) * tq)
+    quanta = np.rint((lease_end - lease_start) / tq).astype(_I8)
+    return lease_start, lease_end, quanta
+
+
+def group_min_max(
+    group: np.ndarray, values_min: np.ndarray, values_max: np.ndarray, n_groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group (min of ``values_min``, max of ``values_max``).
+
+    ``group`` maps each element to a dense group id in ``[0, n_groups)``.
+    Used for the per-container first-start / last-end reduction feeding
+    :func:`lease_bounds`. ``minimum.at``/``maximum.at`` are unbuffered
+    exact selections — bit-identical to the scalar min/max folds.
+    """
+    first = np.full(n_groups, np.inf, dtype=_F8)
+    last = np.full(n_groups, -np.inf, dtype=_F8)
+    np.minimum.at(first, group, values_min)
+    np.maximum.at(last, group, values_max)
+    return first, last
+
+
+def faded_sums_kernel(
+    ages_quanta: np.ndarray,
+    time_gains: np.ndarray,
+    money_gains: np.ndarray,
+    window_quanta: float,
+    fade_quanta: float,
+    quantum_price: float,
+) -> tuple[float, float, int]:
+    """Batched Eq. 4/5 benefit inflow: (Σ dc·gtd, Σ dc·Mc·gmd, count).
+
+    One ``np.exp`` over the in-window slice replaces one ``math.exp``
+    per sample. Tolerance contract (1e-7 relative, matching the
+    incremental evaluator): the vectorised exp and the dot-product
+    accumulation order differ from the scalar fold by rounding only.
+    The window mask itself is exact — ages and the cutoff comparison
+    are computed with the same single divisions as the scalar path —
+    so the returned count is always bit-identical.
+    """
+    mask = ages_quanta <= window_quanta
+    if not mask.any():
+        return 0.0, 0.0, 0
+    ages = ages_quanta[mask]
+    dc = np.exp(-ages / fade_quanta)
+    sum_t = float(dc @ time_gains[mask])
+    sum_m = float(dc @ (quantum_price * money_gains[mask]))
+    return sum_t, sum_m, int(mask.sum())
+
+
+def ages_quanta(
+    now: float,
+    executed_at: np.ndarray,
+    running: np.ndarray,
+    quantum_seconds: float,
+) -> np.ndarray:
+    """ΔT per record in quanta: 0 for running, else clamped-at-zero age.
+
+    Elementwise mirror of ``DataflowRecord.age_quanta`` — the same
+    subtraction and division per element, so the window-cutoff
+    comparison downstream sees bit-identical ages.
+    """
+    aged = np.maximum(0.0, (now - executed_at) / quantum_seconds)
+    return np.where(running, 0.0, aged)
+
+
+def density_order(sizes: np.ndarray, gains: np.ndarray) -> np.ndarray:
+    """Indices sorting candidates by gain density, best first.
+
+    Matches ``sorted(items, key=_density, reverse=True)`` exactly:
+    density is ``gain/size`` (+inf for non-positive sizes), computed
+    with the same IEEE division, and the stable argsort keeps the
+    original relative order among ties just as Python's stable sort
+    does under ``reverse=True`` (reverse negates the key, not the
+    order of equal elements).
+    """
+    sizes = np.asarray(sizes, dtype=_F8)
+    gains = np.asarray(gains, dtype=_F8)
+    safe = np.where(sizes > 0.0, sizes, 1.0)
+    # gain/size may legitimately overflow to +inf for subnormal sizes —
+    # the scalar path's plain float division does the same, silently.
+    with np.errstate(over="ignore"):
+        density = np.where(sizes > 0.0, gains / safe, np.inf)
+    return np.argsort(-density, kind="stable")

@@ -33,6 +33,7 @@ from repro.tuning.gain import (
 from repro.tuning.history import DataflowHistory, DataflowRecord
 from repro.tuning.incremental import IncrementalGainEvaluator
 from repro.tuning.ranking import deletable_indexes, rank_indexes
+from repro.tuning.vectorized import VectorizedGainEvaluator
 
 if TYPE_CHECKING:
     from repro.tuning.adaptive import AdaptiveFadingController
@@ -96,6 +97,7 @@ class OnlineIndexTuner:
         max_candidates: int = 150,
         fading_controller: AdaptiveFadingController | None = None,
         incremental_gain: bool = True,
+        vectorized: bool = False,
         obs: Observation | None = None,
     ) -> None:
         if interleaver not in ("lp", "online"):
@@ -119,6 +121,14 @@ class OnlineIndexTuner:
         # the oracle and as the fallback (incremental_gain=False).
         self._incremental: IncrementalGainEvaluator | None = (
             IncrementalGainEvaluator(gain_model, history) if incremental_gain else None
+        )
+        # Batch strategy: columnar history snapshots evaluated through
+        # the numpy kernels (repro.tuning.vectorized). Takes precedence
+        # over the incremental evaluator when both are enabled; the
+        # knapsack construction of the interleaver is batched alongside.
+        self.vectorized = vectorized
+        self._vectorized: VectorizedGainEvaluator | None = (
+            VectorizedGainEvaluator(gain_model, history) if vectorized else None
         )
         self._read_quanta_cache: dict[str, float] = {}
         # Per-dataflow gtd/gmd are intrinsic to the dataflow (original
@@ -223,11 +233,13 @@ class OnlineIndexTuner:
             fade = None
             if self.fading_controller is not None:
                 fade = self.fading_controller.suggest_fade(name)
-            if self._incremental is not None:
-                # Historical inflow from the maintained running sums;
-                # live dataflows contribute at dc(0) = 1 on top, exactly
-                # as the naive path appends them at age 0.
-                sum_t, sum_m, count = self._incremental.faded_sums(name, now, fade)
+            evaluator = self._vectorized if self._vectorized is not None else self._incremental
+            if evaluator is not None:
+                # Historical inflow from the maintained running sums (or
+                # the batch columnar evaluation); live dataflows
+                # contribute at dc(0) = 1 on top, exactly as the naive
+                # path appends them at age 0.
+                sum_t, sum_m, count = evaluator.faded_sums(name, now, fade)
                 mc = self.gain_model.pricing.quantum_price
                 for time_gains, money_gains in live:
                     if name in time_gains:
@@ -331,6 +343,7 @@ class OnlineIndexTuner:
             index_fractions=fractions,
             index_sizes_mb=sizes_mb,
             obs=self.obs,
+            vectorized=self.vectorized,
         )
         chosen = select_fastest(skyline)
         crash_point("tuner.post_interleave")
@@ -364,7 +377,9 @@ class OnlineIndexTuner:
             m.counter("tuner/builds_scheduled").inc(chosen.num_builds)
             m.counter("tuner/deletions_flagged").inc(len(to_delete))
             self.gain_model.cost_stats.publish(m, "cache/gain_costs")
-            if self._incremental is not None:
+            if self._vectorized is not None:
+                self._vectorized.stats.publish(m, "cache/gain_sums")
+            elif self._incremental is not None:
                 self._incremental.stats.publish(m, "cache/gain_sums")
         return TunerDecision(
             chosen=chosen,

@@ -1,0 +1,16 @@
+# lint-module: repro.perf.fixture_kernels_bad
+# expect: LAY01,LAY01
+"""Known-bad fixture: the perf leaf importing other leaves.
+
+The leaf-ban pass bypasses the ``ALLOWED_LEAVES`` exemption: even
+``repro.core.numeric`` and ``repro.obs`` — themselves importable from
+everywhere — are banned inside ``repro.perf``, or the carve-out could
+smuggle a leaf-to-leaf cycle back in. The practical consequence is the
+duplicated ``TIME_EPS`` in ``repro.perf.vectorized``, pinned equal to
+the canonical constant by ``tests/differential/test_simulator_oracle.py``.
+"""
+
+from repro.core.numeric import TIME_EPS
+from repro.obs import NOOP_OBS
+
+__all__ = ["TIME_EPS", "NOOP_OBS"]

@@ -1,0 +1,172 @@
+"""Differential tests: batched knapsack construction vs the per-item path.
+
+``pack_builds_into_schedule(..., vectorized=True)`` hands the solver
+views of one contiguous candidate matrix instead of freshly allocated
+``KnapsackItem`` lists, and ``solve_knapsack_arrays`` claims
+**bit-identity** with the frozen pre-optimisation branch-and-bound
+(``oracle_solve_knapsack``): same fit filter, same density tie-breaks,
+same float accumulation order in bounds and incumbents. Hypothesis
+drives random schedules and candidate matrices; solutions, packed
+assignments and observability counters must be exactly equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import Operator
+from repro.interleave.knapsack import (
+    KnapsackItem,
+    reset_knapsack_cache,
+    solve_knapsack,
+    solve_knapsack_arrays,
+)
+from repro.interleave.lp import pack_builds_into_schedule
+from repro.interleave.slots import BuildCandidate
+from repro.perf.vectorized import density_order
+from repro.scheduling.schedule import Assignment, Schedule
+
+from tests.differential.oracle import oracle_solve_knapsack
+
+_sizes = st.lists(
+    st.floats(min_value=0.0, max_value=80.0, allow_nan=False),
+    min_size=0, max_size=12,
+)
+
+
+@given(
+    sizes=_sizes,
+    gain_seed=st.integers(min_value=0, max_value=2**16),
+    capacity=st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    max_nodes=st.sampled_from([20, 200_000]),
+    scrambled_ids=st.booleans(),
+)
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_solve_knapsack_arrays_bit_identical_to_oracle(
+    sizes, gain_seed, capacity, max_nodes, scrambled_ids
+):
+    """The array entry point equals the frozen branch-and-bound exactly
+    — including under the node cap, duplicate densities and id labels
+    that are not 0..n-1 (the batch packer passes original indices)."""
+    rng = np.random.default_rng(gain_seed)
+    gains = [float(rng.uniform(0.0, 50.0)) for _ in sizes]
+    ids = list(range(len(sizes)))
+    if scrambled_ids:
+        ids = [i * 7 + 3 for i in ids]
+    items = [KnapsackItem(item_id=i, size=s, gain=g) for i, s, g in zip(ids, sizes, gains)]
+    expected = oracle_solve_knapsack(items, capacity, max_nodes=max_nodes)
+    reset_knapsack_cache()
+    got = solve_knapsack_arrays(
+        np.asarray(sizes, dtype=np.float64),
+        np.asarray(gains, dtype=np.float64),
+        np.asarray(ids, dtype=np.int64),
+        capacity,
+        max_nodes=max_nodes,
+    )
+    assert got == expected
+    # And the memoised second call returns the identical object state.
+    assert solve_knapsack_arrays(
+        np.asarray(sizes, dtype=np.float64),
+        np.asarray(gains, dtype=np.float64),
+        np.asarray(ids, dtype=np.int64),
+        capacity,
+        max_nodes=max_nodes,
+    ) == expected
+    # The per-item path agrees too (shared _solve_sorted core).
+    reset_knapsack_cache()
+    assert solve_knapsack(items, capacity, max_nodes=max_nodes) == expected
+
+
+@given(
+    sizes=_sizes,
+    gain_seed=st.integers(min_value=0, max_value=2**16),
+    dup_density=st.booleans(),
+)
+@settings(max_examples=150, deadline=None, derandomize=True)
+def test_density_order_matches_python_stable_sort(sizes, gain_seed, dup_density):
+    rng = np.random.default_rng(gain_seed)
+    gains = [float(rng.uniform(0.0, 50.0)) for _ in sizes]
+    if dup_density and len(sizes) >= 2:
+        # Force exact density ties (and zero-size +inf ties).
+        gains[0] = sizes[0] * 2.0
+        gains[1] = sizes[1] * 2.0
+    items = [KnapsackItem(item_id=i, size=s, gain=g) for i, (s, g) in enumerate(zip(sizes, gains))]
+
+    def _density(item):
+        return float("inf") if item.size <= 0 else item.gain / item.size
+
+    expected = [it.item_id for it in sorted(items, key=_density, reverse=True)]
+    got = density_order(
+        np.asarray(sizes, dtype=np.float64), np.asarray(gains, dtype=np.float64)
+    ).tolist()
+    assert got == expected
+
+
+def _schedule_with_slots(seed: int) -> Schedule:
+    rng = np.random.default_rng(seed)
+    df = Dataflow(name=f"df{seed}")
+    assignments = []
+    n = int(rng.integers(1, 6))
+    for i in range(n):
+        name = f"op{i}"
+        runtime = float(rng.uniform(5.0, 50.0))
+        df.add_operator(Operator(name=name, runtime=runtime))
+        start = float(rng.uniform(0.0, 150.0))
+        assignments.append(Assignment(name, int(rng.integers(0, 3)), start, start + runtime))
+    return Schedule(dataflow=df, pricing=PAPER_PRICING, assignments=assignments)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_candidates=st.integers(min_value=0, max_value=25),
+)
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_batch_pack_assignment_identical_to_scalar(seed, n_candidates):
+    """The batched packer must place the same builds at the same times
+    on the same containers, slot for slot."""
+    rng = np.random.default_rng(seed + 1)
+    candidates = [
+        BuildCandidate(
+            index_name="tbl__col",
+            partition_id=k,
+            duration_s=float(rng.uniform(1.0, 70.0)),
+            gain=float(rng.uniform(0.0, 10.0)),
+        )
+        for k in range(n_candidates)
+    ]
+    schedule = _schedule_with_slots(seed)
+    reset_knapsack_cache()
+    scalar = pack_builds_into_schedule(schedule, list(candidates), vectorized=False)
+    reset_knapsack_cache()
+    batch = pack_builds_into_schedule(schedule, list(candidates), vectorized=True)
+    assert batch.build_assignments == scalar.build_assignments
+    assert batch.scheduled_builds == scalar.scheduled_builds
+    assert batch.num_builds == scalar.num_builds
+
+
+def test_batch_pack_obs_counters_match_scalar():
+    from repro.obs import Observation
+
+    rng = np.random.default_rng(0)
+    candidates = [
+        BuildCandidate("tbl__col", k, float(rng.uniform(1.0, 70.0)), float(rng.uniform(0.0, 10.0)))
+        for k in range(12)
+    ]
+    schedule = _schedule_with_slots(5)
+    counters = {}
+    for vectorized in (False, True):
+        reset_knapsack_cache()
+        obs = Observation.recording()
+        pack_builds_into_schedule(schedule, list(candidates), obs=obs, vectorized=vectorized)
+        counters[vectorized] = {
+            name: obs.metrics.counter(name).value
+            for name in (
+                "interleave/lp/slots_visited",
+                "interleave/lp/builds_packed",
+                "interleave/lp/builds_unplaced",
+            )
+        }
+    assert counters[False] == counters[True]

@@ -1,0 +1,90 @@
+"""Guard tests: the batch kernels are unreachable unless ``vectorized=True``.
+
+The byte-determinism contract says a zero-flag run must not change by a
+single byte when a new subsystem lands. The strongest proof is
+structural: poison every batch entry point at its call site and drive a
+full default-config experiment — if any poisoned kernel fires, the
+scalar paths are no longer the default. A second test pins the
+flags-on contract at the service level: the vectorized run's metrics
+are field-identical to the scalar run's (the journal/trace artifacts
+carry gain floats under the 1e-7 tolerance contract, so the *metrics
+outcome*, not artifact bytes, is the cross-flag invariant).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+
+import pytest
+
+from repro import Strategy, run_experiment
+from repro.core.config import default_config
+
+SEED = 7
+HORIZON_S = 4 * 60.0
+
+
+def _small_config(**overrides):
+    return replace(default_config(), seed=SEED, total_time_s=HORIZON_S, **overrides)
+
+
+def _poison(name):
+    def _boom(*args, **kwargs):
+        raise AssertionError(f"batch kernel {name} reached with vectorized=False")
+
+    return _boom
+
+
+POISON_SITES = [
+    # (module path, attribute) — the *call-site* binding, not the kernel
+    # module, so a stale import alias cannot dodge the patch.
+    ("repro.core.simulator", "simulate_dataflow_phase"),
+    ("repro.core.simulator", "group_min_max"),
+    ("repro.core.simulator", "lease_bounds"),
+    ("repro.tuning.vectorized", "faded_sums_kernel"),
+    ("repro.tuning.vectorized", "ages_quanta"),
+    ("repro.interleave.knapsack", "density_order"),
+    ("repro.interleave.knapsack", "solve_knapsack_arrays"),
+    ("repro.interleave.lp", "_pack_builds_batch"),
+]
+
+
+def test_default_config_has_the_flag_off():
+    assert default_config().vectorized is False
+
+
+def test_default_run_never_reaches_a_batch_kernel(monkeypatch):
+    import importlib
+
+    for module_path, attr in POISON_SITES:
+        module = importlib.import_module(module_path)
+        assert hasattr(module, attr), f"{module_path}.{attr} vanished"
+        monkeypatch.setattr(module, attr, _poison(f"{module_path}.{attr}"))
+    for strategy in (Strategy.GAIN, Strategy.NO_INDEX):
+        metrics = run_experiment(strategy, config=_small_config())
+        assert len(metrics.outcomes) > 0
+
+
+def test_vectorized_run_matches_scalar_metrics_field_for_field():
+    scalar = run_experiment(Strategy.GAIN, config=_small_config())
+    batch = run_experiment(Strategy.GAIN, config=_small_config(vectorized=True))
+    diffs = []
+    for f in dataclasses.fields(scalar):
+        if f.name == "registry":
+            # Observability counters legitimately differ (the two gain
+            # evaluators publish different cache hit/miss profiles).
+            continue
+        a, b = getattr(scalar, f.name), getattr(batch, f.name)
+        if a != b:
+            diffs.append((f.name, a, b))
+    assert not diffs, f"vectorized run diverged on metric fields: {diffs}"
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_runs_are_reproducible_under_either_flag(vectorized):
+    a = run_experiment(Strategy.GAIN, config=_small_config(vectorized=vectorized))
+    b = run_experiment(Strategy.GAIN, config=_small_config(vectorized=vectorized))
+    fields = {f.name for f in dataclasses.fields(a)} - {"registry"}
+    for name in sorted(fields):
+        assert getattr(a, name) == getattr(b, name), name

@@ -1,0 +1,144 @@
+"""Differential tests: per-index savings attribution vs a frozen re-derivation.
+
+``update_runtimes_for_indexes`` returns the runtime seconds each index
+saved — the realized-benefit feed of the ROI ledger and the
+``InterleavedSchedule.index_savings`` field. The oracle recomputes the
+attribution from first principles (no ``Operator`` helper methods), and
+a second property pins the accounting identity the ledger relies on:
+the per-index splits must sum to the total runtime reduction the update
+actually applied.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.numeric import eq_tol
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.operator import DataFile, Operator
+from repro.interleave.lp import update_runtimes_for_indexes
+
+from tests.differential.oracle import oracle_index_savings
+
+FILES = ["lineitem", "orders", "part"]
+COLUMNS = ["a", "b"]
+ALL_INDEXES = [f"{f}__{c}" for f in FILES for c in COLUMNS]
+
+
+@st.composite
+def _dataflows(draw):
+    """A dataflow whose operators read random files with random speedups."""
+    n_ops = draw(st.integers(min_value=1, max_value=6))
+    df = Dataflow(name="df")
+    for i in range(n_ops):
+        n_inputs = draw(st.integers(min_value=0, max_value=3))
+        file_names = draw(
+            st.lists(st.sampled_from(FILES), min_size=n_inputs, max_size=n_inputs,
+                     unique=True)
+        )
+        inputs = tuple(
+            DataFile(
+                name=f,
+                size_mb=draw(st.floats(min_value=0.0, max_value=500.0,
+                                       allow_nan=False)),
+            )
+            for f in file_names
+        )
+        speedups = {
+            idx: draw(st.floats(min_value=0.25, max_value=8.0, allow_nan=False))
+            for idx in draw(st.lists(st.sampled_from(ALL_INDEXES), max_size=4,
+                                     unique=True))
+        }
+        df.add_operator(
+            Operator(
+                name=f"op{i}",
+                runtime=draw(st.floats(min_value=1.0, max_value=200.0,
+                                       allow_nan=False)),
+                inputs=inputs,
+                index_speedup=speedups,
+            )
+        )
+    return df
+
+
+_availables = st.sets(st.sampled_from(ALL_INDEXES), max_size=len(ALL_INDEXES))
+_fractions = st.one_of(
+    st.none(),
+    st.dictionaries(
+        st.sampled_from(ALL_INDEXES),
+        st.floats(min_value=-0.5, max_value=1.5, allow_nan=False),  # clamp fodder
+        max_size=len(ALL_INDEXES),
+    ),
+)
+
+
+@given(df=_dataflows(), available=_availables, fractions=_fractions)
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_savings_attribution_matches_frozen_oracle(df, available, fractions):
+    """Bit-identical: both sides fold the same per-file terms in the
+    same operator/input order."""
+    expected = oracle_index_savings(df, available, fractions)
+    got = update_runtimes_for_indexes(df, available, fractions)
+    assert got == expected
+
+
+@given(df=_dataflows(), available=_availables, fractions=_fractions)
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_savings_split_sums_to_total_runtime_reduction(df, available, fractions):
+    """The accounting identity behind the ROI ledger: summed per-index
+    savings equal the total runtime seconds the update removed."""
+    before = {name: op.runtime for name, op in df.operators.items()}
+    savings = update_runtimes_for_indexes(df, available, fractions)
+    reduction = sum(
+        before[name] - op.runtime for name, op in df.operators.items()
+    )
+    total = sum(savings.values())
+    assert eq_tol(total, reduction, 1e-7 * max(1.0, abs(reduction)))
+    # Zero-weight inputs (0 MB next to positive siblings) may record a
+    # legitimate 0.0 entry; negative savings are impossible.
+    assert all(s >= 0.0 for s in savings.values())
+    assert reduction >= 0.0
+
+
+def test_unavailable_or_useless_indexes_attract_no_savings():
+    df = Dataflow(name="df")
+    df.add_operator(
+        Operator(
+            name="scan",
+            runtime=100.0,
+            inputs=(DataFile("lineitem", 400.0), DataFile("orders", 100.0)),
+            index_speedup={
+                "lineitem__a": 4.0,   # available, helps
+                "orders__a": 0.5,     # slowdown: must be ignored
+                "part__a": 9.0,       # no matching input file
+            },
+        )
+    )
+    savings = update_runtimes_for_indexes(
+        df, {"lineitem__a", "orders__a", "part__a"}
+    )
+    assert set(savings) == {"lineitem__a"}
+    # weight 0.8 of a 100 s operator at factor 4 -> 80 * 0.75 = 60 s.
+    assert eq_tol(savings["lineitem__a"], 60.0, 1e-9)
+    assert eq_tol(df.operators["scan"].runtime, 40.0, 1e-9)
+
+
+def test_mutation_preserves_oracle_agreement_on_second_application():
+    """Applying the update twice (fraction growth) keeps agreeing with
+    the oracle run on the already-mutated dataflow."""
+    df = Dataflow(name="df")
+    df.add_operator(
+        Operator(
+            name="scan",
+            runtime=100.0,
+            inputs=(DataFile("lineitem", 400.0),),
+            index_speedup={"lineitem__a": 4.0},
+        )
+    )
+    update_runtimes_for_indexes(df, {"lineitem__a"}, {"lineitem__a": 0.5})
+    snapshot = copy.deepcopy(df)
+    expected = oracle_index_savings(snapshot, {"lineitem__a"}, {"lineitem__a": 1.0})
+    got = update_runtimes_for_indexes(df, {"lineitem__a"}, {"lineitem__a": 1.0})
+    assert got == expected

@@ -1,0 +1,194 @@
+"""Differential tests: batch columnar gain sums vs the naive Eq. 4/5 oracle.
+
+The vectorized evaluator folds the faded benefit inflows through one
+``np.exp`` + dot product per call instead of one ``math.exp`` per
+sample, so the sums carry the incremental evaluator's tolerance
+contract (relative 1e-7) while the in-window sample *count* must be
+bit-identical (ages and the cutoff comparison use the same IEEE ops).
+The episode generator mirrors ``test_gain_oracle`` exactly — appends,
+running records, finish flips, eviction, fade overrides, backwards
+time — every adversarial schedule the incremental path is proven on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.pricing import PAPER_PRICING
+from repro.core.numeric import eq_tol
+from repro.data.index_model import IndexCostModel
+from repro.tuning.gain import GainModel, GainParameters
+from repro.tuning.history import DataflowHistory, DataflowRecord
+from repro.tuning.vectorized import VectorizedGainEvaluator
+
+from tests.differential.oracle import oracle_faded_sums
+
+INDEX = "lineitem__l_orderkey"
+OTHER = "orders__o_custkey"
+
+
+def _model(window_quanta: float, fade_quanta: float) -> GainModel:
+    params = GainParameters(
+        fade_quanta=fade_quanta, window_quanta=window_quanta,
+        storage_window_quanta=fade_quanta,
+    )
+    return GainModel(PAPER_PRICING, IndexCostModel(PAPER_PRICING), params)
+
+
+def _assert_sums_match(
+    model: GainModel,
+    history: DataflowHistory,
+    evaluator: VectorizedGainEvaluator,
+    now: float,
+    fade: float | None,
+) -> None:
+    for name in (INDEX, OTHER):
+        naive_t, naive_m, naive_n = oracle_faded_sums(model, history, name, now, fade)
+        vec_t, vec_m, vec_n = evaluator.faded_sums(name, now, fade)
+        assert vec_n == naive_n, f"{name}: sample count {vec_n} != oracle {naive_n}"
+        tol_t = 1e-7 * max(1.0, abs(naive_t))
+        tol_m = 1e-7 * max(1.0, abs(naive_m))
+        assert eq_tol(vec_t, naive_t, tol_t), (
+            f"{name}: time sum {vec_t!r} != oracle {naive_t!r} at now={now}"
+        )
+        assert eq_tol(vec_m, naive_m, tol_m), (
+            f"{name}: money sum {vec_m!r} != oracle {naive_m!r} at now={now}"
+        )
+
+
+_gain_floats = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+_events = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), _gain_floats, _gain_floats,
+                  st.floats(min_value=0.0, max_value=400.0),
+                  st.booleans()),
+        st.tuples(st.just("append_running"), _gain_floats, _gain_floats),
+        st.tuples(st.just("finish"), st.floats(min_value=0.0, max_value=300.0)),
+        st.tuples(st.just("check"), st.floats(min_value=0.0, max_value=900.0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(
+    events=_events,
+    window_quanta=st.sampled_from([1.0, 5.0, 30.0, 90.0]),
+    fade_quanta=st.sampled_from([0.5, 5.0, 50.0]),
+    fade_override=st.sampled_from([None, 0.25, 12.0]),
+    max_records=st.sampled_from([None, 3, 8, 64]),
+)
+@settings(max_examples=120, deadline=None, derandomize=True)
+def test_vectorized_sums_match_oracle_on_random_episodes(
+    events, window_quanta, fade_quanta, fade_override, max_records
+):
+    """Every checkpoint of a random episode agrees with the naive fold.
+
+    The columnar evaluator has no carried float state, so unlike the
+    incremental path there is no drift to bound — but snapshot
+    staleness (mutation, eviction, appends between calls) and the
+    running/future age clamps must still reproduce the oracle.
+    """
+    model = _model(window_quanta, fade_quanta)
+    history = DataflowHistory(PAPER_PRICING, max_records=max_records)
+    evaluator = VectorizedGainEvaluator(model, history)
+    now = 0.0
+    serial = 0
+    for event in events:
+        kind = event[0]
+        if kind == "append":
+            _, gtd, gmd, back_s, shared = event
+            history.add(
+                DataflowRecord(
+                    name=f"df{serial}",
+                    executed_at=max(0.0, now - back_s),
+                    time_gains={INDEX: gtd, **({OTHER: gtd * 0.5} if shared else {})},
+                    money_gains={INDEX: gmd, **({OTHER: gmd * 0.5} if shared else {})},
+                )
+            )
+            serial += 1
+        elif kind == "append_running":
+            _, gtd, gmd = event
+            history.add(
+                DataflowRecord(
+                    name=f"df{serial}", executed_at=now,
+                    time_gains={INDEX: gtd}, money_gains={INDEX: gmd},
+                    running=True,
+                )
+            )
+            serial += 1
+        elif kind == "finish":
+            _, delay_s = event
+            running = [r for r in history.records if r.running]
+            if running:
+                history.mark_finished(running[0].name, now + delay_s)
+        else:  # check
+            _, jump_s = event
+            now = max(0.0, now + jump_s - 300.0)
+            _assert_sums_match(model, history, evaluator, now, fade_override)
+    _assert_sums_match(model, history, evaluator, now + 60.0, fade_override)
+
+
+def test_empty_history_is_zero():
+    model = _model(window_quanta=60.0, fade_quanta=5.0)
+    history = DataflowHistory(PAPER_PRICING)
+    evaluator = VectorizedGainEvaluator(model, history)
+    assert evaluator.faded_sums(INDEX, 0.0) == (0.0, 0.0, 0)
+    assert evaluator.faded_sums(INDEX, 1e6) == (0.0, 0.0, 0)
+
+
+def test_running_records_never_fade():
+    model = _model(window_quanta=60.0, fade_quanta=5.0)
+    history = DataflowHistory(PAPER_PRICING)
+    evaluator = VectorizedGainEvaluator(model, history)
+    history.add(
+        DataflowRecord(
+            name="df0", executed_at=0.0,
+            time_gains={INDEX: 10.0}, money_gains={INDEX: 4.0}, running=True,
+        )
+    )
+    mc = PAPER_PRICING.quantum_price
+    for now in (0.0, 600.0, 3600.0):
+        assert evaluator.faded_sums(INDEX, now) == (10.0, mc * 4.0, 1)
+
+
+def test_snapshot_reuse_and_invalidation_counters():
+    model = _model(window_quanta=60.0, fade_quanta=5.0)
+    history = DataflowHistory(PAPER_PRICING)
+    evaluator = VectorizedGainEvaluator(model, history)
+    history.add(DataflowRecord("df0", 0.0, {INDEX: 1.0}, {INDEX: 1.0}))
+    evaluator.faded_sums(INDEX, 60.0)
+    assert evaluator.stats.misses == 1  # cold snapshot
+    evaluator.faded_sums(INDEX, 120.0)
+    assert evaluator.stats.hits == 1  # same history, later now: reuse
+    evaluator.faded_sums(INDEX, 60.0)  # backwards time is fine (no state)
+    assert evaluator.stats.hits == 2
+    history.add(DataflowRecord("df1", 0.0, {INDEX: 1.0}, {INDEX: 1.0}, running=True))
+    evaluator.faded_sums(INDEX, 120.0)  # history grew: rebuild columns
+    assert evaluator.stats.invalidations == 1
+    history.mark_finished("df1", 90.0)  # in-place mutation: rebuild
+    evaluator.faded_sums(INDEX, 120.0)
+    assert evaluator.stats.invalidations == 2
+    evaluator.reset()
+    assert evaluator.stats.invalidations == 3
+    evaluator.faded_sums(INDEX, 120.0)
+    assert evaluator.stats.misses == 2
+
+
+def test_eviction_slices_off_the_dead_prefix():
+    """Head-evicted records must vanish from the sums without a rebuild
+    of the whole snapshot (the searchsorted slice handles them)."""
+    model = _model(window_quanta=1000.0, fade_quanta=50.0)
+    history = DataflowHistory(PAPER_PRICING, max_records=3)
+    evaluator = VectorizedGainEvaluator(model, history)
+    for i in range(6):
+        history.add(
+            DataflowRecord(
+                name=f"df{i}", executed_at=10.0 * i,
+                time_gains={INDEX: 1.0}, money_gains={INDEX: 1.0},
+            )
+        )
+    sums = evaluator.faded_sums(INDEX, 100.0)
+    naive = oracle_faded_sums(model, history, INDEX, 100.0)
+    assert sums[2] == naive[2] == 3
+    assert eq_tol(sums[0], naive[0], 1e-9)

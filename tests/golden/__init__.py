@@ -1,0 +1,68 @@
+"""Deterministic regeneration of the checked-in golden artifacts.
+
+``python -m tests.golden`` (or ``make regen-golden``) rebuilds every
+file in this directory from first principles — the same seeded runs CI
+replays — so a legitimate behavior change updates the goldens in one
+command instead of hand-editing byte blobs. A meta-test asserts the
+regeneration is a no-op on a clean tree, which keeps the recipe itself
+from drifting away from what the goldens actually contain.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import tempfile
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+# The seeded CLI run CI's obs-analyze job replays (ci.yml): any change
+# here must change .github/workflows/ci.yml in the same commit.
+ROI_RUN_ARGS = [
+    "run", "--strategy", "gain", "--horizon-quanta", "20", "--seed", "7",
+    "--roi-ledger",
+]
+
+
+def _regen_roi_table() -> str:
+    from repro.cli import main as cli_main
+
+    with tempfile.TemporaryDirectory() as tmp:
+        events = str(Path(tmp) / "events.jsonl")
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            rc = cli_main([*ROI_RUN_ARGS, "--events-out", events])
+        assert rc == 0, f"seeded run failed: rc={rc}"
+        table = io.StringIO()
+        with contextlib.redirect_stdout(table):
+            rc = cli_main(["obs", "roi", "--events", events])
+        assert rc == 0, f"obs roi failed: rc={rc}"
+    return table.getvalue()
+
+
+def _regen_two_container_trace() -> str:
+    from repro.obs import Observation, trace_json
+    from tests.test_obs import _two_container_run
+
+    obs = Observation.recording()
+    _two_container_run(obs)
+    return trace_json(obs.tracer)
+
+
+def regenerate() -> dict[str, str]:
+    """Golden file name -> freshly derived content (nothing written)."""
+    return {
+        "roi_table.txt": _regen_roi_table(),
+        "two_container_trace.json": _regen_two_container_trace(),
+    }
+
+
+def write_goldens(dest: Path | None = None) -> list[Path]:
+    dest = dest or GOLDEN_DIR
+    written = []
+    for name, content in regenerate().items():
+        path = dest / name
+        path.write_text(content)
+        written.append(path)
+    return written

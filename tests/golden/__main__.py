@@ -1,0 +1,8 @@
+"""``python -m tests.golden``: rewrite the golden artifacts in place."""
+
+from __future__ import annotations
+
+from tests.golden import write_goldens
+
+for path in write_goldens():
+    print(f"regenerated {path}")

@@ -1,0 +1,178 @@
+"""Property-based tests for the structural artifact diff (``repro.obs.diff``).
+
+Two laws the repro-vs-repro debugging workflow depends on:
+
+1. *Localization*: perturbing exactly one field of one record always
+   yields a divergence anchored at that record — never an earlier or
+   later one — and, for payload edits, naming that key.
+2. *Soundness of silence*: identical inputs always produce ``None``
+   from every differ, and ``repro obs diff`` exits 0 on identical run
+   directories.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.obs import diff_journals, diff_metrics, diff_traces
+
+_scalars = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.text(alphabet="abcxyz_", max_size=8),
+    st.booleans(),
+)
+_keys = st.text(alphabet="abcdefgh_", min_size=1, max_size=6)
+
+_records = st.lists(
+    st.fixed_dictionaries(
+        {"event": st.sampled_from(["build", "delete", "probe", "decision"])},
+        optional={},
+    ).flatmap(
+        lambda base: st.dictionaries(_keys, _scalars, max_size=4).map(
+            lambda extra: {**extra, **base}
+        )
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _jl(records: list[dict]) -> str:
+    lines = []
+    for i, r in enumerate(records):
+        lines.append(
+            json.dumps({**r, "t": float(i)}, sort_keys=True, separators=(",", ":"))
+        )
+    return "".join(line + "\n" for line in lines)
+
+
+@given(records=_records, data=st.data())
+@settings(max_examples=150, deadline=None, derandomize=True)
+def test_single_journal_perturbation_localizes_to_that_event(records, data):
+    idx = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+    victim = dict(records[idx])
+    keys = sorted(k for k in victim if k != "event")
+    if keys:
+        key = data.draw(st.sampled_from(keys))
+        replacement = data.draw(_scalars.filter(lambda v: v != victim[key]))
+        victim[key] = replacement
+        expect_key = key
+    else:
+        victim["event"] = "build" if victim["event"] != "build" else "delete"
+        expect_key = None
+    perturbed = records[:idx] + [victim] + records[idx + 1 :]
+    d = diff_journals(_jl(records), _jl(perturbed))
+    assert d is not None
+    assert d.location.startswith(f"event {idx}"), d.location
+    if expect_key is not None:
+        assert f"key {expect_key!r}" in d.location
+
+
+@given(records=_records, extra=_records)
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_journal_truncation_localizes_to_first_missing_event(records, extra):
+    longer = records + extra
+    d = diff_journals(_jl(longer), _jl(records))
+    assert d is not None
+    assert d.location == f"event {len(records)}"
+    assert d.a == f"{len(longer)} events"
+
+
+_leaf_paths = st.lists(st.lists(_keys, min_size=1, max_size=3), min_size=1,
+                       max_size=6, unique_by=lambda p: tuple(p))
+
+
+def _nest(paths: list[list[str]], values: list) -> dict:
+    root: dict = {}
+    for path, value in zip(paths, values):
+        node = root
+        for part in path[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                break
+        else:
+            if not isinstance(node.get(path[-1]), dict):
+                node[path[-1]] = value
+    return root
+
+
+def _leaves(node, prefix=""):
+    for key in sorted(node):
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(node[key], dict):
+            yield from _leaves(node[key], path)
+        else:
+            yield path
+
+
+def _set_leaf(node, path, value):
+    parts = path.split(".")
+    for part in parts[:-1]:
+        node = node[part]
+    node[parts[-1]] = value
+
+
+def _get_leaf(node, path):
+    parts = path.split(".")
+    for part in parts[:-1]:
+        node = node[part]
+    return node[parts[-1]]
+
+
+@given(paths=_leaf_paths, data=st.data())
+@settings(max_examples=150, deadline=None, derandomize=True)
+def test_single_metrics_perturbation_names_exactly_that_key_path(paths, data):
+    values = data.draw(
+        st.lists(_scalars, min_size=len(paths), max_size=len(paths))
+    )
+    doc = _nest(paths, values)
+    leaves = list(_leaves(doc))
+    target = data.draw(st.sampled_from(leaves))
+    perturbed = json.loads(json.dumps(doc))
+    current = _get_leaf(doc, target)
+    # != (not a string check): 0 == 0.0 == False would slip a no-op in.
+    _set_leaf(
+        perturbed, target,
+        data.draw(_scalars.filter(lambda v: v != current)),
+    )
+    d = diff_metrics(json.dumps(doc), json.dumps(perturbed))
+    assert d is not None
+    assert d.location == f"key {target}"
+
+
+@given(records=_records, paths=_leaf_paths, data=st.data())
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_identical_inputs_are_always_silent(records, paths, data):
+    journal = _jl(records)
+    assert diff_journals(journal, journal) is None
+    values = data.draw(st.lists(_scalars, min_size=len(paths), max_size=len(paths)))
+    doc = json.dumps(_nest(paths, values))
+    assert diff_metrics(doc, doc) is None
+    trace = json.dumps({"traceEvents": json.loads(doc) and []})
+    assert diff_traces(trace, trace) is None
+
+
+def test_cli_diff_exits_zero_on_identical_run_dirs(tmp_path, capsys):
+    a, b = tmp_path / "a", tmp_path / "b"
+    for d in (a, b):
+        d.mkdir()
+        (d / "events.jsonl").write_text(_jl([{"event": "build", "x": 1}]))
+        (d / "metrics.json").write_text(json.dumps({"counters": {"x": 1}}))
+        (d / "trace.json").write_text(json.dumps({"traceEvents": []}))
+    assert cli_main(["obs", "diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("identical") == 3
+
+
+def test_cli_diff_exits_nonzero_on_any_divergence(tmp_path, capsys):
+    a, b = tmp_path / "a", tmp_path / "b"
+    for d in (a, b):
+        d.mkdir()
+        (d / "events.jsonl").write_text(_jl([{"event": "build", "x": 1}]))
+    (b / "events.jsonl").write_text(_jl([{"event": "build", "x": 2}]))
+    assert cli_main(["obs", "diff", str(a), str(b)]) == 1
+    assert "key 'x'" in capsys.readouterr().out
