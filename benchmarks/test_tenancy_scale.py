@@ -1,0 +1,203 @@
+"""Tenancy scale benchmark: front-end throughput and admission latency.
+
+Three legs:
+
+* **tenant sweep** — the multi-tenant front end at growing tenant
+  counts: wall-clock throughput (executed dataflows / second) and the
+  shed rate under a shared admission quantum;
+* **admission latency** — the p50/p99 wall-clock latency of a single
+  ``AdmissionController.decide`` call over a long synthetic submission
+  stream (the per-arrival cost every tenant pays);
+* **single-tenant overhead** — the front end wrapping exactly one
+  tenant vs the classic ``run_experiment`` path on the same derived
+  seed (min-of-N wall time). The contract is that the tenancy layer is
+  free when unused: the ratio floor is 1.05 (≤5% overhead).
+
+Headline numbers land in ``BENCH_tenancy.json`` via ``figure_metrics``
+when ``REPRO_BENCH_METRICS_DIR`` is set. Set ``REPRO_SCALE_FULL=1``
+for the 50-tenant flash-crowd leg.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+from conftest import print_header, print_rows
+
+from repro import run_experiment
+from repro.core.config import ExperimentConfig
+from repro.core.service import Strategy
+from repro.experiments import derive_seed
+from repro.tenancy import AdmissionController, Submission, TenantFrontEnd
+
+FULL = os.environ.get("REPRO_SCALE_FULL") == "1"
+
+TENANT_LEGS = (1, 4, 16, 50) if FULL else (1, 4, 16)
+N_DECISIONS = 50_000 if FULL else 20_000
+OVERHEAD_REPEATS = 5
+OVERHEAD_FLOOR = 1.05  # single-tenant front end must stay within 5%
+
+# figure_metrics writes BENCH_<stem>.json per test (last write wins), so
+# the legs accumulate here and every teardown emits the union gathered
+# so far: the final artifact carries all three sections.
+_ACCUM: dict[str, object] = {}
+
+
+def _publish(figure_metrics: dict, section: str, payload: object) -> None:
+    _ACCUM[section] = payload
+    figure_metrics["artifact_stem"] = "tenancy"
+    figure_metrics.update(_ACCUM)
+
+
+def _config(tenants: int, seed: int = 11) -> ExperimentConfig:
+    """The fast-horizon config the tenancy tests use, at N tenants."""
+    return ExperimentConfig(
+        total_time_s=30 * 60.0,
+        max_skyline=2,
+        scheduler_containers=10,
+        max_candidates=40,
+        max_queued_gain=10,
+        seed=seed,
+        tenants=tenants,
+        tenant_skew=3.0 if tenants > 1 else 1.0,
+        tenant_queue_depth=6,
+    )
+
+
+def test_tenant_sweep_throughput(figure_metrics):
+    print_header("Tenancy scale: front-end throughput by tenant count")
+    rows = []
+    per_leg: dict[str, object] = {}
+    for tenants in TENANT_LEGS:
+        front = TenantFrontEnd(_config(tenants), Strategy.GAIN)
+        start = time.perf_counter()
+        report = front.run()
+        elapsed = time.perf_counter() - start
+        executed = report.total("executed")
+        submitted = report.total("submitted")
+        throughput = executed / elapsed if elapsed > 0 else float("inf")
+        rows.append(
+            [
+                tenants,
+                submitted,
+                executed,
+                f"{100 * report.shed_rate:.1f}%",
+                f"{elapsed:.2f}s",
+                f"{throughput:.0f}/s",
+            ]
+        )
+        per_leg[f"tenants_{tenants}"] = {
+            "submitted": submitted,
+            "executed": executed,
+            "shed_rate": round(report.shed_rate, 4),
+            "wall_s": round(elapsed, 3),
+            "throughput_per_s": round(throughput, 1),
+        }
+        assert executed > 0
+        assert report.total("admitted") == executed + report.total("expired")
+    print_rows(
+        ["tenants", "submitted", "executed", "shed", "wall", "throughput"],
+        rows,
+        widths=[9, 11, 10, 8, 9, 12],
+    )
+    _publish(figure_metrics, "sweep", per_leg)
+
+
+def test_admission_decision_latency(figure_metrics):
+    print_header("Tenancy scale: admission-decision latency")
+    tenants = 8
+    controller = AdmissionController(
+        tenants=tenants,
+        quantum_seconds=60.0,
+        queue_depth=8,
+        rate_quanta=4.0,
+        quantum_slots=16,
+        shed_policy="defer",
+    )
+    rng = np.random.default_rng(0)
+    tenant_ids = rng.integers(0, tenants, size=N_DECISIONS)
+    gaps = rng.uniform(0.0, 2.0, size=N_DECISIONS)
+    backlogs = rng.integers(0, 10, size=N_DECISIONS)
+    latencies = np.empty(N_DECISIONS)
+    now = 0.0
+    for i in range(N_DECISIONS):
+        now += float(gaps[i])
+        submission = Submission(
+            tenant_id=int(tenant_ids[i]),
+            seq=i,
+            time=now,
+            app="montage",
+            attempt=0,
+        )
+        t0 = time.perf_counter()
+        controller.decide(submission, backlog=int(backlogs[i]))
+        latencies[i] = time.perf_counter() - t0
+    p50 = float(np.percentile(latencies, 50))
+    p99 = float(np.percentile(latencies, 99))
+    print_rows(
+        ["decisions", "p50", "p99", "max"],
+        [
+            [
+                N_DECISIONS,
+                f"{p50 * 1e6:.1f}us",
+                f"{p99 * 1e6:.1f}us",
+                f"{float(latencies.max()) * 1e6:.1f}us",
+            ]
+        ],
+        widths=[11, 10, 10, 10],
+    )
+    _publish(
+        figure_metrics,
+        "admission_latency",
+        {
+            "decisions": N_DECISIONS,
+            "p50_us": round(p50 * 1e6, 2),
+            "p99_us": round(p99 * 1e6, 2),
+        },
+    )
+    # A single admission decision is a handful of dict lookups; anything
+    # above a millisecond at p99 is a genuine regression.
+    assert p99 < 1e-3
+
+
+def test_single_tenant_overhead(figure_metrics):
+    print_header("Tenancy scale: single-tenant front-end overhead")
+    cfg = _config(1)
+    cfg = replace(cfg, tenant_queue_depth=10_000)
+    plain_cfg = replace(cfg, seed=derive_seed(cfg.seed, 0))
+
+    def plain_leg() -> float:
+        start = time.perf_counter()
+        run_experiment(Strategy.GAIN, config=plain_cfg)
+        return time.perf_counter() - start
+
+    def front_leg() -> float:
+        start = time.perf_counter()
+        TenantFrontEnd(cfg, Strategy.GAIN).run()
+        return time.perf_counter() - start
+
+    plain_leg()  # warm caches outside both timers
+    plain = min(plain_leg() for _ in range(OVERHEAD_REPEATS))
+    fronted = min(front_leg() for _ in range(OVERHEAD_REPEATS))
+    ratio = fronted / plain
+    print_rows(
+        ["plain", "front end", "ratio", "floor"],
+        [[f"{plain:.3f}s", f"{fronted:.3f}s", f"{ratio:.3f}", OVERHEAD_FLOOR]],
+        widths=[10, 11, 8, 7],
+    )
+    _publish(
+        figure_metrics,
+        "single_tenant_overhead",
+        {
+            "plain_s": round(plain, 4),
+            "front_s": round(fronted, 4),
+            "ratio": round(ratio, 4),
+        },
+    )
+    assert ratio <= OVERHEAD_FLOOR, (
+        f"single-tenant front end is {ratio:.3f}x the plain path "
+        f"(floor {OVERHEAD_FLOOR})"
+    )

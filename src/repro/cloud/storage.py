@@ -43,10 +43,18 @@ class CloudStorage:
     """
 
     def __init__(
-        self, pricing: PricingModel, injector: FaultInjector | None = None
+        self,
+        pricing: PricingModel,
+        injector: FaultInjector | None = None,
+        owner: str | None = None,
     ) -> None:
         self._pricing = pricing
         self._injector = injector
+        # Tenant attribution: the multi-tenant front end names each
+        # bulkhead's store so transient errors (and the typed
+        # RetriesExhausted built from them) carry their owner. None —
+        # the single-tenant default — keeps error messages unchanged.
+        self.owner = owner
         self._objects: dict[str, StoredObject] = {}
         self._history: list[StoredObject] = []
         self._versions: dict[str, int] = {}
@@ -69,7 +77,7 @@ class CloudStorage:
             raise ValueError("size_mb must be non-negative")
         if self._injector is not None and self._injector.storage_put_fails():
             logger.debug("storage put lost: %s (%.1f MB)", path, size_mb)
-            raise TransientStorageError("put", path)
+            raise TransientStorageError("put", path, owner=self.owner)
         crash_point("storage.pre_put")
         self._advance(time)
         if path in self._objects:
@@ -114,7 +122,7 @@ class CloudStorage:
             raise KeyError(f"no live object at {path!r}")
         if self._injector is not None and self._injector.storage_delete_fails():
             logger.debug("storage delete lost: %s", path)
-            raise TransientStorageError("delete", path)
+            raise TransientStorageError("delete", path, owner=self.owner)
         crash_point("storage.pre_delete")
         self._advance(time)
         obj.deleted_at = time
@@ -137,6 +145,12 @@ class CloudStorage:
     def live_mb(self) -> float:
         """Total size of all live objects."""
         return sum(o.size_mb for o in self._objects.values() if o.live)
+
+    @property
+    def live_count(self) -> int:
+        """Number of live objects (an integer digest; the cross-tenant
+        isolation oracle compares it without touching float billing)."""
+        return sum(1 for o in self._objects.values() if o.live)
 
     @property
     def accounted_mb_seconds(self) -> float:

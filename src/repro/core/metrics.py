@@ -187,6 +187,26 @@ class ServiceMetrics:
     def degraded_builds(self, total: int) -> None:
         self._set("degraded_builds", total)
 
+    @property
+    def degraded_decisions(self) -> int:
+        """Dataflows decided in a degraded mode (deadline or breaker):
+        the tuner was skipped and the dataflow ran indexed/unindexed."""
+        return self._get("degraded_decisions")
+
+    @degraded_decisions.setter
+    def degraded_decisions(self, total: int) -> None:
+        self._set("degraded_decisions", total)
+
+    @property
+    def breaker_skipped_builds(self) -> int:
+        """Completed builds dropped because the tenant's build breaker
+        was open (the partition stays unbuilt and unbilled)."""
+        return self._get("breaker_skipped_builds")
+
+    @breaker_skipped_builds.setter
+    def breaker_skipped_builds(self, total: int) -> None:
+        self._set("breaker_skipped_builds", total)
+
     # ------------------------------------------------------------------
     # Aggregates (Figure 12 / 14)
     # ------------------------------------------------------------------

@@ -140,6 +140,46 @@ class RunState:
     exhausted: bool = False
 
 
+#: Degradation ladder of the guard's decide_mode: full tuning, schedule
+#: with existing indexes but skip the tuner, or run the raw dataflow.
+MODE_FULL = "full"
+MODE_INDEXED = "indexed"
+MODE_UNINDEXED = "unindexed"
+
+
+class ServiceGuard:
+    """Per-service protective hooks; the default allows everything.
+
+    The multi-tenant front end (:mod:`repro.tenancy`) subclasses this to
+    wire circuit breakers and per-dataflow deadline budgets into the
+    service loop without the core importing the tenancy layer. Every
+    hook site in :class:`QaaSService` is gated on ``guard is not None``,
+    so guard-free runs are byte-identical to builds without the hooks.
+    """
+
+    def decide_mode(self, issued_at: float, exec_start: float) -> str:
+        """Pick the decision mode for a dataflow admitted at
+        ``issued_at`` that will start executing at ``exec_start``."""
+        return MODE_FULL
+
+    def allow_build_put(self, index_name: str, now: float) -> bool:
+        """Whether a completed build may be persisted (build breaker)."""
+        return True
+
+    def record_build_put(self, ok: bool, now: float) -> None:
+        """Outcome of a storage put for a completed build."""
+
+    def record_build_failures(self, count: int, now: float) -> None:
+        """``count`` in-simulator build-operator failures at ``now``."""
+
+    def allow_storage_delete(self, path: str, now: float) -> bool:
+        """Whether a storage delete may be attempted (storage breaker)."""
+        return True
+
+    def record_storage_delete(self, ok: bool, now: float) -> None:
+        """Outcome of an attempted storage delete."""
+
+
 class QaaSService:
     """One service instance bound to a workload, config and strategy."""
 
@@ -151,10 +191,15 @@ class QaaSService:
         interleaver: str = "lp",
         obs: Observation | None = None,
         recovery: RecoveryLog | None = None,
+        guard: ServiceGuard | None = None,
     ) -> None:
         self.workload = workload
         self.config = config
         self.strategy = strategy
+        # Protective hooks (breakers, deadline degradation): every call
+        # site is gated on ``guard is not None``, so the default run is
+        # byte-identical to a build without the guard surface.
+        self.guard = guard
         self.catalog = workload.catalog
         self.pricing = config.pricing
         # Observability is strictly read-only: every obs call is gated on
@@ -274,6 +319,37 @@ class QaaSService:
             gains=decision.gains,
         )
 
+    def _decide_degraded(self, dataflow: Dataflow, mode: str) -> _PendingDecision:
+        """Graceful degradation: schedule without consulting the tuner.
+
+        ``indexed`` still folds already-built indexes into the operator
+        runtimes (the cheap part of a decision) but schedules no builds
+        and no deletes; ``unindexed`` runs the raw dataflow. Both leave
+        the tuner's history/gain state untouched except for the ordinary
+        execution record, so tuning resumes seamlessly once the deadline
+        pressure or breaker trip clears.
+        """
+        if mode == MODE_INDEXED:
+            from repro.interleave.lp import update_runtimes_for_indexes
+
+            built = self.catalog.built_indexes()
+            available = {idx.name for idx in built}
+            if available:
+                fractions = {idx.name: idx.built_fraction() for idx in built}
+                sizes = {
+                    idx.name: self.catalog.cost_model.index_size_mb(idx.table, idx.spec)
+                    for idx in built
+                }
+                update_runtimes_for_indexes(dataflow, available, fractions, sizes)
+        skyline = self.scheduler.schedule(dataflow)
+        fastest = min(skyline, key=lambda s: s.makespan_seconds())
+        return _PendingDecision(
+            interleaved=InterleavedSchedule(schedule=fastest),
+            time_gains={},
+            money_gains={},
+            to_delete=[],
+        )
+
     def _decide_random(self, dataflow: Dataflow) -> _PendingDecision:
         """Random baseline: random indexes, random slot assignment.
 
@@ -378,14 +454,25 @@ class QaaSService:
         """Delete a storage object, absorbing transient failures.
 
         A dropped delete leaves the object live (and billing); the path
-        is queued and retried at later settle points.
+        is queued and retried at later settle points. An open storage
+        breaker (guarded runs only) skips the attempt entirely — the
+        path joins the same orphan queue and is swept once the breaker
+        closes again.
         """
+        if self.guard is not None and not self.guard.allow_storage_delete(path, time):
+            self._orphan_paths.append(path)
+            logger.info("storage breaker open: delete of %s deferred", path)
+            return False
         try:
             self.storage.delete(path, time)
+            if self.guard is not None:
+                self.guard.record_storage_delete(True, time)
             return True
         except TransientStorageError:
             metrics.storage_delete_failures += 1
             self._orphan_paths.append(path)
+            if self.guard is not None:
+                self.guard.record_storage_delete(False, time)
             logger.info("delete of %s failed transiently; will retry", path)
             return False
 
@@ -478,16 +565,30 @@ class QaaSService:
         # (and occasionally just past) the dataflow; never rewind the
         # storage billing clock.
         at = max(done.finished_at, self.storage.accounted_until)
+        if self.guard is not None and not self.guard.allow_build_put(
+            done.index_name, at
+        ):
+            metrics.degraded_builds += 1
+            metrics.breaker_skipped_builds += 1
+            logger.info(
+                "build breaker open: dropping completed build %s partition %d",
+                done.index_name, done.partition_id,
+            )
+            return
         try:
             self.storage.put(index.spec.path(done.partition_id), size_mb, at)
         except TransientStorageError:
             metrics.storage_put_failures += 1
             metrics.degraded_builds += 1
+            if self.guard is not None:
+                self.guard.record_build_put(False, at)
             logger.info(
                 "put of %s partition %d lost; partition stays unbuilt",
                 done.index_name, done.partition_id,
             )
             return
+        if self.guard is not None:
+            self.guard.record_build_put(True, at)
         yield "build.catalog_mark"
         resumed = index.partitions[done.partition_id].checkpoint_seconds > 0
         if resumed:
@@ -895,7 +996,14 @@ class QaaSService:
             queued.append(self._dataflow_at(state, j))
         epoch.pause("service.pre_decide")
         crash_point("service.pre_decide")
-        decision = self._decide(dataflow, now=exec_start, queued=queued)
+        mode = MODE_FULL if self.guard is None else self.guard.decide_mode(
+            event.time, exec_start
+        )
+        if mode == MODE_FULL:
+            decision = self._decide(dataflow, now=exec_start, queued=queued)
+        else:
+            decision = self._decide_degraded(dataflow, mode)
+            metrics.degraded_decisions += 1
         crash_point("service.post_decide")
         if self._ledger is not None:
             # Capture the tuner's decision-time prediction for every
@@ -943,6 +1051,10 @@ class QaaSService:
         metrics.stragglers += result.stragglers
         metrics.builds_failed += result.builds_failed
         metrics.degraded_builds += result.builds_failed
+        if self.guard is not None and result.builds_failed:
+            self.guard.record_build_failures(
+                result.builds_failed, result.finish_time
+            )
         metrics.outcomes.append(
             DataflowOutcome(
                 name=dataflow.name,

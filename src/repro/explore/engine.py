@@ -28,7 +28,7 @@ from repro.explore.controller import (
     ScheduleObserver,
 )
 from repro.explore.hooks import Action, install_controller
-from repro.explore.oracle import InterleavingOracle
+from repro.explore.oracle import CrossTenantOracle, InterleavingOracle
 from repro.explore.scenarios import Scenario, ScenarioRun
 from repro.obs import NOOP_OBS, Observation
 from repro.recovery.invariants import (
@@ -101,10 +101,27 @@ class RunObserver(ScheduleObserver):
         self.run = run
         self.monitor = InvariantMonitor(run.service)
         self.oracle = InterleavingOracle(run.service)
+        # Multi-tenant scenarios: every bulkhead gets its own state
+        # monitor and the tenant oracle watches all of them per step.
+        self.extra_monitors = [
+            (InvariantMonitor(service), service, state)
+            for service, state in run.extras
+        ]
+        self.tenant_oracle = (
+            CrossTenantOracle(
+                [run.service] + [service for service, _state in run.extras]
+            )
+            if run.extras
+            else None
+        )
         self.checks = 0
 
     def on_step(self, action: Action, controller: ScheduleController) -> None:
         self.oracle.on_step(action)
+        if self.tenant_oracle is not None:
+            violations = self.tenant_oracle.on_step(action)
+            if violations:
+                raise ExplorationHalt(violations)
 
     def on_quiescent(self, site: str, controller: ScheduleController) -> None:
         self._check(epoch_end=False)
@@ -116,6 +133,10 @@ class RunObserver(ScheduleObserver):
         self.checks += 1
         t = self.run.service.storage.accounted_until
         violations = self.monitor.check(self.run.state, t)
+        for monitor, service, state in self.extra_monitors:
+            violations.extend(
+                monitor.check(state, service.storage.accounted_until)
+            )
         if epoch_end:
             violations.extend(self.oracle.check_epoch_end(t))
         if violations:

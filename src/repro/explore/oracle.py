@@ -19,6 +19,53 @@ from repro.explore.hooks import Action
 from repro.recovery.invariants import InvariantViolation
 
 
+class CrossTenantOracle:
+    """Bulkhead isolation as an ordering invariant.
+
+    The multi-tenant front end promises that tenants share nothing but
+    the admission budget: every catalog/storage mutation stays inside
+    the service that issued the action. This oracle watches an integer
+    digest of each tenant's state — built partition count plus live
+    storage objects, both ints so no float comparison is involved — and
+    flags any micro-step after which *more than one* tenant's digest
+    changed: that can only happen if an action reached across a
+    bulkhead (e.g. a shared storage account or catalog object).
+    """
+
+    def __init__(self, services: list[Any]) -> None:
+        self.services = services
+        self._last = [self._digest(s) for s in services]
+        self._step_no = 0
+
+    @staticmethod
+    def _digest(service: Any) -> tuple[int, int]:
+        built = sum(
+            len(index.built_partition_ids())
+            for index in service.catalog.indexes.values()
+        )
+        return (built, service.storage.live_count)
+
+    def on_step(self, action: Action) -> list[InvariantViolation]:
+        """Check one executed micro-step; returns any leak violations."""
+        self._step_no += 1
+        current = [self._digest(s) for s in self.services]
+        changed = [
+            i for i, (a, b) in enumerate(zip(self._last, current)) if a != b
+        ]
+        self._last = current
+        if len(changed) > 1:
+            return [
+                InvariantViolation(
+                    "cross-tenant-leak",
+                    float(self._step_no),
+                    f"micro-step {self._step_no} ({action.kind}:{action.key}) "
+                    f"mutated tenants {changed}: bulkhead isolation allows "
+                    f"one action to touch at most one tenant's catalog/storage",
+                )
+            ]
+        return []
+
+
 class InterleavingOracle:
     """Order-sensitive invariant checks over one schedule run."""
 

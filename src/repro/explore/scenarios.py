@@ -23,6 +23,13 @@ Three scenarios ship:
   slot-fill, settle) for a few steps under the controller: the real
   pipeline's action stream, suited to seeded random walks and bounded
   DFS rather than full enumeration.
+* ``tenants`` — two tenant bulkheads (independent services with derived
+  seeds, as the multi-tenant front end builds them) whose build/delete
+  actions interleave in shared epochs. Every schedule must keep each
+  mutation inside its own bulkhead — checked per micro-step by the
+  :class:`~repro.explore.oracle.CrossTenantOracle` over integer state
+  digests — so the scenario is violation-free by construction and
+  guards the tenancy layer's isolation claim against regressions.
 """
 
 from __future__ import annotations
@@ -40,17 +47,28 @@ SCENARIOS: dict[str, str] = {
     "toy": "2 epochs x 2 actions on a tiny service (exhaustive-friendly)",
     "planted": "build apply racing a delete of the same index (known bug)",
     "service": "the real service loop for a few steps (walk/DFS budget)",
+    "tenants": "two tenant bulkheads interleaved (cross-tenant leak oracle)",
 }
 
 
 class ScenarioRun:
-    """One fresh, fully constructed run: a service plus an epoch driver."""
+    """One fresh, fully constructed run: a service plus an epoch driver.
+
+    ``extras`` carries additional (service, state) pairs for
+    multi-tenant scenarios: the engine checks their invariants too and
+    arms the cross-tenant oracle over all services.
+    """
 
     def __init__(
-        self, service: QaaSService, state: RunState, driver: Callable[[], None]
+        self,
+        service: QaaSService,
+        state: RunState,
+        driver: Callable[[], None],
+        extras: tuple[tuple[QaaSService, RunState], ...] = (),
     ) -> None:
         self.service = service
         self.state = state
+        self.extras = extras
         self._driver = driver
 
     def drive(self) -> None:
@@ -83,6 +101,8 @@ class Scenario:
             return _build_toy(self.seed)
         if self.name == "planted":
             return _build_planted(self.seed)
+        if self.name == "tenants":
+            return _build_tenants(self.seed)
         return _build_service(self.seed, self.horizon_quanta)
 
 
@@ -178,6 +198,47 @@ def _build_planted(seed: int) -> ScenarioRun:
         epoch.drain("scenario.epoch_end")
 
     return ScenarioRun(service, state, driver)
+
+
+def _build_tenants(seed: int) -> ScenarioRun:
+    """Two tenant bulkheads whose actions share the explored epochs.
+
+    The services are built exactly as the front end builds them
+    (derived seeds, owner-tagged storage); their action streams are
+    intra-tenant independent, so any cross-tenant violation the oracle
+    reports is a real bulkhead leak, not a planted race.
+    """
+    from repro.experiments import derive_seed
+
+    runs: list[tuple[QaaSService, RunState]] = []
+    for tenant in range(2):
+        service, _events = _fresh_service(
+            derive_seed(seed, tenant), horizon_quanta=3
+        )
+        service.storage.owner = f"t{tenant}"
+        runs.append((service, service.begin_run([])))
+    (s0, st0), (s1, st1) = runs
+    a0, b0 = _pick_indexes(s0, want=2)
+    a1 = next(n for n in _pick_indexes(s1, want=2) if n != a0)
+    m0, m1 = st0.metrics, st1.metrics
+
+    def driver() -> None:
+        # Epoch 1: both tenants apply one build; any interleaving must
+        # keep each catalog/storage mutation within its own bulkhead.
+        epoch = Epoch("tenants:1")
+        epoch.offer(s0._build_action(_completed(a0, 0, 60.0), m0, None))
+        epoch.offer(s1._build_action(_completed(a1, 0, 60.0), m1, None))
+        epoch.drain("scenario.epoch_end")
+        # Epoch 2: tenant 0 builds B and drops A (independent indexes)
+        # while tenant 1 keeps building — the delete may only ever
+        # touch tenant 0's digest.
+        epoch = Epoch("tenants:2")
+        epoch.offer(s0._build_action(_completed(b0, 0, 120.0), m0, None))
+        epoch.offer(s0._delete_action(a0, 120.0, m0, None))
+        epoch.offer(s1._build_action(_completed(a1, 1, 120.0), m1, None))
+        epoch.drain("scenario.epoch_end")
+
+    return ScenarioRun(s0, st0, driver, extras=((s1, st1),))
 
 
 def _build_service(seed: int, horizon_quanta: int) -> ScenarioRun:

@@ -28,13 +28,14 @@ from repro.faults.injector import (
     FaultStats,
     TransientStorageError,
 )
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import RetriesExhausted, RetryPolicy
 
 __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultProfile",
     "FaultStats",
+    "RetriesExhausted",
     "RetryPolicy",
     "TransientStorageError",
 ]

@@ -1,0 +1,57 @@
+"""Multi-tenant front end: admission control, bulkheads and breakers.
+
+The paper's QaaS model feeds one well-behaved workload stream into one
+tuner. This package puts a deterministic, event-driven ingestion layer
+in front of :class:`~repro.core.service.QaaSService` so many tenants can
+share the installation without a flash-crowd tenant or a fault storm
+collapsing billing, the tuner, or the other tenants:
+
+* **Admission control** (:mod:`repro.tenancy.admission`): bounded
+  per-tenant submission queues, token-bucket rate limits, and weighted
+  fair-share over the shared pool's per-quantum admission slots, with a
+  typed :class:`~repro.tenancy.admission.AdmissionDecision` per
+  submission and a configurable load-shedding policy (reject / defer /
+  priority).
+* **Bulkheads** (:mod:`repro.tenancy.frontend`): each tenant gets its
+  own catalog, gain window, storage account and RNG streams (its own
+  service instance); only the admission controller's per-quantum slot
+  budget — the container pool — is shared, so one tenant's index churn
+  cannot mutate another's state.
+* **Circuit breakers** (:mod:`repro.tenancy.breaker`): per-tenant
+  breakers around index-build persistence and storage deletes open
+  after k consecutive failures, half-open after a cooldown, and emit
+  ``breaker_transition`` journal events plus ``tenancy/*`` metrics.
+* **Deadline degradation** (:mod:`repro.tenancy.guard`): a per-dataflow
+  deadline budget degrades decisions gracefully (skip tuning, then run
+  unindexed) instead of letting queue delay compound.
+
+Everything is simulated-time and seeded: a multi-tenant run is
+byte-deterministic under any seed, including under fault storms with
+breakers tripping, and single-tenant default-config runs never touch
+this package at all.
+"""
+
+from repro.tenancy.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionOutcome,
+    Submission,
+    TokenBucket,
+)
+from repro.tenancy.breaker import BreakerState, CircuitBreaker
+from repro.tenancy.frontend import FrontEndReport, TenantFrontEnd, TenantStats
+from repro.tenancy.guard import TenantGuard
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionOutcome",
+    "BreakerState",
+    "CircuitBreaker",
+    "FrontEndReport",
+    "Submission",
+    "TenantFrontEnd",
+    "TenantGuard",
+    "TenantStats",
+    "TokenBucket",
+]

@@ -1,0 +1,264 @@
+"""Deterministic admission control for the multi-tenant front end.
+
+The controller sees one merged, time-ordered stream of submissions and
+decides each one with three gates, applied in order:
+
+1. **Backpressure** — a tenant whose in-flight depth (admitted but not
+   yet finished dataflows) has reached ``queue_depth`` cannot take more.
+2. **Rate limit** — a per-tenant token bucket (``rate_quanta`` tokens
+   per billing quantum, ``burst`` capacity) refilled on the simulated
+   clock. Buckets never go negative (property-tested).
+3. **Fair share** — the shared container pool admits at most
+   ``quantum_slots`` dataflows per billing quantum across all tenants.
+   Each tenant is guaranteed ``floor(quantum_slots * w_i / sum(w))``
+   of them; the remainder is work-conserving first-come capacity, but
+   never at the expense of another tenant's unconsumed guarantee.
+
+A submission that fails a gate is shed or deferred according to the
+policy: ``reject`` sheds outright, ``defer`` re-queues it
+``defer_quanta`` later (up to ``max_defers`` times, then sheds), and
+``priority`` defers tenants with above-minimum weight while shedding
+the lowest-weight tenants outright.
+
+The controller draws no randomness and reads no wall clock: its
+decisions are a pure function of the submission stream, so the shed set
+is deterministic for a fixed seed (the seed lives in the arrival
+generators upstream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.config import SHED_POLICIES
+
+
+class AdmissionOutcome(Enum):
+    """Terminal (or provisional, for DEFERRED) fate of one submission."""
+
+    ADMITTED = "admitted"
+    DEFERRED = "deferred"
+    SHED = "shed"
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One dataflow submission as the admission controller sees it.
+
+    ``seq`` is the per-tenant submission sequence number (admission
+    order within the tenant); ``attempt`` counts deferrals.
+    """
+
+    tenant_id: int
+    seq: int
+    time: float
+    app: str
+    attempt: int = 0
+
+    def sort_key(self) -> tuple[float, int, int, int]:
+        """Total deterministic order of the merged stream."""
+        return (self.time, self.tenant_id, self.seq, self.attempt)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The typed outcome of one admission decision.
+
+    ``reason`` is ``"ok"`` for admissions and otherwise names the gate
+    that failed (``queue_full`` / ``rate_limited`` / ``fair_share``) or
+    ``defer_limit`` when a deferred submission ran out of retries.
+    ``retry_at`` is set only for DEFERRED.
+    """
+
+    submission: Submission
+    outcome: AdmissionOutcome
+    reason: str
+    retry_at: float | None = None
+
+
+class TokenBucket:
+    """A simulated-time token bucket; tokens never go negative."""
+
+    def __init__(self, rate_per_s: float, capacity: float) -> None:
+        if rate_per_s < 0:
+            raise ValueError(f"rate_per_s must be non-negative, got {rate_per_s}")
+        if capacity < 1.0:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.rate_per_s = rate_per_s
+        self.capacity = capacity
+        self.tokens = capacity
+        self._refilled_at = 0.0
+
+    def refill(self, now: float) -> None:
+        """Accrue tokens for the simulated time elapsed since last refill."""
+        if now > self._refilled_at:
+            self.tokens = min(
+                self.capacity,
+                self.tokens + (now - self._refilled_at) * self.rate_per_s,
+            )
+            self._refilled_at = now
+
+    def try_take(self, now: float) -> bool:
+        """Take one token if available; never drives the level negative."""
+        self.refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Shared admission control over all tenants' submission streams.
+
+    Construction validates its knobs in aggregate (one error naming
+    every bad field, cf. :class:`repro.faults.RetryPolicy`).
+    """
+
+    def __init__(
+        self,
+        *,
+        tenants: int,
+        quantum_seconds: float,
+        weights: tuple[float, ...] = (),
+        queue_depth: int = 64,
+        rate_quanta: float = 0.0,
+        burst: float = 8.0,
+        quantum_slots: int = 1,
+        shed_policy: str = "reject",
+        defer_quanta: float = 1.0,
+        max_defers: int = 3,
+    ) -> None:
+        problems: list[str] = []
+        if tenants < 1:
+            problems.append(f"tenants must be at least 1, got {tenants}")
+        if quantum_seconds <= 0:
+            problems.append(
+                f"quantum_seconds must be positive, got {quantum_seconds}"
+            )
+        if len(weights) > max(tenants, 0):
+            problems.append(
+                f"weights has {len(weights)} entries for {tenants} tenants"
+            )
+        if any(w <= 0 for w in weights):
+            problems.append(f"weights must all be positive, got {weights}")
+        if queue_depth < 1:
+            problems.append(f"queue_depth must be at least 1, got {queue_depth}")
+        if rate_quanta < 0:
+            problems.append(f"rate_quanta must be non-negative, got {rate_quanta}")
+        if burst < 1.0:
+            problems.append(f"burst must be >= 1, got {burst}")
+        if quantum_slots < 1:
+            problems.append(f"quantum_slots must be at least 1, got {quantum_slots}")
+        if shed_policy not in SHED_POLICIES:
+            problems.append(
+                f"shed_policy must be one of {', '.join(SHED_POLICIES)}, "
+                f"got {shed_policy!r}"
+            )
+        if defer_quanta <= 0:
+            problems.append(f"defer_quanta must be positive, got {defer_quanta}")
+        if max_defers < 0:
+            problems.append(f"max_defers must be non-negative, got {max_defers}")
+        if problems:
+            raise ValueError(
+                "invalid AdmissionController: " + "; ".join(problems)
+            )
+        self.tenants = tenants
+        self.quantum_seconds = quantum_seconds
+        self.weights = tuple(weights) + (1.0,) * (tenants - len(weights))
+        self.queue_depth = queue_depth
+        self.shed_policy = shed_policy
+        self.defer_s = defer_quanta * quantum_seconds
+        self.max_defers = max_defers
+        self.quantum_slots = quantum_slots
+        total_weight = sum(self.weights)
+        #: Guaranteed admissions per tenant per quantum (fair share).
+        self.guaranteed = tuple(
+            int(quantum_slots * w / total_weight) for w in self.weights
+        )
+        self._min_weight = min(self.weights)
+        self._buckets: list[TokenBucket] | None = None
+        if rate_quanta > 0:
+            self._buckets = [
+                TokenBucket(rate_quanta / quantum_seconds, burst)
+                for _ in range(tenants)
+            ]
+        self._quantum = -1
+        self._used = [0] * tenants
+        self._total_used = 0
+        #: Aggregate decision counters (per outcome value).
+        self.counts: dict[str, int] = {o.value: 0 for o in AdmissionOutcome}
+
+    # ------------------------------------------------------------------
+    def bucket_level(self, tenant_id: int) -> float:
+        """Current token level of a tenant's bucket (property tests)."""
+        if self._buckets is None:
+            return float("inf")
+        return self._buckets[tenant_id].tokens
+
+    def _roll_quantum(self, now: float) -> None:
+        quantum = int(now // self.quantum_seconds)
+        if quantum != self._quantum:
+            self._quantum = quantum
+            self._used = [0] * self.tenants
+            self._total_used = 0
+
+    def _fair_share_ok(self, tenant_id: int) -> bool:
+        """Admit within the guarantee, else only from unreserved spare.
+
+        The spare check subtracts every tenant's unconsumed guarantee
+        from the remaining budget, so a greedy tenant can never eat into
+        capacity another tenant is still entitled to this quantum.
+        """
+        if self._used[tenant_id] < self.guaranteed[tenant_id]:
+            return True
+        reserved = sum(
+            max(0, g - u) for g, u in zip(self.guaranteed, self._used)
+        )
+        return self._total_used + reserved < self.quantum_slots
+
+    def _refuse(self, sub: Submission, reason: str) -> AdmissionDecision:
+        """Apply the shed policy to a submission a gate refused."""
+        policy = self.shed_policy
+        if policy == "priority" and (
+            self.weights[sub.tenant_id] <= self._min_weight
+            and any(w > self._min_weight for w in self.weights)
+        ):
+            policy = "reject"  # lowest-priority tenants are shed outright
+        if policy in ("defer", "priority") and sub.attempt < self.max_defers:
+            return AdmissionDecision(
+                submission=sub,
+                outcome=AdmissionOutcome.DEFERRED,
+                reason=reason,
+                retry_at=sub.time + self.defer_s,
+            )
+        if policy in ("defer", "priority") and sub.attempt >= self.max_defers:
+            reason = "defer_limit"
+        return AdmissionDecision(
+            submission=sub, outcome=AdmissionOutcome.SHED, reason=reason
+        )
+
+    def decide(self, sub: Submission, *, backlog: int) -> AdmissionDecision:
+        """Decide one submission given the tenant's in-flight ``backlog``.
+
+        Submissions must arrive in non-decreasing time order (the merged
+        stream is sorted); every call returns exactly one decision — no
+        submission is ever silently dropped.
+        """
+        self._roll_quantum(sub.time)
+        if backlog >= self.queue_depth:
+            decision = self._refuse(sub, "queue_full")
+        elif self._buckets is not None and not self._buckets[
+            sub.tenant_id
+        ].try_take(sub.time):
+            decision = self._refuse(sub, "rate_limited")
+        elif not self._fair_share_ok(sub.tenant_id):
+            decision = self._refuse(sub, "fair_share")
+        else:
+            self._used[sub.tenant_id] += 1
+            self._total_used += 1
+            decision = AdmissionDecision(
+                submission=sub, outcome=AdmissionOutcome.ADMITTED, reason="ok"
+            )
+        self.counts[decision.outcome.value] += 1
+        return decision

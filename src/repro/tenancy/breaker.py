@@ -1,0 +1,132 @@
+"""Per-tenant circuit breakers on simulated time.
+
+State machine::
+
+                 k consecutive failures
+      CLOSED ---------------------------> OPEN
+        ^                                  |
+        | probe successes                  | cooldown elapses
+        | >= probes                        v
+        +------------------------------ HALF_OPEN
+                                           |
+                                           | any failure
+                                           +-----------> OPEN (again)
+
+All transitions happen at ``allow``/``record_*`` call sites with the
+caller's simulated timestamp — the breaker reads no clock of its own —
+so a fixed seed yields a byte-identical trip/recover history. Every
+transition is reported through an optional callback (the tenant guard
+turns it into ``breaker_transition`` journal events and ``tenancy/*``
+metrics).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+
+class BreakerState(Enum):
+    """Breaker states; the numeric codes land in the state gauge."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Gauge encoding of the state (0 healthy .. 2 tripped).
+STATE_CODES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Open after ``threshold`` consecutive failures; recover via probes.
+
+    ``threshold=0`` disables the breaker entirely: it stays CLOSED and
+    ``allow`` is always True.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        threshold: int,
+        cooldown_s: float,
+        probes: int = 1,
+        on_transition: Callable[[str, BreakerState, BreakerState, float], None]
+        | None = None,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        if probes < 1:
+            raise ValueError(f"probes must be at least 1, got {probes}")
+        self.name = name
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.probes = probes
+        self.on_transition = on_transition
+        self.state = BreakerState.CLOSED
+        self.trips = 0
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_successes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def _transition(self, new: BreakerState, now: float) -> None:
+        old = self.state
+        if old is new:
+            return
+        self.state = new
+        if new is BreakerState.OPEN:
+            self.trips += 1
+            self._opened_at = now
+            self._consecutive_failures = 0
+        if new is BreakerState.HALF_OPEN:
+            self._probe_successes = 0
+        if self.on_transition is not None:
+            self.on_transition(self.name, old, new, now)
+
+    def allow(self, now: float) -> bool:
+        """Whether a protected operation may proceed at ``now``.
+
+        An OPEN breaker whose cooldown elapsed moves to HALF_OPEN here
+        (and allows the call as a probe).
+        """
+        if not self.enabled:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now >= self._opened_at + self.cooldown_s:
+                self._transition(BreakerState.HALF_OPEN, now)
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        if not self.enabled:
+            return
+        self._consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.probes:
+                self._transition(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        if not self.enabled:
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN, now)
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.threshold
+        ):
+            self._transition(BreakerState.OPEN, now)

@@ -15,7 +15,7 @@ from repro.faults.injector import (
     FaultProfile,
     TransientStorageError,
 )
-from repro.faults.retry import RetryOverride, RetryPolicy
+from repro.faults.retry import RetriesExhausted, RetryOverride, RetryPolicy
 from repro.interleave.lp import InterleavedSchedule
 from repro.interleave.slots import BuildCandidate
 from repro.scheduling.schedule import Assignment, Schedule
@@ -425,3 +425,76 @@ class TestZeroRateDeterminism:
         assert len(plain.builds_completed) == len(with_injector.builds_completed)
         for a, b in zip(plain.builds_completed, with_injector.builds_completed):
             assert a == b
+
+
+class TestRetriesExhausted:
+    def _policy(self, attempts=3):
+        return RetryPolicy(
+            max_attempts=attempts, base_delay_s=1.0,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_execute_returns_on_success(self):
+        calls = []
+        result = self._policy().execute(lambda: calls.append(1) or "ok")
+        assert result == "ok"
+        assert len(calls) == 1
+
+    def test_execute_retries_transient_errors(self):
+        attempts = []
+
+        def op():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientStorageError("put", "a/b")
+            return 42
+
+        assert self._policy().execute(op) == 42
+        assert len(attempts) == 3
+
+    def test_exhaustion_raises_typed_error_with_attribution(self):
+        def op():
+            raise TransientStorageError("delete", "a/b", owner="t2")
+
+        with pytest.raises(RetriesExhausted) as err:
+            self._policy(attempts=2).execute(
+                op, operation="storage_delete:a/b",
+                tenant="t2", dataflow="montage-17",
+            )
+        exc = err.value
+        assert exc.operation == "storage_delete:a/b"
+        assert exc.attempts == 2
+        assert exc.tenant == "t2"
+        assert exc.dataflow == "montage-17"
+        assert isinstance(exc.last_error, TransientStorageError)
+        assert exc.last_error.owner == "t2"
+        assert "tenant=t2" in str(exc)
+        assert "dataflow=montage-17" in str(exc)
+
+    def test_attribution_optional(self):
+        def op():
+            raise TransientStorageError("put", "x")
+
+        with pytest.raises(RetriesExhausted) as err:
+            self._policy(attempts=1).execute(op)
+        assert err.value.tenant is None
+        assert "tenant=" not in str(err.value)
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        calls = []
+
+        def op():
+            calls.append(1)
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            self._policy().execute(op)
+        assert len(calls) == 1
+
+    def test_owner_tagged_storage_error_message(self):
+        err = TransientStorageError("delete", "a/b", owner="t5")
+        assert err.owner == "t5"
+        assert "owner=t5" in str(err)
+        bare = TransientStorageError("put", "a/b")
+        assert bare.owner is None
+        assert "owner" not in str(bare)

@@ -1,0 +1,223 @@
+"""Admission-controller unit and property tests.
+
+The derandomized Hypothesis suites prove the controller's four contract
+properties over arbitrary submission streams: fair-share weights are
+respected within one quantum, token buckets never go negative, the shed
+set is a pure function of the stream (deterministic for a fixed seed),
+and no submission is ever silently dropped.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tenancy import (
+    AdmissionController,
+    AdmissionOutcome,
+    Submission,
+    TokenBucket,
+)
+
+QUANTUM = 60.0
+
+
+def controller(**overrides):
+    kwargs = dict(
+        tenants=3,
+        quantum_seconds=QUANTUM,
+        queue_depth=8,
+        quantum_slots=6,
+        shed_policy="reject",
+    )
+    kwargs.update(overrides)
+    return AdmissionController(**kwargs)
+
+
+def sub(tenant, time, seq=0, attempt=0):
+    return Submission(
+        tenant_id=tenant, seq=seq, time=time, app="montage", attempt=attempt
+    )
+
+
+class TestGates:
+    def test_admits_within_all_gates(self):
+        d = controller().decide(sub(0, 1.0), backlog=0)
+        assert d.outcome is AdmissionOutcome.ADMITTED
+        assert d.reason == "ok"
+        assert d.retry_at is None
+
+    def test_backpressure_precedes_other_gates(self):
+        c = controller(rate_quanta=0.0)
+        d = c.decide(sub(0, 1.0), backlog=8)
+        assert d.outcome is AdmissionOutcome.SHED
+        assert d.reason == "queue_full"
+
+    def test_rate_limit_names_its_gate(self):
+        c = controller(rate_quanta=1.0, burst=1.0)
+        assert c.decide(sub(0, 0.0), backlog=0).reason == "ok"
+        d = c.decide(sub(0, 0.0, seq=1), backlog=0)
+        assert d.outcome is AdmissionOutcome.SHED
+        assert d.reason == "rate_limited"
+
+    def test_fair_share_blocks_beyond_spare(self):
+        c = controller(quantum_slots=3)
+        # guarantee is 1 each; tenant 0 may take its guarantee plus the
+        # unreserved spare, but never tenants 1/2's unconsumed slots.
+        reasons = [c.decide(sub(0, 1.0, seq=i), backlog=0).reason for i in range(3)]
+        assert reasons == ["ok", "fair_share", "fair_share"]
+        assert c.decide(sub(1, 2.0), backlog=0).reason == "ok"
+        assert c.decide(sub(2, 3.0), backlog=0).reason == "ok"
+
+    def test_quantum_roll_resets_usage(self):
+        c = controller(quantum_slots=3)
+        for i in range(3):
+            c.decide(sub(0, 1.0, seq=i), backlog=0)
+        assert c.decide(sub(0, QUANTUM + 1.0, seq=9), backlog=0).reason == "ok"
+
+    def test_defer_policy_requeues_then_sheds(self):
+        c = controller(shed_policy="defer", defer_quanta=1.0, max_defers=2)
+        d = c.decide(sub(0, 5.0), backlog=8)
+        assert d.outcome is AdmissionOutcome.DEFERRED
+        assert d.retry_at == pytest.approx(5.0 + QUANTUM)
+        final = c.decide(sub(0, 5.0, attempt=2), backlog=8)
+        assert final.outcome is AdmissionOutcome.SHED
+        assert final.reason == "defer_limit"
+
+    def test_priority_policy_sheds_lowest_weight_outright(self):
+        c = controller(shed_policy="priority", weights=(2.0, 1.0, 0.5))
+        heavy = c.decide(sub(0, 1.0), backlog=8)
+        assert heavy.outcome is AdmissionOutcome.DEFERRED
+        light = c.decide(sub(2, 1.0), backlog=8)
+        assert light.outcome is AdmissionOutcome.SHED
+        assert light.reason == "queue_full"
+
+    def test_priority_with_uniform_weights_defers_everyone(self):
+        c = controller(shed_policy="priority")
+        d = c.decide(sub(2, 1.0), backlog=8)
+        assert d.outcome is AdmissionOutcome.DEFERRED
+
+    def test_init_aggregates_every_problem(self):
+        with pytest.raises(ValueError) as err:
+            AdmissionController(
+                tenants=0,
+                quantum_seconds=0.0,
+                queue_depth=0,
+                rate_quanta=-1.0,
+                shed_policy="drop",
+                max_defers=-1,
+            )
+        message = str(err.value)
+        assert message.startswith("invalid AdmissionController: ")
+        for field in ("tenants", "quantum_seconds", "queue_depth",
+                      "rate_quanta", "shed_policy", "max_defers"):
+            assert field in message
+
+
+# ----------------------------------------------------------------------
+# Property suites (derandomized: the examples are a pure function of
+# the test body, like the seed-determinism contract they check).
+# ----------------------------------------------------------------------
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),       # tenant
+        st.floats(min_value=0.0, max_value=5.0),     # inter-arrival gap
+        st.integers(min_value=0, max_value=9),       # backlog
+    ),
+    max_size=60,
+)
+
+
+def drive(c, stream):
+    """Feed a (tenant, gap, backlog) stream; returns the decisions."""
+    now = 0.0
+    decisions = []
+    for seq, (tenant, gap, backlog) in enumerate(stream):
+        now += gap
+        decisions.append(c.decide(sub(tenant, now, seq=seq), backlog=backlog))
+    return decisions
+
+
+@given(stream=streams)
+@settings(max_examples=120, deadline=None, derandomize=True)
+def test_fair_share_respected_within_one_quantum(stream):
+    """A tenant submitting within its guarantee is never fair-share shed,
+    and one quantum never admits more than its slot budget."""
+    c = controller(quantum_slots=6, weights=(3.0, 2.0, 1.0))
+    now = 0.0
+    admitted_in_quantum = {}
+    used = {}
+    for seq, (tenant, gap, _backlog) in enumerate(stream):
+        now += gap
+        quantum = int(now // QUANTUM)
+        used.setdefault(quantum, [0, 0, 0])
+        admitted_in_quantum.setdefault(quantum, 0)
+        decision = c.decide(sub(tenant, now, seq=seq), backlog=0)
+        if used[quantum][tenant] < c.guaranteed[tenant]:
+            # Within the reserved guarantee the fair-share gate may not
+            # refuse (no backpressure, no rate limit in this suite).
+            assert decision.outcome is AdmissionOutcome.ADMITTED
+        if decision.outcome is AdmissionOutcome.ADMITTED:
+            used[quantum][tenant] += 1
+            admitted_in_quantum[quantum] += 1
+            assert admitted_in_quantum[quantum] <= 6
+
+
+@given(stream=streams)
+@settings(max_examples=120, deadline=None, derandomize=True)
+def test_token_buckets_never_negative(stream):
+    c = controller(rate_quanta=1.5, burst=2.0)
+    now = 0.0
+    for seq, (tenant, gap, backlog) in enumerate(stream):
+        now += gap
+        c.decide(sub(tenant, now, seq=seq), backlog=backlog)
+        for t in range(3):
+            assert c.bucket_level(t) >= 0.0
+
+
+@given(stream=streams)
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_shed_set_deterministic_for_fixed_stream(stream):
+    """Two controllers fed the same stream make identical decisions —
+    admission is a pure function of the submission sequence."""
+    first = drive(controller(rate_quanta=1.0, shed_policy="defer"), stream)
+    second = drive(controller(rate_quanta=1.0, shed_policy="defer"), stream)
+    assert first == second
+    shed = [d.submission.seq for d in first if d.outcome is AdmissionOutcome.SHED]
+    shed2 = [d.submission.seq for d in second if d.outcome is AdmissionOutcome.SHED]
+    assert shed == shed2
+
+
+@given(
+    stream=streams,
+    policy=st.sampled_from(["reject", "defer", "priority"]),
+)
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_no_submission_silently_dropped(stream, policy):
+    """Every submission gets exactly one typed decision and the outcome
+    counters account for all of them."""
+    c = controller(rate_quanta=2.0, shed_policy=policy, weights=(2.0, 1.0, 1.0))
+    decisions = drive(c, stream)
+    assert len(decisions) == len(stream)
+    assert all(d.reason for d in decisions)
+    deferred = [d for d in decisions if d.outcome is AdmissionOutcome.DEFERRED]
+    assert all(d.retry_at is not None and d.retry_at > d.submission.time
+               for d in deferred)
+    assert sum(c.counts.values()) == len(stream)
+    for outcome in AdmissionOutcome:
+        assert c.counts[outcome.value] == sum(
+            1 for d in decisions if d.outcome is outcome
+        )
+
+
+class TestTokenBucket:
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(rate_per_s=10.0, capacity=3.0)
+        assert bucket.try_take(0.0)
+        bucket.refill(100.0)
+        assert bucket.tokens == 3.0
+
+    def test_take_below_one_token_fails(self):
+        bucket = TokenBucket(rate_per_s=0.1, capacity=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(1.0)  # only 0.1 tokens accrued
+        assert bucket.tokens >= 0.0
+        assert bucket.try_take(10.0)

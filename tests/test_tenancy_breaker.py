@@ -1,0 +1,141 @@
+"""Circuit-breaker state machine and tenant-guard tests."""
+
+import json
+
+import pytest
+
+from repro.core.service import MODE_FULL, MODE_INDEXED, MODE_UNINDEXED
+from repro.obs import Observation
+from repro.tenancy import BreakerState, CircuitBreaker, TenantGuard
+
+
+def breaker(**overrides):
+    kwargs = dict(threshold=3, cooldown_s=100.0, probes=2)
+    kwargs.update(overrides)
+    return CircuitBreaker("build", **kwargs)
+
+
+class TestStateMachine:
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = breaker()
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        assert b.state is BreakerState.CLOSED
+        b.record_failure(3.0)
+        assert b.state is BreakerState.OPEN
+        assert b.trips == 1
+        assert not b.allow(3.5)
+
+    def test_success_resets_the_consecutive_count(self):
+        b = breaker()
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        b.record_success(3.0)
+        b.record_failure(4.0)
+        b.record_failure(5.0)
+        assert b.state is BreakerState.CLOSED
+
+    def test_cooldown_half_opens_and_probes_close(self):
+        b = breaker()
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        assert not b.allow(50.0)  # still cooling down
+        assert b.allow(103.0)  # cooldown elapsed: half-open probe
+        assert b.state is BreakerState.HALF_OPEN
+        b.record_success(104.0)
+        assert b.state is BreakerState.HALF_OPEN  # needs probes=2
+        b.record_success(105.0)
+        assert b.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        b = breaker()
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        assert b.allow(103.0)
+        b.record_failure(104.0)
+        assert b.state is BreakerState.OPEN
+        assert b.trips == 2
+        assert not b.allow(105.0)
+
+    def test_threshold_zero_disables(self):
+        b = breaker(threshold=0)
+        for t in range(50):
+            b.record_failure(float(t))
+        assert b.state is BreakerState.CLOSED
+        assert b.allow(100.0)
+        assert b.trips == 0
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="threshold"):
+            breaker(threshold=-1)
+        with pytest.raises(ValueError, match="cooldown_s"):
+            breaker(cooldown_s=0.0)
+        with pytest.raises(ValueError, match="probes"):
+            breaker(probes=0)
+
+    def test_transition_callback_sees_every_edge(self):
+        seen = []
+        b = CircuitBreaker(
+            "storage", threshold=1, cooldown_s=10.0,
+            on_transition=lambda name, old, new, now: seen.append(
+                (name, old.value, new.value, now)
+            ),
+        )
+        b.record_failure(1.0)
+        b.allow(12.0)
+        b.record_success(13.0)
+        assert seen == [
+            ("storage", "closed", "open", 1.0),
+            ("storage", "open", "half_open", 12.0),
+            ("storage", "half_open", "closed", 13.0),
+        ]
+
+
+class TestTenantGuard:
+    def test_deadline_ladder(self):
+        guard = TenantGuard(0, deadline_s=100.0, breaker_threshold=0)
+        assert guard.decide_mode(0.0, 50.0) == MODE_FULL
+        assert guard.decide_mode(0.0, 150.0) == MODE_INDEXED
+        assert guard.decide_mode(0.0, 250.0) == MODE_UNINDEXED
+        assert guard.degraded == 2
+
+    def test_open_build_breaker_degrades_decisions(self):
+        guard = TenantGuard(1, breaker_threshold=2, breaker_cooldown_s=100.0)
+        guard.record_build_failures(2, 10.0)
+        assert guard.build_breaker.state is BreakerState.OPEN
+        assert guard.decide_mode(10.0, 11.0) == MODE_INDEXED
+        assert not guard.allow_build_put("idx", 12.0)
+
+    def test_storage_breaker_routes_delete_outcomes(self):
+        guard = TenantGuard(2, breaker_threshold=2, breaker_cooldown_s=50.0)
+        assert guard.allow_storage_delete("a/b", 1.0)
+        guard.record_storage_delete(False, 1.0)
+        guard.record_storage_delete(False, 2.0)
+        assert not guard.allow_storage_delete("a/b", 3.0)
+        assert guard.allow_storage_delete("a/b", 60.0)  # half-open probe
+        guard.record_storage_delete(True, 61.0)
+        assert guard.storage_breaker.state is BreakerState.CLOSED
+
+    def test_transitions_hit_journal_and_metrics(self):
+        obs = Observation.recording()
+        guard = TenantGuard(
+            3, breaker_threshold=1, breaker_cooldown_s=10.0, obs=obs
+        )
+        guard.record_build_put(False, 5.0)
+        events = [json.loads(l) for l in obs.journal.to_jsonl().splitlines()]
+        assert [e["event"] for e in events] == ["breaker_transition"]
+        assert events[0]["tenant"] == 3
+        assert events[0]["old"] == "closed" and events[0]["new"] == "open"
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["tenancy/t3/breaker/build/trips"] == 1
+        assert snapshot["gauges"]["tenancy/t3/breaker/build/state"] == 2
+
+    def test_degradation_events_attributed_to_tenant(self):
+        obs = Observation.recording()
+        guard = TenantGuard(4, deadline_s=10.0, obs=obs)
+        guard.decide_mode(0.0, 25.0)
+        events = [json.loads(l) for l in obs.journal.to_jsonl().splitlines()]
+        assert events[0]["event"] == "tenant_degraded"
+        assert events[0]["tenant"] == 4
+        assert events[0]["mode"] == MODE_UNINDEXED
+        assert events[0]["reason"] == "deadline"

@@ -1,0 +1,206 @@
+"""Multi-tenant front-end integration tests.
+
+The contract under test: multi-tenant runs are byte-deterministic under
+any seed (including fault storms with breakers tripping), admitted
+dataflows are never silently dropped, bulkheads keep per-tenant state
+disjoint, and the single-tenant default path never touches the tenancy
+layer at all.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import run_experiment
+from repro.core.config import ExperimentConfig
+from repro.core.service import Strategy
+from repro.obs import Observation
+from repro.tenancy import TenantFrontEnd
+
+
+def config(**overrides):
+    base = ExperimentConfig(
+        total_time_s=30 * 60.0,
+        max_skyline=2,
+        scheduler_containers=10,
+        max_candidates=40,
+        max_queued_gain=10,
+        seed=11,
+        tenants=3,
+        tenant_skew=3.0,
+        tenant_queue_depth=6,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+FAULT_STORM = dict(
+    storage_put_failure_rate=0.6,
+    storage_delete_failure_rate=0.6,
+    operator_failure_rate=0.2,
+    breaker_threshold=2,
+    breaker_cooldown_quanta=2.0,
+    deadline_quanta=1.0,
+    shed_policy="priority",
+    tenant_weights=(2.0, 1.0, 0.5),
+)
+
+
+def run_tenants(cfg, check_invariants=True):
+    obs = Observation.recording()
+    front = TenantFrontEnd(
+        cfg, Strategy.GAIN, obs=obs, check_invariants=check_invariants
+    )
+    return front.run(), obs
+
+
+class TestDeterminism:
+    def test_two_runs_byte_identical(self):
+        r1, o1 = run_tenants(config())
+        r2, o2 = run_tenants(config())
+        assert o1.journal.to_jsonl() == o2.journal.to_jsonl()
+        assert o1.metrics.to_json() == o2.metrics.to_json()
+        assert [vars(t.metrics) and t.admitted for t in r1.tenants] == [
+            vars(t.metrics) and t.admitted for t in r2.tenants
+        ]
+
+    def test_fault_storm_with_breakers_byte_identical(self):
+        cfg = config(**FAULT_STORM)
+        r1, o1 = run_tenants(cfg)
+        r2, o2 = run_tenants(cfg)
+        assert o1.journal.to_jsonl() == o2.journal.to_jsonl()
+        assert o1.metrics.to_json() == o2.metrics.to_json()
+        assert sum(t.breaker_trips for t in r1.tenants) > 0
+        assert sum(t.degraded for t in r1.tenants) > 0
+
+    def test_different_seeds_diverge(self):
+        _r1, o1 = run_tenants(config())
+        _r2, o2 = run_tenants(config(seed=12))
+        assert o1.journal.to_jsonl() != o2.journal.to_jsonl()
+
+
+class TestAccounting:
+    def test_no_admitted_dataflow_silently_dropped(self):
+        report, obs = run_tenants(config(**FAULT_STORM))
+        for t in report.tenants:
+            assert t.admitted == t.executed + t.expired
+            assert t.submitted == t.admitted + t.shed  # defers re-resolve
+        records = [
+            json.loads(l) for l in obs.journal.to_jsonl().splitlines()
+        ]
+        admitted = sum(1 for r in records if r["event"] == "tenant_admitted")
+        shed = sum(1 for r in records if r["event"] == "tenant_shed")
+        assert admitted == report.total("admitted")
+        assert shed == report.total("shed") + report.total("expired")
+
+    def test_shed_reasons_are_typed(self):
+        _report, obs = run_tenants(config(tenant_queue_depth=1))
+        reasons = {
+            json.loads(l)["reason"]
+            for l in obs.journal.to_jsonl().splitlines()
+            if json.loads(l)["event"] == "tenant_shed"
+        }
+        assert reasons <= {"queue_full", "rate_limited", "fair_share",
+                           "defer_limit", "horizon"}
+        assert reasons
+
+    def test_flash_crowd_tenant_shed_hardest(self):
+        report, _obs = run_tenants(config(tenant_skew=6.0))
+        t0 = report.tenants[0]
+        others = report.tenants[1:]
+        assert t0.submitted > max(t.submitted for t in others)
+        assert t0.shed >= max(t.shed for t in others)
+
+
+class TestBulkheads:
+    def test_tenant_storage_owners_disjoint(self):
+        cfg = config()
+        front = TenantFrontEnd(cfg, Strategy.GAIN)
+        owners = [rt.service.storage.owner for rt in front._runtimes]
+        assert owners == ["t0", "t1", "t2"]
+        seeds = {rt.service.config.seed for rt in front._runtimes}
+        assert len(seeds) == 3  # derived per-tenant seeds
+
+    def test_per_tenant_metrics_prefixes(self):
+        report, obs = run_tenants(config(**FAULT_STORM))
+        counters = obs.metrics.snapshot()["counters"]
+        tenancy_keys = [k for k in counters if k.startswith("tenancy/")]
+        assert any(k.startswith("tenancy/t0/") for k in tenancy_keys)
+        assert any(k.startswith("tenancy/t1/") for k in tenancy_keys)
+
+    def test_single_tenant_config_matches_plain_run(self):
+        """tenants=1, no skew, no limits: the front end reproduces the
+        classic run_experiment outcome stream exactly (same derived
+        seed, same service construction)."""
+        cfg = config(
+            tenants=1, tenant_skew=1.0, tenant_queue_depth=10_000
+        )
+        report, _obs = run_tenants(cfg, check_invariants=False)
+        from repro.experiments import derive_seed
+
+        plain = run_experiment(
+            Strategy.GAIN,
+            config=replace(
+                cfg, seed=derive_seed(cfg.seed, 0), tenants=1
+            ),
+        )
+        stats = report.tenants[0]
+        assert stats.metrics is not None
+        assert len(plain.outcomes) == stats.executed
+        assert [o.name for o in plain.outcomes] == [
+            o.name for o in stats.metrics.outcomes
+        ]
+        assert [o.finished_at for o in plain.outcomes] == [
+            o.finished_at for o in stats.metrics.outcomes
+        ]
+
+
+class TestGuardOffByDefault:
+    def test_default_config_has_no_tenancy_surface(self):
+        cfg = ExperimentConfig(
+            total_time_s=30 * 60.0, max_skyline=2, scheduler_containers=10,
+            max_candidates=40, max_queued_gain=10, seed=5,
+        )
+        assert cfg.tenants == 1
+        assert cfg.breaker_threshold == 0
+        assert cfg.deadline_quanta == 0.0
+        metrics = run_experiment(Strategy.GAIN, config=cfg)
+        assert metrics.degraded_decisions == 0
+        assert metrics.breaker_skipped_builds == 0
+
+
+class TestValidation:
+    def test_tenancy_validation_aggregates_every_bad_field(self):
+        with pytest.raises(ValueError) as err:
+            config(
+                tenants=0,
+                tenant_skew=0.5,
+                tenant_queue_depth=0,
+                tenant_rate_quanta=-1.0,
+                tenant_burst=0.0,
+                shed_policy="drop",
+                tenant_defer_quanta=0.0,
+                tenant_max_defers=-1,
+                admission_quantum_slots=-1,
+                breaker_threshold=-1,
+                breaker_cooldown_quanta=0.0,
+                breaker_probes=0,
+                deadline_quanta=-1.0,
+            )
+        message = str(err.value)
+        assert message.startswith("invalid tenancy configuration: ")
+        for field in (
+            "tenants", "tenant_skew", "tenant_queue_depth",
+            "tenant_rate_quanta", "tenant_burst", "shed_policy",
+            "tenant_defer_quanta", "tenant_max_defers",
+            "admission_quantum_slots", "breaker_threshold",
+            "breaker_cooldown_quanta", "breaker_probes", "deadline_quanta",
+        ):
+            assert field in message, field
+
+    def test_weights_checked_against_tenant_count(self):
+        with pytest.raises(ValueError, match="tenant_weights has 4 entries"):
+            config(tenant_weights=(1.0, 1.0, 1.0, 1.0))
+
+    def test_valid_config_passes(self):
+        config(**FAULT_STORM).validate()
